@@ -1,0 +1,71 @@
+//! Ablation: how the breadth-first scheduler is modelled.
+//!
+//! The paper's DP-Dep observations (MatrixMul: "only one task instance is
+//! assigned to the GPU") pin OmpSs's breadth-first scheduler as *eager*:
+//! instances are bound to workers round-robin at submission. A
+//! work-conserving variant (idle workers pull) behaves very differently on
+//! capability-skewed workloads. This bench runs both — plus DP-Perf — on
+//! MatrixMul and STREAM-Seq, showing the eager model reproduces the paper
+//! and the work-conserving variant would not have.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetero_apps::{matrixmul, stream};
+use hetero_platform::Platform;
+use matchmaker::{Analyzer, ExecutionConfig, Strategy};
+use hetero_runtime::{simulate, DepScheduler, WorkConservingScheduler};
+use std::hint::black_box;
+
+fn bench_variants(c: &mut Criterion) {
+    let platform = Platform::icpp15();
+    let analyzer = Analyzer::new(&platform);
+
+    println!("breadth-first scheduler variants:");
+    println!(
+        "{:<16} {:>14} {:>14} {:>12}",
+        "application", "DP-Dep(eager)", "BF(work-cons.)", "DP-Perf"
+    );
+    for desc in [matrixmul::paper_descriptor(), stream::paper_seq(false)] {
+        let plan = analyzer.plan(&desc, ExecutionConfig::Strategy(Strategy::DpDep));
+        let eager = {
+            let mut s = DepScheduler::new(&platform);
+            simulate(&plan.program, &platform, &mut s).makespan
+        };
+        let wc = {
+            let mut s = WorkConservingScheduler::new(&platform);
+            simulate(&plan.program, &platform, &mut s).makespan
+        };
+        let perf = analyzer
+            .simulate(&desc, ExecutionConfig::Strategy(Strategy::DpPerf))
+            .makespan;
+        println!(
+            "{:<16} {:>14} {:>14} {:>12}",
+            desc.name,
+            eager.to_string(),
+            wc.to_string(),
+            perf.to_string()
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_bf_variants");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let desc = matrixmul::paper_descriptor();
+    let plan = analyzer.plan(&desc, ExecutionConfig::Strategy(Strategy::DpDep));
+    group.bench_function("eager_ring", |b| {
+        b.iter(|| {
+            let mut s = DepScheduler::new(&platform);
+            black_box(simulate(&plan.program, &platform, &mut s).makespan)
+        })
+    });
+    group.bench_function("work_conserving", |b| {
+        b.iter(|| {
+            let mut s = WorkConservingScheduler::new(&platform);
+            black_box(simulate(&plan.program, &platform, &mut s).makespan)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Ablation: interconnect bandwidth vs the partitioning crossover.
+//!
+//! The G metric (GPU compute to data-transfer gap) predicts where the
+//! split flips between GPU-heavy and CPU-heavy. This bench sweeps the PCIe
+//! bandwidth on the paper platform and prints the SP-Unified split and the
+//! winning configuration for STREAM-Seq — the crossover the paper's
+//! discussion attributes to the transfer bottleneck.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetero_apps::stream;
+use hetero_platform::{LinkSpec, Platform, SimTime};
+use matchmaker::{Analyzer, ExecutionConfig, Strategy};
+use std::hint::black_box;
+
+fn with_link(gbs: f64) -> Platform {
+    let base = Platform::icpp15();
+    Platform::builder()
+        .cpu(base.cpu().spec.clone())
+        .accelerator(
+            base.gpu().unwrap().spec.clone(),
+            LinkSpec::new(gbs, SimTime::from_micros(15)),
+        )
+        .sched_overhead(base.sched_overhead)
+        .build()
+}
+
+fn bench_link(c: &mut Criterion) {
+    let desc = stream::paper_seq(false);
+    println!("PCIe bandwidth sweep (STREAM-Seq, no sync):");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>12}",
+        "link GB/s", "GPU share", "SP-Unified", "Only-GPU", "Only-CPU"
+    );
+    for gbs in [1.5, 3.0, 6.0, 12.0, 24.0, 48.0] {
+        let platform = with_link(gbs);
+        let analyzer = Analyzer::new(&platform);
+        let sp = analyzer.simulate(&desc, ExecutionConfig::Strategy(Strategy::SpUnified));
+        let og = analyzer.simulate(&desc, ExecutionConfig::OnlyGpu);
+        let oc = analyzer.simulate(&desc, ExecutionConfig::OnlyCpu);
+        println!(
+            "{:>10.1} {:>9.1}% {:>12} {:>12} {:>12}",
+            gbs,
+            100.0 * sp.gpu_item_share(),
+            sp.makespan.to_string(),
+            og.makespan.to_string(),
+            oc.makespan.to_string()
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_link_bandwidth");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for gbs in [1.5, 48.0] {
+        let platform = with_link(gbs);
+        group.bench_function(format!("sp_unified_{gbs}gbs"), |b| {
+            let analyzer = Analyzer::new(&platform);
+            b.iter(|| {
+                black_box(
+                    analyzer
+                        .simulate(&desc, ExecutionConfig::Strategy(Strategy::SpUnified))
+                        .makespan,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_link);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation: runtime scheduling overhead vs the static/dynamic gap.
+//!
+//! The paper attributes dynamic partitioning's deficit to "runtime
+//! scheduling overhead (including multiple data transfers)". This bench
+//! sweeps the per-decision overhead and prints how the DP-Perf : SP gap
+//! grows with it, while the static strategies are unaffected — the
+//! mechanism behind Proposition 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetero_apps::blackscholes;
+use hetero_platform::{Platform, SimTime};
+use matchmaker::{Analyzer, ExecutionConfig, Strategy};
+use std::hint::black_box;
+
+fn with_overhead(us: u64) -> Platform {
+    let mut p = Platform::icpp15();
+    p.sched_overhead = SimTime::from_micros(us);
+    p
+}
+
+fn bench_overheads(c: &mut Criterion) {
+    let desc = blackscholes::paper_descriptor();
+    println!("sched overhead sweep (BlackScholes):");
+    println!("{:>12} {:>12} {:>12} {:>8}", "overhead", "SP-Single", "DP-Perf", "gap");
+    for us in [0u64, 8, 32, 128, 512] {
+        let platform = with_overhead(us);
+        let analyzer = Analyzer::new(&platform);
+        let sp = analyzer
+            .simulate(&desc, ExecutionConfig::Strategy(Strategy::SpSingle))
+            .makespan;
+        let dp = analyzer
+            .simulate(&desc, ExecutionConfig::Strategy(Strategy::DpPerf))
+            .makespan;
+        println!(
+            "{:>10}us {:>12} {:>12} {:>7.2}x",
+            us,
+            sp.to_string(),
+            dp.to_string(),
+            dp.as_secs_f64() / sp.as_secs_f64()
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_sched_overhead");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for us in [0u64, 128] {
+        let platform = with_overhead(us);
+        group.bench_function(format!("dp_perf_{us}us"), |b| {
+            let analyzer = Analyzer::new(&platform);
+            b.iter(|| {
+                black_box(
+                    analyzer
+                        .simulate(&desc, ExecutionConfig::Strategy(Strategy::DpPerf))
+                        .makespan,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overheads);
+criterion_main!(benches);

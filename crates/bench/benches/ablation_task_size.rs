@@ -1,0 +1,45 @@
+//! §V ablation bench: dynamic-partitioning task-size sensitivity. The paper
+//! observes that "the task size variation leads to performance variation"
+//! and recommends auto-tuning; this bench sweeps the dynamic granularity
+//! for DP-Perf and prints the simulated time per setting.
+
+use bench::experiments::task_size_ablation;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetero_apps::{blackscholes, stream};
+use hetero_platform::Platform;
+use matchmaker::{Analyzer, ExecutionConfig, Strategy};
+use std::hint::black_box;
+
+fn bench_task_size(c: &mut Criterion) {
+    let platform = Platform::icpp15();
+    let counts = [12u64, 48, 192];
+
+    for desc in [stream::paper_seq(false), blackscholes::paper_descriptor()] {
+        for (m, ms) in task_size_ablation(&platform, &desc, &[12, 24, 48, 96, 192, 384]) {
+            eprintln!("ablation {:<15} m={m:>4}: {ms:>9.1} ms", desc.name);
+        }
+    }
+
+    let mut group = c.benchmark_group("ablation_task_size");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &m in &counts {
+        let desc = stream::paper_seq(false);
+        group.bench_function(format!("stream_seq_dp_perf_m{m}"), |b| {
+            let mut analyzer = Analyzer::new(&platform);
+            analyzer.planner_mut().dynamic_instances_per_kernel = m;
+            b.iter(|| {
+                black_box(
+                    analyzer
+                        .simulate(&desc, ExecutionConfig::Strategy(Strategy::DpPerf))
+                        .makespan,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_task_size);
+criterion_main!(benches);

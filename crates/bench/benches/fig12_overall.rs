@@ -1,0 +1,39 @@
+//! Figure 12 bench: the analyzer end-to-end — classify, select the best
+//! strategy, plan and simulate — for every application variant. Prints the
+//! speedup rows (best vs Only-GPU / Only-CPU) once; regenerated exactly by
+//! `repro fig12`.
+
+use bench::experiments::{fig12_speedups, paper_variants, run_all};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetero_platform::Platform;
+use matchmaker::Analyzer;
+use std::hint::black_box;
+
+fn bench_fig12(c: &mut Criterion) {
+    let platform = Platform::icpp15();
+
+    let runs = run_all(&platform);
+    let (rows, avg_og, avg_oc) = fig12_speedups(&runs);
+    for r in &rows {
+        eprintln!(
+            "fig12 {:<16} best={:<12} vs OG {:>5.2}x, vs OC {:>5.2}x",
+            r.app, r.best, r.vs_only_gpu, r.vs_only_cpu
+        );
+    }
+    eprintln!("fig12 average: {avg_og:.2}x vs Only-GPU, {avg_oc:.2}x vs Only-CPU (paper: 3.0x / 5.3x)");
+
+    let mut group = c.benchmark_group("fig12_analyzer_end_to_end");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for desc in paper_variants() {
+        let analyzer = Analyzer::new(&platform);
+        group.bench_function(&desc.name, |b| {
+            b.iter(|| black_box(analyzer.run_best(&desc).1.makespan))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

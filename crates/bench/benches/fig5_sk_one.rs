@@ -1,0 +1,51 @@
+//! Figure 5 bench: SK-One class (MatrixMul, BlackScholes).
+//!
+//! Each Criterion benchmark simulates one (application, configuration) bar
+//! of the figure and reports the wall time of the *simulation*; the
+//! simulated (virtual) execution times — the figure's actual content — are
+//! printed once per run and regenerated exactly by `repro fig5`.
+
+use bench::experiments::run_app;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetero_apps::{blackscholes, matrixmul};
+use hetero_platform::Platform;
+use matchmaker::{Analyzer, ExecutionConfig, Strategy};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let platform = Platform::icpp15();
+    let mut group = c.benchmark_group("fig5_sk_one");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for desc in [matrixmul::paper_descriptor(), blackscholes::paper_descriptor()] {
+        // Print the figure row once (the reproduced numbers).
+        let run = run_app(&platform, &desc);
+        for cfg in &run.configs {
+            eprintln!(
+                "fig5 {:<14} {:<12} {:>10.1} ms (GPU share {:.1}%)",
+                run.app,
+                cfg.config,
+                cfg.time_ms,
+                100.0 * cfg.gpu_item_share
+            );
+        }
+        for config in [
+            ExecutionConfig::OnlyGpu,
+            ExecutionConfig::OnlyCpu,
+            ExecutionConfig::Strategy(Strategy::SpSingle),
+            ExecutionConfig::Strategy(Strategy::DpPerf),
+            ExecutionConfig::Strategy(Strategy::DpDep),
+        ] {
+            let analyzer = Analyzer::new(&platform);
+            group.bench_function(format!("{}/{}", desc.name, config), |b| {
+                b.iter(|| black_box(analyzer.simulate(&desc, config).makespan))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

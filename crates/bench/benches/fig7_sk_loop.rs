@@ -1,0 +1,45 @@
+//! Figure 7 bench: SK-Loop class (Nbody, HotSpot).
+//!
+//! Simulates each (application, configuration) bar; the simulated virtual
+//! times are printed once and regenerated exactly by `repro fig7`.
+
+use bench::experiments::run_app;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetero_apps::{hotspot, nbody};
+use hetero_platform::Platform;
+use matchmaker::{Analyzer, ExecutionConfig, Strategy};
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let platform = Platform::icpp15();
+    let mut group = c.benchmark_group("fig7_sk_loop");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for desc in [nbody::paper_descriptor(), hotspot::paper_descriptor()] {
+        let run = run_app(&platform, &desc);
+        for cfg in &run.configs {
+            eprintln!(
+                "fig7 {:<10} {:<12} {:>10.1} ms (GPU share {:.1}%)",
+                run.app, cfg.config, cfg.time_ms, 100.0 * cfg.gpu_item_share
+            );
+        }
+        for config in [
+            ExecutionConfig::OnlyGpu,
+            ExecutionConfig::OnlyCpu,
+            ExecutionConfig::Strategy(Strategy::SpSingle),
+            ExecutionConfig::Strategy(Strategy::DpPerf),
+            ExecutionConfig::Strategy(Strategy::DpDep),
+        ] {
+            let analyzer = Analyzer::new(&platform);
+            group.bench_function(format!("{}/{}", desc.name, config), |b| {
+                b.iter(|| black_box(analyzer.simulate(&desc, config).makespan))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

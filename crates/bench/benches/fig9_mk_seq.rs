@@ -1,0 +1,46 @@
+//! Figure 9 bench: MK-Seq class (STREAM-Seq, with and without inter-kernel
+//! synchronisation). Simulated virtual times are printed once and
+//! regenerated exactly by `repro fig9`.
+
+use bench::experiments::run_app;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetero_apps::stream;
+use hetero_platform::Platform;
+use matchmaker::{Analyzer, ExecutionConfig, Strategy};
+use std::hint::black_box;
+
+fn bench_fig9(c: &mut Criterion) {
+    let platform = Platform::icpp15();
+    let mut group = c.benchmark_group("fig9_mk_seq");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for sync in [false, true] {
+        let desc = stream::paper_seq(sync);
+        let run = run_app(&platform, &desc);
+        for cfg in &run.configs {
+            eprintln!(
+                "fig9 {:<15} {:<12} {:>10.1} ms (GPU share {:.1}%)",
+                run.app, cfg.config, cfg.time_ms, 100.0 * cfg.gpu_item_share
+            );
+        }
+        for config in [
+            ExecutionConfig::OnlyGpu,
+            ExecutionConfig::OnlyCpu,
+            ExecutionConfig::Strategy(Strategy::SpUnified),
+            ExecutionConfig::Strategy(Strategy::DpPerf),
+            ExecutionConfig::Strategy(Strategy::DpDep),
+            ExecutionConfig::Strategy(Strategy::SpVaried),
+        ] {
+            let analyzer = Analyzer::new(&platform);
+            group.bench_function(format!("{}/{}", desc.name, config), |b| {
+                b.iter(|| black_box(analyzer.simulate(&desc, config).makespan))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

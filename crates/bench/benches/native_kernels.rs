@@ -1,0 +1,109 @@
+//! Native-kernel benches: the *real, computing* host implementations of the
+//! six applications at reduced problem sizes. These measure actual Rust
+//! kernel performance (not simulated time) and exercise the crossbeam
+//! parallel reference paths.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hetero_apps::{blackscholes, hotspot, matrixmul, nbody, stream};
+use hetero_runtime::{run_native, ExecOrder, HostBuffers};
+use matchmaker::{ExecutionConfig, Planner};
+use std::hint::black_box;
+
+fn bench_matrixmul(c: &mut Criterion) {
+    let n = 192usize;
+    let mut group = c.benchmark_group("native_matrixmul");
+    group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    let mut a = vec![0.0f32; n * n];
+    let mut b = vec![0.0f32; n * n];
+    for i in 0..n * n {
+        a[i] = (i % 13) as f32 * 0.25;
+        b[i] = (i % 17) as f32 * 0.125;
+    }
+    group.bench_function(format!("reference_{n}"), |bch| {
+        bch.iter(|| black_box(matrixmul::reference(&a, &b, n)))
+    });
+    group.finish();
+}
+
+fn bench_blackscholes(c: &mut Criterion) {
+    let n = 100_000usize;
+    let mut group = c.benchmark_group("native_blackscholes");
+    group.throughput(Throughput::Elements(n as u64));
+    let mut input = vec![0.0f32; n * 5];
+    for i in 0..n {
+        input[i * 5] = 50.0 + (i % 100) as f32;
+        input[i * 5 + 1] = 55.0;
+        input[i * 5 + 2] = 1.0;
+        input[i * 5 + 3] = 0.02;
+        input[i * 5 + 4] = 0.25;
+    }
+    group.bench_function(format!("reference_{n}"), |bch| {
+        bch.iter(|| black_box(blackscholes::reference(&input, n)))
+    });
+    group.finish();
+}
+
+fn bench_hotspot(c: &mut Criterion) {
+    let n = 512usize;
+    let mut group = c.benchmark_group("native_hotspot");
+    group.throughput(Throughput::Elements((n * n) as u64));
+    let t = vec![330.0f32; n * n];
+    let p = vec![0.02f32; n * n];
+    group.bench_function(format!("reference_step_{n}x{n}"), |bch| {
+        bch.iter(|| black_box(hotspot::reference_step(&t, &p, n)))
+    });
+    group.finish();
+}
+
+fn bench_stream_chain(c: &mut Criterion) {
+    // Full partitioned program executed natively (the runtime's validation
+    // path): STREAM chain over 3 iterations under the SP-Varied plan.
+    let n = 1u64 << 16;
+    let platform = hetero_platform::Platform::icpp15();
+    let planner = Planner::new(&platform);
+    let desc = stream::descriptor(n, Some(3), true);
+    let plan = planner.plan(&desc, ExecutionConfig::Strategy(matchmaker::Strategy::SpVaried));
+    let kernels = stream::host_kernels();
+    let mut group = c.benchmark_group("native_stream_chain");
+    group.throughput(Throughput::Elements(n * 4 * 3));
+    group.bench_function(format!("sp_varied_{n}x3iters"), |bch| {
+        bch.iter(|| {
+            let hb = HostBuffers::for_program(&plan.program);
+            stream::init(&hb, n);
+            run_native(&plan.program, &kernels, &hb, ExecOrder::Submission);
+            black_box(hb.snapshot(hetero_runtime::BufferId(0)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_nbody(c: &mut Criterion) {
+    let n = 2048u64;
+    let interactions = 128u64;
+    let platform = hetero_platform::Platform::icpp15();
+    let planner = Planner::new(&platform);
+    let desc = nbody::descriptor(n, interactions, 1);
+    let plan = planner.plan(&desc, ExecutionConfig::OnlyCpu);
+    let kernels = nbody::host_kernels(n, interactions);
+    let mut group = c.benchmark_group("native_nbody");
+    group.throughput(Throughput::Elements(n * interactions));
+    group.bench_function(format!("step_{n}bodies_{interactions}inter"), |bch| {
+        bch.iter(|| {
+            let hb = HostBuffers::for_program(&plan.program);
+            nbody::init(&hb, n);
+            run_native(&plan.program, &kernels, &hb, ExecOrder::Submission);
+            black_box(hb.snapshot(hetero_runtime::BufferId(1)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matrixmul,
+    bench_blackscholes,
+    bench_hotspot,
+    bench_stream_chain,
+    bench_nbody
+);
+criterion_main!(benches);

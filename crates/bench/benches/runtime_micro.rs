@@ -1,0 +1,107 @@
+//! Runtime micro-benchmarks: the substrate costs behind the experiments —
+//! dependence-graph construction, coherence bookkeeping, interval
+//! operations, scheduler binding throughput, and full-simulation throughput
+//! per task.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hetero_platform::{KernelProfile, Platform};
+use hetero_runtime::{
+    simulate, Access, DepScheduler, Interval, IntervalSet, PinnedScheduler, Program, Region,
+    TaskGraph,
+};
+use std::hint::black_box;
+
+/// An MK-Loop-like program: `kernels` kernels × `iters` iterations ×
+/// `parts` partitions over two ping-pong buffers.
+fn chain_program(n: u64, kernels: usize, iters: u32, parts: u64, pin_cpu: bool) -> Program {
+    let mut b = Program::builder();
+    let ping = b.buffer("ping", n, 4);
+    let pong = b.buffer("pong", n, 4);
+    let kids: Vec<_> = (0..kernels)
+        .map(|k| b.kernel(&format!("k{k}"), KernelProfile::memory_only(8.0)))
+        .collect();
+    for _ in 0..iters {
+        for (k, &kid) in kids.iter().enumerate() {
+            let (src, dst) = if k % 2 == 0 { (ping, pong) } else { (pong, ping) };
+            for (s, e) in hetero_runtime::split_even(n, parts) {
+                let accesses = vec![
+                    Access::read(Region::new(src, s, e)),
+                    Access::write(Region::new(dst, s, e)),
+                ];
+                if pin_cpu {
+                    b.submit_pinned(kid, e - s, accesses, hetero_platform::DeviceId(0));
+                } else {
+                    b.submit_dynamic(kid, e - s, accesses);
+                }
+            }
+        }
+        b.taskwait();
+    }
+    b.build()
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_build");
+    for tasks in [100u64, 1000] {
+        let p = chain_program(1 << 20, 4, 5, tasks / 20, false);
+        let n = p.task_count() as u64;
+        group.throughput(Throughput::Elements(n));
+        group.bench_function(format!("{n}_tasks"), |b| {
+            b.iter(|| black_box(TaskGraph::build(&p).edge_count()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_interval_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_set");
+    group.bench_function("insert_remove_1000_runs", |b| {
+        b.iter(|| {
+            let mut s = IntervalSet::new();
+            for i in 0..1000u64 {
+                s.insert(Interval::new(i * 10, i * 10 + 5));
+            }
+            for i in (0..1000u64).step_by(2) {
+                s.remove(Interval::new(i * 10, i * 10 + 3));
+            }
+            black_box(s.total_len())
+        })
+    });
+    group.bench_function("gaps_within_fragmented", |b| {
+        let mut s = IntervalSet::new();
+        for i in 0..1000u64 {
+            s.insert(Interval::new(i * 10, i * 10 + 5));
+        }
+        b.iter(|| black_box(s.gaps_within(Interval::new(0, 10_000)).len()))
+    });
+    group.finish();
+}
+
+fn bench_simulation_throughput(c: &mut Criterion) {
+    let platform = Platform::icpp15();
+    let mut group = c.benchmark_group("simulation_throughput");
+    for (label, pinned) in [("pinned", true), ("dp_dep", false)] {
+        let p = chain_program(1 << 22, 4, 10, 96, pinned);
+        let n = p.task_count() as u64;
+        group.throughput(Throughput::Elements(n));
+        group.bench_function(format!("{label}_{n}_tasks"), |b| {
+            b.iter(|| {
+                if pinned {
+                    black_box(simulate(&p, &platform, &mut PinnedScheduler).makespan)
+                } else {
+                    let mut s = DepScheduler::new(&platform);
+                    black_box(simulate(&p, &platform, &mut s).makespan)
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_graph_build,
+    bench_interval_set,
+    bench_simulation_throughput
+);
+criterion_main!(benches);

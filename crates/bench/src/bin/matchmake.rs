@@ -1,0 +1,209 @@
+//! `matchmake` — the application analyzer as a command-line tool.
+//!
+//! Applications are described as JSON (`matchmaker::AppDescriptor`'s serde
+//! form); the tool classifies them, ranks the suitable strategies, and —
+//! on request — simulates every configuration on a chosen platform.
+//!
+//! ```text
+//! matchmake template                    # print a JSON descriptor template
+//! matchmake analyze  app.json           # class + Table I ranking + choice
+//! matchmake compare  app.json           # simulate baselines + strategies
+//! matchmake timeline app.json           # ASCII utilisation timeline of the best strategy
+//! matchmake tune     app.json           # auto-tune the dynamic task size
+//! matchmake platforms                   # list built-in platform presets
+//!
+//! options:
+//!   --platform icpp15|icpp15-phi        # preset (default icpp15)
+//!   --refined                           # enable MK-DAG chain refinement
+//! ```
+
+use hetero_platform::Platform;
+use matchmaker::{
+    tune_task_size, Analyzer, AppDescriptor, ExecutionConfig, Strategy,
+};
+use std::env;
+use std::fs;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: matchmake <template|analyze|compare|timeline|tune|platforms> [app.json] \
+         [--platform icpp15|icpp15-phi] [--refined]"
+    );
+    exit(2);
+}
+
+fn platform_by_name(name: &str) -> Platform {
+    match name {
+        "icpp15" => Platform::icpp15(),
+        "icpp15-phi" => Platform::icpp15_with_phi(),
+        other => {
+            eprintln!("unknown platform '{other}' (try: icpp15, icpp15-phi)");
+            exit(2);
+        }
+    }
+}
+
+fn load_descriptor(path: &str) -> AppDescriptor {
+    let text = fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    let desc: AppDescriptor = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: invalid descriptor JSON: {e}");
+        exit(1);
+    });
+    if let Err(e) = desc.validate() {
+        eprintln!("{path}: invalid descriptor: {e}");
+        exit(1);
+    }
+    desc
+}
+
+fn main() {
+    // Restore the default SIGPIPE disposition so `repro ... | head` ends
+    // quietly instead of panicking on a broken pipe.
+    #[cfg(unix)]
+    unsafe {
+        libc::signal(libc::SIGPIPE, libc::SIG_DFL);
+    }
+
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut command = None;
+    let mut file = None;
+    let mut platform_name = "icpp15".to_string();
+    let mut refined = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--platform" => {
+                platform_name = it.next().cloned().unwrap_or_else(|| usage());
+            }
+            "--refined" => refined = true,
+            _ if command.is_none() => command = Some(a.clone()),
+            _ if file.is_none() => file = Some(a.clone()),
+            _ => usage(),
+        }
+    }
+    let Some(command) = command else { usage() };
+
+    match command.as_str() {
+        "platforms" => {
+            for (name, p) in [("icpp15", Platform::icpp15()), ("icpp15-phi", Platform::icpp15_with_phi())] {
+                println!("{name}:");
+                for d in &p.devices {
+                    println!(
+                        "  {:<26} {} slots, {:.0} GFLOPS SP, {:.0} GB/s",
+                        d.spec.name,
+                        d.spec.kind.slots(),
+                        d.spec.peak_gflops_sp,
+                        d.spec.mem_bandwidth_gbs
+                    );
+                }
+            }
+        }
+        "template" => {
+            let template = hetero_apps::synth::single_kernel(
+                "my-app",
+                1 << 20,
+                64.0,
+                matchmaker::ExecutionFlow::Sequence,
+                false,
+            );
+            println!("{}", serde_json::to_string_pretty(&template).unwrap());
+        }
+        "analyze" => {
+            let desc = load_descriptor(file.as_deref().unwrap_or_else(|| usage()));
+            let platform = platform_by_name(&platform_name);
+            let analyzer = Analyzer::new(&platform);
+            let analysis = if refined {
+                analyzer.analyze_refined(&desc)
+            } else {
+                analyzer.analyze(&desc)
+            };
+            println!("application : {}", analysis.app);
+            println!("class       : {} (class {})", analysis.class, analysis.class.number());
+            println!(
+                "sync        : {}",
+                if analysis.sync == matchmaker::SyncMode::WithSync {
+                    "inter-kernel synchronisation required"
+                } else {
+                    "no inter-kernel synchronisation"
+                }
+            );
+            println!(
+                "ranking     : {}",
+                analysis
+                    .ranking
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| format!("{}. {s}", i + 1))
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            );
+            println!("selected    : {}", analysis.best);
+        }
+        "compare" => {
+            let desc = load_descriptor(file.as_deref().unwrap_or_else(|| usage()));
+            let platform = platform_by_name(&platform_name);
+            let analyzer = Analyzer::new(&platform);
+            println!(
+                "{:<14} {:>12} {:>11} {:>12} {:>10}",
+                "config", "time", "GPU share", "transferred", "decisions"
+            );
+            for (config, report) in analyzer.compare_all(&desc) {
+                println!(
+                    "{:<14} {:>12} {:>10.1}% {:>9.2} GB {:>10}",
+                    config.to_string(),
+                    report.makespan.to_string(),
+                    100.0 * report.gpu_item_share(),
+                    report.counters.transfers.bytes as f64 / 1e9,
+                    report.counters.sched_decisions
+                );
+            }
+        }
+        "timeline" => {
+            let desc = load_descriptor(file.as_deref().unwrap_or_else(|| usage()));
+            let platform = platform_by_name(&platform_name);
+            let analyzer = Analyzer::new(&platform);
+            let analysis = analyzer.analyze(&desc);
+            let plan = analyzer.plan(&desc, ExecutionConfig::Strategy(analysis.best));
+            let (report, trace) = match analysis.best {
+                Strategy::DpDep => {
+                    let mut s = hetero_runtime::DepScheduler::new(&platform);
+                    hetero_runtime::simulate_traced(&plan.program, &platform, &mut s)
+                }
+                Strategy::DpPerf => {
+                    let mut warm = hetero_runtime::PerfScheduler::new(&platform);
+                    let _ = hetero_runtime::simulate(&plan.program, &platform, &mut warm);
+                    let mut seeded =
+                        hetero_runtime::PerfScheduler::seeded(&platform, warm.rates().clone());
+                    hetero_runtime::simulate_traced(&plan.program, &platform, &mut seeded)
+                }
+                _ => hetero_runtime::simulate_traced(
+                    &plan.program,
+                    &platform,
+                    &mut hetero_runtime::PinnedScheduler,
+                ),
+            };
+            println!("{} under {} — {}", analysis.app, analysis.best, report.makespan);
+            print!("{}", trace.gantt(&platform, 72));
+        }
+        "tune" => {
+            let desc = load_descriptor(file.as_deref().unwrap_or_else(|| usage()));
+            let platform = platform_by_name(&platform_name);
+            let mut analyzer = Analyzer::new(&platform);
+            let result = tune_task_size(&mut analyzer, &desc, Strategy::DpPerf, None);
+            println!("{:<10} {:>12}", "m", "DP-Perf time");
+            for (m, t) in &result.sweep {
+                let mark = if *m == result.best_m { "  <- best" } else { "" };
+                println!("{:<10} {:>12}{mark}", m, t.to_string());
+            }
+            println!(
+                "sensitivity: worst/best = {:.2}x (the paper's §V observation)",
+                result.sensitivity()
+            );
+        }
+        _ => usage(),
+    }
+}

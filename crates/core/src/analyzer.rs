@@ -1,0 +1,179 @@
+//! The application analyzer (Fig. 2 of the paper).
+//!
+//! Input: an application descriptor (the "source code" view of the
+//! parallelised application). Output: the application's class, the ranked
+//! suitable strategies, the selected best strategy, and — on request — the
+//! planned program and its simulated execution.
+
+use crate::class::{classify, AppClass};
+use crate::descriptor::AppDescriptor;
+use crate::plan::{Plan, Planner};
+use crate::ranking::{best_strategy, ranking, SyncMode};
+use crate::strategy::{ExecutionConfig, Strategy};
+use hetero_platform::Platform;
+use hetero_runtime::{
+    simulate, simulate_dp_perf_warmed, DepScheduler, PinnedScheduler, RunReport,
+};
+use serde::{Deserialize, Serialize};
+
+/// The analyzer's verdict for one application.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Analysis {
+    /// Application name.
+    pub app: String,
+    /// Detected class (Fig. 3).
+    pub class: AppClass,
+    /// Whether inter-kernel synchronisation is required.
+    pub sync: SyncMode,
+    /// Suitable strategies, best first (Table I).
+    pub ranking: Vec<Strategy>,
+    /// The selected strategy.
+    pub best: Strategy,
+}
+
+/// The application analyzer, bound to a platform.
+pub struct Analyzer<'a> {
+    planner: Planner<'a>,
+}
+
+impl<'a> Analyzer<'a> {
+    /// An analyzer with default planning parameters for `platform`.
+    pub fn new(platform: &'a Platform) -> Self {
+        Analyzer {
+            planner: Planner::new(platform),
+        }
+    }
+
+    /// Access the underlying planner (to tweak `m` or decision floors).
+    pub fn planner_mut(&mut self) -> &mut Planner<'a> {
+        &mut self.planner
+    }
+
+    /// The underlying planner.
+    pub fn planner(&self) -> &Planner<'a> {
+        &self.planner
+    }
+
+    /// Step 2–3 of Fig. 2: classify and select the best strategy.
+    pub fn analyze(&self, desc: &AppDescriptor) -> Analysis {
+        let class = classify(desc);
+        let sync = SyncMode::from(desc.sync);
+        Analysis {
+            app: desc.name.clone(),
+            class,
+            sync,
+            ranking: ranking(class, sync),
+            best: best_strategy(class, sync),
+        }
+    }
+
+    /// [`Analyzer::analyze`] with MK-DAG refinement (the paper's §VII
+    /// future work, implemented in [`crate::dag`]): chain-shaped DAGs are
+    /// reclassified as MK-Seq, unlocking the static strategies for them.
+    pub fn analyze_refined(&self, desc: &AppDescriptor) -> Analysis {
+        let class = crate::dag::refine_class(desc);
+        let sync = SyncMode::from(desc.sync);
+        Analysis {
+            app: desc.name.clone(),
+            class,
+            sync,
+            ranking: ranking(class, sync),
+            best: best_strategy(class, sync),
+        }
+    }
+
+    /// Step 4: plan a program for an execution configuration.
+    pub fn plan(&self, desc: &AppDescriptor, config: ExecutionConfig) -> Plan {
+        self.planner.plan(desc, config)
+    }
+
+    /// Plan and simulate one configuration, using the scheduler the
+    /// configuration calls for (DP-Perf runs with the paper's excluded
+    /// profiling warm-up).
+    pub fn simulate(&self, desc: &AppDescriptor, config: ExecutionConfig) -> RunReport {
+        let plan = self.plan(desc, config);
+        let platform = self.planner.platform;
+        match config {
+            ExecutionConfig::Strategy(Strategy::DpDep) => {
+                let mut s = DepScheduler::new(platform);
+                simulate(&plan.program, platform, &mut s)
+            }
+            ExecutionConfig::Strategy(Strategy::DpPerf) => {
+                simulate_dp_perf_warmed(&plan.program, platform)
+            }
+            _ => simulate(&plan.program, platform, &mut PinnedScheduler),
+        }
+    }
+
+    /// Plan and simulate the analyzer-selected best strategy.
+    pub fn run_best(&self, desc: &AppDescriptor) -> (Analysis, RunReport) {
+        let analysis = self.analyze(desc);
+        let report = self.simulate(desc, ExecutionConfig::Strategy(analysis.best));
+        (analysis, report)
+    }
+
+    /// The paper's §IV experiment for one application: simulate the two
+    /// single-device baselines and every suitable strategy; returns
+    /// `(config, report)` pairs with the baselines first and strategies in
+    /// Table I rank order.
+    pub fn compare_all(&self, desc: &AppDescriptor) -> Vec<(ExecutionConfig, RunReport)> {
+        let analysis = self.analyze(desc);
+        let mut out = Vec::new();
+        for config in [ExecutionConfig::OnlyGpu, ExecutionConfig::OnlyCpu]
+            .into_iter()
+            .chain(analysis.ranking.iter().map(|&s| ExecutionConfig::Strategy(s)))
+        {
+            out.push((config, self.simulate(desc, config)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::tests_support::toy_descriptor;
+    use crate::descriptor::ExecutionFlow;
+
+    #[test]
+    fn analysis_matches_table_i() {
+        let platform = Platform::icpp15();
+        let a = Analyzer::new(&platform);
+        let d = toy_descriptor(1, ExecutionFlow::Sequence);
+        let an = a.analyze(&d);
+        assert_eq!(an.class, AppClass::SkOne);
+        assert_eq!(an.best, Strategy::SpSingle);
+        assert_eq!(an.ranking.len(), 3);
+    }
+
+    #[test]
+    fn run_best_produces_a_report() {
+        let platform = Platform::icpp15();
+        let a = Analyzer::new(&platform);
+        let mut d = toy_descriptor(1, ExecutionFlow::Sequence);
+        // Make the kernel big enough for a hybrid split.
+        d.buffers[0].items = 1 << 20;
+        d.kernels[0].domain = 1 << 20;
+        let (an, report) = a.run_best(&d);
+        assert_eq!(an.best, Strategy::SpSingle);
+        assert!(report.makespan > hetero_platform::SimTime::ZERO);
+        assert_eq!(report.scheduler, "pinned");
+    }
+
+    #[test]
+    fn compare_all_covers_baselines_and_ranking() {
+        let platform = Platform::icpp15();
+        let a = Analyzer::new(&platform);
+        let mut d = toy_descriptor(1, ExecutionFlow::Sequence);
+        d.buffers[0].items = 1 << 18;
+        d.kernels[0].domain = 1 << 18;
+        let results = a.compare_all(&d);
+        assert_eq!(results.len(), 2 + 3); // OG, OC + 3 suitable strategies
+        assert_eq!(results[0].0, ExecutionConfig::OnlyGpu);
+        assert_eq!(results[1].0, ExecutionConfig::OnlyCpu);
+        assert_eq!(
+            results[2].0,
+            ExecutionConfig::Strategy(Strategy::SpSingle)
+        );
+    }
+}

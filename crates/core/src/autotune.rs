@@ -1,0 +1,160 @@
+//! Task-size auto-tuning for dynamic partitioning.
+//!
+//! §V of the paper: "we have also varied the task size in dynamic
+//! partitioning, and found that the task size variation leads to
+//! performance variation. Thus, auto-tuning is recommended to find the
+//! best performing one."
+//!
+//! This module implements that recommendation: sweep candidate dynamic
+//! granularities (multiples of the CPU thread count, the paper's own
+//! convention for `m`) and keep the fastest. The measurement oracle is the
+//! deterministic simulator — in a live deployment the same loop would run
+//! against the machine, exactly like Glinda's profiling step.
+
+use crate::analyzer::Analyzer;
+use crate::descriptor::AppDescriptor;
+use crate::strategy::{ExecutionConfig, Strategy};
+use hetero_platform::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one auto-tuning run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AutotuneResult {
+    /// The winning instances-per-kernel granularity.
+    pub best_m: u64,
+    /// Its simulated execution time.
+    pub best_time: SimTime,
+    /// The full sweep, in candidate order.
+    pub sweep: Vec<(u64, SimTime)>,
+}
+
+impl AutotuneResult {
+    /// Ratio between the worst and best candidate — how much tuning
+    /// mattered.
+    pub fn sensitivity(&self) -> f64 {
+        let best = self.best_time.as_secs_f64();
+        let worst = self
+            .sweep
+            .iter()
+            .map(|(_, t)| t.as_secs_f64())
+            .fold(0.0f64, f64::max);
+        if best > 0.0 {
+            worst / best
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Default candidate granularities: {1, 2, 4, 8, 16, 32} × CPU threads.
+pub fn default_candidates(cpu_threads: u64) -> Vec<u64> {
+    [1u64, 2, 4, 8, 16, 32]
+        .iter()
+        .map(|&f| f * cpu_threads)
+        .collect()
+}
+
+/// Tune the dynamic task granularity of `strategy` (DP-Dep or DP-Perf) for
+/// one application. Returns the sweep and the winner; the analyzer passed
+/// in is left configured with the winning granularity.
+pub fn tune_task_size(
+    analyzer: &mut Analyzer<'_>,
+    desc: &AppDescriptor,
+    strategy: Strategy,
+    candidates: Option<&[u64]>,
+) -> AutotuneResult {
+    assert!(
+        strategy.is_dynamic(),
+        "task-size tuning applies to dynamic strategies"
+    );
+    let threads = analyzer.planner().platform.cpu().spec.kind.slots() as u64;
+    let defaults = default_candidates(threads);
+    let candidates = candidates.unwrap_or(&defaults);
+    assert!(!candidates.is_empty());
+
+    let mut sweep = Vec::with_capacity(candidates.len());
+    let mut best: Option<(u64, SimTime)> = None;
+    for &m in candidates {
+        analyzer.planner_mut().dynamic_instances_per_kernel = m;
+        let t = analyzer
+            .simulate(desc, ExecutionConfig::Strategy(strategy))
+            .makespan;
+        sweep.push((m, t));
+        if best.is_none_or(|(_, bt)| t < bt) {
+            best = Some((m, t));
+        }
+    }
+    let (best_m, best_time) = best.expect("non-empty sweep");
+    analyzer.planner_mut().dynamic_instances_per_kernel = best_m;
+    AutotuneResult {
+        best_m,
+        best_time,
+        sweep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_platform::Platform;
+
+    fn app() -> AppDescriptor {
+        crate::descriptor::tests_support::toy_descriptor(
+            1,
+            crate::descriptor::ExecutionFlow::Sequence,
+        )
+    }
+
+    fn big_app() -> AppDescriptor {
+        let mut d = app();
+        d.buffers[0].items = 1 << 20;
+        d.kernels[0].domain = 1 << 20;
+        d
+    }
+
+    #[test]
+    fn tuner_returns_the_sweep_minimum_and_configures_the_analyzer() {
+        let platform = Platform::icpp15();
+        let mut analyzer = Analyzer::new(&platform);
+        let desc = big_app();
+        let result = tune_task_size(&mut analyzer, &desc, Strategy::DpPerf, None);
+        assert_eq!(result.sweep.len(), 6);
+        let min = result
+            .sweep
+            .iter()
+            .map(|&(_, t)| t)
+            .min()
+            .unwrap();
+        assert_eq!(result.best_time, min);
+        assert_eq!(
+            analyzer.planner().dynamic_instances_per_kernel,
+            result.best_m
+        );
+        assert!(result.sensitivity() >= 1.0);
+    }
+
+    #[test]
+    fn custom_candidates_are_respected() {
+        let platform = Platform::icpp15();
+        let mut analyzer = Analyzer::new(&platform);
+        let desc = big_app();
+        let result =
+            tune_task_size(&mut analyzer, &desc, Strategy::DpDep, Some(&[13, 39]));
+        assert_eq!(result.sweep.len(), 2);
+        assert!(result.best_m == 13 || result.best_m == 39);
+    }
+
+    #[test]
+    #[should_panic(expected = "dynamic strategies")]
+    fn rejects_static_strategies() {
+        let platform = Platform::icpp15();
+        let mut analyzer = Analyzer::new(&platform);
+        let desc = app();
+        let _ = tune_task_size(&mut analyzer, &desc, Strategy::SpSingle, None);
+    }
+
+    #[test]
+    fn default_candidates_scale_with_threads() {
+        assert_eq!(default_candidates(12), vec![12, 24, 48, 96, 192, 384]);
+    }
+}

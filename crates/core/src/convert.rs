@@ -1,0 +1,126 @@
+//! §V: making dynamic partitioning "behave like" static partitioning.
+//!
+//! For an application already written for a dynamic runtime, the paper
+//! recommends a three-step conversion when the best strategy turns out to
+//! be static: (1) determine the static partitioning ratio for the full
+//! problem, (2) convert the ratio into a task-assignment ratio (`k`
+//! instances on the CPU, `l` on the GPU), (3) pin those instance counts.
+//! The application then gets a close-to-optimal partitioning with minimal
+//! manual effort. The planner's `ExecutionConfig::ConvertedStatic` uses
+//! this module.
+
+/// Convert a GPU fraction `beta ∈ [0, 1]` into `(gpu_instances,
+/// cpu_instances)` out of `m` equal-size task instances, rounding to the
+/// nearest split while keeping at least one instance on a device whose
+/// share is non-negligible (> half an instance).
+pub fn ratio_to_counts(beta: f64, m: u64) -> (u64, u64) {
+    assert!(m > 0, "need at least one instance");
+    assert!((0.0..=1.0).contains(&beta), "beta out of range: {beta}");
+    let gpu = (beta * m as f64).round().min(m as f64) as u64;
+    (gpu, m - gpu)
+}
+
+/// [`ratio_to_counts`] with the CPU count aligned to the thread count.
+///
+/// Equal-size instances execute on the CPU in waves of `cpu_threads`; a
+/// CPU count that is not a thread multiple wastes the tail of the last
+/// wave (e.g. 10 instances on 12 threads cost a full wave). Rounding the
+/// CPU count to the nearest thread multiple trades a small ratio error
+/// (bounded by `cpu_threads / 2m`) for perfectly packed waves.
+pub fn ratio_to_counts_aligned(beta: f64, m: u64, cpu_threads: u64) -> (u64, u64) {
+    assert!(m > 0, "need at least one instance");
+    assert!((0.0..=1.0).contains(&beta), "beta out of range: {beta}");
+    let align = cpu_threads.max(1).min(m);
+    let cpu_ideal = (1.0 - beta) * m as f64;
+    let cpu = ((cpu_ideal / align as f64).round() as u64 * align).min(m);
+    (m - cpu, cpu)
+}
+
+/// The GPU fraction actually realised by a `(gpu, cpu)` instance split.
+pub fn realized_ratio(gpu_instances: u64, cpu_instances: u64) -> f64 {
+    let total = gpu_instances + cpu_instances;
+    if total == 0 {
+        0.0
+    } else {
+        gpu_instances as f64 / total as f64
+    }
+}
+
+/// Worst-case ratio error introduced by converting to `m` instances: half
+/// an instance.
+pub fn max_ratio_error(m: u64) -> f64 {
+    0.5 / m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_ratios() {
+        assert_eq!(ratio_to_counts(0.0, 24), (0, 24));
+        assert_eq!(ratio_to_counts(1.0, 24), (24, 0));
+        assert_eq!(ratio_to_counts(0.5, 24), (12, 12));
+    }
+
+    #[test]
+    fn rounding_to_nearest() {
+        assert_eq!(ratio_to_counts(0.9, 24), (22, 2)); // 21.6 -> 22
+        assert_eq!(ratio_to_counts(0.41, 24), (10, 14)); // 9.84 -> 10
+    }
+
+    #[test]
+    fn realized_error_within_bound() {
+        for m in [8u64, 24, 48] {
+            for i in 0..=100 {
+                let beta = i as f64 / 100.0;
+                let (g, c) = ratio_to_counts(beta, m);
+                assert_eq!(g + c, m);
+                let err = (realized_ratio(g, c) - beta).abs();
+                assert!(
+                    err <= max_ratio_error(m) + 1e-12,
+                    "m={m} beta={beta} err={err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beta out of range")]
+    fn rejects_bad_beta() {
+        let _ = ratio_to_counts(1.5, 10);
+    }
+
+    #[test]
+    fn aligned_counts_pack_cpu_waves() {
+        // beta = 0.588, m = 96, 12 threads: 39.6 CPU instances round to 36.
+        let (g, c) = ratio_to_counts_aligned(0.588, 96, 12);
+        assert_eq!(c % 12, 0);
+        assert_eq!(g + c, 96);
+        assert_eq!(c, 36);
+        // Extremes stay clamped.
+        assert_eq!(ratio_to_counts_aligned(1.0, 96, 12), (96, 0));
+        assert_eq!(ratio_to_counts_aligned(0.0, 96, 12), (0, 96));
+        // Alignment larger than m clamps to m.
+        let (g, c) = ratio_to_counts_aligned(0.4, 8, 12);
+        assert_eq!(g + c, 8);
+    }
+
+    #[test]
+    fn aligned_ratio_error_is_bounded() {
+        for m in [24u64, 96, 192] {
+            for t in [6u64, 12] {
+                for i in 0..=20 {
+                    let beta = i as f64 / 20.0;
+                    let (g, c) = ratio_to_counts_aligned(beta, m, t);
+                    assert_eq!(g + c, m);
+                    let err = (realized_ratio(g, c) - beta).abs();
+                    assert!(
+                        err <= t as f64 / (2.0 * m as f64) + 1e-12,
+                        "m={m} t={t} beta={beta} err={err}"
+                    );
+                }
+            }
+        }
+    }
+}

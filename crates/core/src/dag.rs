@@ -1,0 +1,162 @@
+//! MK-DAG refinement (the paper's §VII future work).
+//!
+//! "We also want to investigate the possibility to refine the
+//! classification of MK-DAG applications for a better selection of their
+//! preferred partitioning." The observation: a DAG classification only
+//! forces dynamic partitioning when the flow actually has *width* — when
+//! kernels can run concurrently. A DAG that is structurally a chain is an
+//! MK-Seq application in disguise, and the static strategies apply to it.
+//!
+//! [`analyze_dag`] computes the structural profile of a DAG flow (width,
+//! depth, chain-ness) and [`refine_class`] folds chain-shaped DAGs back
+//! into MK-Seq, unlocking SP-Unified/SP-Varied for them.
+
+use crate::class::{classify, AppClass};
+use crate::descriptor::{AppDescriptor, ExecutionFlow};
+use serde::{Deserialize, Serialize};
+
+/// Structural profile of a DAG flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DagProfile {
+    /// Maximum number of kernels at the same depth level — the available
+    /// inter-kernel parallelism (1 = a chain).
+    pub width: usize,
+    /// Length of the longest kernel chain (levels).
+    pub depth: usize,
+    /// `true` when the flow is a simple chain covering all kernels.
+    pub is_chain: bool,
+}
+
+/// Analyse a descriptor's DAG flow; `None` for sequence/loop flows.
+pub fn analyze_dag(desc: &AppDescriptor) -> Option<DagProfile> {
+    let ExecutionFlow::Dag { edges } = &desc.flow else {
+        return None;
+    };
+    let n = desc.kernels.len();
+    // Level = longest path from any root (edges point forward by
+    // validation, so a simple forward scan computes levels).
+    let mut level = vec![0usize; n];
+    for &(a, b) in edges {
+        level[b] = level[b].max(level[a] + 1);
+    }
+    // Re-run until fixed point (edges are forward-sorted by construction
+    // but not necessarily topologically ordered in the list).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(a, b) in edges {
+            if level[b] < level[a] + 1 {
+                level[b] = level[a] + 1;
+                changed = true;
+            }
+        }
+    }
+    let depth = level.iter().max().copied().unwrap_or(0) + 1;
+    let mut level_counts = vec![0usize; depth];
+    for &l in &level {
+        level_counts[l] += 1;
+    }
+    let width = level_counts.iter().max().copied().unwrap_or(1);
+
+    // Chain: every kernel has at most one in-edge and one out-edge, and the
+    // edges connect all kernels into one path.
+    let mut indeg = vec![0usize; n];
+    let mut outdeg = vec![0usize; n];
+    for &(a, b) in edges {
+        outdeg[a] += 1;
+        indeg[b] += 1;
+    }
+    let is_chain = n >= 1
+        && edges.len() == n.saturating_sub(1)
+        && indeg.iter().all(|&d| d <= 1)
+        && outdeg.iter().all(|&d| d <= 1)
+        && width == 1;
+
+    Some(DagProfile {
+        width,
+        depth,
+        is_chain,
+    })
+}
+
+/// Classify with DAG refinement: a chain-shaped DAG is reclassified as
+/// MK-Seq (static strategies become applicable); everything else keeps the
+/// paper's classification.
+pub fn refine_class(desc: &AppDescriptor) -> AppClass {
+    let base = classify(desc);
+    if base == AppClass::MkDag {
+        if let Some(profile) = analyze_dag(desc) {
+            if profile.is_chain {
+                return AppClass::MkSeq;
+            }
+        }
+    }
+    base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::tests_support::toy_descriptor;
+
+    fn dag_desc(nk: usize, edges: Vec<(usize, usize)>) -> AppDescriptor {
+        toy_descriptor(nk, ExecutionFlow::Dag { edges })
+    }
+
+    #[test]
+    fn non_dag_flows_yield_none() {
+        assert!(analyze_dag(&toy_descriptor(2, ExecutionFlow::Sequence)).is_none());
+        assert!(
+            analyze_dag(&toy_descriptor(2, ExecutionFlow::Loop { iterations: 3 })).is_none()
+        );
+    }
+
+    #[test]
+    fn chain_dag_profile() {
+        let d = dag_desc(4, vec![(0, 1), (1, 2), (2, 3)]);
+        let p = analyze_dag(&d).unwrap();
+        assert_eq!(p, DagProfile { width: 1, depth: 4, is_chain: true });
+    }
+
+    #[test]
+    fn fork_join_profile() {
+        // 0 -> {1,2,3} -> 4
+        let d = dag_desc(5, vec![(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)]);
+        let p = analyze_dag(&d).unwrap();
+        assert_eq!(p.width, 3);
+        assert_eq!(p.depth, 3);
+        assert!(!p.is_chain);
+    }
+
+    #[test]
+    fn disconnected_kernels_widen_the_dag() {
+        // Two independent kernels, no edges: width 2 at level 0.
+        let d = dag_desc(2, vec![]);
+        let p = analyze_dag(&d).unwrap();
+        assert_eq!(p.width, 2);
+        assert!(!p.is_chain);
+    }
+
+    #[test]
+    fn refinement_reclassifies_chains_only() {
+        let chain = dag_desc(4, vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(classify(&chain), AppClass::MkDag);
+        assert_eq!(refine_class(&chain), AppClass::MkSeq);
+
+        let fork = dag_desc(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_eq!(refine_class(&fork), AppClass::MkDag);
+
+        // Non-DAG classes pass through untouched.
+        let seq = toy_descriptor(3, ExecutionFlow::Sequence);
+        assert_eq!(refine_class(&seq), AppClass::MkSeq);
+    }
+
+    #[test]
+    fn out_of_order_edge_lists_converge() {
+        // Edges listed sink-first still produce correct levels.
+        let d = dag_desc(4, vec![(2, 3), (1, 2), (0, 1)]);
+        let p = analyze_dag(&d).unwrap();
+        assert_eq!(p.depth, 4);
+        assert!(p.is_chain);
+    }
+}

@@ -1,0 +1,306 @@
+//! Application descriptors: the analyzer's view of an application.
+//!
+//! An [`AppDescriptor`] is what "analysing the application kernel
+//! structure from the source code" (paper Fig. 2, step 2) produces: the
+//! kernels, the buffers they touch and how, the execution flow, and the
+//! synchronisation the application requires. Everything downstream — the
+//! classifier, the strategy planner, the Glinda transfer models — is
+//! derived mechanically from this description.
+
+use hetero_platform::KernelProfile;
+use hetero_runtime::AccessMode;
+use serde::{Deserialize, Serialize};
+
+/// A buffer the application owns, partitioned in the same index space as
+/// the kernels' data-parallel domain (or accessed whole).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BufferSpec {
+    /// Name (diagnostics).
+    pub name: String,
+    /// Number of items.
+    pub items: u64,
+    /// Bytes per item.
+    pub item_bytes: u64,
+}
+
+/// How a kernel touches one buffer, as a function of the partition of the
+/// kernel's domain an instance receives.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// The instance touches items `[s−halo, e+halo)` of the buffer when it
+    /// computes domain items `[s, e)` (clamped to the buffer). `halo = 0`
+    /// is the common aligned case; stencils use `halo ≥ 1`.
+    Partitioned {
+        /// Index into the descriptor's buffer table.
+        buffer: usize,
+        /// Read/write mode.
+        mode: AccessMode,
+        /// Extra items on each side.
+        halo: u64,
+    },
+    /// The instance touches the whole buffer regardless of its partition
+    /// (e.g. MatrixMul reads all of `B`; Nbody reads all positions).
+    Full {
+        /// Index into the descriptor's buffer table.
+        buffer: usize,
+        /// Read/write mode (whole-buffer writes are only sound for a
+        /// single-instance kernel; the planner rejects them otherwise).
+        mode: AccessMode,
+    },
+}
+
+impl AccessPattern {
+    /// Shorthand for an aligned partitioned access.
+    pub fn part(buffer: usize, mode: AccessMode) -> Self {
+        AccessPattern::Partitioned {
+            buffer,
+            mode,
+            halo: 0,
+        }
+    }
+
+    /// The buffer index touched.
+    pub fn buffer(&self) -> usize {
+        match self {
+            AccessPattern::Partitioned { buffer, .. } | AccessPattern::Full { buffer, .. } => {
+                *buffer
+            }
+        }
+    }
+
+    /// The access mode.
+    pub fn mode(&self) -> AccessMode {
+        match self {
+            AccessPattern::Partitioned { mode, .. } | AccessPattern::Full { mode, .. } => *mode,
+        }
+    }
+}
+
+/// One kernel of the application.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KernelSpec {
+    /// Name (e.g. `"triad"`).
+    pub name: String,
+    /// Workload profile (per-item flops/bytes, efficiencies) — drives both
+    /// the simulator's device models and Glinda's profiling.
+    pub profile: KernelProfile,
+    /// Size of the kernel's data-parallel domain (items to partition).
+    pub domain: u64,
+    /// Buffer access patterns.
+    pub accesses: Vec<AccessPattern>,
+    /// Optional per-item workload weights for *imbalanced* kernels (the
+    /// ICS'14 Glinda extension): item `i` costs `weights[i]` times the
+    /// profile's per-item flops/bytes, with weights normalised so their
+    /// mean is 1 (the planner normalises on use). `None` = uniform.
+    pub weights: Option<Vec<f32>>,
+}
+
+/// The kernel execution flow (the second classification criterion).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutionFlow {
+    /// Kernels run once, in order.
+    Sequence,
+    /// The kernel sequence is iterated.
+    Loop {
+        /// Number of iterations.
+        iterations: u32,
+    },
+    /// Kernel execution forms a DAG: `edges[(a, b)]` means kernel `b`
+    /// consumes kernel `a`'s output. (Data dependences still come from the
+    /// access patterns; the edges document the intended flow and fix the
+    /// emission order.)
+    Dag {
+        /// Flow edges between kernel indices.
+        edges: Vec<(usize, usize)>,
+    },
+}
+
+/// The synchronisation the application *requires* (paper §III-C): does the
+/// host need the data between kernels (post-processing, output assembly),
+/// and does a loop need per-iteration assembly at the host?
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncPolicy {
+    /// A `taskwait` is required between consecutive kernels.
+    pub between_kernels: bool,
+    /// A `taskwait` is required between loop iterations.
+    pub between_iterations: bool,
+}
+
+impl SyncPolicy {
+    /// No synchronisation required.
+    pub const NONE: SyncPolicy = SyncPolicy {
+        between_kernels: false,
+        between_iterations: false,
+    };
+
+    /// Synchronisation required everywhere.
+    pub const FULL: SyncPolicy = SyncPolicy {
+        between_kernels: true,
+        between_iterations: true,
+    };
+
+    /// `true` if any synchronisation is required.
+    pub fn any(&self) -> bool {
+        self.between_kernels || self.between_iterations
+    }
+}
+
+/// A complete application description.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AppDescriptor {
+    /// Application name.
+    pub name: String,
+    /// Buffer table.
+    pub buffers: Vec<BufferSpec>,
+    /// Kernel table (order = sequence order for `Sequence`/`Loop` flows).
+    pub kernels: Vec<KernelSpec>,
+    /// Execution flow.
+    pub flow: ExecutionFlow,
+    /// Required synchronisation.
+    pub sync: SyncPolicy,
+}
+
+impl AppDescriptor {
+    /// Loop iteration count (1 for non-loop flows).
+    pub fn iterations(&self) -> u32 {
+        match self.flow {
+            ExecutionFlow::Loop { iterations } => iterations,
+            _ => 1,
+        }
+    }
+
+    /// Check internal consistency (buffer indices in range, partitioned
+    /// buffers at least as large as the kernel domain, DAG edges in range
+    /// and acyclic).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.kernels.is_empty() {
+            return Err("no kernels".into());
+        }
+        for k in &self.kernels {
+            if let Some(w) = &k.weights {
+                if w.len() as u64 != k.domain {
+                    return Err(format!(
+                        "kernel '{}': {} weights for a domain of {}",
+                        k.name,
+                        w.len(),
+                        k.domain
+                    ));
+                }
+                if w.iter().any(|x| !x.is_finite() || *x < 0.0) {
+                    return Err(format!(
+                        "kernel '{}': weights must be finite and non-negative",
+                        k.name
+                    ));
+                }
+            }
+            for a in &k.accesses {
+                let Some(buf) = self.buffers.get(a.buffer()) else {
+                    return Err(format!("kernel '{}': buffer index out of range", k.name));
+                };
+                if let AccessPattern::Partitioned { .. } = a {
+                    if buf.items < k.domain {
+                        return Err(format!(
+                            "kernel '{}': partitioned buffer '{}' smaller than domain",
+                            k.name, buf.name
+                        ));
+                    }
+                }
+            }
+        }
+        if let ExecutionFlow::Dag { edges } = &self.flow {
+            let n = self.kernels.len();
+            for &(a, b) in edges {
+                if a >= n || b >= n {
+                    return Err(format!("DAG edge ({a}, {b}) out of range"));
+                }
+                if a >= b {
+                    return Err(format!(
+                        "DAG edge ({a}, {b}) must point forward in kernel order"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Helpers shared by this crate's unit tests.
+#[doc(hidden)]
+pub mod tests_support {
+    use super::*;
+    use hetero_runtime::AccessMode;
+
+    /// A minimal descriptor with `nk` kernels over one buffer.
+    pub fn toy_descriptor(nk: usize, flow: ExecutionFlow) -> AppDescriptor {
+        let kernels = (0..nk)
+            .map(|i| KernelSpec {
+                name: format!("k{i}"),
+                profile: KernelProfile::compute_only(100.0),
+                domain: 1024,
+                accesses: vec![AccessPattern::part(0, AccessMode::InOut)],
+                weights: None,
+            })
+            .collect();
+        AppDescriptor {
+            name: "toy".into(),
+            buffers: vec![BufferSpec {
+                name: "x".into(),
+                items: 1024,
+                item_bytes: 4,
+            }],
+            kernels,
+            flow,
+            sync: SyncPolicy::NONE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tests_support::toy_descriptor;
+
+    #[test]
+    fn iterations_accessor() {
+        assert_eq!(toy_descriptor(1, ExecutionFlow::Sequence).iterations(), 1);
+        assert_eq!(
+            toy_descriptor(1, ExecutionFlow::Loop { iterations: 7 }).iterations(),
+            7
+        );
+    }
+
+    #[test]
+    fn validation_catches_bad_buffer_index() {
+        let mut d = toy_descriptor(1, ExecutionFlow::Sequence);
+        d.kernels[0]
+            .accesses
+            .push(AccessPattern::part(9, hetero_runtime::AccessMode::In));
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_small_partitioned_buffer() {
+        let mut d = toy_descriptor(1, ExecutionFlow::Sequence);
+        d.buffers[0].items = 10;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_backward_dag_edges() {
+        let mut d = toy_descriptor(3, ExecutionFlow::Dag { edges: vec![(2, 1)] });
+        assert!(d.validate().is_err());
+        d.flow = ExecutionFlow::Dag { edges: vec![(0, 2), (1, 2)] };
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn sync_policy() {
+        assert!(!SyncPolicy::NONE.any());
+        assert!(SyncPolicy::FULL.any());
+        assert!(SyncPolicy {
+            between_kernels: true,
+            between_iterations: false
+        }
+        .any());
+    }
+}

@@ -1,0 +1,147 @@
+//! Table I: suitable strategies and their performance ranking per class.
+//!
+//! The ranking is *theoretical* — derived from Propositions 1–3 of the
+//! paper — and the repository's experiment harness validates it
+//! empirically, as §IV of the paper does:
+//!
+//! * **Proposition 1**: `DP-Perf ≥ DP-Dep` for all classes (a
+//!   performance-aware policy distinguishes device capabilities).
+//! * **Proposition 2**: for SK-One/SK-Loop, `SP-Single > DP-Perf ≥ DP-Dep`
+//!   (the static optimum has no scheduling overhead).
+//! * **Proposition 3**: for MK-Seq/MK-Loop, without required inter-kernel
+//!   synchronisation `SP-Unified > DP-Perf ≥ DP-Dep ≥ SP-Varied`; with it,
+//!   `SP-Varied > DP-Perf ≥ DP-Dep ≥ SP-Unified`.
+//! * MK-DAG: only the dynamic strategies are feasible, `DP-Perf ≥ DP-Dep`.
+
+use crate::class::AppClass;
+use crate::descriptor::SyncPolicy;
+use crate::strategy::Strategy;
+use serde::{Deserialize, Serialize};
+
+/// Whether the application requires inter-kernel synchronisation — the
+/// discriminator in Proposition 3.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SyncMode {
+    /// No global synchronisation required between kernels.
+    WithoutSync,
+    /// The application originally uses, or needs, inter-kernel sync.
+    WithSync,
+}
+
+impl From<SyncPolicy> for SyncMode {
+    fn from(p: SyncPolicy) -> Self {
+        if p.between_kernels {
+            SyncMode::WithSync
+        } else {
+            SyncMode::WithoutSync
+        }
+    }
+}
+
+/// The suitable strategies for a class, ordered best → worst (Table I).
+pub fn ranking(class: AppClass, sync: SyncMode) -> Vec<Strategy> {
+    use Strategy::*;
+    match class {
+        AppClass::SkOne | AppClass::SkLoop => vec![SpSingle, DpPerf, DpDep],
+        AppClass::MkSeq | AppClass::MkLoop => match sync {
+            SyncMode::WithoutSync => vec![SpUnified, DpPerf, DpDep, SpVaried],
+            SyncMode::WithSync => vec![SpVaried, DpPerf, DpDep, SpUnified],
+        },
+        AppClass::MkDag => vec![DpPerf, DpDep],
+    }
+}
+
+/// The best-ranked strategy — what the analyzer selects.
+pub fn best_strategy(class: AppClass, sync: SyncMode) -> Strategy {
+    ranking(class, sync)[0]
+}
+
+/// The position (0 = best) of a strategy in a class's ranking, if suitable.
+pub fn rank_of(strategy: Strategy, class: AppClass, sync: SyncMode) -> Option<usize> {
+    ranking(class, sync).iter().position(|&s| s == strategy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AppClass::*;
+    use Strategy::*;
+
+    #[test]
+    fn table_i_rows() {
+        assert_eq!(ranking(SkOne, SyncMode::WithoutSync), vec![SpSingle, DpPerf, DpDep]);
+        assert_eq!(ranking(SkLoop, SyncMode::WithSync), vec![SpSingle, DpPerf, DpDep]);
+        assert_eq!(
+            ranking(MkSeq, SyncMode::WithoutSync),
+            vec![SpUnified, DpPerf, DpDep, SpVaried]
+        );
+        assert_eq!(
+            ranking(MkSeq, SyncMode::WithSync),
+            vec![SpVaried, DpPerf, DpDep, SpUnified]
+        );
+        assert_eq!(
+            ranking(MkLoop, SyncMode::WithoutSync),
+            vec![SpUnified, DpPerf, DpDep, SpVaried]
+        );
+        assert_eq!(
+            ranking(MkLoop, SyncMode::WithSync),
+            vec![SpVaried, DpPerf, DpDep, SpUnified]
+        );
+        assert_eq!(ranking(MkDag, SyncMode::WithoutSync), vec![DpPerf, DpDep]);
+    }
+
+    #[test]
+    fn best_strategies() {
+        assert_eq!(best_strategy(SkOne, SyncMode::WithoutSync), SpSingle);
+        assert_eq!(best_strategy(MkSeq, SyncMode::WithoutSync), SpUnified);
+        assert_eq!(best_strategy(MkLoop, SyncMode::WithSync), SpVaried);
+        assert_eq!(best_strategy(MkDag, SyncMode::WithSync), DpPerf);
+    }
+
+    #[test]
+    fn proposition_1_dp_perf_above_dp_dep_everywhere() {
+        for class in AppClass::ALL {
+            for sync in [SyncMode::WithoutSync, SyncMode::WithSync] {
+                let r = ranking(class, sync);
+                let perf = r.iter().position(|&s| s == DpPerf).unwrap();
+                let dep = r.iter().position(|&s| s == DpDep).unwrap();
+                assert!(perf < dep, "{class} {sync:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_ranked_strategy_is_applicable() {
+        for class in AppClass::ALL {
+            for sync in [SyncMode::WithoutSync, SyncMode::WithSync] {
+                for s in ranking(class, sync) {
+                    assert!(s.applicable(class), "{s} ranked but not applicable to {class}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_of_lookup() {
+        assert_eq!(rank_of(SpSingle, SkOne, SyncMode::WithoutSync), Some(0));
+        assert_eq!(rank_of(SpUnified, MkSeq, SyncMode::WithSync), Some(3));
+        assert_eq!(rank_of(SpSingle, MkDag, SyncMode::WithSync), None);
+    }
+
+    #[test]
+    fn sync_mode_from_policy() {
+        assert_eq!(
+            SyncMode::from(SyncPolicy::NONE),
+            SyncMode::WithoutSync
+        );
+        assert_eq!(SyncMode::from(SyncPolicy::FULL), SyncMode::WithSync);
+        // Iteration-only sync doesn't force per-kernel sync.
+        assert_eq!(
+            SyncMode::from(SyncPolicy {
+                between_kernels: false,
+                between_iterations: true
+            }),
+            SyncMode::WithoutSync
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! The hardware-configuration decision.
+//!
+//! Glinda's final step (§II-A): given the predicted optimal partitioning,
+//! decide whether to actually co-execute, "by checking if the obtained
+//! partitioning is able to efficiently use a certain amount of hardware
+//! cores of each processor". A sliver of work cannot keep a device busy
+//! past its fixed costs, so tiny partitions fold into the other device.
+
+use crate::problem::PartitionProblem;
+use crate::solve::{solve, PartitionSolution};
+use serde::{Deserialize, Serialize};
+
+/// Utilisation thresholds for the decision step.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DecisionConfig {
+    /// The CPU partition must provide at least this many items *per
+    /// hardware thread*, or the CPU is dropped.
+    pub min_items_per_cpu_thread: u64,
+    /// The GPU partition must be at least this many granules (warps), or
+    /// the GPU is dropped.
+    pub min_gpu_granules: u64,
+    /// Number of CPU hardware threads (for the per-thread check).
+    pub cpu_threads: u64,
+}
+
+impl Default for DecisionConfig {
+    fn default() -> Self {
+        DecisionConfig {
+            min_items_per_cpu_thread: 1,
+            min_gpu_granules: 4,
+            cpu_threads: 1,
+        }
+    }
+}
+
+/// The chosen hardware configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum HardwareConfig {
+    /// Run everything on the CPU.
+    OnlyCpu,
+    /// Run everything on the GPU.
+    OnlyGpu,
+    /// Co-execute with the given partitioning.
+    Hybrid(PartitionSolution),
+}
+
+impl HardwareConfig {
+    /// GPU items under this configuration (total items needed for OnlyGpu).
+    pub fn gpu_items(&self, total: u64) -> u64 {
+        match self {
+            HardwareConfig::OnlyCpu => 0,
+            HardwareConfig::OnlyGpu => total,
+            HardwareConfig::Hybrid(s) => s.gpu_items,
+        }
+    }
+}
+
+/// Run the decision procedure: solve, then apply the utilisation checks,
+/// falling back to whichever single device the model predicts faster when a
+/// partition is too small to be worth keeping.
+pub fn decide(problem: &PartitionProblem, config: &DecisionConfig) -> HardwareConfig {
+    let solution = solve(problem);
+    let n = problem.items;
+    let gpu_floor = config.min_gpu_granules * problem.gpu_granularity.max(1);
+    let cpu_floor = config.min_items_per_cpu_thread * config.cpu_threads.max(1);
+
+    let gpu_ok = solution.gpu_items >= gpu_floor;
+    let cpu_ok = solution.cpu_items >= cpu_floor;
+
+    match (gpu_ok, cpu_ok) {
+        (true, true) => HardwareConfig::Hybrid(solution),
+        (true, false) => HardwareConfig::OnlyGpu,
+        (false, true) => HardwareConfig::OnlyCpu,
+        (false, false) => {
+            // Degenerate (tiny problem): pick the faster single device.
+            if problem.gpu_time(n) <= problem.cpu_time(n) {
+                HardwareConfig::OnlyGpu
+            } else {
+                HardwareConfig::OnlyCpu
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::TransferModel;
+
+    fn prob(items: u64, cpu: f64, gpu: f64, bpi: f64) -> PartitionProblem {
+        PartitionProblem {
+            items,
+            cpu_rate: cpu,
+            gpu_rate: gpu,
+            transfer: TransferModel {
+                h2d_bytes_per_item: bpi,
+                d2h_bytes_per_item: 0.0,
+                fixed_bytes: 0.0,
+            },
+            link_bandwidth: 1000.0,
+            gpu_granularity: 32,
+        }
+    }
+
+    fn cfg() -> DecisionConfig {
+        DecisionConfig {
+            min_items_per_cpu_thread: 16,
+            min_gpu_granules: 4,
+            cpu_threads: 12,
+        }
+    }
+
+    #[test]
+    fn balanced_problem_co_executes() {
+        let d = decide(&prob(100_000, 100.0, 400.0, 0.0), &cfg());
+        match d {
+            HardwareConfig::Hybrid(s) => {
+                assert!(s.gpu_items > 0 && s.cpu_items > 0);
+            }
+            other => panic!("expected hybrid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overwhelming_gpu_drops_cpu() {
+        // GPU 10000x faster: the CPU partition would be < 16*12 items.
+        let d = decide(&prob(100_000, 1.0, 10_000.0, 0.0), &cfg());
+        assert_eq!(d, HardwareConfig::OnlyGpu);
+    }
+
+    #[test]
+    fn transfer_wall_drops_gpu() {
+        // Transfers so expensive the GPU share rounds to zero granules.
+        let d = decide(&prob(100_000, 100.0, 400.0, 1e7), &cfg());
+        assert_eq!(d, HardwareConfig::OnlyCpu);
+    }
+
+    #[test]
+    fn tiny_problem_picks_faster_single_device() {
+        // 64 items can satisfy neither floor (gpu needs 128, cpu needs 192).
+        let fast_gpu = decide(&prob(64, 10.0, 1000.0, 0.0), &cfg());
+        assert_eq!(fast_gpu, HardwareConfig::OnlyGpu);
+        let fast_cpu = decide(&prob(64, 1000.0, 10.0, 0.0), &cfg());
+        assert_eq!(fast_cpu, HardwareConfig::OnlyCpu);
+    }
+
+    #[test]
+    fn gpu_items_accessor() {
+        assert_eq!(HardwareConfig::OnlyCpu.gpu_items(100), 0);
+        assert_eq!(HardwareConfig::OnlyGpu.gpu_items(100), 100);
+        let d = decide(&prob(100_000, 100.0, 400.0, 0.0), &cfg());
+        assert_eq!(d.gpu_items(100_000), 80_000);
+    }
+}

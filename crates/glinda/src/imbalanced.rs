@@ -1,0 +1,225 @@
+//! Partitioning for imbalanced workloads (the ICS'14 extension).
+//!
+//! When the per-item cost varies (triangular loops, adaptive mesh cells,
+//! variable-depth options...), splitting by item *count* misloads the
+//! devices. Glinda instead splits by *work*: the GPU takes the prefix
+//! `[0, s)` and the split index is found on the workload's prefix sums so
+//! that predicted completion times equalise.
+//!
+//! Device rates are expressed in *work units per second*, where an item of
+//! weight `w` costs `w` work units; a uniform workload with unit weights
+//! reduces exactly to the balanced solver.
+
+use crate::problem::TransferModel;
+use serde::{Deserialize, Serialize};
+
+/// An imbalanced partitioning problem: per-item weights plus device rates
+/// in work-units/second.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ImbalancedProblem {
+    /// Per-item relative cost (work units); length = number of items.
+    pub weights: Vec<f32>,
+    /// Whole-CPU sustained throughput, work-units/s.
+    pub cpu_rate: f64,
+    /// Whole-GPU sustained kernel throughput, work-units/s.
+    pub gpu_rate: f64,
+    /// Transfer volume model (per *item*, since bytes follow data size, not
+    /// computational weight).
+    pub transfer: TransferModel,
+    /// Interconnect bandwidth, bytes/s.
+    pub link_bandwidth: f64,
+    /// GPU granularity in items.
+    pub gpu_granularity: u64,
+}
+
+/// Result of the imbalanced solver.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ImbalancedSolution {
+    /// The GPU takes items `[0, split)`.
+    pub split: u64,
+    /// Fraction of total *work* assigned to the GPU.
+    pub gpu_work_fraction: f64,
+    /// Predicted co-execution time, seconds.
+    pub predicted_time: f64,
+}
+
+/// Solve by bisection on the prefix-sum of weights. `O(n)` to build the
+/// prefix sums, `O(log n)` to locate the crossing, then a local scan over
+/// one granule to respect `gpu_granularity`.
+pub fn solve_imbalanced(problem: &ImbalancedProblem) -> ImbalancedSolution {
+    assert!(problem.cpu_rate > 0.0 && problem.gpu_rate > 0.0);
+    assert!(problem.link_bandwidth > 0.0);
+    let n = problem.weights.len() as u64;
+    if n == 0 {
+        return ImbalancedSolution {
+            split: 0,
+            gpu_work_fraction: 0.0,
+            predicted_time: 0.0,
+        };
+    }
+    // prefix[i] = total work of items [0, i).
+    let mut prefix = Vec::with_capacity(problem.weights.len() + 1);
+    prefix.push(0.0f64);
+    for &w in &problem.weights {
+        assert!(w >= 0.0, "negative weight");
+        prefix.push(prefix.last().unwrap() + w as f64);
+    }
+    let total = *prefix.last().unwrap();
+
+    let gpu_time = |s: u64| -> f64 {
+        if s == 0 {
+            return 0.0;
+        }
+        prefix[s as usize] / problem.gpu_rate
+            + problem.transfer.bytes(s) / problem.link_bandwidth
+    };
+    let cpu_time =
+        |s: u64| -> f64 { (total - prefix[s as usize]) / problem.cpu_rate };
+    let hybrid = |s: u64| -> f64 { gpu_time(s).max(cpu_time(s)) };
+
+    // gpu_time is nondecreasing in s, cpu_time nonincreasing: bisect for
+    // the first s where gpu_time >= cpu_time; optimum is there or one left.
+    let (mut lo, mut hi) = (0u64, n);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if gpu_time(mid) >= cpu_time(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    // The optimum sits at the crossing: either the last CPU-dominated
+    // split (`lo - 1`) or the first GPU-dominated one (`lo`). Evaluate the
+    // granularity-rounded neighbourhood of both and keep the best.
+    let g = problem.gpu_granularity.max(1);
+    let lo_clamped = lo.min(n);
+    let prev = lo_clamped.saturating_sub(1);
+    let candidates = [
+        prev / g * g,
+        prev.div_ceil(g) * g,
+        lo_clamped / g * g,
+        lo_clamped.div_ceil(g) * g,
+    ];
+    let split = candidates
+        .into_iter()
+        .map(|s| s.min(n))
+        .min_by(|&a, &b| hybrid(a).partial_cmp(&hybrid(b)).unwrap().then(a.cmp(&b)))
+        .unwrap();
+
+    ImbalancedSolution {
+        split,
+        gpu_work_fraction: if total > 0.0 {
+            prefix[split as usize] / total
+        } else {
+            0.0
+        },
+        predicted_time: hybrid(split),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prob(weights: Vec<f32>, cpu: f64, gpu: f64) -> ImbalancedProblem {
+        ImbalancedProblem {
+            weights,
+            cpu_rate: cpu,
+            gpu_rate: gpu,
+            transfer: TransferModel::NONE,
+            link_bandwidth: 1.0,
+            gpu_granularity: 1,
+        }
+    }
+
+    #[test]
+    fn uniform_weights_match_balanced_solver() {
+        let p = prob(vec![1.0; 1000], 100.0, 400.0);
+        let s = solve_imbalanced(&p);
+        // Balanced equivalent: beta = 0.8.
+        assert_eq!(s.split, 800);
+        assert!((s.gpu_work_fraction - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangular_weights_split_by_work_not_count() {
+        // Weights 1..=n (a triangular loop): the GPU (4x faster) should get
+        // 80% of the WORK, which is fewer than 80% of the items because
+        // later items are heavier... here the prefix holds the LIGHT items,
+        // so the split index moves right of 80%.
+        let n = 1000usize;
+        let p = prob((1..=n).map(|i| i as f32).collect(), 100.0, 400.0);
+        let s = solve_imbalanced(&p);
+        assert!((s.gpu_work_fraction - 0.8).abs() < 0.01);
+        assert!(
+            s.split > 850,
+            "split {} should exceed the item-count split",
+            s.split
+        );
+    }
+
+    #[test]
+    fn equalizes_times() {
+        let n = 5000usize;
+        let p = prob(
+            (0..n).map(|i| 1.0 + (i % 17) as f32).collect(),
+            123.0,
+            777.0,
+        );
+        let s = solve_imbalanced(&p);
+        let prefix: f64 = p.weights[..s.split as usize]
+            .iter()
+            .map(|&w| w as f64)
+            .sum();
+        let total: f64 = p.weights.iter().map(|&w| w as f64).sum();
+        let tg = prefix / p.gpu_rate;
+        let tc = (total - prefix) / p.cpu_rate;
+        assert!((tg - tc).abs() / tg.max(tc) < 0.01, "tg={tg} tc={tc}");
+    }
+
+    #[test]
+    fn transfers_pull_split_left() {
+        let weights: Vec<f32> = vec![1.0; 1000];
+        let free = solve_imbalanced(&prob(weights.clone(), 100.0, 400.0));
+        let mut heavy = prob(weights, 100.0, 400.0);
+        heavy.transfer.h2d_bytes_per_item = 8.0;
+        heavy.link_bandwidth = 800.0;
+        let s = solve_imbalanced(&heavy);
+        assert!(s.split < free.split);
+    }
+
+    #[test]
+    fn granularity_respected() {
+        let mut p = prob(vec![1.0; 1000], 100.0, 300.0);
+        p.gpu_granularity = 64;
+        let s = solve_imbalanced(&p);
+        assert_eq!(s.split % 64, 0);
+    }
+
+    #[test]
+    fn empty_and_all_zero_weights() {
+        let s = solve_imbalanced(&prob(vec![], 1.0, 1.0));
+        assert_eq!(s.split, 0);
+        let z = solve_imbalanced(&prob(vec![0.0; 10], 1.0, 1.0));
+        assert_eq!(z.predicted_time, 0.0);
+    }
+
+    #[test]
+    fn solution_is_optimal_over_full_sweep() {
+        let n = 300usize;
+        let p = prob((0..n).map(|i| ((i * 31) % 7 + 1) as f32).collect(), 11.0, 37.0);
+        let s = solve_imbalanced(&p);
+        let prefix = {
+            let mut v = vec![0.0f64];
+            for &w in &p.weights {
+                v.push(v.last().unwrap() + w as f64);
+            }
+            v
+        };
+        let total = *prefix.last().unwrap();
+        let best = (0..=n)
+            .map(|i| (prefix[i] / p.gpu_rate).max((total - prefix[i]) / p.cpu_rate))
+            .fold(f64::INFINITY, f64::min);
+        assert!((s.predicted_time - best).abs() / best.max(1e-12) < 1e-9);
+    }
+}

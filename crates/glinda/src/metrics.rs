@@ -1,0 +1,95 @@
+//! The two derived metrics of the Glinda partitioning model.
+//!
+//! The ICPP'15 paper (§II-A) describes the partitioning model as "an
+//! equation with two derived metrics — (1) the relative hardware capability
+//! (the ratio of GPU throughput to CPU throughput), and (2) the GPU
+//! computation to data transfer gap (the ratio of GPU throughput to
+//! data-transfer bandwidth)". Both vary with platform, application and
+//! dataset, which is why they are estimated by profiling rather than read
+//! from spec sheets.
+
+use crate::problem::PartitionProblem;
+use serde::{Deserialize, Serialize};
+
+/// The derived metrics for one (platform, kernel, dataset) combination.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PartitionMetrics {
+    /// Relative hardware capability `R = gpu_rate / cpu_rate` (>1 means the
+    /// GPU is faster on this kernel).
+    pub relative_capability: f64,
+    /// GPU computation to data-transfer gap `G`: GPU kernel throughput
+    /// divided by the interconnect's throughput *in items* (bytes/s over
+    /// bytes-per-item). `G ≫ 1` means the kernel is transfer-dominated —
+    /// moving an item costs far more than computing it (BlackScholes: the
+    /// paper reports transfers 37.5× the kernel time).
+    pub compute_transfer_gap: f64,
+}
+
+impl PartitionMetrics {
+    /// Derive the metrics from a problem description.
+    pub fn of(problem: &PartitionProblem) -> Self {
+        let bpi = problem.transfer.bytes_per_item();
+        let transfer_items_per_sec = if bpi > 0.0 {
+            problem.link_bandwidth / bpi
+        } else {
+            f64::INFINITY
+        };
+        PartitionMetrics {
+            relative_capability: problem.gpu_rate / problem.cpu_rate,
+            compute_transfer_gap: if transfer_items_per_sec.is_infinite() {
+                0.0
+            } else {
+                problem.gpu_rate / transfer_items_per_sec
+            },
+        }
+    }
+
+    /// `true` when offloading an item costs more in transfer than it saves
+    /// in compute — the regime where static partitioning assigns the larger
+    /// share to the CPU even against a faster GPU.
+    pub fn transfer_dominated(&self) -> bool {
+        self.compute_transfer_gap > 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::TransferModel;
+
+    #[test]
+    fn metrics_from_problem() {
+        let p = PartitionProblem {
+            items: 1000,
+            cpu_rate: 100.0,
+            gpu_rate: 400.0,
+            transfer: TransferModel {
+                h2d_bytes_per_item: 4.0,
+                d2h_bytes_per_item: 4.0,
+                fixed_bytes: 0.0,
+            },
+            link_bandwidth: 800.0,
+            gpu_granularity: 1,
+        };
+        let m = PartitionMetrics::of(&p);
+        assert!((m.relative_capability - 4.0).abs() < 1e-12);
+        // Link moves 800/8 = 100 items/s; GPU computes 400 items/s => G = 4.
+        assert!((m.compute_transfer_gap - 4.0).abs() < 1e-12);
+        assert!(m.transfer_dominated());
+    }
+
+    #[test]
+    fn no_transfer_means_zero_gap() {
+        let p = PartitionProblem {
+            items: 10,
+            cpu_rate: 1.0,
+            gpu_rate: 10.0,
+            transfer: TransferModel::NONE,
+            link_bandwidth: 1.0,
+            gpu_granularity: 1,
+        };
+        let m = PartitionMetrics::of(&p);
+        assert_eq!(m.compute_transfer_gap, 0.0);
+        assert!(!m.transfer_dominated());
+    }
+}

@@ -1,0 +1,161 @@
+//! The inputs to the partitioning model.
+
+use serde::{Deserialize, Serialize};
+
+/// Host↔device transfer volume incurred by offloading `ng` items of a
+/// kernel to the GPU: `h2d_per_item·ng + d2h_per_item·ng + fixed` bytes.
+///
+/// `fixed` captures whole-buffer transfers that every GPU partition pays
+/// regardless of its size (e.g. MatrixMul uploads all of `B` no matter how
+/// few rows of `A` the GPU computes). A zero model describes kernels whose
+/// data is already device-resident (interior kernels under SP-Unified, or
+/// loop iterations without synchronisation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TransferModel {
+    /// Host→device bytes per offloaded item.
+    pub h2d_bytes_per_item: f64,
+    /// Device→host bytes per offloaded item.
+    pub d2h_bytes_per_item: f64,
+    /// Fixed bytes per offload decision (size-independent).
+    pub fixed_bytes: f64,
+}
+
+impl TransferModel {
+    /// No transfers (device-resident data).
+    pub const NONE: TransferModel = TransferModel {
+        h2d_bytes_per_item: 0.0,
+        d2h_bytes_per_item: 0.0,
+        fixed_bytes: 0.0,
+    };
+
+    /// Total bytes for offloading `items` items.
+    pub fn bytes(&self, items: u64) -> f64 {
+        self.fixed_bytes + (self.h2d_bytes_per_item + self.d2h_bytes_per_item) * items as f64
+    }
+
+    /// Variable bytes per item (both directions).
+    pub fn bytes_per_item(&self) -> f64 {
+        self.h2d_bytes_per_item + self.d2h_bytes_per_item
+    }
+}
+
+/// One partitioning problem: a single kernel (or kernel fusion) of `items`
+/// items to split across CPU and GPU.
+///
+/// Rates are *sustained application throughputs* in items/second — the
+/// quantities Glinda estimates by profiling (not hardware peaks). The
+/// transfer side carries the interconnect's bandwidth and the volume model.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PartitionProblem {
+    /// Total data items.
+    pub items: u64,
+    /// Whole-CPU sustained throughput, items/s.
+    pub cpu_rate: f64,
+    /// Whole-GPU sustained kernel throughput (excluding transfers), items/s.
+    pub gpu_rate: f64,
+    /// Transfer volume model for the GPU partition.
+    pub transfer: TransferModel,
+    /// Interconnect bandwidth, bytes/s.
+    pub link_bandwidth: f64,
+    /// Granularity the GPU partition is rounded up to (warp size × SMs is
+    /// typical; 1 disables rounding).
+    pub gpu_granularity: u64,
+}
+
+impl PartitionProblem {
+    /// Seconds the GPU needs for `ng` offloaded items (kernel + transfers).
+    pub fn gpu_time(&self, ng: u64) -> f64 {
+        if ng == 0 {
+            return 0.0;
+        }
+        ng as f64 / self.gpu_rate + self.transfer.bytes(ng) / self.link_bandwidth
+    }
+
+    /// Seconds the CPU needs for `nc` items.
+    pub fn cpu_time(&self, nc: u64) -> f64 {
+        if nc == 0 {
+            return 0.0;
+        }
+        nc as f64 / self.cpu_rate
+    }
+
+    /// Predicted co-execution time for a split of `ng` GPU items (the rest
+    /// on the CPU): the slower side dominates.
+    pub fn hybrid_time(&self, ng: u64) -> f64 {
+        self.gpu_time(ng).max(self.cpu_time(self.items - ng))
+    }
+
+    /// Validate rates/bandwidth are positive and finite.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("cpu_rate", self.cpu_rate),
+            ("gpu_rate", self.gpu_rate),
+            ("link_bandwidth", self.link_bandwidth),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("{name} must be positive and finite, got {v}"));
+            }
+        }
+        if self.gpu_granularity == 0 {
+            return Err("gpu_granularity must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prob() -> PartitionProblem {
+        PartitionProblem {
+            items: 1000,
+            cpu_rate: 100.0,
+            gpu_rate: 400.0,
+            transfer: TransferModel {
+                h2d_bytes_per_item: 4.0,
+                d2h_bytes_per_item: 4.0,
+                fixed_bytes: 800.0,
+            },
+            link_bandwidth: 800.0,
+            gpu_granularity: 32,
+        }
+    }
+
+    #[test]
+    fn transfer_volume() {
+        let t = prob().transfer;
+        assert_eq!(t.bytes(100), 800.0 + 8.0 * 100.0);
+        assert_eq!(t.bytes_per_item(), 8.0);
+        assert_eq!(TransferModel::NONE.bytes(1000), 0.0);
+    }
+
+    #[test]
+    fn device_times() {
+        let p = prob();
+        // GPU: 400 items/s kernel; 100 items => 0.25s + (800+800)/800 = 2.25s.
+        assert!((p.gpu_time(100) - 2.25).abs() < 1e-12);
+        // CPU: 100 items/s => 900 items = 9s.
+        assert!((p.cpu_time(900) - 9.0).abs() < 1e-12);
+        assert_eq!(p.gpu_time(0), 0.0);
+        assert_eq!(p.cpu_time(0), 0.0);
+    }
+
+    #[test]
+    fn hybrid_takes_max() {
+        let p = prob();
+        let t = p.hybrid_time(100);
+        assert!((t - 9.0).abs() < 1e-12); // CPU side dominates
+    }
+
+    #[test]
+    fn validation() {
+        assert!(prob().validate().is_ok());
+        let mut bad = prob();
+        bad.cpu_rate = 0.0;
+        assert!(bad.validate().is_err());
+        let mut bad2 = prob();
+        bad2.gpu_granularity = 0;
+        assert!(bad2.validate().is_err());
+    }
+}

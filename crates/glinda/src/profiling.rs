@@ -1,0 +1,131 @@
+//! Low-cost profiling: estimating device throughputs.
+//!
+//! Glinda does not trust spec sheets — it runs a small probe of the actual
+//! kernel on each device and derives sustained application throughputs from
+//! the measured times ("a low-cost profiling to estimate the values of the
+//! two metrics, ensuring a realistic estimation adaptive to any changes of
+//! platforms, applications, and datasets", §II-A).
+//!
+//! In this reproduction, "running a probe" means timing the kernel on the
+//! simulated devices. The probe *includes* each device's launch overhead —
+//! exactly the estimation noise a real profiling run has — so estimates
+//! converge to the true sustained rate as the probe grows, and tests verify
+//! that convergence.
+
+use hetero_platform::{KernelProfile, Platform};
+use serde::{Deserialize, Serialize};
+
+/// Profiled sustained throughputs for one kernel on one platform.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RateEstimates {
+    /// Whole-CPU throughput, items/s.
+    pub cpu_rate: f64,
+    /// Whole-GPU kernel throughput (no transfers), items/s.
+    pub gpu_rate: f64,
+    /// Probe size used, items per device.
+    pub probe_items: u64,
+}
+
+/// Profile `profile` on `platform` with a probe of `probe_items` items per
+/// device. Panics if the platform has no GPU.
+pub fn estimate_rates(
+    platform: &Platform,
+    profile: &KernelProfile,
+    probe_items: u64,
+) -> RateEstimates {
+    assert!(probe_items > 0, "probe must be non-empty");
+    let cpu = platform.cpu();
+    let gpu = platform.gpu().expect("platform has no GPU to profile");
+    let t_cpu = cpu.exec_time_whole_device(profile, probe_items).as_secs_f64();
+    let t_gpu = gpu.exec_time_whole_device(profile, probe_items).as_secs_f64();
+    RateEstimates {
+        cpu_rate: probe_items as f64 / t_cpu,
+        gpu_rate: probe_items as f64 / t_gpu,
+        probe_items,
+    }
+}
+
+/// A sensible default probe: 1/32 of the problem, but at least 4 GPU
+/// granules, at most the whole problem. Mirrors the "low-cost" constraint —
+/// profiling must stay a small fraction of the real run.
+pub fn default_probe_items(items: u64, gpu_granularity: u64) -> u64 {
+    let candidate = (items / 32).max(4 * gpu_granularity.max(1));
+    candidate.min(items.max(1))
+}
+
+/// Profile one specific device (used on multi-accelerator platforms, where
+/// each accelerator is probed independently — "identical or non-identical").
+pub fn estimate_device_rate(
+    device: &hetero_platform::Device,
+    profile: &KernelProfile,
+    probe_items: u64,
+) -> f64 {
+    assert!(probe_items > 0, "probe must be non-empty");
+    let t = device
+        .exec_time_whole_device(profile, probe_items)
+        .as_secs_f64();
+    probe_items as f64 / t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_platform::Platform;
+
+    #[test]
+    fn estimates_converge_to_sustained_rate_as_probe_grows() {
+        let platform = Platform::icpp15();
+        let profile = KernelProfile::compute_only(1e6);
+        let truth_gpu = platform
+            .gpu()
+            .unwrap()
+            .throughput_items_per_sec(&profile);
+        let small = estimate_rates(&platform, &profile, 64);
+        let large = estimate_rates(&platform, &profile, 1 << 20);
+        let err_small = (small.gpu_rate - truth_gpu).abs() / truth_gpu;
+        let err_large = (large.gpu_rate - truth_gpu).abs() / truth_gpu;
+        assert!(err_large < err_small);
+        assert!(err_large < 1e-3, "large-probe error {err_large}");
+    }
+
+    #[test]
+    fn launch_overhead_biases_small_probes_downward() {
+        let platform = Platform::icpp15();
+        let profile = KernelProfile::compute_only(1e6);
+        let truth = platform
+            .gpu()
+            .unwrap()
+            .throughput_items_per_sec(&profile);
+        let est = estimate_rates(&platform, &profile, 32);
+        assert!(est.gpu_rate < truth);
+    }
+
+    #[test]
+    fn relative_capability_estimate_is_realistic() {
+        // A pure-compute SP kernel on the ICPP'15 platform: capability ratio
+        // should approach the peak ratio 3519.3/384 ≈ 9.2 for equal
+        // efficiencies.
+        let platform = Platform::icpp15();
+        let profile = KernelProfile::compute_only(1e5);
+        let est = estimate_rates(&platform, &profile, 1 << 22);
+        let r = est.gpu_rate / est.cpu_rate;
+        assert!((r - 3519.3 / 384.0).abs() / (3519.3 / 384.0) < 0.01, "R={r}");
+    }
+
+    #[test]
+    fn default_probe_bounds() {
+        assert_eq!(default_probe_items(32_000, 32), 1000);
+        assert_eq!(default_probe_items(100, 32), 100); // capped at n
+        assert_eq!(default_probe_items(1 << 20, 1), (1 << 20) / 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "probe must be non-empty")]
+    fn rejects_zero_probe() {
+        let _ = estimate_rates(
+            &Platform::icpp15(),
+            &KernelProfile::compute_only(1.0),
+            0,
+        );
+    }
+}

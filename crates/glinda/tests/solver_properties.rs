@@ -1,0 +1,110 @@
+//! Property tests for the multi-accelerator and imbalanced solvers.
+
+use glinda::imbalanced::ImbalancedProblem;
+use glinda::{solve_imbalanced, solve_multi, AcceleratorSide, MultiDeviceProblem, TransferModel};
+use proptest::prelude::*;
+
+fn arb_accel() -> impl Strategy<Value = AcceleratorSide> {
+    (1e3f64..1e9, 0.0f64..64.0, 0.0f64..1e6, 1e6f64..1e10, prop_oneof![Just(1u64), Just(32)])
+        .prop_map(|(rate, bpi, fixed, bw, gran)| AcceleratorSide {
+            rate,
+            transfer: TransferModel {
+                h2d_bytes_per_item: bpi,
+                d2h_bytes_per_item: bpi / 2.0,
+                fixed_bytes: fixed,
+            },
+            link_bandwidth: bw,
+            granularity: gran,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn multi_solver_conserves_items(
+        items in 0u64..5_000_000,
+        cpu_rate in 1e3f64..1e9,
+        accels in proptest::collection::vec(arb_accel(), 0..5),
+    ) {
+        let p = MultiDeviceProblem { items, cpu_rate, accelerators: accels };
+        let s = solve_multi(&p);
+        prop_assert_eq!(s.cpu_items + s.accel_items.iter().sum::<u64>(), items);
+        prop_assert!(s.predicted_time.is_finite() && s.predicted_time >= 0.0);
+        // Granularity respected.
+        for (a, &n) in p.accelerators.iter().zip(&s.accel_items) {
+            prop_assert_eq!(n % a.granularity.max(1), 0);
+        }
+    }
+
+    #[test]
+    fn multi_solver_never_worse_than_cpu_only(
+        items in 1u64..5_000_000,
+        cpu_rate in 1e3f64..1e9,
+        accels in proptest::collection::vec(arb_accel(), 1..4),
+    ) {
+        let p = MultiDeviceProblem { items, cpu_rate, accelerators: accels };
+        let s = solve_multi(&p);
+        let cpu_only = items as f64 / cpu_rate;
+        // Small slack for granularity rounding pushing items to the CPU.
+        prop_assert!(
+            s.predicted_time <= cpu_only * 1.01 + 1e-9,
+            "{} vs cpu-only {}", s.predicted_time, cpu_only
+        );
+    }
+
+    #[test]
+    fn multi_solver_monotone_in_extra_accelerator(
+        items in 1_000u64..5_000_000,
+        cpu_rate in 1e3f64..1e8,
+        base in arb_accel(),
+        extra in arb_accel(),
+    ) {
+        let one = solve_multi(&MultiDeviceProblem {
+            items,
+            cpu_rate,
+            accelerators: vec![base],
+        });
+        let two = solve_multi(&MultiDeviceProblem {
+            items,
+            cpu_rate,
+            accelerators: vec![base, extra],
+        });
+        // Adding a device never hurts the predicted optimum (it can be
+        // dropped if useless); granularity rounding gets 1% slack.
+        prop_assert!(
+            two.predicted_time <= one.predicted_time * 1.01 + 1e-9,
+            "two {} vs one {}", two.predicted_time, one.predicted_time
+        );
+    }
+
+    #[test]
+    fn imbalanced_solver_is_optimal_among_splits(
+        weights in proptest::collection::vec(0.0f32..100.0, 1..400),
+        cpu_rate in 1e2f64..1e6,
+        gpu_rate in 1e2f64..1e6,
+    ) {
+        let p = ImbalancedProblem {
+            weights: weights.clone(),
+            cpu_rate,
+            gpu_rate,
+            transfer: TransferModel::NONE,
+            link_bandwidth: 1.0,
+            gpu_granularity: 1,
+        };
+        let s = solve_imbalanced(&p);
+        // Exhaustive check.
+        let mut prefix = vec![0.0f64];
+        for &w in &weights {
+            prefix.push(prefix.last().unwrap() + w as f64);
+        }
+        let total = *prefix.last().unwrap();
+        let best = (0..=weights.len())
+            .map(|i| (prefix[i] / gpu_rate).max((total - prefix[i]) / cpu_rate))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(
+            s.predicted_time <= best * (1.0 + 1e-9) + 1e-12,
+            "solver {} vs sweep {}", s.predicted_time, best
+        );
+    }
+}

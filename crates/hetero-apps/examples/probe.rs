@@ -1,0 +1,41 @@
+//! Calibration probe: dump the full evaluation matrix (all paper app
+//! variants x all configurations) in one table. This is the raw view the
+//! `repro` harness formats per figure; useful when re-calibrating the
+//! application workload profiles in this crate.
+//!
+//! ```sh
+//! cargo run --release -p hetero-apps --example probe
+//! ```
+
+use hetero_apps::*;
+use hetero_platform::Platform;
+use matchmaker::Analyzer;
+
+fn main() {
+    let platform = Platform::icpp15();
+    let analyzer = Analyzer::new(&platform);
+    for desc in [
+        matrixmul::paper_descriptor(),
+        blackscholes::paper_descriptor(),
+        nbody::paper_descriptor(),
+        hotspot::paper_descriptor(),
+        stream::paper_seq(false),
+        stream::paper_seq(true),
+        stream::paper_loop(false),
+        stream::paper_loop(true),
+    ] {
+        println!("== {} ==", desc.name);
+        for (cfg, r) in analyzer.compare_all(&desc) {
+            println!(
+                "  {:<16} {:>10.1} ms   gpu_items {:>5.1}%  gpu_tasks {:>5.1}%  transfers {:>6} ({:.2} GB, {:.1} ms)",
+                cfg.to_string(),
+                r.makespan.as_millis_f64(),
+                100.0 * r.gpu_item_share(),
+                100.0 * r.gpu_task_share(),
+                r.counters.transfers.count,
+                r.counters.transfers.bytes as f64 / 1e9,
+                r.counters.transfers.time.as_millis_f64()
+            );
+        }
+    }
+}

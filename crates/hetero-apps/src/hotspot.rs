@@ -1,0 +1,201 @@
+//! HotSpot — thermal simulation on a 2-D grid.
+//!
+//! Paper class: **SK-Loop** (Table II; origin: the Rodinia benchmark
+//! suite). The paper uses an 8192×8192 grid (0.75 GB across the three
+//! arrays) with row-wise partitioning and a global synchronisation per
+//! iteration; it is the paper's CPU-favoured application: "HotSpot has
+//! better performance on the CPU... the GPU performs worse mainly due to
+//! the data transfer overhead".
+//!
+//! Calibration: the stencil is memory-bound on both devices (≈10 flops and
+//! ≈16 B of traffic per cell). What sinks the GPU is not the kernel but the
+//! per-iteration round trip: with synchronisation each iteration re-uploads
+//! the temperature and power rows of the GPU partition and downloads its
+//! output rows — at PCIe bandwidth that costs ≈20× the kernel time, so
+//! SP-Single keeps most rows on the CPU.
+
+use hetero_platform::{Efficiency, KernelProfile, Precision};
+use hetero_runtime::{AccessMode, BufferId, HostBuffers, KernelFn};
+use matchmaker::{AccessPattern, AppDescriptor, BufferSpec, ExecutionFlow, KernelSpec, SyncPolicy};
+
+/// Temperature input (one item = one grid row).
+pub const BUF_TEMP_IN: usize = 0;
+/// Power density (one item = one grid row), read-only.
+pub const BUF_POWER: usize = 1;
+/// Temperature output.
+pub const BUF_TEMP_OUT: usize = 2;
+
+/// The paper's grid side.
+pub const PAPER_N: u64 = 8192;
+/// Paper-scale iteration count.
+pub const PAPER_ITERATIONS: u32 = 4;
+
+// Rodinia-style stencil coefficients.
+const CAP: f32 = 0.5;
+const RX: f32 = 1.0;
+const RY: f32 = 1.0;
+const RZ: f32 = 4.0;
+const AMB: f32 = 80.0;
+
+/// Build the HotSpot descriptor for an `n×n` grid (domain = rows).
+pub fn descriptor(n: u64, iterations: u32) -> AppDescriptor {
+    let row_bytes = 4 * n;
+    let buffers = |name: &str| BufferSpec {
+        name: name.into(),
+        items: n,
+        item_bytes: row_bytes,
+    };
+    AppDescriptor {
+        name: "HotSpot".into(),
+        buffers: vec![buffers("temp_in"), buffers("power"), buffers("temp_out")],
+        kernels: vec![KernelSpec {
+            name: "hotspot_step".into(),
+            profile: KernelProfile {
+                flops_per_item: 10.0 * n as f64,
+                bytes_per_item: 16.0 * n as f64,
+                fixed_flops: 0.0,
+                fixed_bytes: 0.0,
+                precision: Precision::Single,
+                cpu_efficiency: Efficiency {
+                    compute: 0.30,
+                    bandwidth: 0.75,
+                },
+                gpu_efficiency: Efficiency {
+                    compute: 0.30,
+                    bandwidth: 0.70,
+                },
+            },
+            domain: n,
+            accesses: vec![
+                AccessPattern::Partitioned {
+                    buffer: BUF_TEMP_IN,
+                    mode: AccessMode::In,
+                    halo: 1,
+                },
+                AccessPattern::part(BUF_POWER, AccessMode::In),
+                AccessPattern::part(BUF_TEMP_OUT, AccessMode::Out),
+            ],
+            weights: None,
+        }],
+        flow: ExecutionFlow::Loop { iterations },
+        sync: SyncPolicy {
+            between_kernels: false,
+            between_iterations: true,
+        },
+    }
+}
+
+/// The paper's 8192² instance.
+pub fn paper_descriptor() -> AppDescriptor {
+    descriptor(PAPER_N, PAPER_ITERATIONS)
+}
+
+/// Host implementation (one Jacobi-style stencil step per instance rows).
+pub fn host_kernels(n: u64) -> Vec<KernelFn<'static>> {
+    let n = n as usize;
+    let step: KernelFn<'static> = Box::new(move |hb: &HostBuffers, task| {
+        let span = task.accesses[2].region.span; // output rows
+        let t = hb.get(BufferId(BUF_TEMP_IN));
+        let p = hb.get(BufferId(BUF_POWER));
+        let mut out = hb.get_mut(BufferId(BUF_TEMP_OUT));
+        for r in span.start as usize..span.end as usize {
+            for c in 0..n {
+                let center = t[r * n + c];
+                let north = if r > 0 { t[(r - 1) * n + c] } else { center };
+                let south = if r + 1 < n { t[(r + 1) * n + c] } else { center };
+                let west = if c > 0 { t[r * n + c - 1] } else { center };
+                let east = if c + 1 < n { t[r * n + c + 1] } else { center };
+                let delta = (CAP)
+                    * (p[r * n + c]
+                        + (north + south - 2.0 * center) / RY
+                        + (east + west - 2.0 * center) / RX
+                        + (AMB - center) / RZ);
+                out[r * n + c] = center + delta;
+            }
+        }
+    });
+    vec![step]
+}
+
+/// Deterministic initial temperatures and power map.
+pub fn init(hb: &HostBuffers, n: u64) {
+    let n = n as usize;
+    let mut t = hb.get_mut(BufferId(BUF_TEMP_IN));
+    let mut p = hb.get_mut(BufferId(BUF_POWER));
+    for r in 0..n {
+        for c in 0..n {
+            t[r * n + c] = 320.0 + ((r * 13 + c * 7) % 40) as f32 * 0.5;
+            p[r * n + c] = ((r + c) % 10) as f32 * 0.01;
+        }
+    }
+}
+
+/// Parallel reference step over the full grid.
+pub fn reference_step(t: &[f32], p: &[f32], n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; n * n];
+    let band = n.div_ceil(8).max(1);
+    crate::par::par_chunks_mut(&mut out, band * n, |b, chunk| {
+        let r0 = b * band;
+        for (dr, row) in chunk.chunks_mut(n).enumerate() {
+            let r = r0 + dr;
+            for (c, out_c) in row.iter_mut().enumerate() {
+                let center = t[r * n + c];
+                let north = if r > 0 { t[(r - 1) * n + c] } else { center };
+                let south = if r + 1 < n { t[(r + 1) * n + c] } else { center };
+                let west = if c > 0 { t[r * n + c - 1] } else { center };
+                let east = if c + 1 < n { t[r * n + c + 1] } else { center };
+                let delta = CAP
+                    * (p[r * n + c]
+                        + (north + south - 2.0 * center) / RY
+                        + (east + west - 2.0 * center) / RX
+                        + (AMB - center) / RZ);
+                *out_c = center + delta;
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matchmaker::{classify, AppClass};
+
+    #[test]
+    fn classified_as_sk_loop() {
+        assert_eq!(classify(&descriptor(256, 8)), AppClass::SkLoop);
+    }
+
+    #[test]
+    fn paper_dataset_is_three_quarter_gb() {
+        let d = paper_descriptor();
+        let total: u64 = d.buffers.iter().map(|b| b.items * b.item_bytes).sum();
+        assert!((total as f64 / 1e9 - 0.80).abs() < 0.06, "{total}");
+    }
+
+    #[test]
+    fn stencil_pulls_towards_ambient_without_power() {
+        let n = 16;
+        let t = vec![400.0f32; n * n];
+        let p = vec![0.0f32; n * n];
+        let out = reference_step(&t, &p, n);
+        // Uniform grid: only the ambient term acts; temperature drops.
+        for &v in &out {
+            assert!(v < 400.0 && v > AMB);
+        }
+    }
+
+    #[test]
+    fn hot_cell_diffuses_to_neighbours() {
+        let n = 8;
+        let mut t = vec![300.0f32; n * n];
+        t[3 * n + 3] = 400.0;
+        let p = vec![0.0f32; n * n];
+        let out = reference_step(&t, &p, n);
+        // Neighbours of the hot cell warm relative to far cells.
+        assert!(out[3 * n + 4] > out[0]);
+        assert!(out[4 * n + 3] > out[0]);
+        // The hot cell itself cools.
+        assert!(out[3 * n + 3] < 400.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! MatrixMul — dense matrix-matrix multiplication (`A × B = C`).
+//!
+//! Paper class: **SK-One** (Table II; origin: Nvidia OpenCL SDK). The
+//! paper's dataset is 6144×6144 single-precision (0.4 GB across the three
+//! matrices) with row-wise partitioning: "each task instance receives
+//! multiple consecutive rows of A and the full B, and performs the
+//! computation for corresponding rows of C".
+//!
+//! Calibration (documented per DESIGN.md):
+//! * compute-bound: `2·N` flops per element of `C`, i.e. `2·N²` per row;
+//! * both implementations are the straightforward SDK/sequential kernels,
+//!   far from peak: we use 5.5 % of peak on both devices, which yields the
+//!   relative capability `R ≈ 9.2` (the SP peak ratio) and reproduces the
+//!   paper's observations — SP-Single ≈ 90 % of rows to the GPU, Only-GPU
+//!   ≫ Only-CPU, and an Only-CPU run in the tens of seconds;
+//! * the GPU partition additionally uploads all of `B` (a fixed transfer
+//!   cost independent of the partition size).
+
+use hetero_platform::{Efficiency, KernelProfile, Precision};
+use hetero_runtime::{AccessMode, HostBuffers, KernelFn};
+use matchmaker::{AccessPattern, AppDescriptor, BufferSpec, ExecutionFlow, KernelSpec, SyncPolicy};
+
+/// Buffer order in the descriptor.
+pub const BUF_A: usize = 0;
+/// Index of `B` (accessed whole by every instance).
+pub const BUF_B: usize = 1;
+/// Index of the output `C`.
+pub const BUF_C: usize = 2;
+
+/// The paper's matrix order.
+pub const PAPER_N: u64 = 6144;
+
+/// Build the MatrixMul descriptor for an `n×n` problem (domain = rows).
+pub fn descriptor(n: u64) -> AppDescriptor {
+    let row_bytes = 4 * n;
+    AppDescriptor {
+        name: "MatrixMul".into(),
+        buffers: vec![
+            BufferSpec {
+                name: "A".into(),
+                items: n,
+                item_bytes: row_bytes,
+            },
+            BufferSpec {
+                name: "B".into(),
+                items: n,
+                item_bytes: row_bytes,
+            },
+            BufferSpec {
+                name: "C".into(),
+                items: n,
+                item_bytes: row_bytes,
+            },
+        ],
+        kernels: vec![KernelSpec {
+            name: "matrixmul".into(),
+            profile: KernelProfile {
+                // 2N flops per C element, N elements per row.
+                flops_per_item: 2.0 * (n * n) as f64,
+                // Streaming traffic per row: the A row once and the C row
+                // once; B is blocked/cached.
+                bytes_per_item: 8.0 * n as f64,
+                fixed_flops: 0.0,
+                fixed_bytes: 0.0,
+                precision: Precision::Single,
+                cpu_efficiency: Efficiency {
+                    compute: 0.055,
+                    bandwidth: 0.5,
+                },
+                gpu_efficiency: Efficiency {
+                    compute: 0.055,
+                    bandwidth: 0.5,
+                },
+            },
+            domain: n,
+            accesses: vec![
+                AccessPattern::part(BUF_A, AccessMode::In),
+                AccessPattern::Full {
+                    buffer: BUF_B,
+                    mode: AccessMode::In,
+                },
+                AccessPattern::part(BUF_C, AccessMode::Out),
+            ],
+            weights: None,
+        }],
+        flow: ExecutionFlow::Sequence,
+        sync: SyncPolicy::NONE,
+    }
+}
+
+/// The paper's 6144×6144 instance.
+pub fn paper_descriptor() -> AppDescriptor {
+    descriptor(PAPER_N)
+}
+
+/// Host implementations for native validation. `n` must match the
+/// descriptor the program was planned from.
+pub fn host_kernels(n: u64) -> Vec<KernelFn<'static>> {
+    let n = n as usize;
+    let matmul: KernelFn<'static> = Box::new(move |hb: &HostBuffers, task| {
+        // Output partition = the C access (third declared access).
+        let span = task.accesses[2].region.span;
+        let a = hb.get(hetero_runtime::BufferId(BUF_A));
+        let b = hb.get(hetero_runtime::BufferId(BUF_B));
+        let mut c = hb.get_mut(hetero_runtime::BufferId(BUF_C));
+        for r in span.start as usize..span.end as usize {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for k in 0..n {
+                    acc += a[r * n + k] * b[k * n + j];
+                }
+                c[r * n + j] = acc;
+            }
+        }
+    });
+    vec![matmul]
+}
+
+/// Deterministic input data.
+pub fn init(hb: &HostBuffers, n: u64) {
+    let n = n as usize;
+    let mut a = hb.get_mut(hetero_runtime::BufferId(BUF_A));
+    let mut b = hb.get_mut(hetero_runtime::BufferId(BUF_B));
+    for r in 0..n {
+        for k in 0..n {
+            a[r * n + k] = ((r * 7 + k * 3) % 13) as f32 * 0.25 - 1.0;
+            b[r * n + k] = ((r * 5 + k * 11) % 17) as f32 * 0.125 - 1.0;
+        }
+    }
+}
+
+/// Reference `A × B`, computed with real row-parallelism (crossbeam): each
+/// worker fills a disjoint row band of `C`.
+pub fn reference(a: &[f32], b: &[f32], n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; n * n];
+    if n == 0 {
+        return c;
+    }
+    let band_rows = n.div_ceil(8);
+    crate::par::par_chunks_mut(&mut c, n * band_rows, |band, chunk| {
+        let r0 = band * band_rows;
+        for (dr, row) in chunk.chunks_mut(n).enumerate() {
+            let r = r0 + dr;
+            for (j, out) in row.iter_mut().enumerate() {
+                let mut acc = 0.0f32;
+                for k in 0..n {
+                    acc += a[r * n + k] * b[k * n + j];
+                }
+                *out = acc;
+            }
+        }
+    });
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matchmaker::{classify, AppClass};
+
+    #[test]
+    fn classified_as_sk_one() {
+        assert_eq!(classify(&descriptor(256)), AppClass::SkOne);
+    }
+
+    #[test]
+    fn paper_dataset_size() {
+        let d = paper_descriptor();
+        // 3 matrices x 6144^2 x 4B = 0.42 GB, matching the paper's "0.4 GB".
+        let total: u64 = d.buffers.iter().map(|b| b.items * b.item_bytes).sum();
+        assert!((total as f64 / 1e9 - 0.45).abs() < 0.05, "{total}");
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn reference_matches_tiny_known_product() {
+        // 2x2: [[1,2],[3,4]] * [[5,6],[7,8]] = [[19,22],[43,50]].
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        let c = reference(&a, &b, 2);
+        assert_eq!(c, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+}

@@ -1,0 +1,245 @@
+//! STREAM — the memory-bandwidth benchmark (copy / scale / add / triad).
+//!
+//! Paper classes: **MK-Seq** (STREAM-Seq: the four kernels once) and
+//! **MK-Loop** (STREAM-Loop: the four kernels iterated) — Table II; origin
+//! McCalpin's STREAM. The paper uses 62,914,560 elements (0.7 GB across
+//! the three arrays) and evaluates both with and without inter-kernel
+//! synchronisation (the synchronisation is added artificially "to mimic
+//! applications that need synchronization").
+//!
+//! Calibration: all four kernels are pure bandwidth. GPU bandwidth
+//! efficiency 0.65 (≈135 GB/s of the K20m's 208), CPU 0.40 (≈17 GB/s — an
+//! OmpSs-tasked STREAM on the 2-channel Xeon). With PCIe at 6 GB/s this
+//! lands the paper's headline numbers: transfers ≈ 90 % of the Only-GPU
+//! execution and an SP-Unified split of ≈ 44 % GPU / 56 % CPU.
+//!
+//! Kernel chain (`κ` is the scalar):
+//! `copy: c = a` → `scale: b = κ·c` → `add: c = a + b` → `triad: a = b + κ·c`.
+
+use hetero_platform::{Efficiency, KernelProfile, Precision};
+use hetero_runtime::{AccessMode, BufferId, HostBuffers, KernelFn};
+use matchmaker::{AccessPattern, AppDescriptor, BufferSpec, ExecutionFlow, KernelSpec, SyncPolicy};
+
+/// Array `a`.
+pub const BUF_A: usize = 0;
+/// Array `b`.
+pub const BUF_B: usize = 1;
+/// Array `c`.
+pub const BUF_C: usize = 2;
+
+/// The paper's element count.
+pub const PAPER_N: u64 = 62_914_560;
+/// Paper-scale loop count for STREAM-Loop.
+pub const PAPER_ITERATIONS: u32 = 10;
+/// The STREAM scalar.
+pub const KAPPA: f32 = 3.0;
+
+fn profile(bytes_per_item: f64, flops_per_item: f64) -> KernelProfile {
+    KernelProfile {
+        flops_per_item,
+        bytes_per_item,
+        fixed_flops: 0.0,
+        fixed_bytes: 0.0,
+        precision: Precision::Single,
+        cpu_efficiency: Efficiency {
+            compute: 0.5,
+            bandwidth: 0.40,
+        },
+        gpu_efficiency: Efficiency {
+            compute: 0.5,
+            bandwidth: 0.65,
+        },
+    }
+}
+
+/// Build a STREAM descriptor. `iterations = None` gives STREAM-Seq
+/// (MK-Seq); `Some(k)` gives STREAM-Loop (MK-Loop). `sync` adds the
+/// artificial inter-kernel synchronisation of the paper's "w sync" runs.
+pub fn descriptor(n: u64, iterations: Option<u32>, sync: bool) -> AppDescriptor {
+    let buffer = |name: &str| BufferSpec {
+        name: name.into(),
+        items: n,
+        item_bytes: 4,
+    };
+    let kernels = vec![
+        KernelSpec {
+            name: "copy".into(),
+            profile: profile(8.0, 0.0),
+            domain: n,
+            accesses: vec![
+                AccessPattern::part(BUF_A, AccessMode::In),
+                AccessPattern::part(BUF_C, AccessMode::Out),
+            ],
+            weights: None,
+        },
+        KernelSpec {
+            name: "scale".into(),
+            profile: profile(8.0, 1.0),
+            domain: n,
+            accesses: vec![
+                AccessPattern::part(BUF_C, AccessMode::In),
+                AccessPattern::part(BUF_B, AccessMode::Out),
+            ],
+            weights: None,
+        },
+        KernelSpec {
+            name: "add".into(),
+            profile: profile(12.0, 1.0),
+            domain: n,
+            accesses: vec![
+                AccessPattern::part(BUF_A, AccessMode::In),
+                AccessPattern::part(BUF_B, AccessMode::In),
+                AccessPattern::part(BUF_C, AccessMode::Out),
+            ],
+            weights: None,
+        },
+        KernelSpec {
+            name: "triad".into(),
+            profile: profile(12.0, 2.0),
+            domain: n,
+            accesses: vec![
+                AccessPattern::part(BUF_B, AccessMode::In),
+                AccessPattern::part(BUF_C, AccessMode::In),
+                AccessPattern::part(BUF_A, AccessMode::Out),
+            ],
+            weights: None,
+        },
+    ];
+    let (name, flow) = match iterations {
+        None => ("STREAM-Seq".to_string(), ExecutionFlow::Sequence),
+        Some(k) => ("STREAM-Loop".to_string(), ExecutionFlow::Loop { iterations: k }),
+    };
+    AppDescriptor {
+        name: if sync { format!("{name}-w") } else { format!("{name}-w/o") },
+        buffers: vec![buffer("a"), buffer("b"), buffer("c")],
+        kernels,
+        flow,
+        sync: if sync {
+            SyncPolicy {
+                between_kernels: true,
+                between_iterations: true,
+            }
+        } else {
+            SyncPolicy::NONE
+        },
+    }
+}
+
+/// The paper's STREAM-Seq instance.
+pub fn paper_seq(sync: bool) -> AppDescriptor {
+    descriptor(PAPER_N, None, sync)
+}
+
+/// The paper's STREAM-Loop instance.
+pub fn paper_loop(sync: bool) -> AppDescriptor {
+    descriptor(PAPER_N, Some(PAPER_ITERATIONS), sync)
+}
+
+/// Host implementations of the four kernels (in descriptor order).
+pub fn host_kernels() -> Vec<KernelFn<'static>> {
+    let copy: KernelFn<'static> = Box::new(|hb: &HostBuffers, task| {
+        let span = task.accesses[1].region.span;
+        let a = hb.get(BufferId(BUF_A));
+        let mut c = hb.get_mut(BufferId(BUF_C));
+        for i in span.start as usize..span.end as usize {
+            c[i] = a[i];
+        }
+    });
+    let scale: KernelFn<'static> = Box::new(|hb: &HostBuffers, task| {
+        let span = task.accesses[1].region.span;
+        let c = hb.get(BufferId(BUF_C));
+        let mut b = hb.get_mut(BufferId(BUF_B));
+        for i in span.start as usize..span.end as usize {
+            b[i] = KAPPA * c[i];
+        }
+    });
+    let add: KernelFn<'static> = Box::new(|hb: &HostBuffers, task| {
+        let span = task.accesses[2].region.span;
+        let a = hb.get(BufferId(BUF_A));
+        let b = hb.get(BufferId(BUF_B));
+        let mut c = hb.get_mut(BufferId(BUF_C));
+        for i in span.start as usize..span.end as usize {
+            c[i] = a[i] + b[i];
+        }
+    });
+    let triad: KernelFn<'static> = Box::new(|hb: &HostBuffers, task| {
+        let span = task.accesses[2].region.span;
+        let b = hb.get(BufferId(BUF_B));
+        let c = hb.get(BufferId(BUF_C));
+        let mut a = hb.get_mut(BufferId(BUF_A));
+        for i in span.start as usize..span.end as usize {
+            a[i] = b[i] + KAPPA * c[i];
+        }
+    });
+    vec![copy, scale, add, triad]
+}
+
+/// Deterministic initial array contents.
+pub fn init(hb: &HostBuffers, n: u64) {
+    let mut a = hb.get_mut(BufferId(BUF_A));
+    for (i, x) in a.iter_mut().enumerate().take(n as usize) {
+        *x = 1.0 + (i % 100) as f32 * 0.01;
+    }
+}
+
+/// Closed-form result of `iters` rounds of the four-kernel chain applied to
+/// an initial value `a0` of element `a[i]`. Each round:
+/// `c=a; b=κc; c=a+b; a=b+κc` ⟹ `a' = κ·a + κ(1+κ)·a = κ(2+κ)·a`.
+pub fn expected_a(a0: f32, iters: u32) -> f32 {
+    let factor = KAPPA * (2.0 + KAPPA);
+    a0 * factor.powi(iters as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matchmaker::{classify, AppClass};
+
+    #[test]
+    fn classification_matches_table_ii() {
+        assert_eq!(classify(&descriptor(1024, None, false)), AppClass::MkSeq);
+        assert_eq!(classify(&descriptor(1024, Some(5), false)), AppClass::MkLoop);
+    }
+
+    #[test]
+    fn paper_dataset_is_0_7_gb() {
+        let d = paper_seq(false);
+        let total: u64 = d.buffers.iter().map(|b| b.items * b.item_bytes).sum();
+        assert!((total as f64 / 1e9 - 0.755).abs() < 0.02, "{total}");
+    }
+
+    #[test]
+    fn chain_math() {
+        // One round: a=1 -> c=1, b=3, c=1+3=4, a=3+3*4=15 = κ(2+κ)·1.
+        assert_eq!(expected_a(1.0, 1), 15.0);
+        assert_eq!(expected_a(1.0, 2), 225.0);
+        assert_eq!(expected_a(2.0, 1), 30.0);
+    }
+
+    #[test]
+    fn native_single_instance_matches_closed_form() {
+        let n = 1000u64;
+        let d = descriptor(n, Some(3), true);
+        let platform = hetero_platform::Platform::icpp15();
+        let planner = matchmaker::Planner::new(&platform);
+        let plan = planner.plan(&d, matchmaker::ExecutionConfig::OnlyGpu);
+        let hb = HostBuffers::for_program(&plan.program);
+        init(&hb, n);
+        let a0 = hb.snapshot(BufferId(BUF_A));
+        hetero_runtime::run_native(
+            &plan.program,
+            &host_kernels(),
+            &hb,
+            hetero_runtime::ExecOrder::Submission,
+        );
+        let a3 = hb.snapshot(BufferId(BUF_A));
+        for i in (0..n as usize).step_by(97) {
+            let expect = expected_a(a0[i], 3);
+            assert!(
+                (a3[i] - expect).abs() / expect.abs() < 1e-5,
+                "i={i}: {} vs {expect}",
+                a3[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Device models.
+//!
+//! A [`Device`] predicts how long a kernel partition takes using a *roofline*
+//! model: execution time is the maximum of the compute time and the
+//! device-memory time, plus a fixed per-invocation launch overhead.
+//!
+//! A CPU device exposes multiple *slots* (one per hardware thread, matching
+//! the paper's SMP threads in OmpSs); a task instance placed on a slot uses
+//! `1/slots` of the device's aggregate peak compute and bandwidth. A GPU
+//! exposes a single slot that uses the whole device (the paper serialises
+//! kernels on the GPU; no concurrent streams are modelled).
+
+use crate::time::SimTime;
+use crate::workload::{KernelProfile, Precision};
+use serde::{Deserialize, Serialize};
+
+/// Identifies a device within a [`crate::Platform`]. Index into
+/// `Platform::devices`. By convention device 0 is the host CPU.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct DeviceId(pub usize);
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// The architectural class of a device.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// A multi-core CPU. `threads` is the number of schedulable hardware
+    /// threads (12 on the paper's Hyper-Threaded 6-core Xeon E5-2620).
+    Cpu {
+        /// Physical cores.
+        cores: u32,
+        /// Schedulable hardware threads (≥ `cores`).
+        threads: u32,
+    },
+    /// A discrete GPU accelerator. `sms` is the number of streaming
+    /// multiprocessors (13 SMX on the paper's K20m).
+    Gpu {
+        /// Streaming multiprocessors.
+        sms: u32,
+        /// Warp size; static partitions are rounded up to a multiple of this
+        /// (footnote 5 in the paper).
+        warp_size: u32,
+    },
+}
+
+impl DeviceKind {
+    /// `true` for CPUs.
+    pub fn is_cpu(self) -> bool {
+        matches!(self, DeviceKind::Cpu { .. })
+    }
+
+    /// `true` for GPUs.
+    pub fn is_gpu(self) -> bool {
+        matches!(self, DeviceKind::Gpu { .. })
+    }
+
+    /// Number of task instances the device can execute concurrently.
+    pub fn slots(self) -> usize {
+        match self {
+            DeviceKind::Cpu { threads, .. } => threads as usize,
+            DeviceKind::Gpu { .. } => 1,
+        }
+    }
+
+    /// Granularity to which a static partition for this device is rounded
+    /// (GPU warp size; 1 for CPUs).
+    pub fn partition_granularity(self) -> u64 {
+        match self {
+            DeviceKind::Cpu { .. } => 1,
+            DeviceKind::Gpu { warp_size, .. } => warp_size as u64,
+        }
+    }
+}
+
+/// Static description of a device: the quantities of the paper's Table III
+/// plus the fixed overheads that differentiate static from dynamic
+/// partitioning.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Human-readable name (e.g. `"Intel Xeon E5-2620"`).
+    pub name: String,
+    /// Architectural class and parallelism.
+    pub kind: DeviceKind,
+    /// Core clock in GHz (informational; peaks below are authoritative).
+    pub frequency_ghz: f64,
+    /// Aggregate peak single-precision GFLOP/s.
+    pub peak_gflops_sp: f64,
+    /// Aggregate peak double-precision GFLOP/s.
+    pub peak_gflops_dp: f64,
+    /// Peak device-memory bandwidth in GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// Device-memory capacity in GB.
+    pub mem_capacity_gb: f64,
+    /// Fixed cost of launching one kernel/task instance on this device
+    /// (OpenCL kernel invocation on the GPU, task spawn on a CPU thread).
+    pub launch_overhead: SimTime,
+}
+
+impl DeviceSpec {
+    /// Peak GFLOP/s for the given precision.
+    pub fn peak_gflops(&self, precision: Precision) -> f64 {
+        match precision {
+            Precision::Single => self.peak_gflops_sp,
+            Precision::Double => self.peak_gflops_dp,
+        }
+    }
+
+    /// Per-slot peak GFLOP/s (aggregate ÷ slots).
+    pub fn slot_gflops(&self, precision: Precision) -> f64 {
+        self.peak_gflops(precision) / self.kind.slots() as f64
+    }
+
+    /// Per-slot peak bandwidth in GB/s (aggregate ÷ slots).
+    pub fn slot_bandwidth_gbs(&self) -> f64 {
+        self.mem_bandwidth_gbs / self.kind.slots() as f64
+    }
+}
+
+/// A device instantiated in a platform: its spec plus its identity and the
+/// memory space its kernels read and write.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Device {
+    /// Identity within the owning platform.
+    pub id: DeviceId,
+    /// Static description.
+    pub spec: DeviceSpec,
+    /// The memory space this device computes in (CPU: the host space).
+    pub mem_space: crate::platform::MemSpaceId,
+}
+
+impl Device {
+    /// The efficiency entry of `profile` that applies to this device class.
+    pub fn efficiency<'p>(&self, profile: &'p KernelProfile) -> &'p crate::Efficiency {
+        match self.spec.kind {
+            DeviceKind::Cpu { .. } => &profile.cpu_efficiency,
+            DeviceKind::Gpu { .. } => &profile.gpu_efficiency,
+        }
+    }
+
+    /// Roofline execution time of a partition of `items` items of kernel
+    /// `profile` on **one slot** of this device, including launch overhead.
+    ///
+    /// A zero-item partition still pays the launch overhead: dynamic
+    /// strategies that launch many tiny instances pay proportionally (one of
+    /// the overhead sources the paper attributes to dynamic partitioning).
+    pub fn exec_time(&self, profile: &KernelProfile, items: u64) -> SimTime {
+        self.exec_time_weighted(profile, items, 1.0)
+    }
+
+    /// [`Device::exec_time`] with a workload multiplier for imbalanced
+    /// kernels: the partition's items cost `work_scale ×` the profile's
+    /// per-item resources.
+    pub fn exec_time_weighted(
+        &self,
+        profile: &KernelProfile,
+        items: u64,
+        work_scale: f64,
+    ) -> SimTime {
+        let eff = self.efficiency(profile);
+        let gflops = self.spec.slot_gflops(profile.precision) * eff.compute;
+        let gbs = self.spec.slot_bandwidth_gbs() * eff.bandwidth;
+        let t_compute = if profile.flops(items) > 0.0 {
+            profile.flops(items) * work_scale / (gflops * 1e9)
+        } else {
+            0.0
+        };
+        let t_memory = if profile.bytes(items) > 0.0 {
+            profile.bytes(items) * work_scale / (gbs * 1e9)
+        } else {
+            0.0
+        };
+        self.spec.launch_overhead + SimTime::from_secs_f64(t_compute.max(t_memory))
+    }
+
+    /// Execution time using the whole device (all slots cooperating on one
+    /// partition), as in an Only-CPU parallel region or a GPU kernel.
+    pub fn exec_time_whole_device(&self, profile: &KernelProfile, items: u64) -> SimTime {
+        self.exec_time_whole_device_weighted(profile, items, 1.0)
+    }
+
+    /// [`Device::exec_time_whole_device`] with an imbalanced-workload
+    /// multiplier (see [`Device::exec_time_weighted`]).
+    pub fn exec_time_whole_device_weighted(
+        &self,
+        profile: &KernelProfile,
+        items: u64,
+        work_scale: f64,
+    ) -> SimTime {
+        let eff = self.efficiency(profile);
+        let gflops = self.spec.peak_gflops(profile.precision) * eff.compute;
+        let gbs = self.spec.mem_bandwidth_gbs * eff.bandwidth;
+        let t_compute = if profile.flops(items) > 0.0 {
+            profile.flops(items) * work_scale / (gflops * 1e9)
+        } else {
+            0.0
+        };
+        let t_memory = if profile.bytes(items) > 0.0 {
+            profile.bytes(items) * work_scale / (gbs * 1e9)
+        } else {
+            0.0
+        };
+        self.spec.launch_overhead + SimTime::from_secs_f64(t_compute.max(t_memory))
+    }
+
+    /// Sustained throughput of the whole device on this kernel, in items/s —
+    /// the quantity Glinda's profiling step estimates. Excludes launch
+    /// overhead and transfers.
+    pub fn throughput_items_per_sec(&self, profile: &KernelProfile) -> f64 {
+        let eff = self.efficiency(profile);
+        let gflops = self.spec.peak_gflops(profile.precision) * eff.compute;
+        let gbs = self.spec.mem_bandwidth_gbs * eff.bandwidth;
+        let t_compute = profile.flops_per_item / (gflops * 1e9);
+        let t_memory = profile.bytes_per_item / (gbs * 1e9);
+        let per_item = t_compute.max(t_memory);
+        if per_item <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / per_item
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::MemSpaceId;
+    use crate::workload::Efficiency;
+
+    fn cpu_dev() -> Device {
+        Device {
+            id: DeviceId(0),
+            spec: DeviceSpec {
+                name: "test-cpu".into(),
+                kind: DeviceKind::Cpu {
+                    cores: 4,
+                    threads: 8,
+                },
+                frequency_ghz: 2.0,
+                peak_gflops_sp: 80.0,
+                peak_gflops_dp: 40.0,
+                mem_bandwidth_gbs: 40.0,
+                mem_capacity_gb: 64.0,
+                launch_overhead: SimTime::from_micros(1),
+            },
+            mem_space: MemSpaceId(0),
+        }
+    }
+
+    fn gpu_dev() -> Device {
+        Device {
+            id: DeviceId(1),
+            spec: DeviceSpec {
+                name: "test-gpu".into(),
+                kind: DeviceKind::Gpu {
+                    sms: 13,
+                    warp_size: 32,
+                },
+                frequency_ghz: 0.7,
+                peak_gflops_sp: 1000.0,
+                peak_gflops_dp: 333.0,
+                mem_bandwidth_gbs: 200.0,
+                mem_capacity_gb: 5.0,
+                launch_overhead: SimTime::from_micros(10),
+            },
+            mem_space: MemSpaceId(1),
+        }
+    }
+
+    #[test]
+    fn slots_and_granularity() {
+        assert_eq!(cpu_dev().spec.kind.slots(), 8);
+        assert_eq!(gpu_dev().spec.kind.slots(), 1);
+        assert_eq!(cpu_dev().spec.kind.partition_granularity(), 1);
+        assert_eq!(gpu_dev().spec.kind.partition_granularity(), 32);
+    }
+
+    #[test]
+    fn compute_bound_roofline() {
+        // 80 GFLOPS aggregate, 8 slots => 10 GFLOPS per slot.
+        // 1e6 items * 1e4 flops = 1e10 flops => 1 second on one slot.
+        let p = KernelProfile::compute_only(1e4);
+        let t = cpu_dev().exec_time(&p, 1_000_000);
+        let expected = SimTime::from_secs_f64(1.0) + SimTime::from_micros(1);
+        assert_eq!(t, expected);
+    }
+
+    #[test]
+    fn memory_bound_roofline() {
+        // 200 GB/s GPU; 2e9 items * 100 B = 2e11 B => 1 second.
+        let p = KernelProfile::memory_only(100.0);
+        let t = gpu_dev().exec_time(&p, 2_000_000_000);
+        let expected = SimTime::from_secs_f64(1.0) + SimTime::from_micros(10);
+        assert_eq!(t, expected);
+    }
+
+    #[test]
+    fn roofline_takes_max_of_compute_and_memory() {
+        let mut p = KernelProfile::compute_only(1e4);
+        p.bytes_per_item = 1.0; // negligible
+        let base = cpu_dev().exec_time(&KernelProfile::compute_only(1e4), 1_000_000);
+        assert_eq!(cpu_dev().exec_time(&p, 1_000_000), base);
+    }
+
+    #[test]
+    fn zero_items_pays_launch_overhead_only() {
+        let p = KernelProfile::compute_only(100.0);
+        assert_eq!(gpu_dev().exec_time(&p, 0), SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn whole_device_is_slots_times_faster_than_one_slot() {
+        let p = KernelProfile::compute_only(1e4);
+        let dev = cpu_dev();
+        let one = dev.exec_time(&p, 1 << 20) - dev.spec.launch_overhead;
+        let whole = dev.exec_time_whole_device(&p, 1 << 20) - dev.spec.launch_overhead;
+        let ratio = one.as_secs_f64() / whole.as_secs_f64();
+        assert!((ratio - 8.0).abs() < 1e-6, "ratio={ratio}");
+    }
+
+    #[test]
+    fn efficiency_scales_time() {
+        let mut p = KernelProfile::compute_only(1e4);
+        p.cpu_efficiency = Efficiency::uniform(0.5);
+        let dev = cpu_dev();
+        let ideal = dev
+            .exec_time(&KernelProfile::compute_only(1e4), 1 << 20)
+            .saturating_sub(dev.spec.launch_overhead);
+        let half = dev.exec_time(&p, 1 << 20).saturating_sub(dev.spec.launch_overhead);
+        let ratio = half.as_secs_f64() / ideal.as_secs_f64();
+        assert!((ratio - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn throughput_matches_exec_time() {
+        let p = KernelProfile::memory_only(64.0);
+        let dev = gpu_dev();
+        let thr = dev.throughput_items_per_sec(&p);
+        let items = 10_000_000u64;
+        let t = dev
+            .exec_time_whole_device(&p, items)
+            .saturating_sub(dev.spec.launch_overhead);
+        let implied = items as f64 / t.as_secs_f64();
+        assert!((implied / thr - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn double_precision_uses_dp_peak() {
+        let mut p = KernelProfile::compute_only(1e3);
+        p.precision = Precision::Double;
+        let dev = gpu_dev();
+        let sp = dev.exec_time_whole_device(&KernelProfile::compute_only(1e3), 1 << 20);
+        let dp = dev.exec_time_whole_device(&p, 1 << 20);
+        assert!(dp > sp);
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # hetero-platform
+//!
+//! A deterministic, discrete-event simulator of CPU+GPU heterogeneous
+//! platforms, used as the hardware substrate for reproducing
+//! *"Matchmaking Applications and Partitioning Strategies for Efficient
+//! Execution on Heterogeneous Platforms"* (Shen, Varbanescu, Martorell,
+//! Sips — ICPP 2015).
+//!
+//! The paper's conclusions are about the *relative* behaviour of workload
+//! partitioning strategies: which strategy wins for which application class,
+//! by roughly what factor, and where the crossovers fall. Those relations are
+//! fully determined by a small number of hardware ratios — the relative
+//! compute capability of the devices, their memory bandwidths, the
+//! host↔device interconnect bandwidth, and the fixed overheads of kernel
+//! launches and runtime scheduling decisions. This crate models exactly those
+//! quantities:
+//!
+//! * [`SimTime`] — integer nanosecond virtual time; every experiment is
+//!   bit-for-bit reproducible.
+//! * [`DeviceSpec`] / [`Device`] — *roofline* execution model per device:
+//!   a kernel's execution time is the maximum of its compute time
+//!   (FLOPs ÷ achieved FLOP rate) and its memory time (bytes ÷ achieved
+//!   bandwidth), plus a per-invocation launch overhead.
+//! * [`LinkSpec`] — host↔device interconnect (e.g. PCIe): latency +
+//!   bytes ÷ bandwidth.
+//! * [`Platform`] — a set of devices, their memory spaces, and the links
+//!   between the spaces. [`Platform::icpp15`] reproduces the paper's
+//!   Table III platform (Intel Xeon E5-2620 + Nvidia Tesla K20m).
+//! * [`EventQueue`] — a deterministic discrete-event queue used by the
+//!   virtual-time executor in the `hetero-runtime` crate.
+//!
+//! The substitution of a simulator for the paper's physical testbed is
+//! documented in the repository's `DESIGN.md`.
+
+pub mod counters;
+pub mod device;
+pub mod event;
+pub mod link;
+pub mod platform;
+pub mod time;
+pub mod workload;
+
+pub use counters::{DeviceCounters, PlatformCounters, TransferCounters};
+pub use device::{Device, DeviceId, DeviceKind, DeviceSpec};
+pub use event::EventQueue;
+pub use link::LinkSpec;
+pub use platform::{MemSpaceId, Platform, PlatformBuilder};
+pub use time::SimTime;
+pub use workload::{Efficiency, KernelProfile, Precision};

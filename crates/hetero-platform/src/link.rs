@@ -1,0 +1,82 @@
+//! Interconnect links between memory spaces.
+//!
+//! Host↔device transfers are the second derived metric of the Glinda model
+//! (the *GPU computation to data-transfer gap*) and the dominant cost in
+//! several of the paper's applications (BlackScholes: transfer ≈ 37.5× the
+//! GPU kernel time; STREAM: ≈ 88% of the GPU execution time).
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point link between two memory spaces (e.g. PCIe between host
+/// DRAM and GPU GDDR). Transfers cost `latency + bytes / bandwidth`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Sustained bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Fixed per-transfer latency (driver + DMA setup). This is what makes
+    /// many small transfers (dynamic partitioning) more expensive than one
+    /// large transfer (static partitioning) of the same total volume.
+    pub latency: SimTime,
+}
+
+impl LinkSpec {
+    /// Create a link with the given bandwidth and latency.
+    pub fn new(bandwidth_gbs: f64, latency: SimTime) -> Self {
+        assert!(bandwidth_gbs > 0.0, "link bandwidth must be positive");
+        LinkSpec {
+            bandwidth_gbs,
+            latency,
+        }
+    }
+
+    /// Time to move `bytes` bytes across this link.
+    pub fn transfer_time(&self, bytes: u64) -> SimTime {
+        if bytes == 0 {
+            return SimTime::ZERO;
+        }
+        self.latency + SimTime::from_secs_f64(bytes as f64 / (self.bandwidth_gbs * 1e9))
+    }
+
+    /// Effective bandwidth (bytes/s) achieved for a transfer of `bytes`,
+    /// accounting for latency.
+    pub fn effective_bandwidth(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        bytes as f64 / self.transfer_time(bytes).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let l = LinkSpec::new(6.0, SimTime::from_micros(10));
+        assert_eq!(l.transfer_time(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn transfer_time_is_latency_plus_volume() {
+        let l = LinkSpec::new(6.0, SimTime::from_micros(10));
+        // 6 GB at 6 GB/s = 1 s + 10 us.
+        let t = l.transfer_time(6_000_000_000);
+        assert_eq!(t, SimTime::from_secs_f64(1.0) + SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn small_transfers_are_latency_dominated() {
+        let l = LinkSpec::new(6.0, SimTime::from_micros(10));
+        let small = l.effective_bandwidth(1_000); // 1 KB
+        let large = l.effective_bandwidth(1_000_000_000); // 1 GB
+        assert!(small < 0.05 * large, "small={small}, large={large}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn rejects_nonpositive_bandwidth() {
+        let _ = LinkSpec::new(0.0, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,342 @@
+//! Platform composition: devices + memory spaces + links.
+
+use crate::device::{Device, DeviceId, DeviceKind, DeviceSpec};
+use crate::link::LinkSpec;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifies a memory space. Space 0 is always the host (CPU) memory; each
+/// accelerator gets its own space.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct MemSpaceId(pub usize);
+
+impl MemSpaceId {
+    /// The host memory space.
+    pub const HOST: MemSpaceId = MemSpaceId(0);
+
+    /// `true` for the host space.
+    pub fn is_host(self) -> bool {
+        self == Self::HOST
+    }
+}
+
+/// A heterogeneous platform: a host CPU, zero or more accelerators, the
+/// memory space of each, and the interconnect links between spaces.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Platform {
+    /// All devices; index = `DeviceId.0`. Device 0 is the host CPU.
+    pub devices: Vec<Device>,
+    /// Links keyed by *unordered* space pair `(min, max)`; transfers in both
+    /// directions use the same link (full-duplex PCIe is not modelled, the
+    /// paper's applications never overlap H2D and D2H).
+    pub links: BTreeMap<(MemSpaceId, MemSpaceId), LinkSpec>,
+    /// Number of memory spaces (host + one per accelerator).
+    pub mem_spaces: usize,
+    /// Fixed cost of one dynamic scheduling decision in the runtime (queue
+    /// manipulation, dependence bookkeeping, policy evaluation). Static
+    /// partitioning pays this per *partition* (a handful); dynamic
+    /// partitioning pays it per *task instance*.
+    pub sched_overhead: SimTime,
+}
+
+impl Platform {
+    /// Builder entry point.
+    pub fn builder() -> PlatformBuilder {
+        PlatformBuilder::default()
+    }
+
+    /// The host CPU device.
+    pub fn cpu(&self) -> &Device {
+        &self.devices[0]
+    }
+
+    /// The first GPU device, if any.
+    pub fn gpu(&self) -> Option<&Device> {
+        self.devices.iter().find(|d| d.spec.kind.is_gpu())
+    }
+
+    /// All accelerator devices (everything except device 0).
+    pub fn accelerators(&self) -> impl Iterator<Item = &Device> {
+        self.devices.iter().skip(1)
+    }
+
+    /// Look up a device.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.0]
+    }
+
+    /// The link between two memory spaces, if they are distinct.
+    /// Panics if distinct spaces have no link (a mis-built platform).
+    pub fn link(&self, a: MemSpaceId, b: MemSpaceId) -> Option<&LinkSpec> {
+        if a == b {
+            return None;
+        }
+        let key = (a.min(b), a.max(b));
+        Some(
+            self.links
+                .get(&key)
+                .unwrap_or_else(|| panic!("no link between {a:?} and {b:?}")),
+        )
+    }
+
+    /// Time to move `bytes` from space `from` to space `to` (zero if same
+    /// space).
+    pub fn transfer_time(&self, from: MemSpaceId, to: MemSpaceId, bytes: u64) -> SimTime {
+        match self.link(from, to) {
+            None => SimTime::ZERO,
+            Some(l) => l.transfer_time(bytes),
+        }
+    }
+
+    /// Total schedulable slots across all devices.
+    pub fn total_slots(&self) -> usize {
+        self.devices.iter().map(|d| d.spec.kind.slots()).sum()
+    }
+
+    /// The paper's evaluation platform (Table III): an Intel Xeon E5-2620
+    /// (2.0 GHz, 6 cores / 12 HT threads, 384/192 GFLOP/s SP/DP, 42.6 GB/s,
+    /// 64 GB) plus an Nvidia Tesla K20m (0.705 GHz, 13 SMX / 2496 cores,
+    /// 3519.3/1173.1 GFLOP/s, 208 GB/s, 5 GB), connected by PCIe 2.0 x16
+    /// (~6 GB/s sustained — not listed in Table III; standard for the K20m's
+    /// era and consistent with the transfer/compute ratios reported in the
+    /// paper's text).
+    pub fn icpp15() -> Platform {
+        Platform::builder()
+            .cpu(DeviceSpec {
+                name: "Intel Xeon E5-2620".into(),
+                kind: DeviceKind::Cpu {
+                    cores: 6,
+                    threads: 12,
+                },
+                frequency_ghz: 2.0,
+                peak_gflops_sp: 384.0,
+                peak_gflops_dp: 192.0,
+                mem_bandwidth_gbs: 42.6,
+                mem_capacity_gb: 64.0,
+                launch_overhead: SimTime::from_micros(2),
+            })
+            .accelerator(
+                DeviceSpec {
+                    name: "Nvidia Tesla K20m".into(),
+                    kind: DeviceKind::Gpu {
+                        sms: 13,
+                        warp_size: 32,
+                    },
+                    frequency_ghz: 0.705,
+                    peak_gflops_sp: 3519.3,
+                    peak_gflops_dp: 1173.1,
+                    mem_bandwidth_gbs: 208.0,
+                    mem_capacity_gb: 5.0,
+                    launch_overhead: SimTime::from_micros(12),
+                },
+                LinkSpec::new(6.0, SimTime::from_micros(15)),
+            )
+            .sched_overhead(SimTime::from_micros(8))
+            .build()
+    }
+
+    /// The paper's platform extended with a second accelerator: a Xeon
+    /// Phi-class coprocessor (~61 cores, 512-bit SIMD) attached over its
+    /// own PCIe 2.0 link. The paper's future work ("apply our analyzer to
+    /// heterogeneous platforms with other types of accelerators") and
+    /// Glinda's multi-accelerator support are exercised against this
+    /// preset. The coprocessor is modelled with the accelerator device
+    /// kind (`DeviceKind::Gpu` means "PCIe-attached accelerator" here),
+    /// with a 16-lane SIMD granularity.
+    pub fn icpp15_with_phi() -> Platform {
+        let base = Platform::icpp15();
+        Platform::builder()
+            .cpu(base.cpu().spec.clone())
+            .accelerator(
+                base.gpu().unwrap().spec.clone(),
+                LinkSpec::new(6.0, SimTime::from_micros(15)),
+            )
+            .accelerator(
+                DeviceSpec {
+                    name: "Xeon Phi-class coprocessor".into(),
+                    kind: DeviceKind::Gpu {
+                        sms: 61,
+                        warp_size: 16,
+                    },
+                    frequency_ghz: 1.1,
+                    peak_gflops_sp: 2147.0,
+                    peak_gflops_dp: 1073.0,
+                    mem_bandwidth_gbs: 320.0,
+                    mem_capacity_gb: 8.0,
+                    launch_overhead: SimTime::from_micros(20),
+                },
+                LinkSpec::new(6.0, SimTime::from_micros(20)),
+            )
+            .sched_overhead(base.sched_overhead)
+            .build()
+    }
+
+    /// A small symmetric test platform: 4-thread CPU + a GPU exactly 4×
+    /// faster with a fast link. Used by unit tests that need round numbers.
+    pub fn test_small() -> Platform {
+        Platform::builder()
+            .cpu(DeviceSpec {
+                name: "test-cpu".into(),
+                kind: DeviceKind::Cpu {
+                    cores: 4,
+                    threads: 4,
+                },
+                frequency_ghz: 1.0,
+                peak_gflops_sp: 100.0,
+                peak_gflops_dp: 50.0,
+                mem_bandwidth_gbs: 50.0,
+                mem_capacity_gb: 16.0,
+                launch_overhead: SimTime::ZERO,
+            })
+            .accelerator(
+                DeviceSpec {
+                    name: "test-gpu".into(),
+                    kind: DeviceKind::Gpu {
+                        sms: 4,
+                        warp_size: 32,
+                    },
+                    frequency_ghz: 1.0,
+                    peak_gflops_sp: 400.0,
+                    peak_gflops_dp: 200.0,
+                    mem_bandwidth_gbs: 200.0,
+                    mem_capacity_gb: 4.0,
+                    launch_overhead: SimTime::ZERO,
+                },
+                LinkSpec::new(10.0, SimTime::ZERO),
+            )
+            .sched_overhead(SimTime::ZERO)
+            .build()
+    }
+}
+
+/// Incrementally builds a [`Platform`]. The CPU must be set first; each
+/// accelerator brings its own memory space and host link.
+#[derive(Default)]
+pub struct PlatformBuilder {
+    cpu: Option<DeviceSpec>,
+    accels: Vec<(DeviceSpec, LinkSpec)>,
+    sched_overhead: SimTime,
+}
+
+impl PlatformBuilder {
+    /// Set the host CPU (required, exactly once).
+    pub fn cpu(mut self, spec: DeviceSpec) -> Self {
+        assert!(spec.kind.is_cpu(), "host device must be a CPU");
+        assert!(self.cpu.is_none(), "cpu() may only be called once");
+        self.cpu = Some(spec);
+        self
+    }
+
+    /// Add an accelerator and its link to host memory.
+    pub fn accelerator(mut self, spec: DeviceSpec, link: LinkSpec) -> Self {
+        assert!(!spec.kind.is_cpu(), "accelerators must not be CPUs");
+        self.accels.push((spec, link));
+        self
+    }
+
+    /// Set the per-decision dynamic scheduling overhead.
+    pub fn sched_overhead(mut self, t: SimTime) -> Self {
+        self.sched_overhead = t;
+        self
+    }
+
+    /// Finalise. Panics if no CPU was provided.
+    pub fn build(self) -> Platform {
+        let cpu = self.cpu.expect("platform requires a host CPU");
+        let mut devices = vec![Device {
+            id: DeviceId(0),
+            spec: cpu,
+            mem_space: MemSpaceId::HOST,
+        }];
+        let mut links = BTreeMap::new();
+        for (i, (spec, link)) in self.accels.into_iter().enumerate() {
+            let space = MemSpaceId(i + 1);
+            devices.push(Device {
+                id: DeviceId(i + 1),
+                spec,
+                mem_space: space,
+            });
+            links.insert((MemSpaceId::HOST, space), link);
+        }
+        let mem_spaces = devices.len();
+        Platform {
+            devices,
+            links,
+            mem_spaces,
+            sched_overhead: self.sched_overhead,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn icpp15_matches_table_iii() {
+        let p = Platform::icpp15();
+        assert_eq!(p.devices.len(), 2);
+        let cpu = p.cpu();
+        assert_eq!(cpu.spec.kind.slots(), 12);
+        assert_eq!(cpu.spec.peak_gflops_sp, 384.0);
+        assert_eq!(cpu.spec.mem_bandwidth_gbs, 42.6);
+        let gpu = p.gpu().unwrap();
+        assert_eq!(gpu.spec.peak_gflops_sp, 3519.3);
+        assert_eq!(gpu.spec.peak_gflops_dp, 1173.1);
+        assert_eq!(gpu.spec.mem_bandwidth_gbs, 208.0);
+        assert_eq!(gpu.spec.kind.partition_granularity(), 32);
+        assert!(p.link(MemSpaceId::HOST, gpu.mem_space).is_some());
+    }
+
+    #[test]
+    fn same_space_transfer_is_free() {
+        let p = Platform::icpp15();
+        assert_eq!(
+            p.transfer_time(MemSpaceId::HOST, MemSpaceId::HOST, 1 << 30),
+            SimTime::ZERO
+        );
+    }
+
+    #[test]
+    fn cross_space_transfer_uses_link_both_directions() {
+        let p = Platform::icpp15();
+        let g = p.gpu().unwrap().mem_space;
+        let h2d = p.transfer_time(MemSpaceId::HOST, g, 1 << 20);
+        let d2h = p.transfer_time(g, MemSpaceId::HOST, 1 << 20);
+        assert_eq!(h2d, d2h);
+        assert!(h2d > SimTime::ZERO);
+    }
+
+    #[test]
+    fn total_slots() {
+        assert_eq!(Platform::icpp15().total_slots(), 13);
+        assert_eq!(Platform::test_small().total_slots(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a host CPU")]
+    fn build_requires_cpu() {
+        let _ = Platform::builder().build();
+    }
+
+    #[test]
+    fn multi_accelerator_platform() {
+        let base = Platform::test_small();
+        let gpu_spec = base.gpu().unwrap().spec.clone();
+        let p = Platform::builder()
+            .cpu(base.cpu().spec.clone())
+            .accelerator(gpu_spec.clone(), LinkSpec::new(8.0, SimTime::ZERO))
+            .accelerator(gpu_spec, LinkSpec::new(4.0, SimTime::ZERO))
+            .build();
+        assert_eq!(p.devices.len(), 3);
+        assert_eq!(p.mem_spaces, 3);
+        assert_eq!(p.accelerators().count(), 2);
+        // Distinct links per accelerator.
+        let t1 = p.transfer_time(MemSpaceId::HOST, MemSpaceId(1), 1 << 30);
+        let t2 = p.transfer_time(MemSpaceId::HOST, MemSpaceId(2), 1 << 30);
+        assert!(t2 > t1);
+    }
+}

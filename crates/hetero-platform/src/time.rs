@@ -1,0 +1,244 @@
+//! Virtual time.
+//!
+//! All simulation timestamps and durations are integer nanoseconds wrapped in
+//! [`SimTime`]. Using an integer representation (rather than `f64` seconds)
+//! makes event ordering exact and every simulated experiment deterministic
+//! across runs and machines.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in virtual time *or* a span of virtual time, in nanoseconds.
+///
+/// Like many discrete-event simulators we use a single type for both
+/// instants and durations; the zero point is the start of the simulation.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of simulated time (also the zero duration).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time; useful as an "infinite" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from (fractional) seconds, saturating at [`SimTime::MAX`]
+    /// and flooring negative values to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs <= 0.0 {
+            return SimTime::ZERO;
+        }
+        let ns = secs * 1e9;
+        if ns >= u64::MAX as f64 {
+            SimTime::MAX
+        } else {
+            SimTime(ns as u64)
+        }
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Fractional milliseconds (the unit used in the paper's figures).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Fractional microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Saturating subtraction: `self - other`, or zero if `other > self`.
+    #[inline]
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked addition.
+    #[inline]
+    pub fn checked_add(self, other: SimTime) -> Option<SimTime> {
+        self.0.checked_add(other.0).map(SimTime)
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `true` if this is the zero time/duration.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// Panics on underflow in debug builds, like integer subtraction.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Human-readable display with an auto-selected unit.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns < 1_000 {
+            write!(f, "{ns}ns")
+        } else if ns < 1_000_000 {
+            write!(f, "{:.2}us", self.as_micros_f64())
+        } else if ns < 1_000_000_000 {
+            write!(f, "{:.2}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(SimTime::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimTime::from_millis(7).as_nanos(), 7_000_000);
+        assert_eq!(SimTime::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+        assert!((SimTime::from_nanos(2_500_000).as_millis_f64() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_secs_clamps() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::INFINITY), SimTime::MAX);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_nanos(100);
+        let b = SimTime::from_nanos(40);
+        assert_eq!(a + b, SimTime::from_nanos(140));
+        assert_eq!(a - b, SimTime::from_nanos(60));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a * 3, SimTime::from_nanos(300));
+        assert_eq!(a / 4, SimTime::from_nanos(25));
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn sum_and_ordering() {
+        let times = [1u64, 2, 3].map(SimTime::from_nanos);
+        let total: SimTime = times.iter().copied().sum();
+        assert_eq!(total, SimTime::from_nanos(6));
+        assert!(SimTime::ZERO < SimTime::MAX);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(SimTime::from_nanos(5).to_string(), "5ns");
+        assert_eq!(SimTime::from_nanos(5_000).to_string(), "5.00us");
+        assert_eq!(SimTime::from_millis(5).to_string(), "5.00ms");
+        assert_eq!(SimTime::from_secs_f64(5.0).to_string(), "5.000s");
+    }
+}

@@ -1,0 +1,432 @@
+//! The virtual-time executor.
+//!
+//! Drives a [`Program`] over a [`Platform`] under a [`Scheduler`], producing
+//! a [`RunReport`]. The execution model mirrors the OmpSs runtime the paper
+//! uses:
+//!
+//! * task instances become *ready* when their data dependences are
+//!   satisfied and their taskwait epoch is active;
+//! * ready instances are *bound* to a device by the scheduler and wait in
+//!   that device's FIFO queue for a free slot (a CPU hardware thread, or
+//!   the GPU);
+//! * dispatching an instance first satisfies coherence (host↔device
+//!   transfers for its read regions — serialised with the device's work,
+//!   as in a single-command-queue OpenCL device), then executes under the
+//!   device's roofline model;
+//! * dynamic policies pay the platform's per-decision scheduling overhead
+//!   per instance; pinned (static) plans do not;
+//! * each `taskwait` waits for all prior instances, flushes device-resident
+//!   data to the host and invalidates device copies;
+//! * a final implicit flush returns all results to the host — the paper's
+//!   "one device-to-host data transfer after the last kernel finishes".
+
+use crate::coherence::CoherenceDir;
+use crate::graph::TaskGraph;
+use crate::program::{Program, TaskDesc, TaskId};
+use crate::scheduler::{BindCtx, Scheduler};
+use crate::stats::{KernelStats, RunReport};
+use crate::trace::{Trace, TraceEvent};
+use hetero_platform::{
+    DeviceId, EventQueue, MemSpaceId, Platform, PlatformCounters, SimTime,
+};
+use std::collections::VecDeque;
+
+enum Ev {
+    TaskDone { task: TaskId, dev: DeviceId },
+    EpochFlushed,
+}
+
+/// Simulate `program` on `platform` under `scheduler`.
+pub fn simulate(
+    program: &Program,
+    platform: &Platform,
+    scheduler: &mut dyn Scheduler,
+) -> RunReport {
+    Sim::new(program, platform, scheduler, false).run().0
+}
+
+/// [`simulate`], additionally recording an execution [`Trace`].
+pub fn simulate_traced(
+    program: &Program,
+    platform: &Platform,
+    scheduler: &mut dyn Scheduler,
+) -> (RunReport, Trace) {
+    let (report, trace) = Sim::new(program, platform, scheduler, true).run();
+    (report, trace.expect("tracing was enabled"))
+}
+
+struct Sim<'a> {
+    program: &'a Program,
+    platform: &'a Platform,
+    scheduler: &'a mut dyn Scheduler,
+    graph: TaskGraph,
+    tasks: Vec<&'a TaskDesc>,
+    epochs: Vec<Vec<TaskId>>,
+
+    now: SimTime,
+    queue: EventQueue<Ev>,
+    coherence: CoherenceDir,
+    counters: PlatformCounters,
+    per_kernel: Vec<KernelStats>,
+
+    remaining_preds: Vec<usize>,
+    completed: Vec<bool>,
+    busy_of: Vec<SimTime>,
+    exec_of: Vec<SimTime>,
+    placements: Vec<Option<DeviceId>>,
+    dev_queues: Vec<VecDeque<TaskId>>,
+    free_slots: Vec<usize>,
+    /// Completion time of the last task finished on each device, used to
+    /// start the taskwait flush of a device's data as soon as that device
+    /// is done (overlapping with other devices still computing, as the
+    /// runtime's asynchronous write-back does).
+    dev_last_done: Vec<SimTime>,
+
+    cur_epoch: usize,
+    epoch_remaining: usize,
+    flushes_done: usize,
+    trace: Option<Trace>,
+}
+
+impl<'a> Sim<'a> {
+    fn new(
+        program: &'a Program,
+        platform: &'a Platform,
+        scheduler: &'a mut dyn Scheduler,
+        traced: bool,
+    ) -> Self {
+        let graph = TaskGraph::build(program);
+        let tasks: Vec<&TaskDesc> = program
+            .tasks()
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        let epochs = program.epochs();
+        let n = tasks.len();
+        let per_kernel = program
+            .kernels
+            .iter()
+            .map(|k| KernelStats {
+                name: k.name.clone(),
+                items_per_device: vec![0; platform.devices.len()],
+                tasks_per_device: vec![0; platform.devices.len()],
+            })
+            .collect();
+        Sim {
+            remaining_preds: graph.preds.iter().map(Vec::len).collect(),
+            graph,
+            tasks,
+            epochs,
+            program,
+            platform,
+            scheduler,
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            coherence: CoherenceDir::new(platform.mem_spaces, &program.buffers),
+            counters: PlatformCounters::new(platform.devices.len()),
+            per_kernel,
+            completed: vec![false; n],
+            busy_of: vec![SimTime::ZERO; n],
+            exec_of: vec![SimTime::ZERO; n],
+            placements: vec![None; n],
+            dev_queues: platform.devices.iter().map(|_| VecDeque::new()).collect(),
+            free_slots: platform
+                .devices
+                .iter()
+                .map(|d| d.spec.kind.slots())
+                .collect(),
+            dev_last_done: vec![SimTime::ZERO; platform.devices.len()],
+            cur_epoch: 0,
+            epoch_remaining: 0,
+            flushes_done: 0,
+            trace: traced.then(Trace::default),
+        }
+    }
+
+    fn run(mut self) -> (RunReport, Option<Trace>) {
+        if self.epochs.is_empty() || self.tasks.is_empty() {
+            return self.finish();
+        }
+        self.activate_epoch();
+        while let Some((t, ev)) = self.queue.pop() {
+            self.now = t;
+            match ev {
+                Ev::TaskDone { task, dev } => self.on_task_done(task, dev),
+                Ev::EpochFlushed => self.on_epoch_flushed(),
+            }
+        }
+        assert!(
+            self.completed.iter().all(|&c| c),
+            "deadlock: not all tasks completed (cyclic program or lost event)"
+        );
+        self.finish()
+    }
+
+    fn finish(self) -> (RunReport, Option<Trace>) {
+        let report = RunReport {
+            scheduler: self.scheduler.name().to_string(),
+            makespan: self.now,
+            counters: self.counters,
+            per_kernel: self.per_kernel,
+            device_is_gpu: self
+                .platform
+                .devices
+                .iter()
+                .map(|d| d.spec.kind.is_gpu())
+                .collect(),
+        };
+        (report, self.trace)
+    }
+
+    /// Begin the current epoch: bind its dependency-free tasks.
+    fn activate_epoch(&mut self) {
+        let tasks: Vec<TaskId> = self.epochs[self.cur_epoch].clone();
+        self.epoch_remaining = tasks.len();
+        if tasks.is_empty() {
+            // An empty epoch is just a flush point.
+            self.start_flush();
+            return;
+        }
+        for t in tasks {
+            if self.remaining_preds[t.0] == 0 {
+                self.make_ready(t);
+            }
+        }
+        self.dispatch_all();
+    }
+
+    /// Bind a ready task to a device and enqueue it there.
+    fn make_ready(&mut self, t: TaskId) {
+        let pred_placements: Vec<DeviceId> = self.graph.preds[t.0]
+            .iter()
+            .map(|p| {
+                self.placements[p.0]
+                    .expect("predecessor completed, so it must have been placed")
+            })
+            .collect();
+        let task = self.tasks[t.0];
+        let coherence = &self.coherence;
+        let platform = self.platform;
+        let buffers = &self.program.buffers;
+        let transfer_estimate = move |dev: DeviceId| -> SimTime {
+            let space = platform.device(dev).mem_space;
+            let mut total = SimTime::ZERO;
+            for acc in &task.accesses {
+                if acc.mode.reads() {
+                    let bytes =
+                        coherence.missing_read_bytes(acc.region.buffer, acc.region.span, space);
+                    if bytes > 0 {
+                        // Approximation: data arrives from the host.
+                        total += platform.transfer_time(MemSpaceId::HOST, space, bytes);
+                    }
+                }
+                if acc.mode.writes() && !space.is_host() {
+                    // Data produced off-host must eventually be written
+                    // back; charge it to the placement (conservative, as in
+                    // a descriptor-based data-movement estimate).
+                    let bytes =
+                        acc.region.len() * buffers[acc.region.buffer.0].item_bytes;
+                    total += platform.transfer_time(space, MemSpaceId::HOST, bytes);
+                }
+            }
+            total
+        };
+        let dev = self.scheduler.bind(&BindCtx {
+            now: self.now,
+            platform: self.platform,
+            task,
+            task_id: t,
+            pred_placements: &pred_placements,
+            transfer_estimate: &transfer_estimate,
+        });
+        self.placements[t.0] = Some(dev);
+        self.dev_queues[dev.0].push_back(t);
+    }
+
+    fn dispatch_all(&mut self) {
+        for d in 0..self.dev_queues.len() {
+            self.dispatch(DeviceId(d));
+        }
+    }
+
+    /// Start as many queued tasks on `dev` as free slots allow.
+    fn dispatch(&mut self, dev: DeviceId) {
+        while self.free_slots[dev.0] > 0 {
+            let Some(t) = self.dev_queues[dev.0].pop_front() else {
+                break;
+            };
+            self.free_slots[dev.0] -= 1;
+            let busy = self.start_task(t, dev);
+            self.queue.push(self.now + busy, Ev::TaskDone { task: t, dev });
+        }
+    }
+
+    /// Account one task's slot occupancy: scheduling overhead + coherence
+    /// transfers + roofline execution. Mutates the coherence directory.
+    fn start_task(&mut self, t: TaskId, dev: DeviceId) -> SimTime {
+        let task = self.tasks[t.0];
+        let device = self.platform.device(dev);
+        let space = device.mem_space;
+        let mut busy = SimTime::ZERO;
+
+        if self.scheduler.is_dynamic() {
+            busy += self.platform.sched_overhead;
+            self.counters.record_sched(self.platform.sched_overhead);
+        }
+
+        for acc in &task.accesses {
+            if acc.mode.reads() {
+                for tr in self
+                    .coherence
+                    .acquire_for_read(acc.region.buffer, acc.region.span, space)
+                {
+                    let dt = transfer_cost(self.platform, tr.from, tr.to, tr.bytes);
+                    if let Some(trace) = &mut self.trace {
+                        trace.events.push(TraceEvent::Transfer {
+                            from: tr.from,
+                            to: tr.to,
+                            bytes: tr.bytes,
+                            start: self.now + busy,
+                            end: self.now + busy + dt,
+                        });
+                    }
+                    busy += dt;
+                    self.counters.record_transfer(tr.bytes, dt);
+                }
+            }
+        }
+        for acc in &task.accesses {
+            if acc.mode.writes() {
+                self.coherence
+                    .record_write(acc.region.buffer, acc.region.span, space);
+            }
+        }
+
+        let profile = &self.program.kernels[task.kernel.0].profile;
+        let exec = device.exec_time_weighted(profile, task.items, task.cost_scale);
+        busy += exec;
+
+        self.counters.record_task(dev, task.items, busy);
+        let ks = &mut self.per_kernel[task.kernel.0];
+        ks.items_per_device[dev.0] += task.items;
+        ks.tasks_per_device[dev.0] += 1;
+        self.busy_of[t.0] = busy;
+        self.exec_of[t.0] = exec;
+        if let Some(trace) = &mut self.trace {
+            trace.events.push(TraceEvent::Task {
+                task: t,
+                kernel: task.kernel,
+                dev,
+                items: task.items,
+                start: self.now,
+                end: self.now + busy,
+            });
+        }
+        busy
+    }
+
+    fn on_task_done(&mut self, t: TaskId, dev: DeviceId) {
+        self.completed[t.0] = true;
+        self.free_slots[dev.0] += 1;
+        self.dev_last_done[dev.0] = self.dev_last_done[dev.0].max(self.now);
+        let task = self.tasks[t.0];
+        self.scheduler.on_complete(
+            t,
+            task.kernel,
+            dev,
+            task.items,
+            self.busy_of[t.0],
+            self.exec_of[t.0],
+            self.now,
+        );
+
+        // Release successors whose dependences are now satisfied. Only
+        // successors in the *active* epoch become ready (later epochs wait
+        // for their taskwait barrier; `activate_epoch` re-scans them).
+        let succs = self.graph.succs[t.0].clone();
+        for s in succs {
+            self.remaining_preds[s.0] -= 1;
+            if self.remaining_preds[s.0] == 0 && self.graph.epoch_of[s.0] == self.cur_epoch {
+                self.make_ready(s);
+            }
+        }
+
+        self.epoch_remaining -= 1;
+        if self.epoch_remaining == 0 {
+            self.start_flush();
+        }
+        self.dispatch_all();
+    }
+
+    fn on_epoch_flushed(&mut self) {
+        self.cur_epoch += 1;
+        if self.cur_epoch < self.epochs.len() {
+            self.activate_epoch();
+        }
+    }
+
+    /// Flush device data home at a taskwait / end of program.
+    ///
+    /// Each device's write-back begins when *that device* finished its last
+    /// task of the epoch — the runtime drains a device's dirty data
+    /// asynchronously while other devices are still computing — and the
+    /// links drain in parallel. The barrier completes when every write-back
+    /// has landed.
+    fn start_flush(&mut self) {
+        let transfers = self.coherence.flush_and_invalidate();
+        // Serialise per source space; spaces drain in parallel. Each
+        // device's write-back starts when that device finished its last
+        // task of the epoch.
+        let mut cursors: std::collections::BTreeMap<usize, SimTime> =
+            std::collections::BTreeMap::new();
+        let mut flush_start = self.now;
+        let mut flush_end = self.now;
+        for tr in transfers {
+            let dt = transfer_cost(self.platform, tr.from, tr.to, tr.bytes);
+            self.counters.record_transfer(tr.bytes, dt);
+            let start_at = self
+                .platform
+                .devices
+                .iter()
+                .filter(|d| d.mem_space == tr.from)
+                .map(|d| self.dev_last_done[d.id.0])
+                .max()
+                .unwrap_or(self.now);
+            let cursor = cursors.entry(tr.from.0).or_insert(start_at);
+            let t0 = *cursor;
+            *cursor = t0 + dt;
+            flush_start = flush_start.min(t0);
+            flush_end = flush_end.max(*cursor);
+            if let Some(trace) = &mut self.trace {
+                trace.events.push(TraceEvent::Transfer {
+                    from: tr.from,
+                    to: tr.to,
+                    bytes: tr.bytes,
+                    start: t0,
+                    end: t0 + dt,
+                });
+            }
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.events.push(TraceEvent::Flush {
+                epoch: self.flushes_done,
+                start: flush_start.min(self.now),
+                end: flush_end,
+            });
+        }
+        self.flushes_done += 1;
+        self.queue.push(flush_end, Ev::EpochFlushed);
+    }
+}
+
+fn transfer_cost(platform: &Platform, from: MemSpaceId, to: MemSpaceId, bytes: u64) -> SimTime {
+    if from == to {
+        return SimTime::ZERO;
+    }
+    // Device-to-device moves route through the host: two link hops.
+    if !from.is_host() && !to.is_host() {
+        return platform.transfer_time(from, MemSpaceId::HOST, bytes)
+            + platform.transfer_time(MemSpaceId::HOST, to, bytes);
+    }
+    platform.transfer_time(from, to, bytes)
+}

@@ -1,0 +1,315 @@
+//! Execution traces: what happened when, on which device.
+//!
+//! [`crate::executor::simulate_traced`] records a [`Trace`] alongside the
+//! run report: per-instance start/end times and placements, every data
+//! transfer, and the taskwait flush windows. Traces power debugging, the
+//! timeline example, and tests that assert *when* things happened rather
+//! than only aggregate counters.
+
+use crate::program::{KernelId, TaskId};
+use hetero_platform::{DeviceId, MemSpaceId, Platform, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A task instance occupied a device slot over `[start, end)` (the
+    /// span includes its scheduling overhead and inbound transfers).
+    Task {
+        /// Instance id.
+        task: TaskId,
+        /// Kernel the instance belongs to.
+        kernel: KernelId,
+        /// Device it ran on.
+        dev: DeviceId,
+        /// Items processed.
+        items: u64,
+        /// Slot occupancy start.
+        start: SimTime,
+        /// Slot occupancy end.
+        end: SimTime,
+    },
+    /// A host↔device transfer.
+    Transfer {
+        /// Source memory space.
+        from: MemSpaceId,
+        /// Destination memory space.
+        to: MemSpaceId,
+        /// Payload bytes.
+        bytes: u64,
+        /// Transfer start.
+        start: SimTime,
+        /// Transfer end.
+        end: SimTime,
+    },
+    /// A taskwait (or end-of-program) flush window.
+    Flush {
+        /// Barrier sequence number (0-based).
+        epoch: usize,
+        /// When the barrier was reached.
+        start: SimTime,
+        /// When all write-backs had landed.
+        end: SimTime,
+    },
+}
+
+/// A complete execution trace.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Events in recording order (task events ordered by dispatch).
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// All task events, in dispatch order.
+    pub fn tasks(&self) -> impl Iterator<Item = (&TaskId, &DeviceId, &SimTime, &SimTime)> {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Task {
+                task, dev, start, end, ..
+            } => Some((task, dev, start, end)),
+            _ => None,
+        })
+    }
+
+    /// Total busy time recorded for one device across all its slots.
+    pub fn device_busy(&self, dev: DeviceId) -> SimTime {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Task {
+                    dev: d, start, end, ..
+                } if *d == dev => Some(*end - *start),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Render an ASCII utilisation timeline: one row per device, `width`
+    /// time buckets; each cell shows the fraction of the device's slots
+    /// busy in that bucket (` .:-=+*#%@` from idle to saturated).
+    pub fn gantt(&self, platform: &Platform, width: usize) -> String {
+        const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+        let end = self
+            .events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Task { end, .. }
+                | TraceEvent::Transfer { end, .. }
+                | TraceEvent::Flush { end, .. } => *end,
+            })
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        if end.is_zero() || width == 0 {
+            return String::from("(empty trace)\n");
+        }
+        let total = end.as_secs_f64();
+        let bucket = total / width as f64;
+        let mut out = String::new();
+        for dev in &platform.devices {
+            let slots = dev.spec.kind.slots() as f64;
+            // busy[b] = slot-seconds of work in bucket b.
+            let mut busy = vec![0.0f64; width];
+            for e in &self.events {
+                let TraceEvent::Task {
+                    dev: d, start, end, ..
+                } = e
+                else {
+                    continue;
+                };
+                if *d != dev.id {
+                    continue;
+                }
+                let (s, t) = (start.as_secs_f64(), end.as_secs_f64());
+                let first = ((s / bucket) as usize).min(width - 1);
+                let last = ((t / bucket) as usize).min(width - 1);
+                for (b, slot) in busy.iter_mut().enumerate().take(last + 1).skip(first) {
+                    let b0 = b as f64 * bucket;
+                    let b1 = b0 + bucket;
+                    let overlap = (t.min(b1) - s.max(b0)).max(0.0);
+                    *slot += overlap;
+                }
+            }
+            let row: String = busy
+                .iter()
+                .map(|&b| {
+                    let util = (b / (bucket * slots)).clamp(0.0, 1.0);
+                    SHADES[((util * 9.0).round() as usize).min(9)]
+                })
+                .collect();
+            out.push_str(&format!("{:<24} |{row}|\n", dev.spec.name));
+        }
+        out.push_str(&format!(
+            "{:<24}  0 {:.<width$} {}\n",
+            "",
+            "",
+            end,
+            width = width.saturating_sub(2)
+        ));
+        out
+    }
+}
+
+impl Trace {
+    /// Export as Chrome trace-event JSON (load in `chrome://tracing` or
+    /// Perfetto). Tasks become complete (`"ph":"X"`) events; each device is
+    /// a process and overlapping tasks are spread over numbered lanes
+    /// (threads) greedily, so concurrent CPU instances render side by side.
+    /// Transfers and flush windows appear under a synthetic "interconnect"
+    /// process.
+    pub fn to_chrome_json(&self, platform: &Platform) -> String {
+        #[derive(serde::Serialize)]
+        struct Ev<'a> {
+            name: String,
+            ph: &'a str,
+            ts: f64,
+            dur: f64,
+            pid: usize,
+            tid: usize,
+            args: serde_json::Value,
+        }
+        let mut events: Vec<Ev> = Vec::new();
+        // Greedy lane assignment per device.
+        let mut lanes: Vec<Vec<SimTime>> = platform.devices.iter().map(|_| Vec::new()).collect();
+        for e in &self.events {
+            match e {
+                TraceEvent::Task {
+                    task,
+                    kernel,
+                    dev,
+                    items,
+                    start,
+                    end,
+                } => {
+                    let lane = {
+                        let ls = &mut lanes[dev.0];
+                        match ls.iter().position(|&free| free <= *start) {
+                            Some(i) => {
+                                ls[i] = *end;
+                                i
+                            }
+                            None => {
+                                ls.push(*end);
+                                ls.len() - 1
+                            }
+                        }
+                    };
+                    events.push(Ev {
+                        name: format!("task{} (k{})", task.0, kernel.0),
+                        ph: "X",
+                        ts: start.as_micros_f64(),
+                        dur: (*end - *start).as_micros_f64(),
+                        pid: dev.0,
+                        tid: lane,
+                        args: serde_json::json!({ "items": items }),
+                    });
+                }
+                TraceEvent::Transfer {
+                    from,
+                    to,
+                    bytes,
+                    start,
+                    end,
+                } => {
+                    events.push(Ev {
+                        name: format!("xfer mem{}->mem{} ({} B)", from.0, to.0, bytes),
+                        ph: "X",
+                        ts: start.as_micros_f64(),
+                        dur: (*end - *start).as_micros_f64(),
+                        pid: platform.devices.len(),
+                        tid: from.0,
+                        args: serde_json::json!({ "bytes": bytes }),
+                    });
+                }
+                TraceEvent::Flush { epoch, start, end } => {
+                    events.push(Ev {
+                        name: format!("taskwait flush #{epoch}"),
+                        ph: "X",
+                        ts: start.as_micros_f64(),
+                        dur: (*end - *start).as_micros_f64(),
+                        pid: platform.devices.len(),
+                        tid: 64,
+                        args: serde_json::Value::Null,
+                    });
+                }
+            }
+        }
+        serde_json::to_string_pretty(&events).expect("serializable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(task: usize, dev: usize, s: u64, e: u64) -> TraceEvent {
+        TraceEvent::Task {
+            task: TaskId(task),
+            kernel: KernelId(0),
+            dev: DeviceId(dev),
+            items: 1,
+            start: SimTime::from_millis(s),
+            end: SimTime::from_millis(e),
+        }
+    }
+
+    #[test]
+    fn device_busy_sums_task_spans() {
+        let trace = Trace {
+            events: vec![t(0, 0, 0, 10), t(1, 0, 5, 20), t(2, 1, 0, 7)],
+        };
+        assert_eq!(trace.device_busy(DeviceId(0)), SimTime::from_millis(25));
+        assert_eq!(trace.device_busy(DeviceId(1)), SimTime::from_millis(7));
+    }
+
+    #[test]
+    fn gantt_renders_rows_per_device() {
+        let platform = hetero_platform::Platform::test_small();
+        let trace = Trace {
+            events: vec![t(0, 0, 0, 50), t(1, 1, 50, 100)],
+        };
+        let g = trace.gantt(&platform, 20);
+        assert_eq!(g.lines().count(), 3); // 2 devices + axis
+        assert!(g.contains("test-cpu"));
+        assert!(g.contains("test-gpu"));
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_nonoverlapping_lanes() {
+        let platform = hetero_platform::Platform::test_small();
+        let trace = Trace {
+            events: vec![t(0, 0, 0, 50), t(1, 0, 10, 60), t(2, 0, 55, 80)],
+        };
+        let json = trace.to_chrome_json(&platform);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = parsed.as_array().unwrap();
+        assert_eq!(arr.len(), 3);
+        // Overlapping tasks 0 and 1 get distinct lanes; task 2 reuses one.
+        let lanes: Vec<(f64, f64, u64)> = arr
+            .iter()
+            .map(|e| {
+                (
+                    e["ts"].as_f64().unwrap(),
+                    e["dur"].as_f64().unwrap(),
+                    e["tid"].as_u64().unwrap(),
+                )
+            })
+            .collect();
+        assert_ne!(lanes[0].2, lanes[1].2);
+        // No two events on the same lane overlap.
+        for i in 0..lanes.len() {
+            for j in i + 1..lanes.len() {
+                if lanes[i].2 == lanes[j].2 {
+                    let (a, b) = (&lanes[i], &lanes[j]);
+                    assert!(a.0 + a.1 <= b.0 || b.0 + b.1 <= a.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let platform = hetero_platform::Platform::test_small();
+        let g = Trace::default().gantt(&platform, 20);
+        assert!(g.contains("empty trace"));
+    }
+}

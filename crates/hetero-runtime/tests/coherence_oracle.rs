@@ -1,0 +1,156 @@
+//! Model-checking the coherence directory against a naive per-item oracle.
+//!
+//! The interval-based [`hetero_runtime::CoherenceDir`] must behave exactly
+//! like the obvious (but slow) model that tracks, for every single item,
+//! the set of memory spaces holding a valid copy. Random operation
+//! sequences are replayed against both and every observable compared:
+//! validity queries, transfer volumes, and flush outputs.
+
+use hetero_runtime::{BufferDesc, BufferId, CoherenceDir, Interval};
+use hetero_platform::MemSpaceId;
+use proptest::prelude::*;
+
+const ITEMS: u64 = 64;
+const SPACES: usize = 3;
+
+/// The per-item oracle.
+struct Oracle {
+    /// valid[space][item]
+    valid: Vec<Vec<bool>>,
+}
+
+impl Oracle {
+    fn new() -> Self {
+        let mut valid = vec![vec![false; ITEMS as usize]; SPACES];
+        valid[0] = vec![true; ITEMS as usize];
+        Oracle { valid }
+    }
+
+    /// Items of `[s, e)` missing in `space` (for read), then mark valid.
+    fn acquire_for_read(&mut self, s: u64, e: u64, space: usize) -> u64 {
+        let mut missing = 0;
+        for i in s..e {
+            if !self.valid[space][i as usize] {
+                missing += 1;
+                self.valid[space][i as usize] = true;
+            }
+        }
+        missing
+    }
+
+    fn record_write(&mut self, s: u64, e: u64, space: usize) {
+        for i in s..e {
+            for sp in 0..SPACES {
+                self.valid[sp][i as usize] = sp == space;
+            }
+        }
+    }
+
+    /// Items that must move home at a flush, then invalidate devices.
+    fn flush(&mut self) -> u64 {
+        let mut moved = 0;
+        for i in 0..ITEMS as usize {
+            if !self.valid[0][i] {
+                moved += 1;
+                self.valid[0][i] = true;
+            }
+            for sp in 1..SPACES {
+                self.valid[sp][i] = false;
+            }
+        }
+        moved
+    }
+
+    fn covers(&self, s: u64, e: u64, space: usize) -> bool {
+        (s..e).all(|i| self.valid[space][i as usize])
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Read { s: u64, len: u64, space: usize },
+    Write { s: u64, len: u64, space: usize },
+    Flush,
+    Check { s: u64, len: u64, space: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..ITEMS, 1..24u64, 0..SPACES).prop_map(|(s, len, space)| Op::Read {
+            s,
+            len,
+            space
+        }),
+        (0..ITEMS, 1..24u64, 0..SPACES).prop_map(|(s, len, space)| Op::Write {
+            s,
+            len,
+            space
+        }),
+        Just(Op::Flush),
+        (0..ITEMS, 1..24u64, 0..SPACES).prop_map(|(s, len, space)| Op::Check {
+            s,
+            len,
+            space
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn coherence_matches_per_item_oracle(ops in proptest::collection::vec(arb_op(), 1..80)) {
+        let buffers = vec![BufferDesc {
+            name: "x".into(),
+            items: ITEMS,
+            item_bytes: 4,
+        }];
+        let mut dir = CoherenceDir::new(SPACES, &buffers);
+        let mut oracle = Oracle::new();
+        let buf = BufferId(0);
+
+        for op in ops {
+            match op {
+                Op::Read { s, len, space } => {
+                    let e = (s + len).min(ITEMS);
+                    let transfers =
+                        dir.acquire_for_read(buf, Interval::new(s, e), MemSpaceId(space));
+                    let got: u64 = transfers.iter().map(|t| t.span.len()).sum();
+                    let want = oracle.acquire_for_read(s, e, space);
+                    prop_assert_eq!(got, want, "read [{}, {}) on space {}", s, e, space);
+                    // Transfer sources must have held valid copies.
+                    for t in &transfers {
+                        prop_assert!(t.from != MemSpaceId(space));
+                    }
+                }
+                Op::Write { s, len, space } => {
+                    let e = (s + len).min(ITEMS);
+                    dir.record_write(buf, Interval::new(s, e), MemSpaceId(space));
+                    oracle.record_write(s, e, space);
+                }
+                Op::Flush => {
+                    let transfers = dir.flush_and_invalidate();
+                    let got: u64 = transfers.iter().map(|t| t.span.len()).sum();
+                    let want = oracle.flush();
+                    prop_assert_eq!(got, want, "flush volume");
+                    for t in &transfers {
+                        prop_assert_eq!(t.to, MemSpaceId::HOST);
+                    }
+                }
+                Op::Check { s, len, space } => {
+                    let e = (s + len).min(ITEMS);
+                    prop_assert_eq!(
+                        dir.is_valid(buf, Interval::new(s, e), MemSpaceId(space)),
+                        oracle.covers(s, e, space),
+                        "validity of [{}, {}) in space {}", s, e, space
+                    );
+                    let missing = dir.missing_read_bytes(buf, Interval::new(s, e), MemSpaceId(space));
+                    let oracle_missing: u64 = (s..e)
+                        .filter(|&i| !oracle.valid[space][i as usize])
+                        .count() as u64 * 4;
+                    prop_assert_eq!(missing, oracle_missing);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Executor semantics on a three-memory-space platform (CPU + two
+//! accelerators): per-link transfer accounting, device-to-device routing
+//! through the host, and parallel flush draining.
+
+use hetero_platform::{
+    DeviceId, DeviceKind, DeviceSpec, KernelProfile, LinkSpec, Platform, SimTime,
+};
+use hetero_runtime::{simulate, Access, PinnedScheduler, Program, Region};
+
+fn two_gpu_platform() -> Platform {
+    let gpu = |name: &str| DeviceSpec {
+        name: name.into(),
+        kind: DeviceKind::Gpu { sms: 4, warp_size: 32 },
+        frequency_ghz: 1.0,
+        peak_gflops_sp: 400.0,
+        peak_gflops_dp: 200.0,
+        mem_bandwidth_gbs: 200.0,
+        mem_capacity_gb: 4.0,
+        launch_overhead: SimTime::ZERO,
+    };
+    Platform::builder()
+        .cpu(DeviceSpec {
+            name: "cpu".into(),
+            kind: DeviceKind::Cpu { cores: 4, threads: 4 },
+            frequency_ghz: 1.0,
+            peak_gflops_sp: 100.0,
+            peak_gflops_dp: 50.0,
+            mem_bandwidth_gbs: 50.0,
+            mem_capacity_gb: 16.0,
+            launch_overhead: SimTime::ZERO,
+        })
+        .accelerator(gpu("gpu-a"), LinkSpec::new(10.0, SimTime::ZERO))
+        .accelerator(gpu("gpu-b"), LinkSpec::new(5.0, SimTime::ZERO))
+        .sched_overhead(SimTime::ZERO)
+        .build()
+}
+
+const GPU_A: DeviceId = DeviceId(1);
+const GPU_B: DeviceId = DeviceId(2);
+
+#[test]
+fn device_to_device_read_routes_through_host() {
+    // gpu-a writes x; gpu-b reads it without any intervening taskwait:
+    // the data must hop gpu-a -> host -> gpu-b (two transfers of 4000 B),
+    // plus the final flush of y (gpu-b's output) and of x (still dirty on
+    // gpu-a, since a d2d read leaves the host stale for... no — routing
+    // through the host validates the host copy, so only y flushes).
+    let mut b = Program::builder();
+    let x = b.buffer("x", 1000, 4);
+    let y = b.buffer("y", 1000, 4);
+    let k = b.kernel("k", KernelProfile::compute_only(1e6));
+    b.submit_pinned(k, 1000, vec![Access::write(Region::new(x, 0, 1000))], GPU_A);
+    b.submit_pinned(
+        k,
+        1000,
+        vec![
+            Access::read(Region::new(x, 0, 1000)),
+            Access::write(Region::new(y, 0, 1000)),
+        ],
+        GPU_B,
+    );
+    let p = b.build();
+    let platform = two_gpu_platform();
+    let r = simulate(&p, &platform, &mut PinnedScheduler);
+    // Transfers: x gpu-a->gpu-b counted as one logical transfer (routed via
+    // the host, costed as two hops), then the final flush brings y home.
+    // x became host-valid through the routed read... the coherence layer
+    // keeps the host copy stale on a pure d2d route, so x also flushes.
+    assert!(
+        r.counters.transfers.count >= 2,
+        "transfers: {:?}",
+        r.counters.transfers
+    );
+    // The d2d hop is costed over both links: 4000B at 10GB/s + 4000B at
+    // 5 GB/s = 0.4us + 0.8us = 1.2us of transfer time at minimum.
+    assert!(r.counters.transfers.time >= SimTime::from_nanos(1200));
+}
+
+#[test]
+fn flushes_from_two_devices_drain_in_parallel() {
+    // Both GPUs hold dirty halves; the taskwait flush uses both links
+    // concurrently, so the flush window is max(t_a, t_b), not the sum.
+    let mut b = Program::builder();
+    let x = b.buffer("x", 2_000_000, 4); // 4 MB halves
+    let k = b.kernel("k", KernelProfile::compute_only(1.0));
+    b.submit_pinned(k, 1_000_000, vec![Access::write(Region::new(x, 0, 1_000_000))], GPU_A);
+    b.submit_pinned(
+        k,
+        1_000_000,
+        vec![Access::write(Region::new(x, 1_000_000, 2_000_000))],
+        GPU_B,
+    );
+    let p = b.build();
+    let platform = two_gpu_platform();
+    let r = simulate(&p, &platform, &mut PinnedScheduler);
+    // Exec: 1e6 items x 1 flop / 400 GF = 2.5 us each (parallel devices).
+    // Flush: 4 MB at 10 GB/s = 400 us (gpu-a) and at 5 GB/s = 800 us
+    // (gpu-b), drained in parallel -> makespan ~= 2.5us + 800us, NOT
+    // 2.5 + 1200.
+    let ms = r.makespan.as_micros_f64();
+    assert!(
+        (800.0..1000.0).contains(&ms),
+        "makespan {ms}us suggests serialised flush"
+    );
+    assert_eq!(r.counters.transfers.count, 2);
+}
+
+#[test]
+fn three_way_pinned_split_uses_all_devices() {
+    let mut b = Program::builder();
+    let x = b.buffer("x", 3000, 4);
+    let k = b.kernel("k", KernelProfile::compute_only(1e6));
+    b.submit_pinned(k, 1000, vec![Access::read_write(Region::new(x, 0, 1000))], DeviceId(0));
+    b.submit_pinned(k, 1000, vec![Access::read_write(Region::new(x, 1000, 2000))], GPU_A);
+    b.submit_pinned(k, 1000, vec![Access::read_write(Region::new(x, 2000, 3000))], GPU_B);
+    let p = b.build();
+    let platform = two_gpu_platform();
+    let r = simulate(&p, &platform, &mut PinnedScheduler);
+    for d in 0..3 {
+        assert_eq!(r.counters.devices[d].tasks, 1, "device {d}");
+        assert_eq!(r.counters.devices[d].items, 1000);
+    }
+    // Each accelerator pays an upload of its third and a flush download.
+    assert_eq!(r.counters.transfers.count, 4);
+}

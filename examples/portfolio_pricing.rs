@@ -1,0 +1,93 @@
+//! Portfolio pricing: the BlackScholes scenario from the paper's
+//! evaluation, end to end — matchmaking, strategy comparison, and *actual*
+//! option pricing on host data through the partitioned program.
+//!
+//! This is the transfer-dominated case: the PCIe transfer costs ~35× the
+//! GPU kernel, so the analyzer's static split keeps a large share on the
+//! CPU even though the GPU computes much faster.
+//!
+//! ```sh
+//! cargo run --release --example portfolio_pricing
+//! ```
+
+use hetero_match::apps::blackscholes;
+use hetero_match::matchmaker::{Analyzer, ExecutionConfig};
+use hetero_match::platform::Platform;
+use hetero_match::runtime::{run_native, BufferId, ExecOrder, HostBuffers};
+
+fn main() {
+    let platform = Platform::icpp15();
+    let analyzer = Analyzer::new(&platform);
+
+    // --- Performance study at paper scale (80.5M options) ---------------
+    let paper = blackscholes::paper_descriptor();
+    let analysis = analyzer.analyze(&paper);
+    println!(
+        "{}: class {} -> best strategy {}",
+        analysis.app, analysis.class, analysis.best
+    );
+    println!();
+    println!("{:<12} {:>11} {:>11} {:>13}", "config", "time", "GPU share", "transferred");
+    for (config, report) in analyzer.compare_all(&paper) {
+        println!(
+            "{:<12} {:>11} {:>10.1}% {:>10.2} GB",
+            config.to_string(),
+            report.makespan.to_string(),
+            100.0 * report.gpu_item_share(),
+            report.counters.transfers.bytes as f64 / 1e9,
+        );
+    }
+
+    // --- Actual pricing on a small book, via the partitioned program ----
+    let n = 8u64;
+    let small = blackscholes::descriptor(n);
+    let plan = analyzer.plan(&small, ExecutionConfig::OnlyCpu);
+    let hb = HostBuffers::for_program(&plan.program);
+    {
+        // A hand-written book of options: (spot, strike, expiry, rate, vol).
+        let mut input = hb.get_mut(BufferId(blackscholes::BUF_IN));
+        let book = [
+            (100.0, 100.0, 1.00, 0.02, 0.25),
+            (100.0, 110.0, 1.00, 0.02, 0.25),
+            (100.0, 90.0, 1.00, 0.02, 0.25),
+            (250.0, 240.0, 0.50, 0.03, 0.40),
+            (250.0, 260.0, 0.50, 0.03, 0.40),
+            (50.0, 55.0, 2.00, 0.01, 0.30),
+            (50.0, 45.0, 2.00, 0.01, 0.30),
+            (75.0, 75.0, 0.25, 0.02, 0.20),
+        ];
+        for (i, (s, k, t, r, v)) in book.iter().enumerate() {
+            input[i * 5] = *s;
+            input[i * 5 + 1] = *k;
+            input[i * 5 + 2] = *t;
+            input[i * 5 + 3] = *r;
+            input[i * 5 + 4] = *v;
+        }
+    }
+    run_native(
+        &plan.program,
+        &blackscholes::host_kernels(),
+        &hb,
+        ExecOrder::Submission,
+    );
+    let input = hb.snapshot(BufferId(blackscholes::BUF_IN));
+    let prices = hb.snapshot(BufferId(blackscholes::BUF_OUT));
+    println!();
+    println!("priced book ({} options):", n);
+    println!(
+        "{:>8} {:>8} {:>7} {:>6} {:>6}  {:>9} {:>9}",
+        "spot", "strike", "expiry", "rate", "vol", "call", "put"
+    );
+    for i in 0..n as usize {
+        println!(
+            "{:>8.2} {:>8.2} {:>7.2} {:>6.2} {:>6.2}  {:>9.4} {:>9.4}",
+            input[i * 5],
+            input[i * 5 + 1],
+            input[i * 5 + 2],
+            input[i * 5 + 3],
+            input[i * 5 + 4],
+            prices[i * 2],
+            prices[i * 2 + 1]
+        );
+    }
+}

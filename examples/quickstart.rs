@@ -1,0 +1,83 @@
+//! Quickstart: describe an application, let the analyzer match it to a
+//! partitioning strategy, and execute it on the simulated CPU+GPU platform.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hetero_match::matchmaker::{
+    AccessPattern, Analyzer, AppDescriptor, BufferSpec, ExecutionConfig, ExecutionFlow,
+    KernelSpec, SyncPolicy,
+};
+use hetero_match::platform::{Efficiency, KernelProfile, Platform, Precision};
+use hetero_match::runtime::AccessMode;
+
+fn main() {
+    // 1. The platform: the paper's Xeon E5-2620 + Tesla K20m testbed
+    //    (Table III), simulated.
+    let platform = Platform::icpp15();
+
+    // 2. Describe your application: one saxpy-like kernel over 16M items.
+    let n = 16 << 20;
+    let app = AppDescriptor {
+        name: "saxpy".into(),
+        buffers: vec![
+            BufferSpec { name: "x".into(), items: n, item_bytes: 4 },
+            BufferSpec { name: "y".into(), items: n, item_bytes: 4 },
+        ],
+        kernels: vec![KernelSpec {
+            name: "saxpy".into(),
+            profile: KernelProfile {
+                flops_per_item: 2.0,
+                bytes_per_item: 12.0,
+                fixed_flops: 0.0,
+                fixed_bytes: 0.0,
+                precision: Precision::Single,
+                cpu_efficiency: Efficiency { compute: 0.5, bandwidth: 0.6 },
+                gpu_efficiency: Efficiency { compute: 0.6, bandwidth: 0.75 },
+            },
+            domain: n,
+            accesses: vec![
+                AccessPattern::part(0, AccessMode::In),
+                AccessPattern::part(1, AccessMode::InOut),
+            ],
+            weights: None,
+        }],
+        flow: ExecutionFlow::Sequence,
+        sync: SyncPolicy::NONE,
+    };
+
+    // 3. Analyze: classify, rank the suitable strategies, pick the best.
+    let analyzer = Analyzer::new(&platform);
+    let analysis = analyzer.analyze(&app);
+    println!("application : {}", analysis.app);
+    println!("class       : {} (class {})", analysis.class, analysis.class.number());
+    println!(
+        "ranking     : {}",
+        analysis
+            .ranking
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{}. {s}", i + 1))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    println!("selected    : {}", analysis.best);
+
+    // 4. Execute the selected strategy and the baselines.
+    println!();
+    println!("{:<12} {:>12} {:>14}", "config", "time", "GPU share");
+    for config in [
+        ExecutionConfig::OnlyCpu,
+        ExecutionConfig::OnlyGpu,
+        ExecutionConfig::Strategy(analysis.best),
+    ] {
+        let report = analyzer.simulate(&app, config);
+        println!(
+            "{:<12} {:>12} {:>13.1}%",
+            config.to_string(),
+            report.makespan.to_string(),
+            100.0 * report.gpu_item_share()
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Thermal simulation: the HotSpot scenario — an iterated stencil with a
+//! per-iteration host synchronisation, the paper's CPU-favoured case.
+//!
+//! Shows (a) the analyzer matching an SK-Loop application to SP-Single,
+//! (b) the partitioning staying CPU-heavy because per-iteration transfers
+//! dominate the GPU's advantage, and (c) the real stencil computing an
+//! actual temperature field through the partitioned program.
+//!
+//! ```sh
+//! cargo run --release --example thermal_grid
+//! ```
+
+use hetero_match::apps::hotspot;
+use hetero_match::matchmaker::{Analyzer, ExecutionConfig};
+use hetero_match::platform::Platform;
+use hetero_match::runtime::{run_native, BufferId, ExecOrder, HostBuffers};
+
+fn main() {
+    let platform = Platform::icpp15();
+    let analyzer = Analyzer::new(&platform);
+
+    // --- Performance study at paper scale (8192x8192, 4 iterations) -----
+    let paper = hotspot::paper_descriptor();
+    let analysis = analyzer.analyze(&paper);
+    println!(
+        "{}: class {} -> best strategy {}",
+        analysis.app, analysis.class, analysis.best
+    );
+    println!();
+    println!("{:<12} {:>11} {:>11} {:>11}", "config", "time", "GPU share", "transfers");
+    for (config, report) in analyzer.compare_all(&paper) {
+        println!(
+            "{:<12} {:>11} {:>10.1}% {:>11}",
+            config.to_string(),
+            report.makespan.to_string(),
+            100.0 * report.gpu_item_share(),
+            report.counters.transfers.count,
+        );
+    }
+
+    // --- Actual thermal step on a small grid -----------------------------
+    let n = 32u64;
+    let small = hotspot::descriptor(n, 1);
+    let plan = analyzer.plan(&small, ExecutionConfig::OnlyCpu);
+    let hb = HostBuffers::for_program(&plan.program);
+    hotspot::init(&hb, n);
+    run_native(
+        &plan.program,
+        &hotspot::host_kernels(n),
+        &hb,
+        ExecOrder::Submission,
+    );
+    let t = hb.snapshot(BufferId(hotspot::BUF_TEMP_OUT));
+    let (min, max, avg) = summarize(&t);
+    println!();
+    println!(
+        "thermal field after 1 partitioned step on a {n}x{n} grid: min {min:.1}K, avg {avg:.1}K, max {max:.1}K"
+    );
+    // A coarse heat map of the grid (8x8 blocks).
+    println!();
+    for by in 0..8 {
+        let mut row = String::new();
+        for bx in 0..8 {
+            let mut sum = 0.0;
+            let cells = (n / 8) * (n / 8);
+            for y in 0..n / 8 {
+                for x in 0..n / 8 {
+                    let r = by * (n / 8) + y;
+                    let c = bx * (n / 8) + x;
+                    sum += t[(r * n + c) as usize];
+                }
+            }
+            let v = sum / cells as f32;
+            let shade = if v > avg + 2.0 {
+                '#'
+            } else if v > avg {
+                '+'
+            } else if v > avg - 2.0 {
+                '.'
+            } else {
+                ' '
+            };
+            row.push(shade);
+        }
+        println!("    |{row}|");
+    }
+}
+
+fn summarize(t: &[f32]) -> (f32, f32, f32) {
+    let min = t.iter().cloned().fold(f32::INFINITY, f32::min);
+    let max = t.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let avg = t.iter().sum::<f32>() / t.len() as f32;
+    (min, max, avg)
+}

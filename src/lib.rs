@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # hetero-match
+//!
+//! Umbrella crate for the reproduction of *"Matchmaking Applications and
+//! Partitioning Strategies for Efficient Execution on Heterogeneous
+//! Platforms"* (Shen, Varbanescu, Martorell, Sips — ICPP 2015).
+//!
+//! It re-exports the workspace crates under one roof so examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`platform`] — deterministic heterogeneous-platform simulator
+//!   (devices, links, virtual time).
+//! * [`runtime`] — OmpSs-analog task runtime (dependence analysis, memory
+//!   coherence, dynamic schedulers, virtual-time and native executors).
+//! * [`glinda`] — static partitioning model (modeling / profiling /
+//!   prediction / decision).
+//! * [`matchmaker`] — the paper's contribution: application classification,
+//!   the five partitioning strategies, the performance ranking, and the
+//!   application analyzer.
+//! * [`apps`] — the six evaluation applications and the kernel-structure
+//!   corpus.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory.
+
+pub use glinda;
+pub use hetero_apps as apps;
+pub use hetero_platform as platform;
+pub use hetero_runtime as runtime;
+pub use matchmaker;

@@ -1,0 +1,135 @@
+//! End-to-end tests of the implemented extensions: task-size auto-tuning
+//! (§V), MK-DAG refinement (§VII future work), and the §V
+//! dynamic-behaves-static conversion, each validated through the full
+//! analyze → plan → simulate pipeline.
+
+use hetero_match::apps::{stream, synth};
+use hetero_match::matchmaker::{
+    classify, tune_task_size, Analyzer, AppClass, AppDescriptor, ExecutionConfig, ExecutionFlow,
+    Strategy,
+};
+use hetero_match::platform::Platform;
+
+/// A chain-shaped DAG application: three kernels piped through distinct
+/// buffers, declared as a DAG (the paper's classifier calls it MK-DAG).
+fn chain_dag(n: u64) -> AppDescriptor {
+    let mut d = synth::multi_kernel(
+        "chain-as-dag",
+        n,
+        3,
+        128.0,
+        ExecutionFlow::Sequence,
+        false,
+    );
+    d.flow = ExecutionFlow::Dag {
+        edges: vec![(0, 1), (1, 2)],
+    };
+    d
+}
+
+#[test]
+fn dag_refinement_unlocks_static_strategies_for_chains() {
+    let platform = Platform::icpp15();
+    let analyzer = Analyzer::new(&platform);
+    let desc = chain_dag(4 << 20);
+
+    // The paper's classifier: MK-DAG, dynamic strategies only.
+    let plain = analyzer.analyze(&desc);
+    assert_eq!(plain.class, AppClass::MkDag);
+    assert_eq!(plain.best, Strategy::DpPerf);
+
+    // The refined classifier: MK-Seq, SP-Unified selected.
+    let refined = analyzer.analyze_refined(&desc);
+    assert_eq!(refined.class, AppClass::MkSeq);
+    assert_eq!(refined.best, Strategy::SpUnified);
+
+    // And the refinement pays: SP-Unified beats the plain choice.
+    let dynamic = analyzer.simulate(&desc, ExecutionConfig::Strategy(plain.best));
+    let fixed = analyzer.simulate(&desc, ExecutionConfig::Strategy(refined.best));
+    assert!(
+        fixed.makespan < dynamic.makespan,
+        "refined {} vs plain {}",
+        fixed.makespan,
+        dynamic.makespan
+    );
+}
+
+#[test]
+fn dag_refinement_leaves_wide_dags_dynamic() {
+    let platform = Platform::icpp15();
+    let analyzer = Analyzer::new(&platform);
+    let fork = synth::dag("wide", 1 << 20, 5, 512.0);
+    assert_eq!(classify(&fork), AppClass::MkDag);
+    let refined = analyzer.analyze_refined(&fork);
+    assert_eq!(refined.class, AppClass::MkDag);
+    assert_eq!(refined.best, Strategy::DpPerf);
+}
+
+#[test]
+fn autotuning_improves_or_matches_the_default_granularity() {
+    let platform = Platform::icpp15();
+    for desc in [
+        stream::descriptor(1 << 22, None, false),
+        hetero_match::apps::blackscholes::descriptor(1 << 22),
+    ] {
+        let mut analyzer = Analyzer::new(&platform);
+        let default_m = analyzer.planner().dynamic_instances_per_kernel;
+        let default_time = analyzer
+            .simulate(&desc, ExecutionConfig::Strategy(Strategy::DpPerf))
+            .makespan;
+        let result = tune_task_size(&mut analyzer, &desc, Strategy::DpPerf, None);
+        assert!(
+            result.best_time <= default_time,
+            "{}: tuned {} (m={}) vs default {} (m={})",
+            desc.name,
+            result.best_time,
+            result.best_m,
+            default_time,
+            default_m
+        );
+        // The paper's observation: granularity matters (>5% spread).
+        assert!(result.sensitivity() > 1.05, "{}", desc.name);
+    }
+}
+
+#[test]
+fn tuned_dynamic_still_loses_to_matched_static() {
+    // §V's concluding observation: "even so [with task-size tuning],
+    // static partitioning outperforms dynamic partitioning for the first
+    // four classes of applications."
+    let platform = Platform::icpp15();
+    let desc = stream::descriptor(1 << 22, None, false);
+    let mut analyzer = Analyzer::new(&platform);
+    let tuned = tune_task_size(&mut analyzer, &desc, Strategy::DpPerf, None);
+    let static_best = analyzer
+        .simulate(&desc, ExecutionConfig::Strategy(Strategy::SpUnified))
+        .makespan;
+    assert!(
+        static_best < tuned.best_time,
+        "SP-Unified {} vs tuned DP-Perf {}",
+        static_best,
+        tuned.best_time
+    );
+}
+
+#[test]
+fn converted_static_approaches_sp_single() {
+    // §V: converting a dynamic runtime to pinned instance counts gets
+    // "close-to-optimal partitioning with minimal manual effort".
+    let platform = Platform::icpp15();
+    let analyzer = Analyzer::new(&platform);
+    let desc = hetero_match::apps::blackscholes::paper_descriptor();
+    let sp = analyzer
+        .simulate(&desc, ExecutionConfig::Strategy(Strategy::SpSingle))
+        .makespan;
+    let converted = analyzer
+        .simulate(&desc, ExecutionConfig::ConvertedStatic)
+        .makespan;
+    let dp = analyzer
+        .simulate(&desc, ExecutionConfig::Strategy(Strategy::DpPerf))
+        .makespan;
+    // Converted lands between the optimum and plain dynamic, near the
+    // optimum (within the half-instance rounding of the ratio).
+    assert!(converted.as_secs_f64() <= sp.as_secs_f64() * 1.15, "conv {converted} vs sp {sp}");
+    assert!(converted <= dp, "conv {converted} vs dp {dp}");
+}

@@ -1,0 +1,148 @@
+//! Multi-accelerator partitioning (Glinda's "one or more accelerators,
+//! identical or non-identical" and the paper's future-work direction):
+//! end-to-end tests on the CPU + K20m + Phi-class preset.
+
+use hetero_match::matchmaker::{ExecutionConfig, KernelSplit, Planner, Strategy};
+use hetero_match::platform::{DeviceId, Platform};
+use hetero_match::runtime::{simulate, PinnedScheduler};
+
+fn compute_app(n: u64) -> hetero_match::matchmaker::AppDescriptor {
+    hetero_match::apps::synth::single_kernel(
+        "triple",
+        n,
+        16384.0,
+        hetero_match::matchmaker::ExecutionFlow::Sequence,
+        false,
+    )
+}
+
+#[test]
+fn preset_has_three_devices_and_two_links() {
+    let p = Platform::icpp15_with_phi();
+    assert_eq!(p.devices.len(), 3);
+    assert_eq!(p.accelerators().count(), 2);
+    assert_eq!(p.mem_spaces, 3);
+    assert_eq!(p.total_slots(), 14);
+}
+
+#[test]
+fn planner_produces_a_three_way_split() {
+    let platform = Platform::icpp15_with_phi();
+    let planner = Planner::new(&platform);
+    let desc = compute_app(1 << 21);
+    let plan = planner.plan(&desc, ExecutionConfig::Strategy(Strategy::SpSingle));
+
+    let split = plan.kernel_configs[0].as_ref().unwrap();
+    let KernelSplit::Multi(m) = split else {
+        panic!("expected multi split on a 2-accelerator platform");
+    };
+    // Every device gets a share of this compute-bound kernel.
+    assert!(m.cpu_items > 0, "{m:?}");
+    assert!(m.accel_items.iter().all(|&x| x > 0), "{m:?}");
+    assert_eq!(
+        m.cpu_items + m.accel_items.iter().sum::<u64>(),
+        1 << 21
+    );
+    // The K20m (3519 GF) outweighs the Phi-class card (2147 GF).
+    assert!(m.accel_items[0] > m.accel_items[1], "{m:?}");
+
+    // Program emission: instances pinned to all three devices.
+    let mut devices_seen = std::collections::BTreeSet::new();
+    for (_, t) in plan.program.tasks() {
+        devices_seen.insert(t.pinned.expect("static plan pins everything"));
+    }
+    assert!(devices_seen.contains(&DeviceId(0)));
+    assert!(devices_seen.contains(&DeviceId(1)));
+    assert!(devices_seen.contains(&DeviceId(2)));
+}
+
+#[test]
+fn three_way_split_beats_every_pairwise_configuration() {
+    let platform = Platform::icpp15_with_phi();
+    let planner = Planner::new(&platform);
+    let desc = compute_app(1 << 21);
+
+    let three_way = {
+        let plan = planner.plan(&desc, ExecutionConfig::Strategy(Strategy::SpSingle));
+        simulate(&plan.program, &platform, &mut PinnedScheduler)
+    };
+    // Baselines on the same platform.
+    let only_gpu = {
+        let plan = planner.plan(&desc, ExecutionConfig::OnlyGpu);
+        simulate(&plan.program, &platform, &mut PinnedScheduler)
+    };
+    let only_cpu = {
+        let plan = planner.plan(&desc, ExecutionConfig::OnlyCpu);
+        simulate(&plan.program, &platform, &mut PinnedScheduler)
+    };
+    assert!(three_way.makespan < only_gpu.makespan);
+    assert!(three_way.makespan < only_cpu.makespan);
+
+    // And it beats the two-device split computed on the single-GPU paper
+    // platform executed here (i.e. adding the Phi genuinely helps).
+    let single_gpu_platform = Platform::icpp15();
+    let two_way_plan = Planner::new(&single_gpu_platform)
+        .plan(&desc, ExecutionConfig::Strategy(Strategy::SpSingle));
+    let two_way = simulate(&two_way_plan.program, &platform, &mut PinnedScheduler);
+    assert!(
+        three_way.makespan < two_way.makespan,
+        "3-way {} vs 2-way {}",
+        three_way.makespan,
+        two_way.makespan
+    );
+}
+
+#[test]
+fn dynamic_schedulers_use_all_three_devices() {
+    let platform = Platform::icpp15_with_phi();
+    let planner = Planner::new(&platform);
+    let desc = compute_app(1 << 21);
+    let plan = planner.plan(&desc, ExecutionConfig::Strategy(Strategy::DpPerf));
+    let report = hetero_match::runtime::simulate_dp_perf_warmed(&plan.program, &platform);
+    // The compute-bound kernel should spread across both accelerators.
+    assert!(report.counters.devices[1].tasks > 0);
+    assert!(report.counters.devices[2].tasks > 0);
+}
+
+#[test]
+fn transfer_bound_kernel_drops_both_accelerators_sensibly() {
+    // A pure-streaming kernel with heavy transfers: the multi-way solver
+    // should keep nearly everything on the CPU.
+    let platform = Platform::icpp15_with_phi();
+    let planner = Planner::new(&platform);
+    let mut desc = hetero_match::apps::stream::descriptor(1 << 22, None, false);
+    desc.kernels.truncate(1); // just `copy`
+    desc.flow = hetero_match::matchmaker::ExecutionFlow::Sequence;
+    let split = planner.decide_kernel(&desc, 0);
+    let offload = split.gpu_items(1 << 22) as f64 / (1 << 22) as f64;
+    assert!(offload < 0.5, "offload fraction {offload}");
+}
+
+#[test]
+fn weighted_kernel_on_multi_accelerator_platform_still_plans_soundly() {
+    // Weights + multiple accelerators: the N-way count split applies (see
+    // `Planner::decide_kernel` docs) but instance costs stay weighted and
+    // the plan conserves the domain.
+    let platform = Platform::icpp15_with_phi();
+    let planner = Planner::new(&platform);
+    let n = 1 << 14;
+    let desc = hetero_match::apps::binomial::descriptor(n, 480);
+    let plan = planner.plan(&desc, ExecutionConfig::Strategy(Strategy::SpSingle));
+    let total: u64 = plan.program.tasks().iter().map(|(_, t)| t.items).sum();
+    assert_eq!(total, n);
+    // Weighted cost scales survive the multi split.
+    let scales: Vec<f64> = plan
+        .program
+        .tasks()
+        .iter()
+        .map(|(_, t)| t.cost_scale)
+        .collect();
+    assert!(scales.iter().any(|&s| (s - 1.0).abs() > 0.05));
+    let weighted: f64 = plan
+        .program
+        .tasks()
+        .iter()
+        .map(|(_, t)| t.cost_scale * t.items as f64)
+        .sum();
+    assert!((weighted / n as f64 - 1.0).abs() < 1e-9);
+}

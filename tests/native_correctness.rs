@@ -1,0 +1,335 @@
+//! Semantic validation: every partitioning strategy computes the same
+//! result as an unpartitioned sequential run, for every application, at
+//! reduced problem sizes. This proves the planner's region arithmetic, the
+//! dependence analysis, and the taskwait semantics preserve program
+//! meaning — partitioning must never change the answer.
+
+use hetero_match::apps::{blackscholes, hotspot, matrixmul, nbody, stream};
+use hetero_match::apps::native_outputs;
+use hetero_match::matchmaker::{AppDescriptor, ExecutionConfig, Planner, Strategy};
+use hetero_match::platform::Platform;
+use hetero_match::runtime::{ExecOrder, HostBuffers, KernelFn};
+
+/// All configurations applicable to a descriptor.
+fn configs_for(desc: &AppDescriptor) -> Vec<ExecutionConfig> {
+    let class = hetero_match::matchmaker::classify(desc);
+    let mut out = vec![ExecutionConfig::OnlyCpu, ExecutionConfig::OnlyGpu];
+    out.extend(
+        Strategy::ALL
+            .iter()
+            .filter(|s| s.applicable(class))
+            .map(|&s| ExecutionConfig::Strategy(s)),
+    );
+    out.push(ExecutionConfig::ConvertedStatic);
+    out
+}
+
+/// Run every configuration in both execution orders and assert all buffer
+/// snapshots are identical to the Only-GPU (single whole-domain instance)
+/// reference.
+fn assert_all_configs_match(
+    desc: &AppDescriptor,
+    kernels: &[KernelFn<'_>],
+    init: impl Fn(&HostBuffers) + Copy,
+) {
+    let platform = Platform::icpp15();
+    let planner = Planner::new(&platform);
+    let reference = native_outputs(
+        desc,
+        kernels,
+        init,
+        &planner,
+        ExecutionConfig::OnlyGpu,
+        ExecOrder::Submission,
+    );
+    for config in configs_for(desc) {
+        for order in [ExecOrder::Submission, ExecOrder::ReadyLifo] {
+            let outputs = native_outputs(desc, kernels, init, &planner, config, order);
+            for (b, (got, want)) in outputs.iter().zip(&reference).enumerate() {
+                assert_eq!(got.len(), want.len());
+                for (i, (g, w)) in got.iter().zip(want).enumerate() {
+                    assert!(
+                        (g - w).abs() <= 1e-4 * w.abs().max(1.0),
+                        "{} under {config} ({order:?}): buffer {b} item {i}: {g} vs {w}",
+                        desc.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn matrixmul_partitionings_agree() {
+    let n = 96u64;
+    let desc = matrixmul::descriptor(n);
+    let kernels = matrixmul::host_kernels(n);
+    assert_all_configs_match(&desc, &kernels, |hb| matrixmul::init(hb, n));
+}
+
+#[test]
+fn matrixmul_native_matches_parallel_reference() {
+    let n = 64u64;
+    let desc = matrixmul::descriptor(n);
+    let kernels = matrixmul::host_kernels(n);
+    let platform = Platform::icpp15();
+    let planner = Planner::new(&platform);
+    let outputs = native_outputs(
+        &desc,
+        &kernels,
+        |hb| matrixmul::init(hb, n),
+        &planner,
+        ExecutionConfig::Strategy(Strategy::SpSingle),
+        ExecOrder::Submission,
+    );
+    // Independent reference from the raw arrays.
+    let plan = planner.plan(&desc, ExecutionConfig::OnlyCpu);
+    let hb = HostBuffers::for_program(&plan.program);
+    matrixmul::init(&hb, n);
+    let a = hb.snapshot(hetero_match::runtime::BufferId(matrixmul::BUF_A));
+    let b = hb.snapshot(hetero_match::runtime::BufferId(matrixmul::BUF_B));
+    let want = matrixmul::reference(&a, &b, n as usize);
+    assert_eq!(outputs[matrixmul::BUF_C], want);
+}
+
+#[test]
+fn blackscholes_partitionings_agree() {
+    let n = 10_000u64;
+    let desc = blackscholes::descriptor(n);
+    let kernels = blackscholes::host_kernels();
+    assert_all_configs_match(&desc, &kernels, |hb| blackscholes::init(hb, n));
+}
+
+#[test]
+fn blackscholes_native_matches_reference_pricing() {
+    let n = 5_000u64;
+    let desc = blackscholes::descriptor(n);
+    let kernels = blackscholes::host_kernels();
+    let platform = Platform::icpp15();
+    let planner = Planner::new(&platform);
+    let outputs = native_outputs(
+        &desc,
+        &kernels,
+        |hb| blackscholes::init(hb, n),
+        &planner,
+        ExecutionConfig::Strategy(Strategy::DpPerf),
+        ExecOrder::ReadyLifo,
+    );
+    let plan = planner.plan(&desc, ExecutionConfig::OnlyCpu);
+    let hb = HostBuffers::for_program(&plan.program);
+    blackscholes::init(&hb, n);
+    let input = hb.snapshot(hetero_match::runtime::BufferId(blackscholes::BUF_IN));
+    let want = blackscholes::reference(&input, n as usize);
+    assert_eq!(outputs[blackscholes::BUF_OUT], want);
+}
+
+#[test]
+fn nbody_partitionings_agree() {
+    let n = 256u64;
+    let interactions = 32u64;
+    let desc = nbody::descriptor(n, interactions, 3);
+    let kernels = nbody::host_kernels(n, interactions);
+    assert_all_configs_match(&desc, &kernels, |hb| nbody::init(hb, n));
+}
+
+#[test]
+fn hotspot_partitionings_agree() {
+    let n = 64u64;
+    let desc = hotspot::descriptor(n, 3);
+    let kernels = hotspot::host_kernels(n);
+    assert_all_configs_match(&desc, &kernels, |hb| hotspot::init(hb, n));
+}
+
+#[test]
+fn hotspot_native_matches_reference_step() {
+    let n = 48u64;
+    let desc = hotspot::descriptor(n, 1);
+    let kernels = hotspot::host_kernels(n);
+    let platform = Platform::icpp15();
+    let planner = Planner::new(&platform);
+    let outputs = native_outputs(
+        &desc,
+        &kernels,
+        |hb| hotspot::init(hb, n),
+        &planner,
+        ExecutionConfig::Strategy(Strategy::SpSingle),
+        ExecOrder::Submission,
+    );
+    let plan = planner.plan(&desc, ExecutionConfig::OnlyCpu);
+    let hb = HostBuffers::for_program(&plan.program);
+    hotspot::init(&hb, n);
+    let t = hb.snapshot(hetero_match::runtime::BufferId(hotspot::BUF_TEMP_IN));
+    let p = hb.snapshot(hetero_match::runtime::BufferId(hotspot::BUF_POWER));
+    let want = hotspot::reference_step(&t, &p, n as usize);
+    assert_eq!(outputs[hotspot::BUF_TEMP_OUT], want);
+}
+
+#[test]
+fn stream_seq_partitionings_agree() {
+    for sync in [false, true] {
+        let n = 20_000u64;
+        let desc = stream::descriptor(n, None, sync);
+        let kernels = stream::host_kernels();
+        assert_all_configs_match(&desc, &kernels, |hb| stream::init(hb, n));
+    }
+}
+
+#[test]
+fn stream_loop_matches_closed_form_under_every_strategy() {
+    let n = 4_096u64;
+    let iters = 3u32;
+    let desc = stream::descriptor(n, Some(iters), true);
+    let kernels = stream::host_kernels();
+    let platform = Platform::icpp15();
+    let planner = Planner::new(&platform);
+    for config in configs_for(&desc) {
+        let outputs = native_outputs(
+            &desc,
+            &kernels,
+            |hb| stream::init(hb, n),
+            &planner,
+            config,
+            ExecOrder::Submission,
+        );
+        let a = &outputs[stream::BUF_A];
+        for i in (0..n as usize).step_by(131) {
+            let a0 = 1.0 + (i % 100) as f32 * 0.01;
+            let want = stream::expected_a(a0, iters);
+            assert!(
+                (a[i] - want).abs() / want.abs() < 1e-5,
+                "{config}: a[{i}] = {} vs {want}",
+                a[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn trisolve_partitionings_agree() {
+    use hetero_match::apps::trisolve;
+    let n = 96u64;
+    let desc = trisolve::descriptor(n);
+    let kernels = trisolve::host_kernels(n);
+    assert_all_configs_match(&desc, &kernels, |hb| trisolve::init(hb, n));
+}
+
+#[test]
+fn trisolve_native_matches_reference() {
+    use hetero_match::apps::trisolve;
+    let n = 64u64;
+    let desc = trisolve::descriptor(n);
+    let kernels = trisolve::host_kernels(n);
+    let platform = Platform::icpp15();
+    let planner = Planner::new(&platform);
+    let outputs = native_outputs(
+        &desc,
+        &kernels,
+        |hb| trisolve::init(hb, n),
+        &planner,
+        ExecutionConfig::Strategy(Strategy::SpSingle),
+        ExecOrder::Submission,
+    );
+    let plan = planner.plan(&desc, ExecutionConfig::OnlyCpu);
+    let hb = HostBuffers::for_program(&plan.program);
+    trisolve::init(&hb, n);
+    let l = hb.snapshot(hetero_match::runtime::BufferId(trisolve::BUF_L));
+    let x = hb.snapshot(hetero_match::runtime::BufferId(trisolve::BUF_X));
+    let want = trisolve::reference(&l, &x, n as usize);
+    assert_eq!(outputs[trisolve::BUF_OUT], want);
+}
+
+#[test]
+fn binomial_partitionings_agree() {
+    use hetero_match::apps::binomial;
+    let n = 512u64;
+    let spread = 96;
+    let desc = binomial::descriptor(n, spread);
+    let kernels = binomial::host_kernels(n, spread);
+    assert_all_configs_match(&desc, &kernels, |hb| binomial::init(hb, n));
+}
+
+#[test]
+fn parallel_native_runner_agrees_on_real_apps() {
+    // The multi-threaded native runner must produce bit-identical results
+    // to the sequential one, across apps and strategies.
+    let platform = Platform::icpp15();
+    let planner = Planner::new(&platform);
+
+    // STREAM under SP-Varied (multi-kernel, taskwaits, chains).
+    {
+        let n = 8_000u64;
+        let desc = stream::descriptor(n, Some(2), true);
+        let kernels = stream::host_kernels();
+        let plan = planner.plan(&desc, ExecutionConfig::Strategy(Strategy::SpVaried));
+        let seq = {
+            let hb = HostBuffers::for_program(&plan.program);
+            stream::init(&hb, n);
+            hetero_match::runtime::run_native(
+                &plan.program,
+                &kernels,
+                &hb,
+                ExecOrder::Submission,
+            );
+            hb.snapshot(hetero_match::runtime::BufferId(stream::BUF_A))
+        };
+        let par = {
+            let hb = HostBuffers::for_program(&plan.program);
+            stream::init(&hb, n);
+            hetero_match::runtime::run_native_parallel(&plan.program, &kernels, &hb, 6);
+            hb.snapshot(hetero_match::runtime::BufferId(stream::BUF_A))
+        };
+        assert_eq!(seq, par);
+    }
+
+    // MatrixMul under DP-Perf (single kernel, many instances).
+    {
+        let n = 64u64;
+        let desc = matrixmul::descriptor(n);
+        let kernels = matrixmul::host_kernels(n);
+        let plan = planner.plan(&desc, ExecutionConfig::Strategy(Strategy::DpPerf));
+        let seq = {
+            let hb = HostBuffers::for_program(&plan.program);
+            matrixmul::init(&hb, n);
+            hetero_match::runtime::run_native(
+                &plan.program,
+                &kernels,
+                &hb,
+                ExecOrder::Submission,
+            );
+            hb.snapshot(hetero_match::runtime::BufferId(matrixmul::BUF_C))
+        };
+        let par = {
+            let hb = HostBuffers::for_program(&plan.program);
+            matrixmul::init(&hb, n);
+            hetero_match::runtime::run_native_parallel(&plan.program, &kernels, &hb, 8);
+            hb.snapshot(hetero_match::runtime::BufferId(matrixmul::BUF_C))
+        };
+        assert_eq!(seq, par);
+    }
+
+    // HotSpot under SP-Single (halo reads across partition boundaries).
+    {
+        let n = 64u64;
+        let desc = hotspot::descriptor(n, 3);
+        let kernels = hotspot::host_kernels(n);
+        let plan = planner.plan(&desc, ExecutionConfig::Strategy(Strategy::SpSingle));
+        let seq = {
+            let hb = HostBuffers::for_program(&plan.program);
+            hotspot::init(&hb, n);
+            hetero_match::runtime::run_native(
+                &plan.program,
+                &kernels,
+                &hb,
+                ExecOrder::Submission,
+            );
+            hb.snapshot(hetero_match::runtime::BufferId(hotspot::BUF_TEMP_OUT))
+        };
+        let par = {
+            let hb = HostBuffers::for_program(&plan.program);
+            hotspot::init(&hb, n);
+            hetero_match::runtime::run_native_parallel(&plan.program, &kernels, &hb, 4);
+            hb.snapshot(hetero_match::runtime::BufferId(hotspot::BUF_TEMP_OUT))
+        };
+        assert_eq!(seq, par);
+    }
+}

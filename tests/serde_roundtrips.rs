@@ -1,0 +1,92 @@
+//! Serde round-trips for every serialisable boundary type: the CLI feeds
+//! descriptors through JSON, the harness dumps run matrices, and traces
+//! export to Chrome JSON — all of these must survive a round trip intact.
+
+use hetero_match::apps::{blackscholes, stream};
+use hetero_match::matchmaker::{AppDescriptor, ExecutionConfig, Planner, Strategy};
+use hetero_match::platform::Platform;
+use hetero_match::runtime::{simulate_traced, PinnedScheduler, Program, RunReport, Trace};
+
+#[test]
+fn descriptor_roundtrips_through_json() {
+    for desc in [
+        blackscholes::paper_descriptor(),
+        stream::paper_loop(true),
+        hetero_match::apps::binomial::descriptor(4096, 128),
+        hetero_match::apps::synth::dag("d", 1024, 4, 32.0),
+    ] {
+        let json = serde_json::to_string(&desc).unwrap();
+        let back: AppDescriptor = serde_json::from_str(&json).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.name, desc.name);
+        assert_eq!(back.kernels.len(), desc.kernels.len());
+        assert_eq!(back.buffers.len(), desc.buffers.len());
+        assert_eq!(back.flow, desc.flow);
+        assert_eq!(back.sync, desc.sync);
+        for (a, b) in back.kernels.iter().zip(&desc.kernels) {
+            assert_eq!(a.profile, b.profile);
+            assert_eq!(a.domain, b.domain);
+            assert_eq!(a.weights, b.weights);
+        }
+        // And the round-tripped descriptor plans to an identical program.
+        let platform = Platform::icpp15();
+        let planner = Planner::new(&platform);
+        let p1 = planner.plan(&desc, ExecutionConfig::OnlyCpu).program;
+        let p2 = planner.plan(&back, ExecutionConfig::OnlyCpu).program;
+        assert_eq!(p1.task_count(), p2.task_count());
+        for ((_, t1), (_, t2)) in p1.tasks().iter().zip(p2.tasks().iter()) {
+            assert_eq!(t1.items, t2.items);
+            assert_eq!(t1.accesses, t2.accesses);
+            assert_eq!(t1.cost_scale, t2.cost_scale);
+        }
+    }
+}
+
+#[test]
+fn program_and_report_roundtrip() {
+    let platform = Platform::icpp15();
+    let planner = Planner::new(&platform);
+    let desc = stream::descriptor(1 << 16, None, true);
+    let program = planner
+        .plan(&desc, ExecutionConfig::Strategy(Strategy::SpVaried))
+        .program;
+
+    let json = serde_json::to_string(&program).unwrap();
+    let back: Program = serde_json::from_str(&json).unwrap();
+    back.validate().unwrap();
+    assert_eq!(back.task_count(), program.task_count());
+    assert_eq!(back.epochs(), program.epochs());
+
+    // Simulating the round-tripped program is identical.
+    let r1 = hetero_match::runtime::simulate(&program, &platform, &mut PinnedScheduler);
+    let r2 = hetero_match::runtime::simulate(&back, &platform, &mut PinnedScheduler);
+    assert_eq!(r1.makespan, r2.makespan);
+    assert_eq!(r1.counters, r2.counters);
+
+    // Reports round-trip too.
+    let rj = serde_json::to_string(&r1).unwrap();
+    let rb: RunReport = serde_json::from_str(&rj).unwrap();
+    assert_eq!(rb.makespan, r1.makespan);
+    assert_eq!(rb.counters, r1.counters);
+    assert_eq!(rb.gpu_item_share(), r1.gpu_item_share());
+}
+
+#[test]
+fn trace_roundtrips_and_chrome_export_parses() {
+    let platform = Platform::icpp15();
+    let planner = Planner::new(&platform);
+    let desc = blackscholes::descriptor(1 << 18);
+    let program = planner
+        .plan(&desc, ExecutionConfig::Strategy(Strategy::SpSingle))
+        .program;
+    let (_, trace) = simulate_traced(&program, &platform, &mut PinnedScheduler);
+    assert!(!trace.events.is_empty());
+
+    let json = serde_json::to_string(&trace).unwrap();
+    let back: Trace = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.events, trace.events);
+
+    let chrome = trace.to_chrome_json(&platform);
+    let parsed: serde_json::Value = serde_json::from_str(&chrome).unwrap();
+    assert!(parsed.as_array().unwrap().len() >= trace.events.len());
+}
