@@ -11,8 +11,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use hetero_apps::{matrixmul, stream};
 use hetero_platform::Platform;
-use matchmaker::{Analyzer, ExecutionConfig, Strategy};
 use hetero_runtime::{simulate, DepScheduler, WorkConservingScheduler};
+use matchmaker::{Analyzer, ExecutionConfig, Strategy};
 use std::hint::black_box;
 
 fn bench_variants(c: &mut Criterion) {

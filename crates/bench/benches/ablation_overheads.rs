@@ -21,7 +21,10 @@ fn with_overhead(us: u64) -> Platform {
 fn bench_overheads(c: &mut Criterion) {
     let desc = blackscholes::paper_descriptor();
     println!("sched overhead sweep (BlackScholes):");
-    println!("{:>12} {:>12} {:>12} {:>8}", "overhead", "SP-Single", "DP-Perf", "gap");
+    println!(
+        "{:>12} {:>12} {:>12} {:>8}",
+        "overhead", "SP-Single", "DP-Perf", "gap"
+    );
     for us in [0u64, 8, 32, 128, 512] {
         let platform = with_overhead(us);
         let analyzer = Analyzer::new(&platform);

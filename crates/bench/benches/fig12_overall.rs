@@ -20,7 +20,9 @@ fn bench_fig12(c: &mut Criterion) {
             r.app, r.best, r.vs_only_gpu, r.vs_only_cpu
         );
     }
-    eprintln!("fig12 average: {avg_og:.2}x vs Only-GPU, {avg_oc:.2}x vs Only-CPU (paper: 3.0x / 5.3x)");
+    eprintln!(
+        "fig12 average: {avg_og:.2}x vs Only-GPU, {avg_oc:.2}x vs Only-CPU (paper: 3.0x / 5.3x)"
+    );
 
     let mut group = c.benchmark_group("fig12_analyzer_end_to_end");
     group.sample_size(10);

@@ -19,7 +19,10 @@ fn bench_fig5(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
 
-    for desc in [matrixmul::paper_descriptor(), blackscholes::paper_descriptor()] {
+    for desc in [
+        matrixmul::paper_descriptor(),
+        blackscholes::paper_descriptor(),
+    ] {
         // Print the figure row once (the reproduced numbers).
         let run = run_app(&platform, &desc);
         for cfg in &run.configs {

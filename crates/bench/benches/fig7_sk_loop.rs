@@ -22,7 +22,10 @@ fn bench_fig7(c: &mut Criterion) {
         for cfg in &run.configs {
             eprintln!(
                 "fig7 {:<10} {:<12} {:>10.1} ms (GPU share {:.1}%)",
-                run.app, cfg.config, cfg.time_ms, 100.0 * cfg.gpu_item_share
+                run.app,
+                cfg.config,
+                cfg.time_ms,
+                100.0 * cfg.gpu_item_share
             );
         }
         for config in [

@@ -62,7 +62,10 @@ fn bench_stream_chain(c: &mut Criterion) {
     let platform = hetero_platform::Platform::icpp15();
     let planner = Planner::new(&platform);
     let desc = stream::descriptor(n, Some(3), true);
-    let plan = planner.plan(&desc, ExecutionConfig::Strategy(matchmaker::Strategy::SpVaried));
+    let plan = planner.plan(
+        &desc,
+        ExecutionConfig::Strategy(matchmaker::Strategy::SpVaried),
+    );
     let kernels = stream::host_kernels();
     let mut group = c.benchmark_group("native_stream_chain");
     group.throughput(Throughput::Elements(n * 4 * 3));

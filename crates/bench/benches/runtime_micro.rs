@@ -22,7 +22,11 @@ fn chain_program(n: u64, kernels: usize, iters: u32, parts: u64, pin_cpu: bool) 
         .collect();
     for _ in 0..iters {
         for (k, &kid) in kids.iter().enumerate() {
-            let (src, dst) = if k % 2 == 0 { (ping, pong) } else { (pong, ping) };
+            let (src, dst) = if k % 2 == 0 {
+                (ping, pong)
+            } else {
+                (pong, ping)
+            };
             for (s, e) in hetero_runtime::split_even(n, parts) {
                 let accesses = vec![
                     Access::read(Region::new(src, s, e)),

@@ -18,9 +18,7 @@
 //! ```
 
 use hetero_platform::Platform;
-use matchmaker::{
-    tune_task_size, Analyzer, AppDescriptor, ExecutionConfig, Strategy,
-};
+use matchmaker::{tune_task_size, Analyzer, AppDescriptor, ExecutionConfig, Strategy};
 use std::env;
 use std::fs;
 use std::process::exit;
@@ -89,7 +87,10 @@ fn main() {
 
     match command.as_str() {
         "platforms" => {
-            for (name, p) in [("icpp15", Platform::icpp15()), ("icpp15-phi", Platform::icpp15_with_phi())] {
+            for (name, p) in [
+                ("icpp15", Platform::icpp15()),
+                ("icpp15-phi", Platform::icpp15_with_phi()),
+            ] {
                 println!("{name}:");
                 for d in &p.devices {
                     println!(
@@ -122,7 +123,11 @@ fn main() {
                 analyzer.analyze(&desc)
             };
             println!("application : {}", analysis.app);
-            println!("class       : {} (class {})", analysis.class, analysis.class.number());
+            println!(
+                "class       : {} (class {})",
+                analysis.class,
+                analysis.class.number()
+            );
             println!(
                 "sync        : {}",
                 if analysis.sync == matchmaker::SyncMode::WithSync {
@@ -186,7 +191,10 @@ fn main() {
                     &mut hetero_runtime::PinnedScheduler,
                 ),
             };
-            println!("{} under {} — {}", analysis.app, analysis.best, report.makespan);
+            println!(
+                "{} under {} — {}",
+                analysis.app, analysis.best, report.makespan
+            );
             print!("{}", trace.gantt(&platform, 72));
         }
         "tune" => {

@@ -29,18 +29,40 @@ fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
     const TARGETS: &[&str] = &[
-        "all", "table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9",
-        "fig10", "fig11", "fig12", "validate", "coverage", "accuracy", "strategy-map",
-        "ablation-tasksize", "json", "markdown",
+        "all",
+        "table1",
+        "table2",
+        "table3",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "validate",
+        "coverage",
+        "accuracy",
+        "strategy-map",
+        "ablation-tasksize",
+        "json",
+        "markdown",
     ];
     if !TARGETS.contains(&what) {
-        eprintln!("unknown target '{what}'; valid targets: {}", TARGETS.join(", "));
+        eprintln!(
+            "unknown target '{what}'; valid targets: {}",
+            TARGETS.join(", ")
+        );
         std::process::exit(2);
     }
     let platform = Platform::icpp15();
 
     // Every figure slices the same evaluation matrix; run it once.
-    let needs_matrix = !matches!(what, "table1" | "table3" | "coverage" | "accuracy" | "strategy-map" | "ablation-tasksize");
+    let needs_matrix = !matches!(
+        what,
+        "table1" | "table3" | "coverage" | "accuracy" | "strategy-map" | "ablation-tasksize"
+    );
     let runs: Vec<AppRun> = if needs_matrix {
         eprintln!("running the evaluation matrix (8 app variants x all configurations)...");
         experiments::run_all(&platform)
@@ -127,7 +149,9 @@ fn main() {
         sections.push(report::coverage_report(&experiments::coverage_study()));
     }
     if want("accuracy") {
-        sections.push(report::accuracy_report(&experiments::model_accuracy(&platform)));
+        sections.push(report::accuracy_report(&experiments::model_accuracy(
+            &platform,
+        )));
     }
     if want("strategy-map") {
         let caps = [0.125, 0.25, 0.5, 1.0, 2.0];
@@ -136,9 +160,8 @@ fn main() {
         sections.push(report::strategy_map_report(&cells, &caps, &links));
     }
     if want("ablation-tasksize") {
-        let mut out = String::from(
-            "Task-size ablation (§V): DP-Perf time vs dynamic task granularity\n",
-        );
+        let mut out =
+            String::from("Task-size ablation (§V): DP-Perf time vs dynamic task granularity\n");
         for desc in [
             hetero_apps::stream::paper_seq(false),
             hetero_apps::blackscholes::paper_descriptor(),

@@ -22,7 +22,7 @@ pub mod report;
 pub mod validation;
 
 pub use experiments::{
-    coverage_study, fig12_speedups, paper_variants, run_all, task_size_ablation, AppRun,
-    ConfigRun, SpeedupRow,
+    coverage_study, fig12_speedups, paper_variants, run_all, task_size_ablation, AppRun, ConfigRun,
+    SpeedupRow,
 };
 pub use validation::{validate_rankings, RankingCheck};

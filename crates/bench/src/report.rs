@@ -11,11 +11,23 @@ use std::fmt::Write;
 /// Table I as text.
 pub fn table1() -> String {
     let mut out = String::new();
-    writeln!(out, "Table I — suitable partitioning strategies and ranking").unwrap();
+    writeln!(
+        out,
+        "Table I — suitable partitioning strategies and ranking"
+    )
+    .unwrap();
     let rows: [(&str, AppClass, SyncMode); 4] = [
         ("SK-One, SK-Loop", AppClass::SkOne, SyncMode::WithoutSync),
-        ("MK-Seq, MK-Loop (w/o sync)", AppClass::MkSeq, SyncMode::WithoutSync),
-        ("MK-Seq, MK-Loop (w sync)", AppClass::MkSeq, SyncMode::WithSync),
+        (
+            "MK-Seq, MK-Loop (w/o sync)",
+            AppClass::MkSeq,
+            SyncMode::WithoutSync,
+        ),
+        (
+            "MK-Seq, MK-Loop (w sync)",
+            AppClass::MkSeq,
+            SyncMode::WithSync,
+        ),
         ("MK-DAG", AppClass::MkDag, SyncMode::WithoutSync),
     ];
     for (label, class, sync) in rows {
@@ -32,7 +44,11 @@ pub fn table1() -> String {
 /// Table II: the applications and their (re-)detected classes.
 pub fn table2(runs: &[AppRun]) -> String {
     let mut out = String::new();
-    writeln!(out, "Table II — applications for evaluation (classifier output)").unwrap();
+    writeln!(
+        out,
+        "Table II — applications for evaluation (classifier output)"
+    )
+    .unwrap();
     writeln!(out, "  {:<18} {:<8} sync-required", "Application", "Class").unwrap();
     for run in runs {
         writeln!(
@@ -134,8 +150,12 @@ pub fn figure12(rows: &[SpeedupRow], avg_og: f64, avg_oc: f64) -> String {
         "Figure 12 — speedup of the best strategy vs Only-GPU / Only-CPU"
     )
     .unwrap();
-    writeln!(out, "  {:<18} {:<12} {:>10} {:>10}", "Application", "Best", "vs OG", "vs OC")
-        .unwrap();
+    writeln!(
+        out,
+        "  {:<18} {:<12} {:>10} {:>10}",
+        "Application", "Best", "vs OG", "vs OC"
+    )
+    .unwrap();
     for r in rows {
         writeln!(
             out,
@@ -262,7 +282,14 @@ pub fn strategy_map_report(
         write!(out, " {l:>5.1}").unwrap();
     }
     writeln!(out).unwrap();
-    writeln!(out, "  {:->13}+{:-<width$}", "", "", width = links_gbs.len() * 6).unwrap();
+    writeln!(
+        out,
+        "  {:->13}+{:-<width$}",
+        "",
+        "",
+        width = links_gbs.len() * 6
+    )
+    .unwrap();
     for &cap in capabilities {
         write!(out, "  {:>12.2} |", cap).unwrap();
         for &gbs in links_gbs {
@@ -313,8 +340,17 @@ pub fn markdown_report(
 
     writeln!(out, "## Execution times and partitioning ratios\n").unwrap();
     for run in runs {
-        writeln!(out, "### {} ({}, sync: {})\n", run.app, run.class, run.with_sync).unwrap();
-        writeln!(out, "| config | time (ms) | GPU share | transfers | moved (MB) |").unwrap();
+        writeln!(
+            out,
+            "### {} ({}, sync: {})\n",
+            run.app, run.class, run.with_sync
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "| config | time (ms) | GPU share | transfers | moved (MB) |"
+        )
+        .unwrap();
         writeln!(out, "|---|---|---|---|---|").unwrap();
         for c in &run.configs {
             writeln!(
@@ -362,7 +398,11 @@ pub fn markdown_report(
     writeln!(out).unwrap();
 
     writeln!(out, "## Model accuracy\n").unwrap();
-    writeln!(out, "| app | strategy | predicted (ms) | simulated (ms) | error |").unwrap();
+    writeln!(
+        out,
+        "| app | strategy | predicted (ms) | simulated (ms) | error |"
+    )
+    .unwrap();
     writeln!(out, "|---|---|---|---|---|").unwrap();
     for r in accuracy {
         writeln!(

@@ -131,11 +131,7 @@ mod tests {
             class: "SK-One".into(),
             with_sync: false,
             ranking: ranking.iter().map(|s| s.to_string()).collect(),
-            configs: ranking
-                .iter()
-                .zip(times)
-                .map(|(n, &t)| cfg(n, t))
-                .collect(),
+            configs: ranking.iter().zip(times).map(|(n, &t)| cfg(n, t)).collect(),
         }
     }
 

@@ -11,9 +11,7 @@ use crate::plan::{Plan, Planner};
 use crate::ranking::{best_strategy, ranking, SyncMode};
 use crate::strategy::{ExecutionConfig, Strategy};
 use hetero_platform::Platform;
-use hetero_runtime::{
-    simulate, simulate_dp_perf_warmed, DepScheduler, PinnedScheduler, RunReport,
-};
+use hetero_runtime::{simulate, simulate_dp_perf_warmed, DepScheduler, PinnedScheduler, RunReport};
 use serde::{Deserialize, Serialize};
 
 /// The analyzer's verdict for one application.
@@ -121,7 +119,12 @@ impl<'a> Analyzer<'a> {
         let mut out = Vec::new();
         for config in [ExecutionConfig::OnlyGpu, ExecutionConfig::OnlyCpu]
             .into_iter()
-            .chain(analysis.ranking.iter().map(|&s| ExecutionConfig::Strategy(s)))
+            .chain(
+                analysis
+                    .ranking
+                    .iter()
+                    .map(|&s| ExecutionConfig::Strategy(s)),
+            )
         {
             out.push((config, self.simulate(desc, config)));
         }
@@ -171,9 +174,6 @@ mod tests {
         assert_eq!(results.len(), 2 + 3); // OG, OC + 3 suitable strategies
         assert_eq!(results[0].0, ExecutionConfig::OnlyGpu);
         assert_eq!(results[1].0, ExecutionConfig::OnlyCpu);
-        assert_eq!(
-            results[2].0,
-            ExecutionConfig::Strategy(Strategy::SpSingle)
-        );
+        assert_eq!(results[2].0, ExecutionConfig::Strategy(Strategy::SpSingle));
     }
 }

@@ -119,12 +119,7 @@ mod tests {
         let desc = big_app();
         let result = tune_task_size(&mut analyzer, &desc, Strategy::DpPerf, None);
         assert_eq!(result.sweep.len(), 6);
-        let min = result
-            .sweep
-            .iter()
-            .map(|&(_, t)| t)
-            .min()
-            .unwrap();
+        let min = result.sweep.iter().map(|&(_, t)| t).min().unwrap();
         assert_eq!(result.best_time, min);
         assert_eq!(
             analyzer.planner().dynamic_instances_per_kernel,
@@ -138,8 +133,7 @@ mod tests {
         let platform = Platform::icpp15();
         let mut analyzer = Analyzer::new(&platform);
         let desc = big_app();
-        let result =
-            tune_task_size(&mut analyzer, &desc, Strategy::DpDep, Some(&[13, 39]));
+        let result = tune_task_size(&mut analyzer, &desc, Strategy::DpDep, Some(&[13, 39]));
         assert_eq!(result.sweep.len(), 2);
         assert!(result.best_m == 13 || result.best_m == 39);
     }

@@ -95,18 +95,29 @@ mod tests {
 
     #[test]
     fn classification_rules() {
-        assert_eq!(classify(&toy_descriptor(1, ExecutionFlow::Sequence)), AppClass::SkOne);
+        assert_eq!(
+            classify(&toy_descriptor(1, ExecutionFlow::Sequence)),
+            AppClass::SkOne
+        );
         assert_eq!(
             classify(&toy_descriptor(1, ExecutionFlow::Loop { iterations: 5 })),
             AppClass::SkLoop
         );
-        assert_eq!(classify(&toy_descriptor(3, ExecutionFlow::Sequence)), AppClass::MkSeq);
+        assert_eq!(
+            classify(&toy_descriptor(3, ExecutionFlow::Sequence)),
+            AppClass::MkSeq
+        );
         assert_eq!(
             classify(&toy_descriptor(4, ExecutionFlow::Loop { iterations: 2 })),
             AppClass::MkLoop
         );
         assert_eq!(
-            classify(&toy_descriptor(3, ExecutionFlow::Dag { edges: vec![(0, 1), (0, 2)] })),
+            classify(&toy_descriptor(
+                3,
+                ExecutionFlow::Dag {
+                    edges: vec![(0, 1), (0, 2)]
+                }
+            )),
             AppClass::MkDag
         );
     }

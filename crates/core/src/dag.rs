@@ -106,16 +106,21 @@ mod tests {
     #[test]
     fn non_dag_flows_yield_none() {
         assert!(analyze_dag(&toy_descriptor(2, ExecutionFlow::Sequence)).is_none());
-        assert!(
-            analyze_dag(&toy_descriptor(2, ExecutionFlow::Loop { iterations: 3 })).is_none()
-        );
+        assert!(analyze_dag(&toy_descriptor(2, ExecutionFlow::Loop { iterations: 3 })).is_none());
     }
 
     #[test]
     fn chain_dag_profile() {
         let d = dag_desc(4, vec![(0, 1), (1, 2), (2, 3)]);
         let p = analyze_dag(&d).unwrap();
-        assert_eq!(p, DagProfile { width: 1, depth: 4, is_chain: true });
+        assert_eq!(
+            p,
+            DagProfile {
+                width: 1,
+                depth: 4,
+                is_chain: true
+            }
+        );
     }
 
     #[test]

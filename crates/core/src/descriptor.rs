@@ -287,9 +287,16 @@ mod tests {
 
     #[test]
     fn validation_catches_backward_dag_edges() {
-        let mut d = toy_descriptor(3, ExecutionFlow::Dag { edges: vec![(2, 1)] });
+        let mut d = toy_descriptor(
+            3,
+            ExecutionFlow::Dag {
+                edges: vec![(2, 1)],
+            },
+        );
         assert!(d.validate().is_err());
-        d.flow = ExecutionFlow::Dag { edges: vec![(0, 2), (1, 2)] };
+        d.flow = ExecutionFlow::Dag {
+            edges: vec![(0, 2), (1, 2)],
+        };
         assert!(d.validate().is_ok());
     }
 

@@ -50,16 +50,18 @@ pub mod dag;
 pub mod descriptor;
 pub mod plan;
 pub mod ranking;
+pub mod robustness;
 pub mod strategy;
 
 pub use analyzer::{Analysis, Analyzer};
 pub use autotune::{tune_task_size, AutotuneResult};
-pub use dag::{analyze_dag, refine_class, DagProfile};
 pub use class::{classify, AppClass};
 pub use convert::{max_ratio_error, ratio_to_counts, realized_ratio};
+pub use dag::{analyze_dag, refine_class, DagProfile};
 pub use descriptor::{
     AccessPattern, AppDescriptor, BufferSpec, ExecutionFlow, KernelSpec, SyncPolicy,
 };
 pub use plan::{KernelModel, KernelSplit, Plan, Planner};
 pub use ranking::{best_strategy, rank_of, ranking, SyncMode};
+pub use robustness::DegradationEntry;
 pub use strategy::{ExecutionConfig, Strategy};

@@ -26,15 +26,13 @@
 use crate::convert::ratio_to_counts_aligned;
 use crate::descriptor::{AccessPattern, AppDescriptor, ExecutionFlow, KernelSpec};
 use crate::strategy::{ExecutionConfig, Strategy};
+use glinda::profiling::{default_probe_items, estimate_device_rate};
 use glinda::{
     decide, estimate_rates, solve_multi, AcceleratorSide, DecisionConfig, HardwareConfig,
     MultiDeviceProblem, MultiSolution, PartitionProblem, TransferModel,
 };
-use glinda::profiling::{default_probe_items, estimate_device_rate};
 use hetero_platform::{DeviceId, DeviceKind, MemSpaceId, Platform};
-use hetero_runtime::{
-    split_even, Access, KernelId, Program, ProgramBuilder, Region,
-};
+use hetero_runtime::{split_even, Access, KernelId, Program, ProgramBuilder, Region};
 use serde::{Deserialize, Serialize};
 
 /// Builds programs for one platform.
@@ -146,12 +144,14 @@ impl<'a> Planner<'a> {
     ///
     /// `per_offload_transfers = false` models device-resident data (the
     /// SP-Unified interior): the transfer model is zeroed.
-    pub fn kernel_model(&self, desc: &AppDescriptor, k: usize, per_offload_transfers: bool) -> KernelModel {
+    pub fn kernel_model(
+        &self,
+        desc: &AppDescriptor,
+        k: usize,
+        per_offload_transfers: bool,
+    ) -> KernelModel {
         let spec = &desc.kernels[k];
-        let probe = default_probe_items(
-            spec.domain,
-            self.gpu().spec.kind.partition_granularity(),
-        );
+        let probe = default_probe_items(spec.domain, self.gpu().spec.kind.partition_granularity());
         let rates = estimate_rates(self.platform, &spec.profile, probe);
         let transfer = if per_offload_transfers {
             self.transfer_model(desc, &[spec])
@@ -183,9 +183,7 @@ impl<'a> Planner<'a> {
                     h2d_seen[b] = true;
                     match a {
                         AccessPattern::Partitioned { .. } => h2d_per_item += bytes,
-                        AccessPattern::Full { .. } => {
-                            fixed += desc.buffers[b].items as f64 * bytes
-                        }
+                        AccessPattern::Full { .. } => fixed += desc.buffers[b].items as f64 * bytes,
                     }
                 }
                 if a.mode().writes() {
@@ -507,7 +505,16 @@ impl<'a> Planner<'a> {
             }
             ExecutionConfig::Strategy(Strategy::DpDep)
             | ExecutionConfig::Strategy(Strategy::DpPerf) => {
-                self.emit_split(b, desc, spec, kid, 0, n, self.dynamic_instances_per_kernel, None);
+                self.emit_split(
+                    b,
+                    desc,
+                    spec,
+                    kid,
+                    0,
+                    n,
+                    self.dynamic_instances_per_kernel,
+                    None,
+                );
             }
             ExecutionConfig::Strategy(
                 Strategy::SpSingle | Strategy::SpUnified | Strategy::SpVaried,
@@ -659,9 +666,9 @@ pub fn device_kind_label(kind: DeviceKind) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hetero_runtime::AccessMode;
     use crate::descriptor::{BufferSpec, SyncPolicy};
     use hetero_platform::KernelProfile;
+    use hetero_runtime::AccessMode;
     use hetero_runtime::Op;
 
     /// A compute-heavy single-kernel app where the GPU is 4x the CPU.
@@ -821,11 +828,7 @@ mod tests {
             &mk_seq(500_000, 4, false),
             ExecutionConfig::Strategy(Strategy::SpUnified),
         );
-        assert!(plan
-            .program
-            .ops
-            .iter()
-            .all(|o| !matches!(o, Op::Taskwait)));
+        assert!(plan.program.ops.iter().all(|o| !matches!(o, Op::Taskwait)));
         // All kernels share one partitioning point.
         let cfgs: Vec<u64> = plan
             .kernel_configs
@@ -859,8 +862,14 @@ mod tests {
         let desc = mk_seq(4_000_000, 4, true);
         let varied = planner.plan(&desc, ExecutionConfig::Strategy(Strategy::SpVaried));
         let unified = planner.plan(&desc, ExecutionConfig::Strategy(Strategy::SpUnified));
-        let v0 = varied.kernel_configs[0].as_ref().unwrap().gpu_items(4_000_000);
-        let u0 = unified.kernel_configs[0].as_ref().unwrap().gpu_items(4_000_000);
+        let v0 = varied.kernel_configs[0]
+            .as_ref()
+            .unwrap()
+            .gpu_items(4_000_000);
+        let u0 = unified.kernel_configs[0]
+            .as_ref()
+            .unwrap()
+            .gpu_items(4_000_000);
         // Per-kernel transfers make the varied split more CPU-skewed than
         // the unified one (the paper's Fig. 10 observation).
         assert!(v0 < u0, "varied {v0} vs unified {u0}");

@@ -69,8 +69,14 @@ mod tests {
 
     #[test]
     fn table_i_rows() {
-        assert_eq!(ranking(SkOne, SyncMode::WithoutSync), vec![SpSingle, DpPerf, DpDep]);
-        assert_eq!(ranking(SkLoop, SyncMode::WithSync), vec![SpSingle, DpPerf, DpDep]);
+        assert_eq!(
+            ranking(SkOne, SyncMode::WithoutSync),
+            vec![SpSingle, DpPerf, DpDep]
+        );
+        assert_eq!(
+            ranking(SkLoop, SyncMode::WithSync),
+            vec![SpSingle, DpPerf, DpDep]
+        );
         assert_eq!(
             ranking(MkSeq, SyncMode::WithoutSync),
             vec![SpUnified, DpPerf, DpDep, SpVaried]
@@ -115,7 +121,10 @@ mod tests {
         for class in AppClass::ALL {
             for sync in [SyncMode::WithoutSync, SyncMode::WithSync] {
                 for s in ranking(class, sync) {
-                    assert!(s.applicable(class), "{s} ranked but not applicable to {class}");
+                    assert!(
+                        s.applicable(class),
+                        "{s} ranked but not applicable to {class}"
+                    );
                 }
             }
         }
@@ -130,10 +139,7 @@ mod tests {
 
     #[test]
     fn sync_mode_from_policy() {
-        assert_eq!(
-            SyncMode::from(SyncPolicy::NONE),
-            SyncMode::WithoutSync
-        );
+        assert_eq!(SyncMode::from(SyncPolicy::NONE), SyncMode::WithoutSync);
         assert_eq!(SyncMode::from(SyncPolicy::FULL), SyncMode::WithSync);
         // Iteration-only sync doesn't force per-kernel sync.
         assert_eq!(

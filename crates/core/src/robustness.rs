@@ -1,0 +1,190 @@
+//! Robustness-aware strategy ranking.
+//!
+//! The paper's matchmaker ranks strategies by *healthy* performance
+//! (Table I). On a platform that misbehaves mid-run — a throttled GPU, a
+//! flaky PCIe link, an accelerator that drops out — the best healthy
+//! strategy is not necessarily the best survivor: a static plan that
+//! pinned everything to the dead device pays a full failover storm, while
+//! a dynamic policy reroutes around it. This module replays every
+//! candidate configuration under a [`FaultSchedule`] and ranks them by
+//! **degradation** — faulty makespan over healthy makespan — so the
+//! matchmaker can also answer "which strategy loses the least when the
+//! platform fails?".
+
+use crate::analyzer::Analyzer;
+use crate::descriptor::AppDescriptor;
+use crate::strategy::ExecutionConfig;
+use hetero_platform::{FaultSchedule, RetryPolicy};
+use hetero_runtime::RunReport;
+
+/// One configuration's healthy/faulty pair from [`Analyzer::rank_by_degradation`].
+#[derive(Clone, Debug)]
+pub struct DegradationEntry {
+    /// The execution configuration that was replayed.
+    pub config: ExecutionConfig,
+    /// Its fault-free run.
+    pub healthy: RunReport,
+    /// The same plan under the fault schedule.
+    pub faulty: RunReport,
+}
+
+impl DegradationEntry {
+    /// Faulty makespan over healthy makespan (1.0 = faults cost nothing).
+    pub fn degradation(&self) -> f64 {
+        self.faulty.degradation_vs(&self.healthy)
+    }
+}
+
+impl<'a> Analyzer<'a> {
+    /// [`Analyzer::simulate`] under a fault schedule: the same plan, the
+    /// same scheduler dispatch, executed resiliently (DP-Perf warms up
+    /// under the faults too, so its learned rates see the sick platform).
+    pub fn simulate_faulty(
+        &self,
+        desc: &AppDescriptor,
+        config: ExecutionConfig,
+        schedule: &FaultSchedule,
+        policy: RetryPolicy,
+    ) -> RunReport {
+        use crate::strategy::Strategy;
+        use hetero_runtime::{
+            simulate_dp_perf_warmed_faulty, simulate_faulty, DepScheduler, PinnedScheduler,
+        };
+        let plan = self.plan(desc, config);
+        let platform = self.planner().platform;
+        match config {
+            ExecutionConfig::Strategy(Strategy::DpDep) => {
+                let mut s = DepScheduler::new(platform);
+                simulate_faulty(&plan.program, platform, &mut s, schedule, policy)
+            }
+            ExecutionConfig::Strategy(Strategy::DpPerf) => {
+                simulate_dp_perf_warmed_faulty(&plan.program, platform, schedule, policy)
+            }
+            _ => simulate_faulty(
+                &plan.program,
+                platform,
+                &mut PinnedScheduler,
+                schedule,
+                policy,
+            ),
+        }
+    }
+
+    /// Replay the §IV comparison (both single-device baselines plus every
+    /// suitable strategy) healthy and under `schedule`, and return the
+    /// entries sorted by [`DegradationEntry::degradation`], most robust
+    /// first. Ties (and everything else) stay in Table I order, so the
+    /// ranking is deterministic.
+    pub fn rank_by_degradation(
+        &self,
+        desc: &AppDescriptor,
+        schedule: &FaultSchedule,
+        policy: RetryPolicy,
+    ) -> Vec<DegradationEntry> {
+        let analysis = self.analyze(desc);
+        let configs: Vec<ExecutionConfig> = [ExecutionConfig::OnlyGpu, ExecutionConfig::OnlyCpu]
+            .into_iter()
+            .chain(
+                analysis
+                    .ranking
+                    .iter()
+                    .map(|&s| ExecutionConfig::Strategy(s)),
+            )
+            .collect();
+        let mut entries: Vec<DegradationEntry> = configs
+            .into_iter()
+            .map(|config| DegradationEntry {
+                config,
+                healthy: self.simulate(desc, config),
+                faulty: self.simulate_faulty(desc, config, schedule, policy),
+            })
+            .collect();
+        entries.sort_by(|a, b| {
+            a.degradation()
+                .partial_cmp(&b.degradation())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::{
+        AccessPattern, AppDescriptor, BufferSpec, ExecutionFlow, KernelSpec, SyncPolicy,
+    };
+    use hetero_platform::{DeviceId, Efficiency, KernelProfile, Platform, Precision, SimTime};
+    use hetero_runtime::AccessMode;
+
+    fn app() -> AppDescriptor {
+        let n = 1u64 << 18;
+        AppDescriptor {
+            name: "robust".into(),
+            buffers: vec![BufferSpec {
+                name: "data".into(),
+                items: n,
+                item_bytes: 8,
+            }],
+            kernels: vec![KernelSpec {
+                name: "kernel".into(),
+                profile: KernelProfile {
+                    flops_per_item: 65536.0,
+                    bytes_per_item: 8.0,
+                    fixed_flops: 0.0,
+                    fixed_bytes: 0.0,
+                    precision: Precision::Single,
+                    cpu_efficiency: Efficiency {
+                        compute: 0.25,
+                        bandwidth: 0.6,
+                    },
+                    gpu_efficiency: Efficiency {
+                        compute: 0.35,
+                        bandwidth: 0.7,
+                    },
+                },
+                domain: n,
+                accesses: vec![AccessPattern::part(0, AccessMode::InOut)],
+                weights: None,
+            }],
+            flow: ExecutionFlow::Sequence,
+            sync: SyncPolicy {
+                between_kernels: false,
+                between_iterations: false,
+            },
+        }
+    }
+
+    #[test]
+    fn healthy_schedule_means_no_degradation() {
+        let platform = Platform::test_small();
+        let analyzer = Analyzer::new(&platform);
+        let schedule = FaultSchedule::new(1);
+        let entries = analyzer.rank_by_degradation(&app(), &schedule, RetryPolicy::default());
+        assert!(!entries.is_empty());
+        for e in &entries {
+            assert!(
+                (e.degradation() - 1.0).abs() < 1e-9,
+                "{}: empty schedule must not degrade (got {})",
+                e.config,
+                e.degradation()
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_dropout_ranks_cpu_baseline_as_most_robust() {
+        let platform = Platform::test_small();
+        let analyzer = Analyzer::new(&platform);
+        // The GPU dies almost immediately: anything that leaned on it
+        // degrades; Only-CPU never notices.
+        let schedule = FaultSchedule::new(3).with_dropout(DeviceId(1), SimTime::from_micros(50));
+        let entries = analyzer.rank_by_degradation(&app(), &schedule, RetryPolicy::default());
+        let best = &entries[0];
+        assert_eq!(best.config, ExecutionConfig::OnlyCpu);
+        assert!((best.degradation() - 1.0).abs() < 1e-9);
+        // Everything that used the GPU degraded strictly.
+        let worst = entries.last().unwrap();
+        assert!(worst.degradation() > 1.0);
+    }
+}

@@ -40,7 +40,10 @@ impl Strategy {
 
     /// `true` for the static strategies.
     pub fn is_static(self) -> bool {
-        matches!(self, Strategy::SpSingle | Strategy::SpUnified | Strategy::SpVaried)
+        matches!(
+            self,
+            Strategy::SpSingle | Strategy::SpUnified | Strategy::SpVaried
+        )
     }
 
     /// `true` for the dynamic strategies.

@@ -70,11 +70,9 @@ pub fn solve_imbalanced(problem: &ImbalancedProblem) -> ImbalancedSolution {
         if s == 0 {
             return 0.0;
         }
-        prefix[s as usize] / problem.gpu_rate
-            + problem.transfer.bytes(s) / problem.link_bandwidth
+        prefix[s as usize] / problem.gpu_rate + problem.transfer.bytes(s) / problem.link_bandwidth
     };
-    let cpu_time =
-        |s: u64| -> f64 { (total - prefix[s as usize]) / problem.cpu_rate };
+    let cpu_time = |s: u64| -> f64 { (total - prefix[s as usize]) / problem.cpu_rate };
     let hybrid = |s: u64| -> f64 { gpu_time(s).max(cpu_time(s)) };
 
     // gpu_time is nondecreasing in s, cpu_time nonincreasing: bisect for
@@ -207,7 +205,11 @@ mod tests {
     #[test]
     fn solution_is_optimal_over_full_sweep() {
         let n = 300usize;
-        let p = prob((0..n).map(|i| ((i * 31) % 7 + 1) as f32).collect(), 11.0, 37.0);
+        let p = prob(
+            (0..n).map(|i| ((i * 31) % 7 + 1) as f32).collect(),
+            11.0,
+            37.0,
+        );
         let s = solve_imbalanced(&p);
         let prefix = {
             let mut v = vec![0.0f64];

@@ -36,8 +36,12 @@ pub fn estimate_rates(
     assert!(probe_items > 0, "probe must be non-empty");
     let cpu = platform.cpu();
     let gpu = platform.gpu().expect("platform has no GPU to profile");
-    let t_cpu = cpu.exec_time_whole_device(profile, probe_items).as_secs_f64();
-    let t_gpu = gpu.exec_time_whole_device(profile, probe_items).as_secs_f64();
+    let t_cpu = cpu
+        .exec_time_whole_device(profile, probe_items)
+        .as_secs_f64();
+    let t_gpu = gpu
+        .exec_time_whole_device(profile, probe_items)
+        .as_secs_f64();
     RateEstimates {
         cpu_rate: probe_items as f64 / t_cpu,
         gpu_rate: probe_items as f64 / t_gpu,
@@ -76,10 +80,7 @@ mod tests {
     fn estimates_converge_to_sustained_rate_as_probe_grows() {
         let platform = Platform::icpp15();
         let profile = KernelProfile::compute_only(1e6);
-        let truth_gpu = platform
-            .gpu()
-            .unwrap()
-            .throughput_items_per_sec(&profile);
+        let truth_gpu = platform.gpu().unwrap().throughput_items_per_sec(&profile);
         let small = estimate_rates(&platform, &profile, 64);
         let large = estimate_rates(&platform, &profile, 1 << 20);
         let err_small = (small.gpu_rate - truth_gpu).abs() / truth_gpu;
@@ -92,10 +93,7 @@ mod tests {
     fn launch_overhead_biases_small_probes_downward() {
         let platform = Platform::icpp15();
         let profile = KernelProfile::compute_only(1e6);
-        let truth = platform
-            .gpu()
-            .unwrap()
-            .throughput_items_per_sec(&profile);
+        let truth = platform.gpu().unwrap().throughput_items_per_sec(&profile);
         let est = estimate_rates(&platform, &profile, 32);
         assert!(est.gpu_rate < truth);
     }
@@ -109,7 +107,10 @@ mod tests {
         let profile = KernelProfile::compute_only(1e5);
         let est = estimate_rates(&platform, &profile, 1 << 22);
         let r = est.gpu_rate / est.cpu_rate;
-        assert!((r - 3519.3 / 384.0).abs() / (3519.3 / 384.0) < 0.01, "R={r}");
+        assert!(
+            (r - 3519.3 / 384.0).abs() / (3519.3 / 384.0) < 0.01,
+            "R={r}"
+        );
     }
 
     #[test]
@@ -122,10 +123,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "probe must be non-empty")]
     fn rejects_zero_probe() {
-        let _ = estimate_rates(
-            &Platform::icpp15(),
-            &KernelProfile::compute_only(1.0),
-            0,
-        );
+        let _ = estimate_rates(&Platform::icpp15(), &KernelProfile::compute_only(1.0), 0);
     }
 }

@@ -49,8 +49,7 @@ pub fn solve(problem: &PartitionProblem) -> PartitionSolution {
     let metrics = PartitionMetrics::of(problem);
 
     let tc = 1.0 / problem.cpu_rate;
-    let tg = 1.0 / problem.gpu_rate
-        + problem.transfer.bytes_per_item() / problem.link_bandwidth;
+    let tg = 1.0 / problem.gpu_rate + problem.transfer.bytes_per_item() / problem.link_bandwidth;
     let fixed = problem.transfer.fixed_bytes / problem.link_bandwidth;
 
     let ideal = ((n as f64 * tc - fixed) / (tg + tc)).clamp(0.0, n as f64);

@@ -5,7 +5,13 @@ use glinda::{solve_imbalanced, solve_multi, AcceleratorSide, MultiDeviceProblem,
 use proptest::prelude::*;
 
 fn arb_accel() -> impl Strategy<Value = AcceleratorSide> {
-    (1e3f64..1e9, 0.0f64..64.0, 0.0f64..1e6, 1e6f64..1e10, prop_oneof![Just(1u64), Just(32)])
+    (
+        1e3f64..1e9,
+        0.0f64..64.0,
+        0.0f64..1e6,
+        1e6f64..1e10,
+        prop_oneof![Just(1u64), Just(32)],
+    )
         .prop_map(|(rate, bpi, fixed, bw, gran)| AcceleratorSide {
             rate,
             transfer: TransferModel {

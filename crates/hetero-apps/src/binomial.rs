@@ -199,8 +199,7 @@ mod tests {
             let total: f64 = w.iter().map(|&x| x as f64).sum();
             let mean = total / n as f64;
             let gpu_work: f64 = w[..ng as usize].iter().map(|&x| x as f64).sum::<f64>() / mean;
-            let cpu_work: f64 =
-                w[ng as usize..].iter().map(|&x| x as f64).sum::<f64>() / mean;
+            let cpu_work: f64 = w[ng as usize..].iter().map(|&x| x as f64).sum::<f64>() / mean;
             let t_gpu = platform
                 .gpu()
                 .unwrap()
@@ -243,10 +242,7 @@ mod tests {
             let total: f64 = w.iter().map(|&x| x as f64).sum();
             let mean = total / n as f64;
             let mut emit = |s: u64, e: u64, dev: hetero_platform::DeviceId| {
-                let work: f64 = w[s as usize..e as usize]
-                    .iter()
-                    .map(|&x| x as f64)
-                    .sum();
+                let work: f64 = w[s as usize..e as usize].iter().map(|&x| x as f64).sum();
                 b.submit(hetero_runtime::TaskDesc {
                     kernel: k,
                     items: e - s,
@@ -266,14 +262,12 @@ mod tests {
                 emit(ng + s, ng + e, hetero_platform::DeviceId(0));
             }
             let program = b.build();
-            hetero_runtime::simulate(
-                &program,
-                &platform,
-                &mut hetero_runtime::PinnedScheduler,
-            )
-            .makespan
+            hetero_runtime::simulate(&program, &platform, &mut hetero_runtime::PinnedScheduler)
+                .makespan
         };
-        let weighted_ng = planner.decide_kernel(&descriptor(n, spread), 0).gpu_items(n);
+        let weighted_ng = planner
+            .decide_kernel(&descriptor(n, spread), 0)
+            .gpu_items(n);
         let uniform_ng = planner
             .decide_kernel(&descriptor_unweighted(n, spread), 0)
             .gpu_items(n);

@@ -102,7 +102,11 @@ pub fn host_kernels(n: u64) -> Vec<KernelFn<'static>> {
             for c in 0..n {
                 let center = t[r * n + c];
                 let north = if r > 0 { t[(r - 1) * n + c] } else { center };
-                let south = if r + 1 < n { t[(r + 1) * n + c] } else { center };
+                let south = if r + 1 < n {
+                    t[(r + 1) * n + c]
+                } else {
+                    center
+                };
                 let west = if c > 0 { t[r * n + c - 1] } else { center };
                 let east = if c + 1 < n { t[r * n + c + 1] } else { center };
                 let delta = (CAP)
@@ -141,7 +145,11 @@ pub fn reference_step(t: &[f32], p: &[f32], n: usize) -> Vec<f32> {
             for (c, out_c) in row.iter_mut().enumerate() {
                 let center = t[r * n + c];
                 let north = if r > 0 { t[(r - 1) * n + c] } else { center };
-                let south = if r + 1 < n { t[(r + 1) * n + c] } else { center };
+                let south = if r + 1 < n {
+                    t[(r + 1) * n + c]
+                } else {
+                    center
+                };
                 let west = if c > 0 { t[r * n + c - 1] } else { center };
                 let east = if c + 1 < n { t[r * n + c + 1] } else { center };
                 let delta = CAP

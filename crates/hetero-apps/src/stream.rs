@@ -107,10 +107,17 @@ pub fn descriptor(n: u64, iterations: Option<u32>, sync: bool) -> AppDescriptor 
     ];
     let (name, flow) = match iterations {
         None => ("STREAM-Seq".to_string(), ExecutionFlow::Sequence),
-        Some(k) => ("STREAM-Loop".to_string(), ExecutionFlow::Loop { iterations: k }),
+        Some(k) => (
+            "STREAM-Loop".to_string(),
+            ExecutionFlow::Loop { iterations: k },
+        ),
     };
     AppDescriptor {
-        name: if sync { format!("{name}-w") } else { format!("{name}-w/o") },
+        name: if sync {
+            format!("{name}-w")
+        } else {
+            format!("{name}-w/o")
+        },
         buffers: vec![buffer("a"), buffer("b"), buffer("c")],
         kernels,
         flow,
@@ -198,7 +205,10 @@ mod tests {
     #[test]
     fn classification_matches_table_ii() {
         assert_eq!(classify(&descriptor(1024, None, false)), AppClass::MkSeq);
-        assert_eq!(classify(&descriptor(1024, Some(5), false)), AppClass::MkLoop);
+        assert_eq!(
+            classify(&descriptor(1024, Some(5), false)),
+            AppClass::MkLoop
+        );
     }
 
     #[test]

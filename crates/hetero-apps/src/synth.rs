@@ -7,9 +7,7 @@
 
 use hetero_platform::{Efficiency, KernelProfile, Precision};
 use hetero_runtime::AccessMode;
-use matchmaker::{
-    AccessPattern, AppDescriptor, BufferSpec, ExecutionFlow, KernelSpec, SyncPolicy,
-};
+use matchmaker::{AccessPattern, AppDescriptor, BufferSpec, ExecutionFlow, KernelSpec, SyncPolicy};
 
 fn profile(flops_per_item: f64) -> KernelProfile {
     KernelProfile {
@@ -92,7 +90,11 @@ pub fn multi_kernel(
         buffers: vec![buffer("ping"), buffer("pong")],
         kernels,
         flow,
-        sync: if sync { SyncPolicy::FULL } else { SyncPolicy::NONE },
+        sync: if sync {
+            SyncPolicy::FULL
+        } else {
+            SyncPolicy::NONE
+        },
     }
 }
 
@@ -101,7 +103,10 @@ pub fn multi_kernel(
 /// intermediate buffers. The middle kernels are mutually independent —
 /// exactly the inter-kernel parallelism dynamic scheduling exploits.
 pub fn dag(name: &str, n: u64, kernels: usize, flops_per_item: f64) -> AppDescriptor {
-    assert!(kernels >= 3, "DAG needs a source, a sink and >=1 middle kernel");
+    assert!(
+        kernels >= 3,
+        "DAG needs a source, a sink and >=1 middle kernel"
+    );
     let buffer = |bname: String| BufferSpec {
         name: bname,
         items: n,
@@ -168,7 +173,13 @@ mod tests {
     #[test]
     fn generators_produce_expected_classes() {
         assert_eq!(
-            classify(&single_kernel("s", 1024, 8.0, ExecutionFlow::Sequence, false)),
+            classify(&single_kernel(
+                "s",
+                1024,
+                8.0,
+                ExecutionFlow::Sequence,
+                false
+            )),
             AppClass::SkOne
         );
         assert_eq!(

@@ -16,9 +16,7 @@ use serde::{Deserialize, Serialize};
 
 /// Identifies a device within a [`crate::Platform`]. Index into
 /// `Platform::devices`. By convention device 0 is the host CPU.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct DeviceId(pub usize);
 
 impl std::fmt::Display for DeviceId {
@@ -331,7 +329,9 @@ mod tests {
         let ideal = dev
             .exec_time(&KernelProfile::compute_only(1e4), 1 << 20)
             .saturating_sub(dev.spec.launch_overhead);
-        let half = dev.exec_time(&p, 1 << 20).saturating_sub(dev.spec.launch_overhead);
+        let half = dev
+            .exec_time(&p, 1 << 20)
+            .saturating_sub(dev.spec.launch_overhead);
         let ratio = half.as_secs_f64() / ideal.as_secs_f64();
         assert!((ratio - 2.0).abs() < 1e-6);
     }

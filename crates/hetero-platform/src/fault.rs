@@ -1,0 +1,491 @@
+//! Seeded fault injection: what can go wrong on the platform, and when.
+//!
+//! The paper's dynamic strategies exist because real platforms misbehave —
+//! contention, throttling, degraded links, failing devices. A
+//! [`FaultSchedule`] describes such misbehaviour as *timed events* over the
+//! simulation's virtual clock:
+//!
+//! * **transient task faults** — a dispatched task instance fails with a
+//!   probability, wasting the attempt's execution time;
+//! * **transfer faults** — a host↔device transfer fails and must be
+//!   re-issued, paying the wire time again;
+//! * **device dropout** — a device permanently disappears at time *t*
+//!   (the host CPU can never drop out: it is the failover target of last
+//!   resort);
+//! * **throttle ramps** — time-varying execution-time multipliers
+//!   (thermal throttling, co-tenant contention) interpolated linearly
+//!   across a window.
+//!
+//! All randomness comes from a small seeded PRNG ([`FaultRng`], SplitMix64):
+//! identical seeds replay identical runs, so every faulty execution is as
+//! reproducible as a healthy one. The resilient executor in `hetero-runtime`
+//! consumes the schedule together with a [`RetryPolicy`] and reports what
+//! happened through [`FaultCounters`].
+
+use crate::device::DeviceId;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64: a tiny, fast, seedable PRNG. Statistically solid for fault
+/// sampling and — crucially — fully deterministic across platforms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next uniform sample in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits of the raw output.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// One timed platform fault. Windows are half-open: an event is active at
+/// `now` when `from <= now < until`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// Transient kernel failures: while the window is open, each task
+    /// attempt dispatched on a matching device fails with probability
+    /// `prob` (the attempt's execution time is wasted and the runtime's
+    /// retry policy takes over).
+    TaskFaults {
+        /// Affected device, or `None` for every device.
+        dev: Option<DeviceId>,
+        /// Per-attempt failure probability in `[0, 1]`.
+        prob: f64,
+        /// Window start (inclusive).
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
+    /// Transfer (PCIe) errors: while the window is open, each transfer
+    /// attempt fails with probability `prob` and is re-issued at full wire
+    /// cost.
+    TransferFaults {
+        /// Per-attempt failure probability in `[0, 1]`.
+        prob: f64,
+        /// Window start (inclusive).
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
+    /// Permanent device dropout at `at`: the device stops executing, its
+    /// queued and in-flight work must fail over to survivors, and data
+    /// resident only in its memory is lost (recovered from the host's
+    /// epoch checkpoint). The host (device 0) cannot drop out.
+    DeviceDropout {
+        /// The device that dies.
+        dev: DeviceId,
+        /// Virtual time of the failure.
+        at: SimTime,
+    },
+    /// Thermal throttling / contention: execution time on `dev` is
+    /// multiplied by a factor interpolated linearly from `start_factor`
+    /// (at `from`) to `end_factor` (at `until`) while the window is open.
+    /// A factor of 1.0 is nominal speed; 8.0 means 8× slower.
+    ThrottleRamp {
+        /// Affected device.
+        dev: DeviceId,
+        /// Window start (inclusive).
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+        /// Multiplier at `from`.
+        start_factor: f64,
+        /// Multiplier approached at `until`.
+        end_factor: f64,
+    },
+}
+
+fn in_window(now: SimTime, from: SimTime, until: SimTime) -> bool {
+    from <= now && now < until
+}
+
+/// A seeded, replayable schedule of platform faults.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// PRNG seed: identical seeds replay identical runs.
+    pub seed: u64,
+    /// The timed fault events.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty (fault-free) schedule with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultSchedule {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Add a transient-task-fault window (`dev: None` hits every device).
+    pub fn with_task_faults(
+        mut self,
+        dev: Option<DeviceId>,
+        prob: f64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.events.push(FaultEvent::TaskFaults {
+            dev,
+            prob,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Add a transfer-fault window.
+    pub fn with_transfer_faults(mut self, prob: f64, from: SimTime, until: SimTime) -> Self {
+        self.events
+            .push(FaultEvent::TransferFaults { prob, from, until });
+        self
+    }
+
+    /// Add a permanent dropout of `dev` at `at`. Panics for the host
+    /// (device 0), which is the failover target of last resort.
+    pub fn with_dropout(mut self, dev: DeviceId, at: SimTime) -> Self {
+        assert!(dev.0 != 0, "the host CPU cannot drop out");
+        self.events.push(FaultEvent::DeviceDropout { dev, at });
+        self
+    }
+
+    /// Add a throttle ramp on `dev` (constant when the factors are equal).
+    pub fn with_throttle(
+        mut self,
+        dev: DeviceId,
+        from: SimTime,
+        until: SimTime,
+        start_factor: f64,
+        end_factor: f64,
+    ) -> Self {
+        self.events.push(FaultEvent::ThrottleRamp {
+            dev,
+            from,
+            until,
+            start_factor,
+            end_factor,
+        });
+        self
+    }
+
+    /// `true` when the schedule contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A fresh PRNG seeded from the schedule's seed.
+    pub fn rng(&self) -> FaultRng {
+        FaultRng::new(self.seed)
+    }
+
+    /// Probability that one task attempt dispatched on `dev` at `now`
+    /// fails: overlapping windows compose as independent failure sources
+    /// (`1 - Π(1 - pᵢ)`).
+    pub fn task_fault_prob(&self, dev: DeviceId, now: SimTime) -> f64 {
+        let mut survive = 1.0;
+        for ev in &self.events {
+            if let FaultEvent::TaskFaults {
+                dev: d,
+                prob,
+                from,
+                until,
+            } = ev
+            {
+                if (d.is_none() || *d == Some(dev)) && in_window(now, *from, *until) {
+                    survive *= 1.0 - prob.clamp(0.0, 1.0);
+                }
+            }
+        }
+        (1.0 - survive).clamp(0.0, 1.0)
+    }
+
+    /// Probability that one transfer attempt at `now` fails.
+    pub fn transfer_fault_prob(&self, now: SimTime) -> f64 {
+        let mut survive = 1.0;
+        for ev in &self.events {
+            if let FaultEvent::TransferFaults { prob, from, until } = ev {
+                if in_window(now, *from, *until) {
+                    survive *= 1.0 - prob.clamp(0.0, 1.0);
+                }
+            }
+        }
+        (1.0 - survive).clamp(0.0, 1.0)
+    }
+
+    /// All scheduled dropouts as `(device, time)` pairs.
+    pub fn dropouts(&self) -> Vec<(DeviceId, SimTime)> {
+        self.events
+            .iter()
+            .filter_map(|ev| match ev {
+                FaultEvent::DeviceDropout { dev, at } => Some((*dev, *at)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Execution-time multiplier for `dev` at `now`: the product of every
+    /// open ramp's interpolated factor (1.0 when none is open).
+    pub fn throttle_factor(&self, dev: DeviceId, now: SimTime) -> f64 {
+        let mut factor = 1.0;
+        for ev in &self.events {
+            if let FaultEvent::ThrottleRamp {
+                dev: d,
+                from,
+                until,
+                start_factor,
+                end_factor,
+            } = ev
+            {
+                if *d == dev && in_window(now, *from, *until) {
+                    let span = until.saturating_sub(*from).as_secs_f64();
+                    let frac = if span > 0.0 {
+                        (now.saturating_sub(*from).as_secs_f64() / span).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
+                    factor *= start_factor + (end_factor - start_factor) * frac;
+                }
+            }
+        }
+        factor
+    }
+
+    /// Check internal consistency: probabilities in `[0, 1]`, positive
+    /// throttle factors, ordered windows, no host dropout.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, ev) in self.events.iter().enumerate() {
+            match ev {
+                FaultEvent::TaskFaults {
+                    prob, from, until, ..
+                }
+                | FaultEvent::TransferFaults { prob, from, until } => {
+                    if !(0.0..=1.0).contains(prob) {
+                        return Err(format!("event {i}: probability {prob} outside [0, 1]"));
+                    }
+                    if from > until {
+                        return Err(format!("event {i}: window {from} > {until}"));
+                    }
+                }
+                FaultEvent::DeviceDropout { dev, .. } => {
+                    if dev.0 == 0 {
+                        return Err(format!("event {i}: the host CPU cannot drop out"));
+                    }
+                }
+                FaultEvent::ThrottleRamp {
+                    from,
+                    until,
+                    start_factor,
+                    end_factor,
+                    ..
+                } => {
+                    if *start_factor <= 0.0 || *end_factor <= 0.0 {
+                        return Err(format!("event {i}: throttle factors must be positive"));
+                    }
+                    if from > until {
+                        return Err(format!("event {i}: window {from} > {until}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How the runtime retries a faulted task on its device before failing it
+/// over to a survivor.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Attempts on the bound device before the task fails over (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff charged (as simulated time) before the first retry.
+    pub backoff: SimTime,
+    /// Multiplier applied to the backoff for each further retry.
+    pub backoff_multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: SimTime::from_micros(10),
+            backoff_multiplier: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before the retry following failed attempt number `attempt`
+    /// (1-based): `backoff × multiplier^(attempt − 1)`.
+    pub fn backoff_for(&self, attempt: u32) -> SimTime {
+        let scale = self
+            .backoff_multiplier
+            .powi(attempt.saturating_sub(1) as i32);
+        SimTime::from_secs_f64(self.backoff.as_secs_f64() * scale)
+    }
+}
+
+/// What the fault machinery did during one run (all zeros for a healthy
+/// run). Reported through `RunReport::faults`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Transient task-attempt failures sampled.
+    pub task_faults: u64,
+    /// Retries performed on the same device after a task fault.
+    pub task_retries: u64,
+    /// Transfer attempts that failed.
+    pub transfer_faults: u64,
+    /// Transfer re-issues (equal to `transfer_faults`; every failed
+    /// transfer is re-issued).
+    pub transfer_retries: u64,
+    /// Tasks forcibly moved to a surviving device (retry exhaustion, or a
+    /// binding that named a dead device).
+    pub failovers: u64,
+    /// Completed-but-uncommitted tasks re-executed after a device dropout
+    /// (their epoch had not reached its taskwait checkpoint).
+    pub reexecutions: u64,
+    /// Devices permanently lost.
+    pub device_dropouts: u64,
+    /// Tasks finished in safe mode (fault sampling disabled after retries
+    /// were exhausted with no surviving failover target).
+    pub safe_mode_tasks: u64,
+    /// Simulated time spent in retry backoff.
+    pub backoff_time: SimTime,
+    /// Simulated time wasted on faults: failed attempts, backoff, and
+    /// progress discarded by dropouts.
+    pub time_lost: SimTime,
+}
+
+impl FaultCounters {
+    /// Total faults injected (task + transfer + dropouts).
+    pub fn faults_injected(&self) -> u64 {
+        self.task_faults + self.transfer_faults + self.device_dropouts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = FaultRng::new(42);
+        let mut b = FaultRng::new(42);
+        let xs: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = FaultRng::new(43);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn rng_f64_in_unit_interval() {
+        let mut r = FaultRng::new(7);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn task_fault_prob_respects_window_and_device() {
+        let s = FaultSchedule::new(1).with_task_faults(
+            Some(DeviceId(1)),
+            0.5,
+            SimTime::from_millis(10),
+            SimTime::from_millis(20),
+        );
+        assert_eq!(s.task_fault_prob(DeviceId(1), SimTime::from_millis(5)), 0.0);
+        assert_eq!(
+            s.task_fault_prob(DeviceId(1), SimTime::from_millis(15)),
+            0.5
+        );
+        assert_eq!(
+            s.task_fault_prob(DeviceId(1), SimTime::from_millis(20)),
+            0.0
+        );
+        assert_eq!(
+            s.task_fault_prob(DeviceId(0), SimTime::from_millis(15)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn overlapping_windows_compose_independently() {
+        let s = FaultSchedule::new(1)
+            .with_task_faults(None, 0.5, SimTime::ZERO, SimTime::MAX)
+            .with_task_faults(None, 0.5, SimTime::ZERO, SimTime::MAX);
+        let p = s.task_fault_prob(DeviceId(0), SimTime::from_millis(1));
+        assert!((p - 0.75).abs() < 1e-12, "{p}");
+    }
+
+    #[test]
+    fn throttle_ramp_interpolates_linearly() {
+        let s = FaultSchedule::new(1).with_throttle(
+            DeviceId(1),
+            SimTime::from_millis(0),
+            SimTime::from_millis(100),
+            1.0,
+            9.0,
+        );
+        assert_eq!(s.throttle_factor(DeviceId(1), SimTime::from_millis(0)), 1.0);
+        let mid = s.throttle_factor(DeviceId(1), SimTime::from_millis(50));
+        assert!((mid - 5.0).abs() < 1e-9, "{mid}");
+        // Outside the window: nominal.
+        assert_eq!(
+            s.throttle_factor(DeviceId(1), SimTime::from_millis(100)),
+            1.0
+        );
+        assert_eq!(
+            s.throttle_factor(DeviceId(0), SimTime::from_millis(50)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            backoff: SimTime::from_micros(10),
+            backoff_multiplier: 2.0,
+        };
+        assert_eq!(p.backoff_for(1), SimTime::from_micros(10));
+        assert_eq!(p.backoff_for(2), SimTime::from_micros(20));
+        assert_eq!(p.backoff_for(3), SimTime::from_micros(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "host CPU cannot drop out")]
+    fn host_dropout_is_rejected() {
+        let _ = FaultSchedule::new(1).with_dropout(DeviceId(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn validate_catches_bad_probability() {
+        let mut s = FaultSchedule::new(1);
+        s.events.push(FaultEvent::TaskFaults {
+            dev: None,
+            prob: 1.5,
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
+        });
+        assert!(s.validate().is_err());
+        assert!(FaultSchedule::new(1).validate().is_ok());
+    }
+}

@@ -30,6 +30,9 @@
 //!   Table III platform (Intel Xeon E5-2620 + Nvidia Tesla K20m).
 //! * [`EventQueue`] — a deterministic discrete-event queue used by the
 //!   virtual-time executor in the `hetero-runtime` crate.
+//! * [`FaultSchedule`] — seeded, replayable injection of platform faults
+//!   (transient task/transfer failures, device dropout, throttle ramps)
+//!   consumed by the resilient executor in `hetero-runtime`.
 //!
 //! The substitution of a simulator for the paper's physical testbed is
 //! documented in the repository's `DESIGN.md`.
@@ -37,6 +40,7 @@
 pub mod counters;
 pub mod device;
 pub mod event;
+pub mod fault;
 pub mod link;
 pub mod platform;
 pub mod time;
@@ -45,6 +49,7 @@ pub mod workload;
 pub use counters::{DeviceCounters, PlatformCounters, TransferCounters};
 pub use device::{Device, DeviceId, DeviceKind, DeviceSpec};
 pub use event::EventQueue;
+pub use fault::{FaultCounters, FaultEvent, FaultRng, FaultSchedule, RetryPolicy};
 pub use link::LinkSpec;
 pub use platform::{MemSpaceId, Platform, PlatformBuilder};
 pub use time::SimTime;

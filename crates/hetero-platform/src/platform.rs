@@ -8,9 +8,7 @@ use std::collections::BTreeMap;
 
 /// Identifies a memory space. Space 0 is always the host (CPU) memory; each
 /// accelerator gets its own space.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct MemSpaceId(pub usize);
 
 impl MemSpaceId {

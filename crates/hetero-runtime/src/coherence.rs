@@ -151,6 +151,37 @@ impl CoherenceDir {
         transfers
     }
 
+    /// A memory space was lost (device dropout): discard every copy it
+    /// held. Items whose *only* valid copy lived there are restored from
+    /// the host's epoch checkpoint — the host held every item at the last
+    /// taskwait flush, and the resilient executor re-executes the
+    /// uncommitted tasks that had overwritten them — so the directory never
+    /// ends up with data that is valid nowhere.
+    pub fn drop_space(&mut self, space: MemSpaceId) {
+        assert!(!space.is_host(), "cannot drop the host memory space");
+        let n_buffers = self.item_bytes.len();
+        for buf in 0..n_buffers {
+            let lost: Vec<Interval> = self.valid[space.0][buf].iter().collect();
+            self.valid[space.0][buf] = IntervalSet::new();
+            for iv in lost {
+                // Union of what the surviving spaces still cover within iv.
+                let mut survivors = IntervalSet::new();
+                for (s, spaces) in self.valid.iter().enumerate() {
+                    if s == space.0 {
+                        continue;
+                    }
+                    for part in spaces[buf].intersection_with(iv) {
+                        survivors.insert(part);
+                    }
+                }
+                // Nowhere else valid: recover from the host checkpoint.
+                for gap in survivors.gaps_within(iv) {
+                    self.valid[0][buf].insert(gap);
+                }
+            }
+        }
+    }
+
     /// `true` if `span` of `buffer` is valid in `space` (tests/diagnostics).
     pub fn is_valid(&self, buffer: BufferId, span: Interval, space: MemSpaceId) -> bool {
         self.valid[space.0][buffer.0].covers(span)
@@ -159,12 +190,7 @@ impl CoherenceDir {
     /// Bytes of `span` that a reader in `space` would have to transfer in —
     /// a *non-mutating* query used by locality-aware schedulers to estimate
     /// the data-movement cost of a placement.
-    pub fn missing_read_bytes(
-        &self,
-        buffer: BufferId,
-        span: Interval,
-        space: MemSpaceId,
-    ) -> u64 {
+    pub fn missing_read_bytes(&self, buffer: BufferId, span: Interval, space: MemSpaceId) -> u64 {
         self.valid[space.0][buffer.0]
             .gaps_within(span)
             .iter()
@@ -275,6 +301,35 @@ mod tests {
         let t = dir.acquire_for_read(B, iv(0, 100), gpu2);
         assert_eq!(t.len(), 1);
         assert_eq!(t[0].from, HOST);
+    }
+
+    #[test]
+    fn drop_space_recovers_sole_copies_from_host_checkpoint() {
+        let mut dir = CoherenceDir::new(2, &buffers());
+        // GPU wrote [0, 50): it is the sole holder; host holds [50, 100).
+        dir.record_write(B, iv(0, 50), GPU);
+        dir.drop_space(GPU);
+        // The GPU's copies are gone; the lost region is restored on the
+        // host (checkpoint state), so everything is readable again.
+        assert!(!dir.is_valid(B, iv(0, 1), GPU));
+        assert!(dir.is_valid(B, iv(0, 100), HOST));
+        assert!(dir.acquire_for_read(B, iv(0, 100), HOST).is_empty());
+    }
+
+    #[test]
+    fn drop_space_keeps_surviving_copies_authoritative() {
+        let mut dir = CoherenceDir::new(3, &buffers());
+        let gpu2 = MemSpaceId(2);
+        // gpu2 wrote [0, 40); GPU also has a copy of [0, 40).
+        dir.record_write(B, iv(0, 40), gpu2);
+        dir.acquire_for_read(B, iv(0, 40), GPU);
+        dir.drop_space(GPU);
+        // gpu2 still holds the data: no phantom host restore of [0, 40).
+        assert!(!dir.is_valid(B, iv(0, 1), HOST));
+        assert!(dir.is_valid(B, iv(0, 40), gpu2));
+        let t = dir.acquire_for_read(B, iv(0, 40), HOST);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].from, gpu2);
     }
 
     #[test]

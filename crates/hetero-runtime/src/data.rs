@@ -9,9 +9,7 @@ use crate::interval::Interval;
 use serde::{Deserialize, Serialize};
 
 /// Identifies a logical buffer within a [`crate::Program`].
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct BufferId(pub usize);
 
 /// A logical 1-D array of fixed-size items.

@@ -19,6 +19,30 @@
 //!   data to the host and invalidates device copies;
 //! * a final implicit flush returns all results to the host — the paper's
 //!   "one device-to-host data transfer after the last kernel finishes".
+//!
+//! # Resilient execution
+//!
+//! [`simulate_faulty`] runs the same model under a seeded
+//! [`FaultSchedule`]:
+//!
+//! * **throttle ramps** multiply an attempt's execution time;
+//! * **transfer faults** re-issue the transfer at full wire cost;
+//! * a **transient task fault** wastes the attempt, then the
+//!   [`RetryPolicy`] retries on the same device with exponential backoff
+//!   charged as simulated time; when retries are exhausted the task *fails
+//!   over* to the surviving device with the most slots (ultimately the
+//!   host, mirroring the paper's Only-CPU baseline), and a task that
+//!   exhausts retries with nowhere left to go finishes in *safe mode*
+//!   (fault sampling disabled) so every run terminates;
+//! * a **device dropout** kills the device's queued and in-flight work and
+//!   re-binds it to survivors; uncommitted completions of the *current*
+//!   epoch that ran on the dead device are re-executed, because their
+//!   results lived in the dead memory and the host only holds the previous
+//!   taskwait's checkpoint. Epochs whose barrier was already reached are
+//!   committed checkpoints and are never re-executed.
+//!
+//! The fault path is strictly additive: with no schedule the executor takes
+//! the exact event sequence of the healthy simulator, byte for byte.
 
 use crate::coherence::CoherenceDir;
 use crate::graph::TaskGraph;
@@ -27,13 +51,26 @@ use crate::scheduler::{BindCtx, Scheduler};
 use crate::stats::{KernelStats, RunReport};
 use crate::trace::{Trace, TraceEvent};
 use hetero_platform::{
-    DeviceId, EventQueue, MemSpaceId, Platform, PlatformCounters, SimTime,
+    DeviceId, EventQueue, FaultCounters, FaultRng, FaultSchedule, MemSpaceId, Platform,
+    PlatformCounters, RetryPolicy, SimTime,
 };
 use std::collections::VecDeque;
 
 enum Ev {
-    TaskDone { task: TaskId, dev: DeviceId },
+    TaskDone {
+        task: TaskId,
+        dev: DeviceId,
+        gen: u32,
+    },
+    TaskAborted {
+        task: TaskId,
+        dev: DeviceId,
+        gen: u32,
+    },
     EpochFlushed,
+    DeviceDropout {
+        dev: DeviceId,
+    },
 }
 
 /// Simulate `program` on `platform` under `scheduler`.
@@ -42,7 +79,7 @@ pub fn simulate(
     platform: &Platform,
     scheduler: &mut dyn Scheduler,
 ) -> RunReport {
-    Sim::new(program, platform, scheduler, false).run().0
+    Sim::new(program, platform, scheduler, false, None).run().0
 }
 
 /// [`simulate`], additionally recording an execution [`Trace`].
@@ -51,8 +88,91 @@ pub fn simulate_traced(
     platform: &Platform,
     scheduler: &mut dyn Scheduler,
 ) -> (RunReport, Trace) {
-    let (report, trace) = Sim::new(program, platform, scheduler, true).run();
+    let (report, trace) = Sim::new(program, platform, scheduler, true, None).run();
     (report, trace.expect("tracing was enabled"))
+}
+
+/// [`simulate`] under a seeded [`FaultSchedule`]: injects the scheduled
+/// faults and executes resiliently under `policy` (see the module docs).
+/// Identical schedules (same seed, same events) replay identical runs.
+pub fn simulate_faulty(
+    program: &Program,
+    platform: &Platform,
+    scheduler: &mut dyn Scheduler,
+    schedule: &FaultSchedule,
+    policy: RetryPolicy,
+) -> RunReport {
+    Sim::new(
+        program,
+        platform,
+        scheduler,
+        false,
+        Some((schedule, policy)),
+    )
+    .run()
+    .0
+}
+
+/// [`simulate_faulty`], additionally recording an execution [`Trace`] with
+/// the fault events ([`TraceEvent::TaskFault`], [`TraceEvent::Failover`],
+/// ...).
+pub fn simulate_faulty_traced(
+    program: &Program,
+    platform: &Platform,
+    scheduler: &mut dyn Scheduler,
+    schedule: &FaultSchedule,
+    policy: RetryPolicy,
+) -> (RunReport, Trace) {
+    let (report, trace) =
+        Sim::new(program, platform, scheduler, true, Some((schedule, policy))).run();
+    (report, trace.expect("tracing was enabled"))
+}
+
+/// Mutable fault-injection state, present only on the faulty path.
+struct FaultCtx<'a> {
+    schedule: &'a FaultSchedule,
+    policy: RetryPolicy,
+    rng: FaultRng,
+    counters: FaultCounters,
+    /// Per device: permanently dropped out.
+    dead: Vec<bool>,
+    /// Per task: attempt generation; completion events carry the
+    /// generation they were issued under, so a dropout can invalidate the
+    /// in-flight event of a task it kills by bumping this.
+    gen: Vec<u32>,
+    /// Per task: already failed over once (next exhaustion → safe mode).
+    failed_over: Vec<bool>,
+    /// Per task: placement was forced (scheduler bypassed), so the
+    /// scheduler must not be told about its completion — its own books
+    /// still name the device *it* chose.
+    suppress_complete: Vec<bool>,
+    /// Per task: currently occupying a slot (dispatched, not done).
+    in_flight: Vec<bool>,
+    /// Per task: dispatch time of the current attempt batch.
+    started_at: Vec<SimTime>,
+    /// Per task: `record_task` was applied for the current dispatch (false
+    /// while an aborting dispatch only charged raw busy time).
+    recorded: Vec<bool>,
+}
+
+fn scale_time(t: SimTime, factor: f64) -> SimTime {
+    if factor == 1.0 {
+        t
+    } else {
+        SimTime::from_secs_f64(t.as_secs_f64() * factor)
+    }
+}
+
+/// The surviving device with the most slots (ties → lowest id), excluding
+/// `exclude`; the host (device 0, never dead) is the target of last resort.
+fn fallback_device(platform: &Platform, dead: &[bool], exclude: Option<DeviceId>) -> DeviceId {
+    platform
+        .devices
+        .iter()
+        .filter(|d| !dead[d.id.0] && Some(d.id) != exclude)
+        .max_by_key(|d| (d.spec.kind.slots(), std::cmp::Reverse(d.id.0)))
+        .map(|d| d.id)
+        .unwrap_or(DeviceId(0))
 }
 
 struct Sim<'a> {
@@ -86,6 +206,7 @@ struct Sim<'a> {
     epoch_remaining: usize,
     flushes_done: usize,
     trace: Option<Trace>,
+    faults: Option<FaultCtx<'a>>,
 }
 
 impl<'a> Sim<'a> {
@@ -94,13 +215,10 @@ impl<'a> Sim<'a> {
         platform: &'a Platform,
         scheduler: &'a mut dyn Scheduler,
         traced: bool,
+        faults: Option<(&'a FaultSchedule, RetryPolicy)>,
     ) -> Self {
         let graph = TaskGraph::build(program);
-        let tasks: Vec<&TaskDesc> = program
-            .tasks()
-            .into_iter()
-            .map(|(_, t)| t)
-            .collect();
+        let tasks: Vec<&TaskDesc> = program.tasks().into_iter().map(|(_, t)| t).collect();
         let epochs = program.epochs();
         let n = tasks.len();
         let per_kernel = program
@@ -112,6 +230,24 @@ impl<'a> Sim<'a> {
                 tasks_per_device: vec![0; platform.devices.len()],
             })
             .collect();
+        let faults = faults.map(|(schedule, policy)| {
+            schedule
+                .validate()
+                .unwrap_or_else(|e| panic!("invalid fault schedule: {e}"));
+            FaultCtx {
+                schedule,
+                policy,
+                rng: schedule.rng(),
+                counters: FaultCounters::default(),
+                dead: vec![false; platform.devices.len()],
+                gen: vec![0; n],
+                failed_over: vec![false; n],
+                suppress_complete: vec![false; n],
+                in_flight: vec![false; n],
+                started_at: vec![SimTime::ZERO; n],
+                recorded: vec![false; n],
+            }
+        });
         Sim {
             remaining_preds: graph.preds.iter().map(Vec::len).collect(),
             graph,
@@ -140,6 +276,7 @@ impl<'a> Sim<'a> {
             epoch_remaining: 0,
             flushes_done: 0,
             trace: traced.then(Trace::default),
+            faults,
         }
     }
 
@@ -147,12 +284,45 @@ impl<'a> Sim<'a> {
         if self.epochs.is_empty() || self.tasks.is_empty() {
             return self.finish();
         }
+        // Dropouts are scheduled up front: their events carry the lowest
+        // sequence numbers, so at a time tie the failure wins — a task
+        // finishing exactly when its device dies is killed.
+        if let Some(f) = &self.faults {
+            let dropouts = f.schedule.dropouts();
+            for (dev, at) in dropouts {
+                self.queue.push(at, Ev::DeviceDropout { dev });
+            }
+        }
         self.activate_epoch();
         while let Some((t, ev)) = self.queue.pop() {
-            self.now = t;
             match ev {
-                Ev::TaskDone { task, dev } => self.on_task_done(task, dev),
-                Ev::EpochFlushed => self.on_epoch_flushed(),
+                Ev::TaskDone { task, dev, gen } => {
+                    if self.stale(task, gen) {
+                        continue;
+                    }
+                    self.now = t;
+                    self.on_task_done(task, dev);
+                }
+                Ev::TaskAborted { task, dev, gen } => {
+                    if self.stale(task, gen) {
+                        continue;
+                    }
+                    self.now = t;
+                    self.on_task_aborted(task, dev);
+                }
+                Ev::EpochFlushed => {
+                    self.now = t;
+                    self.on_epoch_flushed();
+                }
+                Ev::DeviceDropout { dev } => {
+                    // A dropout after the program finished is a non-event;
+                    // skipping it keeps the makespan untouched.
+                    if self.cur_epoch >= self.epochs.len() {
+                        continue;
+                    }
+                    self.now = t;
+                    self.on_device_dropout(dev);
+                }
             }
         }
         assert!(
@@ -174,8 +344,19 @@ impl<'a> Sim<'a> {
                 .iter()
                 .map(|d| d.spec.kind.is_gpu())
                 .collect(),
+            faults: self.faults.map(|f| f.counters).unwrap_or_default(),
         };
         (report, self.trace)
+    }
+
+    /// `true` when a completion event belongs to a dispatch that a dropout
+    /// has since invalidated.
+    fn stale(&self, t: TaskId, gen: u32) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.gen[t.0] != gen)
+    }
+
+    fn cur_gen(&self, t: TaskId) -> u32 {
+        self.faults.as_ref().map_or(0, |f| f.gen[t.0])
     }
 
     /// Begin the current epoch: bind its dependency-free tasks.
@@ -200,8 +381,7 @@ impl<'a> Sim<'a> {
         let pred_placements: Vec<DeviceId> = self.graph.preds[t.0]
             .iter()
             .map(|p| {
-                self.placements[p.0]
-                    .expect("predecessor completed, so it must have been placed")
+                self.placements[p.0].expect("predecessor completed, so it must have been placed")
             })
             .collect();
         let task = self.tasks[t.0];
@@ -224,14 +404,13 @@ impl<'a> Sim<'a> {
                     // Data produced off-host must eventually be written
                     // back; charge it to the placement (conservative, as in
                     // a descriptor-based data-movement estimate).
-                    let bytes =
-                        acc.region.len() * buffers[acc.region.buffer.0].item_bytes;
+                    let bytes = acc.region.len() * buffers[acc.region.buffer.0].item_bytes;
                     total += platform.transfer_time(space, MemSpaceId::HOST, bytes);
                 }
             }
             total
         };
-        let dev = self.scheduler.bind(&BindCtx {
+        let mut dev = self.scheduler.bind(&BindCtx {
             now: self.now,
             platform: self.platform,
             task,
@@ -239,6 +418,25 @@ impl<'a> Sim<'a> {
             pred_placements: &pred_placements,
             transfer_estimate: &transfer_estimate,
         });
+        // A binding that names a dead device is redirected to the fallback
+        // survivor (a pinned plan keeps naming its dead device; redirecting
+        // here is what "falls back to Only-CPU completion").
+        if let Some(f) = &mut self.faults {
+            if f.dead[dev.0] {
+                let target = fallback_device(self.platform, &f.dead, None);
+                f.counters.failovers += 1;
+                f.suppress_complete[t.0] = true;
+                if let Some(trace) = &mut self.trace {
+                    trace.events.push(TraceEvent::Failover {
+                        task: t,
+                        from: dev,
+                        to: target,
+                        at: self.now,
+                    });
+                }
+                dev = target;
+            }
+        }
         self.placements[t.0] = Some(dev);
         self.dev_queues[dev.0].push_back(t);
     }
@@ -251,19 +449,34 @@ impl<'a> Sim<'a> {
 
     /// Start as many queued tasks on `dev` as free slots allow.
     fn dispatch(&mut self, dev: DeviceId) {
+        if self.faults.as_ref().is_some_and(|f| f.dead[dev.0]) {
+            return;
+        }
         while self.free_slots[dev.0] > 0 {
             let Some(t) = self.dev_queues[dev.0].pop_front() else {
                 break;
             };
             self.free_slots[dev.0] -= 1;
-            let busy = self.start_task(t, dev);
-            self.queue.push(self.now + busy, Ev::TaskDone { task: t, dev });
+            let (busy, aborted) = self.start_task(t, dev);
+            let gen = self.cur_gen(t);
+            if let Some(f) = &mut self.faults {
+                f.in_flight[t.0] = true;
+                f.started_at[t.0] = self.now;
+            }
+            let ev = if aborted {
+                Ev::TaskAborted { task: t, dev, gen }
+            } else {
+                Ev::TaskDone { task: t, dev, gen }
+            };
+            self.queue.push(self.now + busy, ev);
         }
     }
 
     /// Account one task's slot occupancy: scheduling overhead + coherence
-    /// transfers + roofline execution. Mutates the coherence directory.
-    fn start_task(&mut self, t: TaskId, dev: DeviceId) -> SimTime {
+    /// transfers + roofline execution (+ fault attempts, under a schedule).
+    /// Mutates the coherence directory. Returns the slot occupancy and
+    /// whether the task aborted (exhausted its retries and must fail over).
+    fn start_task(&mut self, t: TaskId, dev: DeviceId) -> (SimTime, bool) {
         let task = self.tasks[t.0];
         let device = self.platform.device(dev);
         let space = device.mem_space;
@@ -281,6 +494,33 @@ impl<'a> Sim<'a> {
                     .acquire_for_read(acc.region.buffer, acc.region.span, space)
                 {
                     let dt = transfer_cost(self.platform, tr.from, tr.to, tr.bytes);
+                    // A faulty link re-issues the transfer at full cost;
+                    // after max_attempts failed tries it goes through
+                    // regardless (the retry storm has been paid for).
+                    if let Some(f) = &mut self.faults {
+                        let mut attempts = 0;
+                        while attempts < f.policy.max_attempts {
+                            let p = f.schedule.transfer_fault_prob(self.now + busy);
+                            if p <= 0.0 || f.rng.next_f64() >= p {
+                                break;
+                            }
+                            f.counters.transfer_faults += 1;
+                            f.counters.transfer_retries += 1;
+                            f.counters.time_lost += dt;
+                            self.counters.record_transfer(tr.bytes, dt);
+                            if let Some(trace) = &mut self.trace {
+                                trace.events.push(TraceEvent::TransferRetry {
+                                    from: tr.from,
+                                    to: tr.to,
+                                    bytes: tr.bytes,
+                                    start: self.now + busy,
+                                    end: self.now + busy + dt,
+                                });
+                            }
+                            busy += dt;
+                            attempts += 1;
+                        }
+                    }
                     if let Some(trace) = &mut self.trace {
                         trace.events.push(TraceEvent::Transfer {
                             from: tr.from,
@@ -295,6 +535,78 @@ impl<'a> Sim<'a> {
                 }
             }
         }
+
+        let profile = &self.program.kernels[task.kernel.0].profile;
+        let base_exec = device.exec_time_weighted(profile, task.items, task.cost_scale);
+        let mut exec = base_exec;
+        let mut aborted = false;
+        if let Some(f) = &mut self.faults {
+            let max = f.policy.max_attempts.max(1);
+            let mut attempt: u32 = 1;
+            loop {
+                let at = self.now + busy;
+                let this_exec = scale_time(base_exec, f.schedule.throttle_factor(dev, at));
+                let p = f.schedule.task_fault_prob(dev, at);
+                let failed = p > 0.0 && f.rng.next_f64() < p;
+                if !failed {
+                    exec = this_exec;
+                    busy += this_exec;
+                    break;
+                }
+                // The attempt runs to completion, then is detected failed.
+                f.counters.task_faults += 1;
+                f.counters.time_lost += this_exec;
+                busy += this_exec;
+                if let Some(trace) = &mut self.trace {
+                    trace.events.push(TraceEvent::TaskFault {
+                        task: t,
+                        dev,
+                        attempt,
+                        at: self.now + busy,
+                    });
+                }
+                if attempt >= max {
+                    let has_failover_target = !f.failed_over[t.0]
+                        && self
+                            .platform
+                            .devices
+                            .iter()
+                            .any(|d| !f.dead[d.id.0] && d.id != dev);
+                    if has_failover_target {
+                        aborted = true;
+                    } else {
+                        // Safe mode: one final fault-free attempt
+                        // guarantees termination on the last resort.
+                        let final_exec =
+                            scale_time(base_exec, f.schedule.throttle_factor(dev, self.now + busy));
+                        exec = final_exec;
+                        busy += final_exec;
+                        f.counters.safe_mode_tasks += 1;
+                    }
+                    break;
+                }
+                let bo = f.policy.backoff_for(attempt);
+                f.counters.task_retries += 1;
+                f.counters.backoff_time += bo;
+                f.counters.time_lost += bo;
+                busy += bo;
+                attempt += 1;
+            }
+        } else {
+            busy += exec;
+        }
+
+        if aborted {
+            // Nothing was produced: no writes land, no work is recorded —
+            // the slot was simply held for the wasted attempts.
+            self.counters.devices[dev.0].busy += busy;
+            self.busy_of[t.0] = busy;
+            if let Some(f) = &mut self.faults {
+                f.recorded[t.0] = false;
+            }
+            return (busy, true);
+        }
+
         for acc in &task.accesses {
             if acc.mode.writes() {
                 self.coherence
@@ -302,16 +614,15 @@ impl<'a> Sim<'a> {
             }
         }
 
-        let profile = &self.program.kernels[task.kernel.0].profile;
-        let exec = device.exec_time_weighted(profile, task.items, task.cost_scale);
-        busy += exec;
-
         self.counters.record_task(dev, task.items, busy);
         let ks = &mut self.per_kernel[task.kernel.0];
         ks.items_per_device[dev.0] += task.items;
         ks.tasks_per_device[dev.0] += 1;
         self.busy_of[t.0] = busy;
         self.exec_of[t.0] = exec;
+        if let Some(f) = &mut self.faults {
+            f.recorded[t.0] = true;
+        }
         if let Some(trace) = &mut self.trace {
             trace.events.push(TraceEvent::Task {
                 task: t,
@@ -322,7 +633,7 @@ impl<'a> Sim<'a> {
                 end: self.now + busy,
             });
         }
-        busy
+        (busy, false)
     }
 
     fn on_task_done(&mut self, t: TaskId, dev: DeviceId) {
@@ -330,15 +641,23 @@ impl<'a> Sim<'a> {
         self.free_slots[dev.0] += 1;
         self.dev_last_done[dev.0] = self.dev_last_done[dev.0].max(self.now);
         let task = self.tasks[t.0];
-        self.scheduler.on_complete(
-            t,
-            task.kernel,
-            dev,
-            task.items,
-            self.busy_of[t.0],
-            self.exec_of[t.0],
-            self.now,
-        );
+        let suppress = if let Some(f) = &mut self.faults {
+            f.in_flight[t.0] = false;
+            f.suppress_complete[t.0]
+        } else {
+            false
+        };
+        if !suppress {
+            self.scheduler.on_complete(
+                t,
+                task.kernel,
+                dev,
+                task.items,
+                self.busy_of[t.0],
+                self.exec_of[t.0],
+                self.now,
+            );
+        }
 
         // Release successors whose dependences are now satisfied. Only
         // successors in the *active* epoch become ready (later epochs wait
@@ -354,6 +673,166 @@ impl<'a> Sim<'a> {
         self.epoch_remaining -= 1;
         if self.epoch_remaining == 0 {
             self.start_flush();
+        }
+        self.dispatch_all();
+    }
+
+    /// Retry exhaustion on a live device: free the slot and fail the task
+    /// over to the fallback survivor (forced placement — the scheduler is
+    /// bypassed and will not be told about the eventual completion).
+    fn on_task_aborted(&mut self, t: TaskId, dev: DeviceId) {
+        self.free_slots[dev.0] += 1;
+        self.dev_last_done[dev.0] = self.dev_last_done[dev.0].max(self.now);
+        let target = {
+            let f = self
+                .faults
+                .as_mut()
+                .expect("aborts only occur under faults");
+            f.in_flight[t.0] = false;
+            f.failed_over[t.0] = true;
+            f.suppress_complete[t.0] = true;
+            f.counters.failovers += 1;
+            fallback_device(self.platform, &f.dead, Some(dev))
+        };
+        if let Some(trace) = &mut self.trace {
+            trace.events.push(TraceEvent::Failover {
+                task: t,
+                from: dev,
+                to: target,
+                at: self.now,
+            });
+        }
+        self.placements[t.0] = Some(target);
+        self.dev_queues[target.0].push_back(t);
+        self.dispatch_all();
+    }
+
+    /// Permanent device failure. Kills the device's queued and in-flight
+    /// work, re-executes its uncommitted completions of the open epoch
+    /// (their results lived in the dead memory space), restores lost data
+    /// from the host's epoch checkpoint, and re-binds everything to the
+    /// survivors. Committed epochs (barrier reached) are never touched.
+    fn on_device_dropout(&mut self, dev: DeviceId) {
+        if dev.0 == 0 {
+            return; // the host is the last resort and cannot die
+        }
+        {
+            let f = self
+                .faults
+                .as_mut()
+                .expect("dropouts only occur under faults");
+            if f.dead[dev.0] {
+                return;
+            }
+            f.dead[dev.0] = true;
+            f.counters.device_dropouts += 1;
+        }
+        self.free_slots[dev.0] = 0;
+        if let Some(trace) = &mut self.trace {
+            trace
+                .events
+                .push(TraceEvent::DeviceDropout { dev, at: self.now });
+        }
+
+        // With the epoch's barrier already reached (flush in flight), the
+        // epoch is committed: its data is home — or racing down the link,
+        // which we let win — and nothing needs re-execution.
+        let epoch_open = self.epoch_remaining > 0;
+
+        // 1. Queued (bound, not yet started) work dies with its queue.
+        let drained: Vec<TaskId> = self.dev_queues[dev.0].drain(..).collect();
+
+        // 2. In-flight work is killed: invalidate its completion event and
+        // take back the accounting recorded at dispatch.
+        let killed: Vec<TaskId> = (0..self.tasks.len())
+            .map(TaskId)
+            .filter(|t| {
+                self.placements[t.0] == Some(dev)
+                    && self.faults.as_ref().is_some_and(|f| f.in_flight[t.0])
+            })
+            .collect();
+        for &t in &killed {
+            let task = self.tasks[t.0];
+            let (was_recorded, lost) = {
+                let f = self.faults.as_mut().unwrap();
+                f.gen[t.0] += 1;
+                f.in_flight[t.0] = false;
+                (f.recorded[t.0], self.now.saturating_sub(f.started_at[t.0]))
+            };
+            self.faults.as_mut().unwrap().counters.time_lost += lost;
+            let c = &mut self.counters.devices[dev.0];
+            c.busy = c.busy.saturating_sub(self.busy_of[t.0]);
+            if was_recorded {
+                c.tasks -= 1;
+                c.items -= task.items;
+                let ks = &mut self.per_kernel[task.kernel.0];
+                ks.items_per_device[dev.0] -= task.items;
+                ks.tasks_per_device[dev.0] -= 1;
+            }
+        }
+
+        // 3. Uncommitted completions of the open epoch that ran here must
+        // re-execute: their outputs existed only in the dead memory.
+        let resets: Vec<TaskId> = if epoch_open {
+            self.epochs[self.cur_epoch]
+                .iter()
+                .copied()
+                .filter(|t| self.completed[t.0] && self.placements[t.0] == Some(dev))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        for &t in &resets {
+            self.completed[t.0] = false;
+            self.epoch_remaining += 1;
+            let task = self.tasks[t.0];
+            let c = &mut self.counters.devices[dev.0];
+            c.tasks -= 1;
+            c.items -= task.items;
+            c.busy = c.busy.saturating_sub(self.busy_of[t.0]);
+            let ks = &mut self.per_kernel[task.kernel.0];
+            ks.items_per_device[dev.0] -= task.items;
+            ks.tasks_per_device[dev.0] -= 1;
+            let f = self.faults.as_mut().unwrap();
+            f.counters.reexecutions += 1;
+            f.counters.time_lost += self.busy_of[t.0];
+        }
+        // Re-arm the dependences the resets had satisfied — but only for
+        // consumers that have not run yet. A successor that already started
+        // read the data while it was still valid; its result stands.
+        for &t in &resets {
+            for s in self.graph.succs[t.0].clone() {
+                if self.completed[s.0] || self.faults.as_ref().is_some_and(|f| f.in_flight[s.0]) {
+                    continue;
+                }
+                // A bound-but-unstarted consumer goes back to unready.
+                if self.placements[s.0].is_some() {
+                    for q in &mut self.dev_queues {
+                        q.retain(|&x| x != s);
+                    }
+                    self.placements[s.0] = None;
+                }
+                self.remaining_preds[s.0] += 1;
+            }
+        }
+
+        // 4. Data that lived only in the dead space is recovered from the
+        // host's epoch checkpoint.
+        let dead_space = self.platform.device(dev).mem_space;
+        self.coherence.drop_space(dead_space);
+
+        // 5. Re-bind everything that is still dependency-free, in TaskId
+        // order (deterministic).
+        let mut requeue: Vec<TaskId> = killed
+            .into_iter()
+            .chain(drained)
+            .chain(resets)
+            .filter(|t| self.remaining_preds[t.0] == 0 && self.placements[t.0].is_some())
+            .collect();
+        requeue.sort_unstable();
+        requeue.dedup();
+        for t in requeue {
+            self.make_ready(t);
         }
         self.dispatch_all();
     }

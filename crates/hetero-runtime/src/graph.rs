@@ -227,7 +227,8 @@ mod tests {
             let k = b.kernel("k", KernelProfile::compute_only(1.0));
             b.submit_dynamic(k, 100, vec![Access::write(Region::new(x, 0, 100))]); // t0
             b.submit_dynamic(k, 50, vec![Access::write(Region::new(x, 0, 50))]); // t1 (waw on t0)
-            b.submit_dynamic(k, 100, vec![Access::read(Region::new(x, 0, 100))]); // t2
+            b.submit_dynamic(k, 100, vec![Access::read(Region::new(x, 0, 100))]);
+            // t2
         });
         assert_eq!(g.preds[2], vec![TaskId(0), TaskId(1)]);
     }
@@ -240,7 +241,8 @@ mod tests {
             b.submit_dynamic(k, 100, vec![Access::write(Region::new(x, 0, 100))]); // t0
             b.submit_dynamic(k, 30, vec![Access::read(Region::new(x, 0, 30))]); // t1
             b.submit_dynamic(k, 30, vec![Access::read(Region::new(x, 60, 90))]); // t2
-            b.submit_dynamic(k, 40, vec![Access::write(Region::new(x, 0, 40))]); // t3
+            b.submit_dynamic(k, 40, vec![Access::write(Region::new(x, 0, 40))]);
+            // t3
         });
         // t3 overwrites t1's read range and t0's write, but not t2's range.
         assert_eq!(g.preds[3], vec![TaskId(0), TaskId(1)]);

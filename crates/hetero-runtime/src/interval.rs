@@ -93,7 +93,9 @@ impl IntervalSet {
 
     /// Iterate the disjoint runs in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = Interval> + '_ {
-        self.runs.iter().map(|(&start, &end)| Interval { start, end })
+        self.runs
+            .iter()
+            .map(|(&start, &end)| Interval { start, end })
     }
 
     /// Total number of items covered.
@@ -363,7 +365,10 @@ mod tests {
         let mut s = IntervalSet::new();
         s.insert(iv(10, 20));
         s.insert(iv(30, 40));
-        assert_eq!(s.intersection_with(iv(15, 35)), vec![iv(15, 20), iv(30, 35)]);
+        assert_eq!(
+            s.intersection_with(iv(15, 35)),
+            vec![iv(15, 20), iv(30, 35)]
+        );
         assert_eq!(s.intersection_with(iv(0, 5)), vec![]);
     }
 
@@ -373,7 +378,10 @@ mod tests {
         m.insert(iv(0, 100), "a");
         m.insert(iv(40, 60), "b");
         let got: Vec<_> = m.iter().map(|(i, t)| (i, *t)).collect();
-        assert_eq!(got, vec![(iv(0, 40), "a"), (iv(40, 60), "b"), (iv(60, 100), "a")]);
+        assert_eq!(
+            got,
+            vec![(iv(0, 40), "a"), (iv(40, 60), "b"), (iv(60, 100), "a")]
+        );
         assert_eq!(m.run_count(), 3);
     }
 
@@ -382,7 +390,10 @@ mod tests {
         let mut m = IntervalMap::new();
         m.insert(iv(0, 10), 1);
         m.insert(iv(20, 30), 2);
-        assert_eq!(m.overlapping(iv(5, 25)), vec![(iv(5, 10), 1), (iv(20, 25), 2)]);
+        assert_eq!(
+            m.overlapping(iv(5, 25)),
+            vec![(iv(5, 10), 1), (iv(20, 25), 2)]
+        );
         assert_eq!(m.overlapping(iv(10, 20)), vec![]);
     }
 

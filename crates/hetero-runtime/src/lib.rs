@@ -57,11 +57,13 @@ pub mod trace;
 
 pub use coherence::{CoherenceDir, Transfer};
 pub use data::{Access, AccessMode, BufferDesc, BufferId, Region};
-pub use executor::{simulate, simulate_traced};
+pub use executor::{simulate, simulate_faulty, simulate_faulty_traced, simulate_traced};
 pub use graph::TaskGraph;
 pub use interval::{Interval, IntervalMap, IntervalSet};
 pub use native::{run_native, run_native_parallel, ExecOrder, HostBuffers, KernelFn};
-pub use program::{split_even, KernelDesc, KernelId, Op, Program, ProgramBuilder, TaskDesc, TaskId};
+pub use program::{
+    split_even, KernelDesc, KernelId, Op, Program, ProgramBuilder, TaskDesc, TaskId,
+};
 pub use scheduler::{
     BindCtx, DepScheduler, PerfScheduler, PinnedScheduler, RateObservation, Scheduler,
     WorkConservingScheduler,
@@ -81,4 +83,20 @@ pub fn simulate_dp_perf_warmed(
     let _ = simulate(program, platform, &mut warm);
     let mut measured = PerfScheduler::seeded(platform, warm.rates().clone());
     simulate(program, platform, &mut measured)
+}
+
+/// [`simulate_dp_perf_warmed`] under a fault schedule: both the warm-up and
+/// the measured run execute under `schedule`, so the learned rates reflect
+/// the platform *as it misbehaves* — this is what lets DP-Perf adapt its
+/// partitioning to a throttled or flaky device.
+pub fn simulate_dp_perf_warmed_faulty(
+    program: &Program,
+    platform: &hetero_platform::Platform,
+    schedule: &hetero_platform::FaultSchedule,
+    policy: hetero_platform::RetryPolicy,
+) -> RunReport {
+    let mut warm = PerfScheduler::new(platform);
+    let _ = simulate_faulty(program, platform, &mut warm, schedule, policy);
+    let mut measured = PerfScheduler::seeded(platform, warm.rates().clone());
+    simulate_faulty(program, platform, &mut measured, schedule, policy)
 }

@@ -139,8 +139,7 @@ pub fn run_native(
                     done_in_epoch += 1;
                     for &s in &graph.succs[t.0] {
                         remaining[s.0] -= 1;
-                        if remaining[s.0] == 0 && graph.epoch_of[s.0] == graph.epoch_of[t.0]
-                        {
+                        if remaining[s.0] == 0 && graph.epoch_of[s.0] == graph.epoch_of[t.0] {
                             stack.push(s);
                         }
                     }
@@ -223,9 +222,8 @@ pub fn run_native_parallel(
         let results: Vec<(Vec<usize>, Vec<Vec<f32>>)> = crossbeam::scope(|scope| {
             let mut handles = Vec::new();
             for w in 0..workers {
-                let my_tasks: Vec<usize> = level_tasks
-                    [w * chunk..((w + 1) * chunk).min(level_tasks.len())]
-                    .to_vec();
+                let my_tasks: Vec<usize> =
+                    level_tasks[w * chunk..((w + 1) * chunk).min(level_tasks.len())].to_vec();
                 let snapshot: Vec<Vec<f32>> = (0..program.buffers.len())
                     .map(|b| buffers.snapshot(crate::data::BufferId(b)))
                     .collect();
@@ -404,11 +402,7 @@ mod tests {
         let mut b = Program::builder();
         let buf = b.buffer("pairs", 10, 8); // 2 floats per item
         let k = b.kernel("sum2", KernelProfile::compute_only(1.0));
-        b.submit_dynamic(
-            k,
-            10,
-            vec![Access::read_write(Region::new(buf, 0, 10))],
-        );
+        b.submit_dynamic(k, 10, vec![Access::read_write(Region::new(buf, 0, 10))]);
         let p = b.build();
         let hb = HostBuffers::for_program(&p);
         assert_eq!(hb.floats_per_item(buf), 2);

@@ -13,9 +13,7 @@ use hetero_platform::{DeviceId, KernelProfile};
 use serde::{Deserialize, Serialize};
 
 /// Identifies a kernel (a parallel section of code) within a program.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct KernelId(pub usize);
 
 /// A kernel: a name plus the workload profile used by device models and by
@@ -29,9 +27,7 @@ pub struct KernelDesc {
 }
 
 /// Identifies a submitted task instance (index in submission order).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct TaskId(pub usize);
 
 /// One task instance: a partition of one kernel invocation.
@@ -143,9 +139,7 @@ impl Program {
                 return Err(format!("op {i}: kernel {:?} out of range", t.kernel));
             }
             for a in &t.accesses {
-                let b = a
-                    .region
-                    .buffer;
+                let b = a.region.buffer;
                 let Some(desc) = self.buffers.get(b.0) else {
                     return Err(format!("op {i}: buffer {b:?} out of range"));
                 };

@@ -296,7 +296,10 @@ impl PerfScheduler {
     /// run; no further profiling phase is performed. This realises the
     /// paper's methodology of excluding the profiling phase from the
     /// measured comparison.
-    pub fn seeded(platform: &Platform, rates: BTreeMap<(KernelId, DeviceId), RateObservation>) -> Self {
+    pub fn seeded(
+        platform: &Platform,
+        rates: BTreeMap<(KernelId, DeviceId), RateObservation>,
+    ) -> Self {
         let mut s = Self::with_warmup(platform, 0);
         s.rates = rates;
         s
@@ -313,10 +316,7 @@ impl PerfScheduler {
     }
 
     fn assigned(&self, kernel: KernelId, dev: DeviceId) -> u32 {
-        self.assigned
-            .get(&(kernel, dev))
-            .copied()
-            .unwrap_or(0)
+        self.assigned.get(&(kernel, dev)).copied().unwrap_or(0)
     }
 
     /// Estimated wait before a new task could start on `dev`: outstanding
@@ -451,11 +451,7 @@ mod tests {
 
     const NO_TRANSFER: &dyn Fn(DeviceId) -> SimTime = &|_| SimTime::ZERO;
 
-    fn ctx<'a>(
-        platform: &'a Platform,
-        t: &'a TaskDesc,
-        preds: &'a [DeviceId],
-    ) -> BindCtx<'a> {
+    fn ctx<'a>(platform: &'a Platform, t: &'a TaskDesc, preds: &'a [DeviceId]) -> BindCtx<'a> {
         BindCtx {
             now: SimTime::ZERO,
             platform,
@@ -519,9 +515,7 @@ mod tests {
         let mut s = DepScheduler::new(&p);
         let t = task(0, 10, None);
         let gpu = p.gpu().unwrap().id;
-        let n_gpu = (0..24)
-            .filter(|_| s.bind(&ctx(&p, &t, &[])) == gpu)
-            .count();
+        let n_gpu = (0..24).filter(|_| s.bind(&ctx(&p, &t, &[])) == gpu).count();
         assert_eq!(n_gpu, 1);
     }
 
@@ -536,7 +530,15 @@ mod tests {
             counts[d.0] += 1;
             // Report a completion so warm-up advances.
             let busy = SimTime::from_millis(if d.0 == 0 { 10 } else { 1 });
-            s.on_complete(TaskId(i), KernelId(0), d, 100, busy, busy, SimTime::from_millis(10));
+            s.on_complete(
+                TaskId(i),
+                KernelId(0),
+                d,
+                100,
+                busy,
+                busy,
+                SimTime::from_millis(10),
+            );
         }
         assert_eq!(counts, [3, 3]);
     }
@@ -618,7 +620,15 @@ mod tests {
         let mut c0 = ctx(&p, &t, &[]);
         c0.task_id = TaskId(0);
         let d0 = s.bind(&c0);
-        s.on_complete(TaskId(0), KernelId(0), d0, 10, SimTime::ZERO, SimTime::ZERO, SimTime::ZERO);
+        s.on_complete(
+            TaskId(0),
+            KernelId(0),
+            d0,
+            10,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            SimTime::ZERO,
+        );
         // Load back to zero: next bind hits the same first device again.
         let mut c1 = ctx(&p, &t, &[]);
         c1.task_id = TaskId(1);

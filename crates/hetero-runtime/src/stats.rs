@@ -1,7 +1,7 @@
 //! Run reports: everything the paper's figures need from one execution.
 
 use crate::program::KernelId;
-use hetero_platform::{DeviceId, PlatformCounters, SimTime};
+use hetero_platform::{DeviceId, FaultCounters, PlatformCounters, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Per-kernel placement statistics (Figure 10 reports per-kernel ratios for
@@ -41,6 +41,8 @@ pub struct RunReport {
     pub per_kernel: Vec<KernelStats>,
     /// `true` per device if it is a GPU (index = `DeviceId.0`).
     pub device_is_gpu: Vec<bool>,
+    /// What the fault machinery did (all zeros for a healthy run).
+    pub faults: FaultCounters,
 }
 
 impl RunReport {
@@ -100,6 +102,17 @@ impl RunReport {
         }
     }
 
+    /// Degradation of this (faulty) run relative to a healthy baseline:
+    /// `makespan / healthy.makespan`. 1.0 means the faults cost nothing;
+    /// the matchmaker's robustness ranking sorts strategies by this ratio.
+    pub fn degradation_vs(&self, healthy: &RunReport) -> f64 {
+        if healthy.makespan.is_zero() {
+            1.0
+        } else {
+            self.makespan.as_secs_f64() / healthy.makespan.as_secs_f64()
+        }
+    }
+
     /// Fraction of total transfer time relative to the makespan (the
     /// "data transfer takes 88% of the GPU execution time" style numbers
     /// in the paper's text are per-device; this global ratio is used in
@@ -133,6 +146,7 @@ mod tests {
                 tasks_per_device: vec![1, 1],
             }],
             device_is_gpu: vec![false, true],
+            faults: FaultCounters::default(),
         };
         assert!((r.gpu_item_share() - 0.4).abs() < 1e-12);
         assert!((r.cpu_item_share() - 0.6).abs() < 1e-12);

@@ -51,6 +51,50 @@ pub enum TraceEvent {
         /// When all write-backs had landed.
         end: SimTime,
     },
+    /// A transient task-attempt failure (the attempt's work was wasted;
+    /// the retry policy decides what happens next).
+    TaskFault {
+        /// The instance that faulted.
+        task: TaskId,
+        /// Device it was running on.
+        dev: DeviceId,
+        /// Attempt number on this device (1-based).
+        attempt: u32,
+        /// When the failure was detected (end of the wasted attempt).
+        at: SimTime,
+    },
+    /// A transfer attempt failed and was re-issued at full wire cost.
+    TransferRetry {
+        /// Source memory space.
+        from: MemSpaceId,
+        /// Destination memory space.
+        to: MemSpaceId,
+        /// Payload bytes.
+        bytes: u64,
+        /// Failed attempt start.
+        start: SimTime,
+        /// Failed attempt end (the re-issue follows).
+        end: SimTime,
+    },
+    /// A device permanently dropped out.
+    DeviceDropout {
+        /// The device that died.
+        dev: DeviceId,
+        /// When it died.
+        at: SimTime,
+    },
+    /// A task was forcibly moved to a surviving device (retry exhaustion,
+    /// or its binding named a dead device).
+    Failover {
+        /// The instance that moved.
+        task: TaskId,
+        /// Where it was bound.
+        from: DeviceId,
+        /// Where it will run instead.
+        to: DeviceId,
+        /// When the move happened.
+        at: SimTime,
+    },
 }
 
 /// A complete execution trace.
@@ -65,7 +109,11 @@ impl Trace {
     pub fn tasks(&self) -> impl Iterator<Item = (&TaskId, &DeviceId, &SimTime, &SimTime)> {
         self.events.iter().filter_map(|e| match e {
             TraceEvent::Task {
-                task, dev, start, end, ..
+                task,
+                dev,
+                start,
+                end,
+                ..
             } => Some((task, dev, start, end)),
             _ => None,
         })
@@ -95,7 +143,11 @@ impl Trace {
             .map(|e| match e {
                 TraceEvent::Task { end, .. }
                 | TraceEvent::Transfer { end, .. }
-                | TraceEvent::Flush { end, .. } => *end,
+                | TraceEvent::Flush { end, .. }
+                | TraceEvent::TransferRetry { end, .. } => *end,
+                TraceEvent::TaskFault { at, .. }
+                | TraceEvent::DeviceDropout { at, .. }
+                | TraceEvent::Failover { at, .. } => *at,
             })
             .max()
             .unwrap_or(SimTime::ZERO);
@@ -228,6 +280,61 @@ impl Trace {
                         dur: (*end - *start).as_micros_f64(),
                         pid: platform.devices.len(),
                         tid: 64,
+                        args: serde_json::Value::Null,
+                    });
+                }
+                TraceEvent::TransferRetry {
+                    from,
+                    to,
+                    bytes,
+                    start,
+                    end,
+                } => {
+                    events.push(Ev {
+                        name: format!("xfer RETRY mem{}->mem{} ({} B)", from.0, to.0, bytes),
+                        ph: "X",
+                        ts: start.as_micros_f64(),
+                        dur: (*end - *start).as_micros_f64(),
+                        pid: platform.devices.len(),
+                        tid: from.0,
+                        args: serde_json::json!({ "bytes": bytes }),
+                    });
+                }
+                TraceEvent::TaskFault {
+                    task,
+                    dev,
+                    attempt,
+                    at,
+                } => {
+                    events.push(Ev {
+                        name: format!("FAULT task{} attempt {attempt}", task.0),
+                        ph: "X",
+                        ts: at.as_micros_f64(),
+                        dur: 0.0,
+                        pid: dev.0,
+                        tid: 63,
+                        args: serde_json::json!({ "attempt": attempt }),
+                    });
+                }
+                TraceEvent::DeviceDropout { dev, at } => {
+                    events.push(Ev {
+                        name: format!("DROPOUT device {}", dev.0),
+                        ph: "X",
+                        ts: at.as_micros_f64(),
+                        dur: 0.0,
+                        pid: dev.0,
+                        tid: 63,
+                        args: serde_json::Value::Null,
+                    });
+                }
+                TraceEvent::Failover { task, from, to, at } => {
+                    events.push(Ev {
+                        name: format!("FAILOVER task{} dev{}->dev{}", task.0, from.0, to.0),
+                        ph: "X",
+                        ts: at.as_micros_f64(),
+                        dur: 0.0,
+                        pid: to.0,
+                        tid: 63,
                         args: serde_json::Value::Null,
                     });
                 }

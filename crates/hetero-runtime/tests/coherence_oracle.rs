@@ -6,8 +6,8 @@
 //! sequences are replayed against both and every observable compared:
 //! validity queries, transfer volumes, and flush outputs.
 
-use hetero_runtime::{BufferDesc, BufferId, CoherenceDir, Interval};
 use hetero_platform::MemSpaceId;
+use hetero_runtime::{BufferDesc, BufferId, CoherenceDir, Interval};
 use proptest::prelude::*;
 
 const ITEMS: u64 = 64;
@@ -76,22 +76,10 @@ enum Op {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0..ITEMS, 1..24u64, 0..SPACES).prop_map(|(s, len, space)| Op::Read {
-            s,
-            len,
-            space
-        }),
-        (0..ITEMS, 1..24u64, 0..SPACES).prop_map(|(s, len, space)| Op::Write {
-            s,
-            len,
-            space
-        }),
+        (0..ITEMS, 1..24u64, 0..SPACES).prop_map(|(s, len, space)| Op::Read { s, len, space }),
+        (0..ITEMS, 1..24u64, 0..SPACES).prop_map(|(s, len, space)| Op::Write { s, len, space }),
         Just(Op::Flush),
-        (0..ITEMS, 1..24u64, 0..SPACES).prop_map(|(s, len, space)| Op::Check {
-            s,
-            len,
-            space
-        }),
+        (0..ITEMS, 1..24u64, 0..SPACES).prop_map(|(s, len, space)| Op::Check { s, len, space }),
     ]
 }
 

@@ -114,7 +114,12 @@ fn taskwait_flush_forces_reupload_each_iteration() {
     let x = b.buffer("x", 1000, 4);
     let k = b.kernel("k", compute_kernel());
     for _ in 0..iters {
-        b.submit_pinned(k, 1000, vec![Access::read_write(Region::new(x, 0, 1000))], GPU);
+        b.submit_pinned(
+            k,
+            1000,
+            vec![Access::read_write(Region::new(x, 0, 1000))],
+            GPU,
+        );
         b.taskwait();
     }
     let p = b.build();
@@ -249,7 +254,12 @@ fn makespan_at_least_critical_path_and_at_most_serial() {
     let x = b.buffer("x", 100, 4);
     let k = b.kernel("k", compute_kernel());
     for (s, e) in hetero_runtime::split_even(100, 10) {
-        b.submit_pinned(k, e - s, vec![Access::read_write(Region::new(x, s, e))], CPU);
+        b.submit_pinned(
+            k,
+            e - s,
+            vec![Access::read_write(Region::new(x, s, e))],
+            CPU,
+        );
     }
     let p = b.build();
     let r = simulate(&p, &Platform::test_small(), &mut PinnedScheduler);
@@ -273,7 +283,12 @@ fn report_partitioning_ratio_matches_pinning() {
     let x = b.buffer("x", 100, 4);
     let k = b.kernel("k", compute_kernel());
     b.submit_pinned(k, 30, vec![Access::read_write(Region::new(x, 0, 30))], GPU);
-    b.submit_pinned(k, 70, vec![Access::read_write(Region::new(x, 30, 100))], CPU);
+    b.submit_pinned(
+        k,
+        70,
+        vec![Access::read_write(Region::new(x, 30, 100))],
+        CPU,
+    );
     let p = b.build();
     let r = simulate(&p, &Platform::test_small(), &mut PinnedScheduler);
     assert!((r.gpu_item_share() - 0.3).abs() < 1e-12);

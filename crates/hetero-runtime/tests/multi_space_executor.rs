@@ -10,7 +10,10 @@ use hetero_runtime::{simulate, Access, PinnedScheduler, Program, Region};
 fn two_gpu_platform() -> Platform {
     let gpu = |name: &str| DeviceSpec {
         name: name.into(),
-        kind: DeviceKind::Gpu { sms: 4, warp_size: 32 },
+        kind: DeviceKind::Gpu {
+            sms: 4,
+            warp_size: 32,
+        },
         frequency_ghz: 1.0,
         peak_gflops_sp: 400.0,
         peak_gflops_dp: 200.0,
@@ -21,7 +24,10 @@ fn two_gpu_platform() -> Platform {
     Platform::builder()
         .cpu(DeviceSpec {
             name: "cpu".into(),
-            kind: DeviceKind::Cpu { cores: 4, threads: 4 },
+            kind: DeviceKind::Cpu {
+                cores: 4,
+                threads: 4,
+            },
             frequency_ghz: 1.0,
             peak_gflops_sp: 100.0,
             peak_gflops_dp: 50.0,
@@ -83,7 +89,12 @@ fn flushes_from_two_devices_drain_in_parallel() {
     let mut b = Program::builder();
     let x = b.buffer("x", 2_000_000, 4); // 4 MB halves
     let k = b.kernel("k", KernelProfile::compute_only(1.0));
-    b.submit_pinned(k, 1_000_000, vec![Access::write(Region::new(x, 0, 1_000_000))], GPU_A);
+    b.submit_pinned(
+        k,
+        1_000_000,
+        vec![Access::write(Region::new(x, 0, 1_000_000))],
+        GPU_A,
+    );
     b.submit_pinned(
         k,
         1_000_000,
@@ -110,9 +121,24 @@ fn three_way_pinned_split_uses_all_devices() {
     let mut b = Program::builder();
     let x = b.buffer("x", 3000, 4);
     let k = b.kernel("k", KernelProfile::compute_only(1e6));
-    b.submit_pinned(k, 1000, vec![Access::read_write(Region::new(x, 0, 1000))], DeviceId(0));
-    b.submit_pinned(k, 1000, vec![Access::read_write(Region::new(x, 1000, 2000))], GPU_A);
-    b.submit_pinned(k, 1000, vec![Access::read_write(Region::new(x, 2000, 3000))], GPU_B);
+    b.submit_pinned(
+        k,
+        1000,
+        vec![Access::read_write(Region::new(x, 0, 1000))],
+        DeviceId(0),
+    );
+    b.submit_pinned(
+        k,
+        1000,
+        vec![Access::read_write(Region::new(x, 1000, 2000))],
+        GPU_A,
+    );
+    b.submit_pinned(
+        k,
+        1000,
+        vec![Access::read_write(Region::new(x, 2000, 3000))],
+        GPU_B,
+    );
     let p = b.build();
     let platform = two_gpu_platform();
     let r = simulate(&p, &platform, &mut PinnedScheduler);

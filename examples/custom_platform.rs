@@ -7,8 +7,10 @@
 //! cargo run --release --example custom_platform
 //! ```
 
-use hetero_match::glinda::{decide, DecisionConfig, HardwareConfig, PartitionMetrics, PartitionProblem, TransferModel};
 use hetero_match::glinda::profiling::estimate_rates;
+use hetero_match::glinda::{
+    decide, DecisionConfig, HardwareConfig, PartitionMetrics, PartitionProblem, TransferModel,
+};
 use hetero_match::platform::{
     DeviceKind, DeviceSpec, Efficiency, KernelProfile, LinkSpec, Platform, Precision, SimTime,
 };
@@ -17,7 +19,10 @@ fn laptop_with_egpu(link_gbs: f64) -> Platform {
     Platform::builder()
         .cpu(DeviceSpec {
             name: "mobile 8-core CPU".into(),
-            kind: DeviceKind::Cpu { cores: 8, threads: 16 },
+            kind: DeviceKind::Cpu {
+                cores: 8,
+                threads: 16,
+            },
             frequency_ghz: 3.2,
             peak_gflops_sp: 800.0,
             peak_gflops_dp: 400.0,
@@ -28,7 +33,10 @@ fn laptop_with_egpu(link_gbs: f64) -> Platform {
         .accelerator(
             DeviceSpec {
                 name: "external GPU".into(),
-                kind: DeviceKind::Gpu { sms: 40, warp_size: 32 },
+                kind: DeviceKind::Gpu {
+                    sms: 40,
+                    warp_size: 32,
+                },
                 frequency_ghz: 1.7,
                 peak_gflops_sp: 10_000.0,
                 peak_gflops_dp: 5_000.0,
@@ -40,7 +48,7 @@ fn laptop_with_egpu(link_gbs: f64) -> Platform {
         )
         .sched_overhead(SimTime::from_micros(5))
         .build()
-    }
+}
 
 fn main() {
     // A moderately compute-intense kernel: 64 flops and 16 bytes per item.
@@ -85,10 +93,7 @@ fn main() {
         let (label, share) = match config {
             HardwareConfig::OnlyCpu => ("Only-CPU".to_string(), 0.0),
             HardwareConfig::OnlyGpu => ("Only-GPU".to_string(), 1.0),
-            HardwareConfig::Hybrid(s) => (
-                "CPU+GPU".to_string(),
-                s.gpu_items as f64 / n as f64,
-            ),
+            HardwareConfig::Hybrid(s) => ("CPU+GPU".to_string(), s.gpu_items as f64 / n as f64),
         };
         println!(
             "{:>10.1} {:>8.1} {:>8.2} {:>12} {:>9.1}%",

@@ -66,7 +66,11 @@ fn main() {
     println!();
     println!("{:<26} {:>12}", "configuration", "time");
     let (report, trace) = simulate_traced(&plan.program, &platform, &mut PinnedScheduler);
-    println!("{:<26} {:>12}", "CPU + K20m + Phi (3-way)", report.makespan.to_string());
+    println!(
+        "{:<26} {:>12}",
+        "CPU + K20m + Phi (3-way)",
+        report.makespan.to_string()
+    );
     for (label, config) in [
         ("Only-GPU (K20m)", ExecutionConfig::OnlyGpu),
         ("Only-CPU", ExecutionConfig::OnlyCpu),
@@ -77,10 +81,14 @@ fn main() {
     }
     // Two-way split planned as if the Phi didn't exist.
     let two_way_platform = Platform::icpp15();
-    let two_way = Planner::new(&two_way_platform)
-        .plan(&desc, ExecutionConfig::Strategy(Strategy::SpSingle));
+    let two_way =
+        Planner::new(&two_way_platform).plan(&desc, ExecutionConfig::Strategy(Strategy::SpSingle));
     let r = simulate(&two_way.program, &platform, &mut PinnedScheduler);
-    println!("{:<26} {:>12}", "CPU + K20m (2-way)", r.makespan.to_string());
+    println!(
+        "{:<26} {:>12}",
+        "CPU + K20m (2-way)",
+        r.makespan.to_string()
+    );
 
     println!();
     println!("three-way timeline:");

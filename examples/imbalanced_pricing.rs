@@ -24,7 +24,10 @@ fn main() {
     let weighted = planner.decide_kernel(&binomial::descriptor(n, spread), 0);
     let uniform = planner.decide_kernel(&binomial::descriptor_unweighted(n, spread), 0);
 
-    println!("option book: {n} American puts, lattice depth 32..{}", 32 + spread);
+    println!(
+        "option book: {n} American puts, lattice depth 32..{}",
+        32 + spread
+    );
     println!();
     println!(
         "count-based split : GPU gets {:>6} options ({:.1}% of the book)",
@@ -36,9 +39,7 @@ fn main() {
         weighted.gpu_items(n),
         100.0 * weighted.gpu_items(n) as f64 / n as f64
     );
-    println!(
-        "(the GPU takes the shallow-tree prefix, so balancing by WORK hands it more items)"
-    );
+    println!("(the GPU takes the shallow-tree prefix, so balancing by WORK hands it more items)");
 
     // Evaluate both splits against the true weighted cost model.
     let w = binomial::weights(n, spread);
@@ -49,13 +50,16 @@ fn main() {
     let eval = |ng: u64| {
         let gpu_work: f64 = w[..ng as usize].iter().map(|&x| x as f64).sum::<f64>() / mean;
         let cpu_work: f64 = w[ng as usize..].iter().map(|&x| x as f64).sum::<f64>() / mean;
-        let tg = platform
-            .gpu()
-            .unwrap()
-            .exec_time_whole_device_weighted(profile, ng, gpu_work / ng.max(1) as f64);
-        let tc = platform
-            .cpu()
-            .exec_time_whole_device_weighted(profile, n - ng, cpu_work / (n - ng).max(1) as f64);
+        let tg = platform.gpu().unwrap().exec_time_whole_device_weighted(
+            profile,
+            ng,
+            gpu_work / ng.max(1) as f64,
+        );
+        let tc = platform.cpu().exec_time_whole_device_weighted(
+            profile,
+            n - ng,
+            cpu_work / (n - ng).max(1) as f64,
+        );
         (tg, tc)
     };
     println!();
@@ -87,7 +91,10 @@ fn main() {
     let prices = hb.snapshot(BufferId(binomial::BUF_OUT));
     println!();
     println!("sample of the priced book:");
-    println!("{:>8} {:>8} {:>7} {:>6} {:>9}", "spot", "strike", "expiry", "steps", "put");
+    println!(
+        "{:>8} {:>8} {:>7} {:>6} {:>9}",
+        "spot", "strike", "expiry", "steps", "put"
+    );
     for i in (0..small_n as usize).step_by(13) {
         println!(
             "{:>8.2} {:>8.2} {:>7.2} {:>6} {:>9.4}",

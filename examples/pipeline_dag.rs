@@ -37,7 +37,10 @@ fn main() {
     );
 
     println!();
-    println!("{:<10} {:>11} {:>11} {:>13}", "config", "time", "GPU share", "sched calls");
+    println!(
+        "{:<10} {:>11} {:>11} {:>13}",
+        "config", "time", "GPU share", "sched calls"
+    );
     for config in [
         ExecutionConfig::OnlyCpu,
         ExecutionConfig::OnlyGpu,
@@ -60,8 +63,6 @@ fn main() {
     println!();
     println!(
         "analyzer selected {} -> {} (DP-Dep: {})",
-        analysis.best,
-        best.makespan,
-        dep.makespan
+        analysis.best, best.makespan, dep.makespan
     );
 }

@@ -27,7 +27,10 @@ fn main() {
         analysis.app, analysis.class, analysis.best
     );
     println!();
-    println!("{:<12} {:>11} {:>11} {:>13}", "config", "time", "GPU share", "transferred");
+    println!(
+        "{:<12} {:>11} {:>11} {:>13}",
+        "config", "time", "GPU share", "transferred"
+    );
     for (config, report) in analyzer.compare_all(&paper) {
         println!(
             "{:<12} {:>11} {:>10.1}% {:>10.2} GB",

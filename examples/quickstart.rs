@@ -6,8 +6,8 @@
 //! ```
 
 use hetero_match::matchmaker::{
-    AccessPattern, Analyzer, AppDescriptor, BufferSpec, ExecutionConfig, ExecutionFlow,
-    KernelSpec, SyncPolicy,
+    AccessPattern, Analyzer, AppDescriptor, BufferSpec, ExecutionConfig, ExecutionFlow, KernelSpec,
+    SyncPolicy,
 };
 use hetero_match::platform::{Efficiency, KernelProfile, Platform, Precision};
 use hetero_match::runtime::AccessMode;
@@ -22,8 +22,16 @@ fn main() {
     let app = AppDescriptor {
         name: "saxpy".into(),
         buffers: vec![
-            BufferSpec { name: "x".into(), items: n, item_bytes: 4 },
-            BufferSpec { name: "y".into(), items: n, item_bytes: 4 },
+            BufferSpec {
+                name: "x".into(),
+                items: n,
+                item_bytes: 4,
+            },
+            BufferSpec {
+                name: "y".into(),
+                items: n,
+                item_bytes: 4,
+            },
         ],
         kernels: vec![KernelSpec {
             name: "saxpy".into(),
@@ -33,8 +41,14 @@ fn main() {
                 fixed_flops: 0.0,
                 fixed_bytes: 0.0,
                 precision: Precision::Single,
-                cpu_efficiency: Efficiency { compute: 0.5, bandwidth: 0.6 },
-                gpu_efficiency: Efficiency { compute: 0.6, bandwidth: 0.75 },
+                cpu_efficiency: Efficiency {
+                    compute: 0.5,
+                    bandwidth: 0.6,
+                },
+                gpu_efficiency: Efficiency {
+                    compute: 0.6,
+                    bandwidth: 0.75,
+                },
             },
             domain: n,
             accesses: vec![
@@ -51,7 +65,11 @@ fn main() {
     let analyzer = Analyzer::new(&platform);
     let analysis = analyzer.analyze(&app);
     println!("application : {}", analysis.app);
-    println!("class       : {} (class {})", analysis.class, analysis.class.number());
+    println!(
+        "class       : {} (class {})",
+        analysis.class,
+        analysis.class.number()
+    );
     println!(
         "ranking     : {}",
         analysis

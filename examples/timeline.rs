@@ -19,7 +19,10 @@ fn main() {
 
     println!("BlackScholes (80.5M options) — slot utilisation over time\n");
     for (label, config) in [
-        ("SP-Single (matched)", ExecutionConfig::Strategy(Strategy::SpSingle)),
+        (
+            "SP-Single (matched)",
+            ExecutionConfig::Strategy(Strategy::SpSingle),
+        ),
         ("Only-GPU", ExecutionConfig::OnlyGpu),
         ("Only-CPU", ExecutionConfig::OnlyCpu),
     ] {

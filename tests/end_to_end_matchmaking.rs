@@ -3,7 +3,7 @@
 //! against the paper's stated results.
 
 use hetero_match::apps::{blackscholes, hotspot, matrixmul, nbody, stream};
-use hetero_match::matchmaker::{AppClass, Analyzer, Strategy};
+use hetero_match::matchmaker::{Analyzer, AppClass, Strategy};
 use hetero_match::platform::Platform;
 
 #[test]
@@ -11,14 +11,42 @@ fn analyzer_selects_the_papers_best_strategy_per_app() {
     let platform = Platform::icpp15();
     let analyzer = Analyzer::new(&platform);
     let cases = [
-        (matrixmul::paper_descriptor(), AppClass::SkOne, Strategy::SpSingle),
-        (blackscholes::paper_descriptor(), AppClass::SkOne, Strategy::SpSingle),
-        (nbody::paper_descriptor(), AppClass::SkLoop, Strategy::SpSingle),
-        (hotspot::paper_descriptor(), AppClass::SkLoop, Strategy::SpSingle),
-        (stream::paper_seq(false), AppClass::MkSeq, Strategy::SpUnified),
+        (
+            matrixmul::paper_descriptor(),
+            AppClass::SkOne,
+            Strategy::SpSingle,
+        ),
+        (
+            blackscholes::paper_descriptor(),
+            AppClass::SkOne,
+            Strategy::SpSingle,
+        ),
+        (
+            nbody::paper_descriptor(),
+            AppClass::SkLoop,
+            Strategy::SpSingle,
+        ),
+        (
+            hotspot::paper_descriptor(),
+            AppClass::SkLoop,
+            Strategy::SpSingle,
+        ),
+        (
+            stream::paper_seq(false),
+            AppClass::MkSeq,
+            Strategy::SpUnified,
+        ),
         (stream::paper_seq(true), AppClass::MkSeq, Strategy::SpVaried),
-        (stream::paper_loop(false), AppClass::MkLoop, Strategy::SpUnified),
-        (stream::paper_loop(true), AppClass::MkLoop, Strategy::SpVaried),
+        (
+            stream::paper_loop(false),
+            AppClass::MkLoop,
+            Strategy::SpUnified,
+        ),
+        (
+            stream::paper_loop(true),
+            AppClass::MkLoop,
+            Strategy::SpVaried,
+        ),
     ];
     for (desc, class, best) in cases {
         let analysis = analyzer.analyze(&desc);
@@ -141,12 +169,18 @@ fn transfer_dominated_facts_reproduced() {
     let og = bs.get("Only-GPU").unwrap();
     let kernel_ms = og.time_ms - og.transfer_ms;
     let ratio = og.transfer_ms / kernel_ms;
-    assert!((20.0..=55.0).contains(&ratio), "transfer/kernel = {ratio:.1}");
+    assert!(
+        (20.0..=55.0).contains(&ratio),
+        "transfer/kernel = {ratio:.1}"
+    );
     // STREAM-Seq Only-GPU: transfers ~88% of the execution time.
     let st = runs.iter().find(|r| r.app == "STREAM-Seq-w/o").unwrap();
     let og = st.get("Only-GPU").unwrap();
     let frac = og.transfer_ms / og.time_ms;
-    assert!((0.80..=0.95).contains(&frac), "transfer fraction = {frac:.2}");
+    assert!(
+        (0.80..=0.95).contains(&frac),
+        "transfer fraction = {frac:.2}"
+    );
 }
 
 #[test]

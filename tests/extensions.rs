@@ -13,14 +13,7 @@ use hetero_match::platform::Platform;
 /// A chain-shaped DAG application: three kernels piped through distinct
 /// buffers, declared as a DAG (the paper's classifier calls it MK-DAG).
 fn chain_dag(n: u64) -> AppDescriptor {
-    let mut d = synth::multi_kernel(
-        "chain-as-dag",
-        n,
-        3,
-        128.0,
-        ExecutionFlow::Sequence,
-        false,
-    );
+    let mut d = synth::multi_kernel("chain-as-dag", n, 3, 128.0, ExecutionFlow::Sequence, false);
     d.flow = ExecutionFlow::Dag {
         edges: vec![(0, 1), (1, 2)],
     };
@@ -130,6 +123,9 @@ fn converted_static_approaches_sp_single() {
         .makespan;
     // Converted lands between the optimum and plain dynamic, near the
     // optimum (within the half-instance rounding of the ratio).
-    assert!(converted.as_secs_f64() <= sp.as_secs_f64() * 1.15, "conv {converted} vs sp {sp}");
+    assert!(
+        converted.as_secs_f64() <= sp.as_secs_f64() * 1.15,
+        "conv {converted} vs sp {sp}"
+    );
     assert!(converted <= dp, "conv {converted} vs dp {dp}");
 }

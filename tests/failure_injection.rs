@@ -7,19 +7,29 @@
 //! hardware then degrades (thermal throttling, contention from another
 //! tenant), the static split goes stale. A performance-aware dynamic
 //! scheduler re-learns the rates at runtime. These tests inject such
-//! perturbations and verify both sides of the trade-off.
+//! perturbations through the runtime's `FaultSchedule` — the same seeded
+//! fault machinery the resilience tests use — and verify both sides of the
+//! trade-off.
 
 use hetero_match::matchmaker::{Analyzer, ExecutionConfig, Planner, Strategy};
-use hetero_match::platform::{Platform, SimTime};
-use hetero_match::runtime::{simulate, simulate_dp_perf_warmed, PinnedScheduler};
+use hetero_match::platform::{FaultSchedule, Platform, RetryPolicy, SimTime};
+use hetero_match::runtime::{
+    simulate, simulate_dp_perf_warmed, simulate_dp_perf_warmed_faulty, simulate_faulty,
+    PinnedScheduler,
+};
 
-/// The perturbation: the GPU loses a factor `slowdown` of its compute and
-/// bandwidth efficiency after planning (contention from a co-tenant).
-fn degrade_gpu(program: &mut hetero_match::runtime::Program, slowdown: f64) {
-    for k in &mut program.kernels {
-        k.profile.gpu_efficiency.compute /= slowdown;
-        k.profile.gpu_efficiency.bandwidth /= slowdown;
-    }
+/// The perturbation: from t=0 the GPU runs `slowdown` times slower than the
+/// rates every plan was built against (contention from a co-tenant). The
+/// schedule carries no transient faults, so runs under it are purely
+/// throttled — deterministic for any seed.
+fn gpu_contention(slowdown: f64) -> FaultSchedule {
+    FaultSchedule::new(7).with_throttle(
+        hetero_match::platform::DeviceId(1),
+        SimTime::ZERO,
+        SimTime::MAX,
+        slowdown,
+        slowdown,
+    )
 }
 
 /// A compute-heavy single-kernel app where the (healthy) GPU dominates.
@@ -39,13 +49,18 @@ fn stale_static_plan_suffers_under_gpu_contention() {
     let planner = Planner::new(&platform);
     let desc = compute_app(1 << 20);
 
-    // Plan SP-Single against the healthy platform, then degrade the GPU 8x.
-    let mut stale = planner
+    // Plan SP-Single against the healthy platform, then throttle the GPU 8x.
+    let stale = planner
         .plan(&desc, ExecutionConfig::Strategy(Strategy::SpSingle))
         .program;
-    let healthy = simulate(&stale.clone(), &platform, &mut PinnedScheduler);
-    degrade_gpu(&mut stale, 8.0);
-    let degraded = simulate(&stale, &platform, &mut PinnedScheduler);
+    let healthy = simulate(&stale, &platform, &mut PinnedScheduler);
+    let degraded = simulate_faulty(
+        &stale,
+        &platform,
+        &mut PinnedScheduler,
+        &gpu_contention(8.0),
+        RetryPolicy::default(),
+    );
 
     // The stale plan's makespan balloons (the GPU partition was sized for a
     // healthy GPU).
@@ -55,6 +70,8 @@ fn stale_static_plan_suffers_under_gpu_contention() {
         healthy.makespan,
         degraded.makespan
     );
+    // Throttling is not a fault: nothing retried, nothing failed over.
+    assert_eq!(degraded.faults.faults_injected(), 0);
 }
 
 #[test]
@@ -62,20 +79,30 @@ fn dp_perf_adapts_to_gpu_contention() {
     let platform = Platform::icpp15();
     let planner = Planner::new(&platform);
     let desc = compute_app(1 << 20);
+    let contention = gpu_contention(8.0);
 
     // Both plans built healthy; the world degrades before execution.
-    let mut static_prog = planner
+    let static_prog = planner
         .plan(&desc, ExecutionConfig::Strategy(Strategy::SpSingle))
         .program;
-    let mut dynamic_prog = planner
+    let dynamic_prog = planner
         .plan(&desc, ExecutionConfig::Strategy(Strategy::DpPerf))
         .program;
-    degrade_gpu(&mut static_prog, 8.0);
-    degrade_gpu(&mut dynamic_prog, 8.0);
 
-    let stale_static = simulate(&static_prog, &platform, &mut PinnedScheduler);
-    // DP-Perf profiles at runtime (warm-up run also sees the degraded GPU).
-    let adaptive = simulate_dp_perf_warmed(&dynamic_prog, &platform);
+    let stale_static = simulate_faulty(
+        &static_prog,
+        &platform,
+        &mut PinnedScheduler,
+        &contention,
+        RetryPolicy::default(),
+    );
+    // DP-Perf profiles at runtime (warm-up run also sees the throttled GPU).
+    let adaptive = simulate_dp_perf_warmed_faulty(
+        &dynamic_prog,
+        &platform,
+        &contention,
+        RetryPolicy::default(),
+    );
 
     assert!(
         adaptive.makespan < stale_static.makespan,

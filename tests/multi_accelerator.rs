@@ -39,10 +39,7 @@ fn planner_produces_a_three_way_split() {
     // Every device gets a share of this compute-bound kernel.
     assert!(m.cpu_items > 0, "{m:?}");
     assert!(m.accel_items.iter().all(|&x| x > 0), "{m:?}");
-    assert_eq!(
-        m.cpu_items + m.accel_items.iter().sum::<u64>(),
-        1 << 21
-    );
+    assert_eq!(m.cpu_items + m.accel_items.iter().sum::<u64>(), 1 << 21);
     // The K20m (3519 GF) outweighs the Phi-class card (2147 GF).
     assert!(m.accel_items[0] > m.accel_items[1], "{m:?}");
 

@@ -4,8 +4,8 @@
 //! dependence analysis, and the taskwait semantics preserve program
 //! meaning — partitioning must never change the answer.
 
-use hetero_match::apps::{blackscholes, hotspot, matrixmul, nbody, stream};
 use hetero_match::apps::native_outputs;
+use hetero_match::apps::{blackscholes, hotspot, matrixmul, nbody, stream};
 use hetero_match::matchmaker::{AppDescriptor, ExecutionConfig, Planner, Strategy};
 use hetero_match::platform::Platform;
 use hetero_match::runtime::{ExecOrder, HostBuffers, KernelFn};
@@ -264,12 +264,7 @@ fn parallel_native_runner_agrees_on_real_apps() {
         let seq = {
             let hb = HostBuffers::for_program(&plan.program);
             stream::init(&hb, n);
-            hetero_match::runtime::run_native(
-                &plan.program,
-                &kernels,
-                &hb,
-                ExecOrder::Submission,
-            );
+            hetero_match::runtime::run_native(&plan.program, &kernels, &hb, ExecOrder::Submission);
             hb.snapshot(hetero_match::runtime::BufferId(stream::BUF_A))
         };
         let par = {
@@ -290,12 +285,7 @@ fn parallel_native_runner_agrees_on_real_apps() {
         let seq = {
             let hb = HostBuffers::for_program(&plan.program);
             matrixmul::init(&hb, n);
-            hetero_match::runtime::run_native(
-                &plan.program,
-                &kernels,
-                &hb,
-                ExecOrder::Submission,
-            );
+            hetero_match::runtime::run_native(&plan.program, &kernels, &hb, ExecOrder::Submission);
             hb.snapshot(hetero_match::runtime::BufferId(matrixmul::BUF_C))
         };
         let par = {
@@ -316,12 +306,7 @@ fn parallel_native_runner_agrees_on_real_apps() {
         let seq = {
             let hb = HostBuffers::for_program(&plan.program);
             hotspot::init(&hb, n);
-            hetero_match::runtime::run_native(
-                &plan.program,
-                &kernels,
-                &hb,
-                ExecOrder::Submission,
-            );
+            hetero_match::runtime::run_native(&plan.program, &kernels, &hb, ExecOrder::Submission);
             hb.snapshot(hetero_match::runtime::BufferId(hotspot::BUF_TEMP_OUT))
         };
         let par = {

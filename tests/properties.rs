@@ -23,18 +23,20 @@ fn arb_problem() -> impl proptest::strategy::Strategy<Value = PartitionProblem> 
         1e6f64..1e11,
         prop_oneof![Just(1u64), Just(32u64), Just(64u64)],
     )
-        .prop_map(|(items, cpu, gpu, h2d, d2h, fixed, bw, gran)| PartitionProblem {
-            items,
-            cpu_rate: cpu,
-            gpu_rate: gpu,
-            transfer: TransferModel {
-                h2d_bytes_per_item: h2d,
-                d2h_bytes_per_item: d2h,
-                fixed_bytes: fixed,
+        .prop_map(
+            |(items, cpu, gpu, h2d, d2h, fixed, bw, gran)| PartitionProblem {
+                items,
+                cpu_rate: cpu,
+                gpu_rate: gpu,
+                transfer: TransferModel {
+                    h2d_bytes_per_item: h2d,
+                    d2h_bytes_per_item: d2h,
+                    fixed_bytes: fixed,
+                },
+                link_bandwidth: bw,
+                gpu_granularity: gran,
             },
-            link_bandwidth: bw,
-            gpu_granularity: gran,
-        })
+        )
 }
 
 proptest! {
@@ -114,11 +116,11 @@ proptest! {
 /// regions; taskwaits sprinkled in.
 fn arb_program() -> impl proptest::strategy::Strategy<Value = Program> {
     let task = (
-        0usize..3,                  // buffer
-        0u64..900,                  // start
-        1u64..100,                  // len
+        0usize..3,                                    // buffer
+        0u64..900,                                    // start
+        1u64..100,                                    // len
         prop_oneof![Just(0u8), Just(1u8), Just(2u8)], // mode
-        any::<bool>(),              // pinned to cpu?
+        any::<bool>(),                                // pinned to cpu?
         prop_oneof![Just(0u8), Just(1u8), Just(2u8)], // pin choice: none/cpu/gpu
     );
     proptest::collection::vec((task, any::<bool>()), 1..60).prop_map(|specs| {

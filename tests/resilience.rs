@@ -1,0 +1,263 @@
+//! Resilient execution under injected faults: retry exhaustion, device
+//! dropout, epoch checkpointing, safe mode, and seeded replay.
+//!
+//! Companion to `failure_injection.rs` (which covers *performance*
+//! degradation); these tests cover *correctness under failure* — every run
+//! must terminate with every item processed exactly once, and identical
+//! fault schedules must replay identical executions.
+
+use hetero_match::matchmaker::{ExecutionConfig, Planner, Strategy};
+use hetero_match::platform::{
+    DeviceId, FaultSchedule, KernelProfile, Platform, RetryPolicy, SimTime,
+};
+use hetero_match::runtime::{
+    simulate, simulate_faulty, simulate_traced, Access, PinnedScheduler, Program, Region,
+    RunReport, TraceEvent,
+};
+use proptest::prelude::*;
+
+fn compute_app(n: u64) -> hetero_match::matchmaker::AppDescriptor {
+    hetero_match::apps::synth::single_kernel(
+        "resilient",
+        n,
+        65536.0,
+        hetero_match::matchmaker::ExecutionFlow::Sequence,
+        false,
+    )
+}
+
+fn sp_single_program(platform: &Platform, n: u64) -> Program {
+    Planner::new(platform)
+        .plan(
+            &compute_app(n),
+            ExecutionConfig::Strategy(Strategy::SpSingle),
+        )
+        .program
+}
+
+fn total_items(r: &RunReport) -> u64 {
+    r.counters.devices.iter().map(|c| c.items).sum()
+}
+
+#[test]
+fn retry_exhaustion_fails_over_to_survivor() {
+    let platform = Platform::icpp15();
+    let n = 1u64 << 18;
+    let program = sp_single_program(&platform, n);
+
+    // Every attempt on the GPU fails; the CPU is healthy. GPU-bound tasks
+    // exhaust their retries and must fail over.
+    let schedule = FaultSchedule::new(11).with_task_faults(
+        Some(DeviceId(1)),
+        1.0,
+        SimTime::ZERO,
+        SimTime::MAX,
+    );
+    let report = simulate_faulty(
+        &program,
+        &platform,
+        &mut PinnedScheduler,
+        &schedule,
+        RetryPolicy::default(),
+    );
+
+    assert_eq!(total_items(&report), n, "every item processed exactly once");
+    assert_eq!(
+        report.counters.devices[1].items, 0,
+        "nothing can complete on the faulting GPU"
+    );
+    assert_eq!(report.counters.devices[0].items, n);
+    assert!(report.faults.failovers >= 1, "{:?}", report.faults);
+    // Each failed-over task burned a full retry budget first.
+    assert!(report.faults.task_faults >= u64::from(RetryPolicy::default().max_attempts));
+    assert!(report.faults.task_retries >= 1);
+    assert!(report.faults.backoff_time > SimTime::ZERO);
+    assert_eq!(report.faults.safe_mode_tasks, 0, "the CPU side is healthy");
+
+    // The healthy run is strictly faster, and a healthy report carries
+    // all-zero fault counters.
+    let healthy = simulate(&program, &platform, &mut PinnedScheduler);
+    assert!(report.makespan > healthy.makespan);
+    assert_eq!(healthy.faults, Default::default());
+}
+
+#[test]
+fn all_device_faults_end_in_safe_mode() {
+    let platform = Platform::icpp15();
+    let n = 1u64 << 16;
+    let program = sp_single_program(&platform, n);
+
+    // Every attempt fails on *every* device: after one failover the retry
+    // budget runs out with nowhere left to go, and safe mode must step in
+    // to guarantee termination.
+    let schedule = FaultSchedule::new(12).with_task_faults(None, 1.0, SimTime::ZERO, SimTime::MAX);
+    let report = simulate_faulty(
+        &program,
+        &platform,
+        &mut PinnedScheduler,
+        &schedule,
+        RetryPolicy::default(),
+    );
+
+    assert_eq!(total_items(&report), n);
+    assert!(report.faults.safe_mode_tasks >= 1, "{:?}", report.faults);
+    assert!(report.faults.failovers >= 1);
+}
+
+#[test]
+fn gpu_dropout_mid_run_completes_on_cpu() {
+    let platform = Platform::icpp15();
+    let n = 1u64 << 18;
+    let program = sp_single_program(&platform, n);
+    let healthy = simulate(&program, &platform, &mut PinnedScheduler);
+
+    // The GPU dies halfway through the healthy makespan, taking its
+    // in-flight partition with it.
+    let at = SimTime::from_secs_f64(healthy.makespan.as_secs_f64() / 2.0);
+    let schedule = FaultSchedule::new(13).with_dropout(DeviceId(1), at);
+    let report = simulate_faulty(
+        &program,
+        &platform,
+        &mut PinnedScheduler,
+        &schedule,
+        RetryPolicy::default(),
+    );
+
+    assert_eq!(report.faults.device_dropouts, 1);
+    assert_eq!(total_items(&report), n, "no item lost, none double-counted");
+    assert_eq!(
+        report.counters.devices[1].items, 0,
+        "the single epoch never committed, so all GPU work re-ran on the CPU"
+    );
+    assert_eq!(report.counters.devices[0].items, n);
+    assert!(
+        report.makespan > healthy.makespan,
+        "failover cannot be free: {} vs {}",
+        report.makespan,
+        healthy.makespan
+    );
+    // Identical schedule, identical replay.
+    let again = simulate_faulty(
+        &program,
+        &platform,
+        &mut PinnedScheduler,
+        &schedule,
+        RetryPolicy::default(),
+    );
+    assert_eq!(again.makespan, report.makespan);
+    assert_eq!(again.faults, report.faults);
+}
+
+#[test]
+fn committed_epochs_survive_dropout() {
+    // Two taskwait-separated epochs, each with one GPU and one CPU task.
+    // The GPU dies during epoch 2: epoch 1 reached its barrier (a
+    // committed checkpoint) and must keep its GPU attribution; only epoch
+    // 2's GPU work re-executes.
+    let platform = Platform::icpp15();
+    let build = || {
+        let mut b = Program::builder();
+        let x = b.buffer("x", 4000, 8);
+        let k = b.kernel("k", KernelProfile::compute_only(100_000.0));
+        b.submit_pinned(
+            k,
+            1000,
+            vec![Access::read_write(Region::new(x, 0, 1000))],
+            DeviceId(1),
+        );
+        b.submit_pinned(
+            k,
+            1000,
+            vec![Access::read_write(Region::new(x, 1000, 2000))],
+            DeviceId(0),
+        );
+        b.taskwait();
+        b.submit_pinned(
+            k,
+            1000,
+            vec![Access::read_write(Region::new(x, 2000, 3000))],
+            DeviceId(1),
+        );
+        b.submit_pinned(
+            k,
+            1000,
+            vec![Access::read_write(Region::new(x, 3000, 4000))],
+            DeviceId(0),
+        );
+        b.build()
+    };
+    let program = build();
+    let (healthy, trace) = simulate_traced(&program, &platform, &mut PinnedScheduler);
+
+    // Drop the GPU midway between epoch 1's commit (its flush completing)
+    // and the end of the run — i.e. somewhere inside epoch 2.
+    let epoch1_committed = trace
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Flush { epoch: 0, end, .. } => Some(*end),
+            _ => None,
+        })
+        .next()
+        .expect("epoch 1 must flush");
+    let at = SimTime::from_secs_f64(
+        (epoch1_committed.as_secs_f64() + healthy.makespan.as_secs_f64()) / 2.0,
+    );
+    let schedule = FaultSchedule::new(14).with_dropout(DeviceId(1), at);
+    let report = simulate_faulty(
+        &program,
+        &platform,
+        &mut PinnedScheduler,
+        &schedule,
+        RetryPolicy::default(),
+    );
+
+    assert_eq!(report.faults.device_dropouts, 1);
+    assert_eq!(total_items(&report), 4000);
+    assert_eq!(
+        report.counters.devices[1].items, 1000,
+        "epoch 1's GPU work is checkpointed and keeps its attribution"
+    );
+    assert_eq!(report.counters.devices[0].items, 3000);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Determinism: the same seed and schedule replay a byte-identical
+    /// `RunReport` — makespan, counters, fault counters, everything.
+    #[test]
+    fn same_seed_replays_byte_identical_reports(seed in 0u64..1_000) {
+        let platform = Platform::test_small();
+        let program = sp_single_program(&platform, 1 << 14);
+        let schedule = FaultSchedule::new(seed)
+            .with_task_faults(None, 0.3, SimTime::ZERO, SimTime::MAX)
+            .with_transfer_faults(0.3, SimTime::ZERO, SimTime::MAX)
+            .with_throttle(
+                DeviceId(1),
+                SimTime::ZERO,
+                SimTime::from_millis(1),
+                1.0,
+                4.0,
+            );
+        let a = simulate_faulty(
+            &program,
+            &platform,
+            &mut PinnedScheduler,
+            &schedule,
+            RetryPolicy::default(),
+        );
+        let b = simulate_faulty(
+            &program,
+            &platform,
+            &mut PinnedScheduler,
+            &schedule,
+            RetryPolicy::default(),
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        prop_assert_eq!(total_items(&a), 1 << 14);
+    }
+}

@@ -4,8 +4,12 @@
 
 use hetero_match::apps::{blackscholes, stream};
 use hetero_match::matchmaker::{AppDescriptor, ExecutionConfig, Planner, Strategy};
-use hetero_match::platform::Platform;
-use hetero_match::runtime::{simulate_traced, PinnedScheduler, Program, RunReport, Trace};
+use hetero_match::platform::{
+    DeviceId, FaultCounters, FaultSchedule, Platform, RetryPolicy, SimTime,
+};
+use hetero_match::runtime::{
+    simulate_faulty, simulate_traced, PinnedScheduler, Program, RunReport, Trace,
+};
 
 #[test]
 fn descriptor_roundtrips_through_json() {
@@ -89,4 +93,81 @@ fn trace_roundtrips_and_chrome_export_parses() {
     let chrome = trace.to_chrome_json(&platform);
     let parsed: serde_json::Value = serde_json::from_str(&chrome).unwrap();
     assert!(parsed.as_array().unwrap().len() >= trace.events.len());
+}
+
+#[test]
+fn fault_schedule_and_retry_policy_roundtrip() {
+    // A schedule exercising all four event kinds.
+    let schedule = FaultSchedule::new(42)
+        .with_task_faults(
+            Some(DeviceId(1)),
+            0.25,
+            SimTime::ZERO,
+            SimTime::from_millis(5),
+        )
+        .with_task_faults(None, 0.1, SimTime::from_millis(1), SimTime::from_millis(2))
+        .with_transfer_faults(0.5, SimTime::ZERO, SimTime::MAX)
+        .with_dropout(DeviceId(1), SimTime::from_millis(3))
+        .with_throttle(
+            DeviceId(1),
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+            1.0,
+            8.0,
+        );
+    schedule.validate().unwrap();
+
+    let json = serde_json::to_string(&schedule).unwrap();
+    let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, schedule);
+    // Behavioural equality too: the round-tripped schedule samples the
+    // same probabilities and replays the same RNG stream.
+    assert_eq!(
+        back.task_fault_prob(DeviceId(1), SimTime::from_micros(1500)),
+        schedule.task_fault_prob(DeviceId(1), SimTime::from_micros(1500))
+    );
+    assert_eq!(back.dropouts(), schedule.dropouts());
+    assert_eq!(back.rng().next_u64(), schedule.rng().next_u64());
+
+    let policy = RetryPolicy {
+        max_attempts: 5,
+        backoff: SimTime::from_micros(25),
+        backoff_multiplier: 1.5,
+    };
+    let pj = serde_json::to_string(&policy).unwrap();
+    let pb: RetryPolicy = serde_json::from_str(&pj).unwrap();
+    assert_eq!(pb, policy);
+    assert_eq!(pb.backoff_for(3), policy.backoff_for(3));
+}
+
+#[test]
+fn faulty_report_and_counters_roundtrip() {
+    let platform = Platform::icpp15();
+    let planner = Planner::new(&platform);
+    let desc = blackscholes::descriptor(1 << 16);
+    let program = planner
+        .plan(&desc, ExecutionConfig::Strategy(Strategy::SpSingle))
+        .program;
+    let schedule =
+        FaultSchedule::new(9).with_task_faults(Some(DeviceId(1)), 1.0, SimTime::ZERO, SimTime::MAX);
+    let report = simulate_faulty(
+        &program,
+        &platform,
+        &mut PinnedScheduler,
+        &schedule,
+        RetryPolicy::default(),
+    );
+    assert!(report.faults.faults_injected() > 0);
+
+    // The full report, fault counters included, survives a round trip.
+    let json = serde_json::to_string(&report).unwrap();
+    let back: RunReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.makespan, report.makespan);
+    assert_eq!(back.counters, report.counters);
+    assert_eq!(back.faults, report.faults);
+
+    // FaultCounters stand alone too.
+    let cj = serde_json::to_string(&report.faults).unwrap();
+    let cb: FaultCounters = serde_json::from_str(&cj).unwrap();
+    assert_eq!(cb, report.faults);
 }

@@ -1,0 +1,58 @@
+//! Minimal offline stand-in for `crossbeam`'s scoped threads, implemented on
+//! `std::thread::scope`. API shape matches crossbeam 0.8: the scope closure
+//! and each spawned closure receive a `&Scope`, `scope()` returns
+//! `Err(payload)` if any thread panicked, and handles can be joined early.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Handle to threads spawned within a [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Join handle for a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread to finish, returning its result or panic payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread bound to the scope. The closure receives the scope
+    /// again so it can spawn nested work (unused by most callers: `|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let reborrow = Scope { inner: self.inner };
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&reborrow)),
+        }
+    }
+}
+
+/// Run `f` with a thread scope; all spawned threads are joined before this
+/// returns. Returns `Err` with the panic payload if `f` or any thread panics.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        })
+    }))
+}
+
+/// `crossbeam::thread` module alias, mirroring the real crate layout.
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}

@@ -1,0 +1,21 @@
+//! Minimal offline stand-in for `libc`: only the `signal(2)` surface this
+//! workspace uses (restoring default `SIGPIPE` behaviour in CLI binaries).
+
+#![allow(non_camel_case_types)]
+
+/// C `int`.
+pub type c_int = i32;
+
+/// Signal handler value (`void (*)(int)` as an address).
+pub type sighandler_t = usize;
+
+/// Default signal action.
+pub const SIG_DFL: sighandler_t = 0;
+
+/// Broken-pipe signal number (Linux).
+pub const SIGPIPE: c_int = 13;
+
+extern "C" {
+    /// `signal(2)` from the system C library.
+    pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
+}

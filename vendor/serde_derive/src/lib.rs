@@ -1,0 +1,496 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the minimal offline
+//! serde stand-in.
+//!
+//! Implemented directly on `proc_macro` (no syn/quote): the derive input is
+//! parsed with a small hand-rolled token walker, and the impl is emitted as a
+//! source string that gets re-parsed into a `TokenStream`. Supports plain
+//! structs (named / tuple / unit) and enums (unit / tuple / struct variants)
+//! with at most lifetime or plain type parameters — which covers every type
+//! in this workspace. `#[serde(...)]` attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    /// Generic parameter names as written, e.g. `["'a"]` or `["T"]`.
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive `serde::Serialize` (value-tree conversion).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derive `serde::Deserialize` (value-tree reconstruction).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+
+    let item_kind = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    let generics = parse_generics(&toks, &mut i);
+
+    if matches!(toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        panic!("serde_derive: `where` clauses are not supported (type `{name}`)");
+    }
+
+    let kind = match item_kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde_derive: unexpected token after struct `{name}`: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected token after enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: expected `struct` or `enum`, found `{other}`"),
+    };
+
+    Input {
+        name,
+        generics,
+        kind,
+    }
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#[...]` — the bracket group is the next token.
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) / pub(super) / ...
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parse `<...>` after the type name, returning parameter names.
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params: Vec<Vec<TokenTree>> = Vec::new();
+    match toks.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut cur: Vec<TokenTree> = Vec::new();
+    while depth > 0 {
+        let t = toks
+            .get(*i)
+            .unwrap_or_else(|| panic!("serde_derive: unterminated generics"));
+        *i += 1;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth > 0 {
+                    cur.push(t.clone());
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                params.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(t.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        params.push(cur);
+    }
+    params
+        .into_iter()
+        .map(|p| {
+            // A parameter is `'a`, `T`, or `T: Bounds` — keep only the name.
+            match p.first() {
+                Some(TokenTree::Punct(q)) if q.as_char() == '\'' => match p.get(1) {
+                    Some(TokenTree::Ident(id)) => format!("'{id}"),
+                    other => panic!("serde_derive: malformed lifetime param: {other:?}"),
+                },
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: unsupported generic param start: {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Parse `{ a: T, b: U, ... }` field names, skipping attributes and types.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        skip_type_until_comma(&toks, &mut i);
+    }
+    fields
+}
+
+/// Advance past a type, stopping after the top-level `,` (or at end).
+fn skip_type_until_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(t) = toks.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && angle > 0 => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Count fields of `(T, U, ...)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut n = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        n += 1;
+        skip_type_until_comma(&toks, &mut i);
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while let Some(t) = toks.get(i) {
+            i += 1;
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen helpers
+// ---------------------------------------------------------------------------
+
+/// `(impl_generics, ty_generics)` strings, with `extra_bound` appended to
+/// every type (non-lifetime) parameter in the impl position.
+fn generics_strings(input: &Input, extra_bound: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let impl_params: Vec<String> = input
+        .generics
+        .iter()
+        .map(|g| {
+            if g.starts_with('\'') {
+                g.clone()
+            } else {
+                format!("{g}: {extra_bound}")
+            }
+        })
+        .collect();
+    (
+        format!("<{}>", impl_params.join(", ")),
+        format!("<{}>", input.generics.join(", ")),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let (impl_g, ty_g) = generics_strings(input, "::serde::Serialize");
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        Kind::NamedStruct(fields) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.push((::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new(); {} ::serde::Value::Map(__m) }}",
+                pushes.join(" ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(gen_serialize_variant).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl{impl_g} ::serde::Serialize for {name}{ty_g} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_serialize_variant(v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.kind {
+        VariantKind::Unit => {
+            format!("Self::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),")
+        }
+        VariantKind::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let inner = if *n == 1 {
+                "::serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let elems: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+            };
+            format!(
+                "Self::{vn}({binds}) => ::serde::Value::Map(::std::vec![\
+                 (::std::string::String::from(\"{vn}\"), {inner})]),",
+                binds = binders.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.push((::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "Self::{vn} {{ {binds} }} => {{ \
+                 let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new(); {pushes} \
+                 ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vn}\"), \
+                 ::serde::Value::Map(__m))]) }},",
+                binds = fields.join(", "),
+                pushes = pushes.join(" ")
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(input: &Input) -> String {
+    let (impl_g, ty_g) = generics_strings(input, "::serde::Deserialize");
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "{{ let __seq = __v.as_array().ok_or_else(|| \
+                 ::serde::de::Error::custom(\"expected array for {name}\"))?; \
+                 if __seq.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::de::Error::custom(\"wrong tuple arity for {name}\")); }} \
+                 ::std::result::Result::Ok({name}({elems})) }}",
+                elems = elems.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(__m, \"{f}\", \"{name}\")?,"))
+                .collect();
+            format!(
+                "{{ let __m = __v.as_map().ok_or_else(|| \
+                 ::serde::de::Error::custom(\"expected map for {name}\"))?; \
+                 ::std::result::Result::Ok({name} {{ {} }}) }}",
+                inits.join(" ")
+            )
+        }
+        Kind::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl{impl_g} ::serde::Deserialize for {name}{ty_g} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::de::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut data_arms = Vec::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                unit_arms.push(format!(
+                    "\"{vn}\" => ::std::result::Result::Ok(Self::{vn}),"
+                ));
+            }
+            VariantKind::Tuple(1) => data_arms.push(format!(
+                "\"{vn}\" => ::std::result::Result::Ok(Self::{vn}(\
+                 ::serde::Deserialize::from_value(__val)?)),"
+            )),
+            VariantKind::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                    .collect();
+                data_arms.push(format!(
+                    "\"{vn}\" => {{ let __seq = __val.as_array().ok_or_else(|| \
+                     ::serde::de::Error::custom(\"expected array for {name}::{vn}\"))?; \
+                     if __seq.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::de::Error::custom(\"wrong arity for {name}::{vn}\")); }} \
+                     ::std::result::Result::Ok(Self::{vn}({elems})) }}",
+                    elems = elems.join(", ")
+                ));
+            }
+            VariantKind::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::de::field(__f, \"{f}\", \"{name}::{vn}\")?,"))
+                    .collect();
+                data_arms.push(format!(
+                    "\"{vn}\" => {{ let __f = __val.as_map().ok_or_else(|| \
+                     ::serde::de::Error::custom(\"expected map for {name}::{vn}\"))?; \
+                     ::std::result::Result::Ok(Self::{vn} {{ {} }}) }}",
+                    inits.join(" ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match __v {{ \
+         ::serde::Value::Str(__s) => match __s.as_str() {{ {units} _ => \
+         ::std::result::Result::Err(::serde::de::Error::custom(\
+         ::std::format!(\"unknown unit variant `{{}}` of {name}\", __s))) }}, \
+         ::serde::Value::Map(__m) if __m.len() == 1 => {{ \
+         let (__k, __val) = &__m[0]; \
+         match __k.as_str() {{ {datas} _ => ::std::result::Result::Err(\
+         ::serde::de::Error::custom(::std::format!(\
+         \"unknown variant `{{}}` of {name}\", __k))) }} }}, \
+         __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+         ::std::format!(\"expected {name} variant, got {{:?}}\", __other))) }}",
+        units = unit_arms.join(" "),
+        datas = data_arms.join(" ")
+    )
+}
