@@ -153,6 +153,10 @@ struct FaultCtx<'a> {
     /// Per task: `record_task` was applied for the current dispatch (false
     /// while an aborting dispatch only charged raw busy time).
     recorded: Vec<bool>,
+    /// Per task: fault loss (failed attempts, backoff, transfer retries)
+    /// already booked into `time_lost` for the current dispatch, so a
+    /// dropout that discards the dispatch charges only the remainder.
+    booked_loss: Vec<SimTime>,
 }
 
 fn scale_time(t: SimTime, factor: f64) -> SimTime {
@@ -246,6 +250,7 @@ impl<'a> Sim<'a> {
                 in_flight: vec![false; n],
                 started_at: vec![SimTime::ZERO; n],
                 recorded: vec![false; n],
+                booked_loss: vec![SimTime::ZERO; n],
             }
         });
         Sim {
@@ -482,6 +487,10 @@ impl<'a> Sim<'a> {
         let space = device.mem_space;
         let mut busy = SimTime::ZERO;
 
+        if let Some(f) = &mut self.faults {
+            f.booked_loss[t.0] = SimTime::ZERO;
+        }
+
         if self.scheduler.is_dynamic() {
             busy += self.platform.sched_overhead;
             self.counters.record_sched(self.platform.sched_overhead);
@@ -507,6 +516,7 @@ impl<'a> Sim<'a> {
                             f.counters.transfer_faults += 1;
                             f.counters.transfer_retries += 1;
                             f.counters.time_lost += dt;
+                            f.booked_loss[t.0] += dt;
                             self.counters.record_transfer(tr.bytes, dt);
                             if let Some(trace) = &mut self.trace {
                                 trace.events.push(TraceEvent::TransferRetry {
@@ -556,6 +566,7 @@ impl<'a> Sim<'a> {
                 // The attempt runs to completion, then is detected failed.
                 f.counters.task_faults += 1;
                 f.counters.time_lost += this_exec;
+                f.booked_loss[t.0] += this_exec;
                 busy += this_exec;
                 if let Some(trace) = &mut self.trace {
                     trace.events.push(TraceEvent::TaskFault {
@@ -589,6 +600,7 @@ impl<'a> Sim<'a> {
                 f.counters.task_retries += 1;
                 f.counters.backoff_time += bo;
                 f.counters.time_lost += bo;
+                f.booked_loss[t.0] += bo;
                 busy += bo;
                 attempt += 1;
             }
@@ -661,11 +673,17 @@ impl<'a> Sim<'a> {
 
         // Release successors whose dependences are now satisfied. Only
         // successors in the *active* epoch become ready (later epochs wait
-        // for their taskwait barrier; `activate_epoch` re-scans them).
+        // for their taskwait barrier; `activate_epoch` re-scans them). A
+        // successor that is already placed (queued, in flight, or completed
+        // — possible only when a dropout re-armed this dependence while the
+        // consumer's standing result was left alone) must not be re-bound.
         let succs = self.graph.succs[t.0].clone();
         for s in succs {
             self.remaining_preds[s.0] -= 1;
-            if self.remaining_preds[s.0] == 0 && self.graph.epoch_of[s.0] == self.cur_epoch {
+            if self.remaining_preds[s.0] == 0
+                && self.graph.epoch_of[s.0] == self.cur_epoch
+                && self.placements[s.0].is_none()
+            {
                 self.make_ready(s);
             }
         }
@@ -757,7 +775,11 @@ impl<'a> Sim<'a> {
                 let f = self.faults.as_mut().unwrap();
                 f.gen[t.0] += 1;
                 f.in_flight[t.0] = false;
-                (f.recorded[t.0], self.now.saturating_sub(f.started_at[t.0]))
+                // The dispatch's failed attempts, backoff and transfer
+                // retries were already booked at dispatch; charge only the
+                // rest of the discarded span.
+                let span = self.now.saturating_sub(f.started_at[t.0]);
+                (f.recorded[t.0], span.saturating_sub(f.booked_loss[t.0]))
             };
             self.faults.as_mut().unwrap().counters.time_lost += lost;
             let c = &mut self.counters.devices[dev.0];
@@ -795,18 +817,28 @@ impl<'a> Sim<'a> {
             ks.tasks_per_device[dev.0] -= 1;
             let f = self.faults.as_mut().unwrap();
             f.counters.reexecutions += 1;
-            f.counters.time_lost += self.busy_of[t.0];
+            // As with kills, the fault loss inside `busy_of` was already
+            // booked at dispatch.
+            f.counters.time_lost += self.busy_of[t.0].saturating_sub(f.booked_loss[t.0]);
         }
-        // Re-arm the dependences the resets had satisfied — but only for
-        // consumers that have not run yet. A successor that already started
-        // read the data while it was still valid; its result stands.
+        // Everything the dropout un-ran loses its placement: from here on
+        // "placed" again means queued, in flight, or completed.
+        for &t in drained.iter().chain(&killed).chain(&resets) {
+            self.placements[t.0] = None;
+        }
+        // Re-arm the dependences the resets had satisfied. Every consumer
+        // regains an unsatisfied dependence — the reset producer's
+        // re-completion will decrement it again — but only consumers that
+        // have not run yet go back to unready: a successor that already
+        // started read the data while it was still valid, so its result
+        // stands (the placement guard in `on_task_done` keeps it from
+        // being re-bound when the count returns to zero).
         for &t in &resets {
             for s in self.graph.succs[t.0].clone() {
-                if self.completed[s.0] || self.faults.as_ref().is_some_and(|f| f.in_flight[s.0]) {
-                    continue;
-                }
-                // A bound-but-unstarted consumer goes back to unready.
-                if self.placements[s.0].is_some() {
+                let ran =
+                    self.completed[s.0] || self.faults.as_ref().is_some_and(|f| f.in_flight[s.0]);
+                if !ran && self.placements[s.0].is_some() {
+                    // A bound-but-unstarted consumer goes back to unready.
                     for q in &mut self.dev_queues {
                         q.retain(|&x| x != s);
                     }
@@ -822,12 +854,13 @@ impl<'a> Sim<'a> {
         self.coherence.drop_space(dead_space);
 
         // 5. Re-bind everything that is still dependency-free, in TaskId
-        // order (deterministic).
+        // order (deterministic). Tasks whose dependences the re-arm put
+        // back wait for their producers to re-complete.
         let mut requeue: Vec<TaskId> = killed
             .into_iter()
             .chain(drained)
             .chain(resets)
-            .filter(|t| self.remaining_preds[t.0] == 0 && self.placements[t.0].is_some())
+            .filter(|t| self.remaining_preds[t.0] == 0)
             .collect();
         requeue.sort_unstable();
         requeue.dedup();

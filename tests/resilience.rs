@@ -221,6 +221,87 @@ fn committed_epochs_survive_dropout() {
     assert_eq!(report.counters.devices[0].items, 3000);
 }
 
+#[test]
+fn dropout_with_inflight_consumer_of_reset_producer() {
+    // RAW chain across devices: a fast GPU producer finishes, then its
+    // slow CPU consumer reads the result and runs long; the GPU drops out
+    // while the consumer is still in flight. The producer must re-execute
+    // (its output lived in the dead memory), while the consumer's standing
+    // result is left alone — and the producer's re-completion must not
+    // corrupt the consumer's dependence count (regression: underflow of
+    // `remaining_preds` panicked in debug builds).
+    let platform = Platform::icpp15();
+    let mut b = Program::builder();
+    let x = b.buffer("x", 2000, 8);
+    let fast = b.kernel("fast", KernelProfile::compute_only(10_000.0));
+    let slow = b.kernel("slow", KernelProfile::compute_only(50_000_000.0));
+    b.submit_pinned(
+        fast,
+        1000,
+        vec![Access::read_write(Region::new(x, 0, 1000))],
+        DeviceId(1),
+    );
+    b.submit_pinned(
+        slow,
+        1000,
+        vec![
+            Access::read(Region::new(x, 0, 1000)),
+            Access::write(Region::new(x, 1000, 2000)),
+        ],
+        DeviceId(0),
+    );
+    let program = b.build();
+
+    let (healthy, trace) = simulate_traced(&program, &platform, &mut PinnedScheduler);
+    let task_ends: Vec<SimTime> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Task { end, .. } => Some(*end),
+            _ => None,
+        })
+        .collect();
+    let producer_end = *task_ends.iter().min().expect("two tasks ran");
+    let consumer_end = *task_ends.iter().max().expect("two tasks ran");
+    assert!(producer_end < consumer_end);
+    // Strictly after the producer committed its (uncheckpointed) result,
+    // strictly while the consumer is running.
+    let at =
+        SimTime::from_secs_f64((producer_end.as_secs_f64() + consumer_end.as_secs_f64()) / 2.0);
+    let schedule = FaultSchedule::new(15).with_dropout(DeviceId(1), at);
+    let report = simulate_faulty(
+        &program,
+        &platform,
+        &mut PinnedScheduler,
+        &schedule,
+        RetryPolicy::default(),
+    );
+
+    assert_eq!(report.faults.device_dropouts, 1);
+    assert_eq!(report.faults.reexecutions, 1, "{:?}", report.faults);
+    assert_eq!(
+        total_items(&report),
+        2000,
+        "no item lost, none double-counted"
+    );
+    assert_eq!(
+        report.counters.devices[1].items, 0,
+        "the producer's GPU attribution is discarded with its re-execution"
+    );
+    assert_eq!(report.counters.devices[0].items, 2000);
+    assert!(report.makespan >= healthy.makespan);
+    // Identical schedule, identical replay.
+    let again = simulate_faulty(
+        &program,
+        &platform,
+        &mut PinnedScheduler,
+        &schedule,
+        RetryPolicy::default(),
+    );
+    assert_eq!(again.makespan, report.makespan);
+    assert_eq!(again.faults, report.faults);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
