@@ -15,7 +15,7 @@ use crate::analyzer::Analyzer;
 use crate::descriptor::AppDescriptor;
 use crate::strategy::ExecutionConfig;
 use hetero_platform::{FaultSchedule, RetryPolicy};
-use hetero_runtime::RunReport;
+use hetero_runtime::{HealthConfig, RunReport};
 
 /// One configuration's healthy/faulty pair from [`Analyzer::rank_by_degradation`].
 #[derive(Clone, Debug)]
@@ -46,26 +46,42 @@ impl<'a> Analyzer<'a> {
         schedule: &FaultSchedule,
         policy: RetryPolicy,
     ) -> RunReport {
+        self.simulate_resilient(desc, config, schedule, policy, &HealthConfig::disabled())
+    }
+
+    /// [`Analyzer::simulate_faulty`] with the gray-failure resilience
+    /// subsystem configured by `health` (straggler hedging, SDC
+    /// verification, circuit breaker). With [`HealthConfig::disabled`]
+    /// this is exactly [`Analyzer::simulate_faulty`].
+    pub fn simulate_resilient(
+        &self,
+        desc: &AppDescriptor,
+        config: ExecutionConfig,
+        schedule: &FaultSchedule,
+        policy: RetryPolicy,
+        health: &HealthConfig,
+    ) -> RunReport {
         use crate::strategy::Strategy;
         use hetero_runtime::{
-            simulate_dp_perf_warmed_faulty, simulate_faulty, DepScheduler, PinnedScheduler,
+            simulate_dp_perf_warmed_resilient, simulate_resilient, DepScheduler, PinnedScheduler,
         };
         let plan = self.plan(desc, config);
         let platform = self.planner().platform;
         match config {
             ExecutionConfig::Strategy(Strategy::DpDep) => {
                 let mut s = DepScheduler::new(platform);
-                simulate_faulty(&plan.program, platform, &mut s, schedule, policy)
+                simulate_resilient(&plan.program, platform, &mut s, schedule, policy, health)
             }
             ExecutionConfig::Strategy(Strategy::DpPerf) => {
-                simulate_dp_perf_warmed_faulty(&plan.program, platform, schedule, policy)
+                simulate_dp_perf_warmed_resilient(&plan.program, platform, schedule, policy, health)
             }
-            _ => simulate_faulty(
+            _ => simulate_resilient(
                 &plan.program,
                 platform,
                 &mut PinnedScheduler,
                 schedule,
                 policy,
+                health,
             ),
         }
     }
@@ -80,6 +96,22 @@ impl<'a> Analyzer<'a> {
         desc: &AppDescriptor,
         schedule: &FaultSchedule,
         policy: RetryPolicy,
+    ) -> Vec<DegradationEntry> {
+        self.rank_by_degradation_resilient(desc, schedule, policy, &HealthConfig::disabled())
+    }
+
+    /// [`Analyzer::rank_by_degradation`] with gray-failure mitigation in
+    /// the loop: every candidate replays under `schedule` *with* the
+    /// watchdog/verification/breaker configured by `health`, answering the
+    /// paper-level question "which partitioning strategy degrades most
+    /// gracefully when a device goes gray?" — and whether mitigation
+    /// changes the answer.
+    pub fn rank_by_degradation_resilient(
+        &self,
+        desc: &AppDescriptor,
+        schedule: &FaultSchedule,
+        policy: RetryPolicy,
+        health: &HealthConfig,
     ) -> Vec<DegradationEntry> {
         let analysis = self.analyze(desc);
         let configs: Vec<ExecutionConfig> = [ExecutionConfig::OnlyGpu, ExecutionConfig::OnlyCpu]
@@ -96,7 +128,7 @@ impl<'a> Analyzer<'a> {
             .map(|config| DegradationEntry {
                 config,
                 healthy: self.simulate(desc, config),
-                faulty: self.simulate_faulty(desc, config, schedule, policy),
+                faulty: self.simulate_resilient(desc, config, schedule, policy, health),
             })
             .collect();
         entries.sort_by(|a, b| {
@@ -169,6 +201,41 @@ mod tests {
                 e.config,
                 e.degradation()
             );
+        }
+    }
+
+    #[test]
+    fn gray_schedule_ranks_with_mitigation_in_the_loop() {
+        let platform = Platform::test_small();
+        let analyzer = Analyzer::new(&platform);
+        // The GPU goes gray (4x straggler) for the whole run.
+        let schedule = FaultSchedule::new(21).with_throttle(
+            DeviceId(1),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            4.0,
+            4.0,
+        );
+        let plain = analyzer.rank_by_degradation(&app(), &schedule, RetryPolicy::default());
+        let mitigated = analyzer.rank_by_degradation_resilient(
+            &app(),
+            &schedule,
+            RetryPolicy::default(),
+            &HealthConfig::monitored(),
+        );
+        assert_eq!(plain.len(), mitigated.len());
+        // Only-CPU never touches the gray device either way.
+        assert_eq!(plain[0].config, ExecutionConfig::OnlyCpu);
+        assert_eq!(mitigated[0].config, ExecutionConfig::OnlyCpu);
+        // The mitigated replay is deterministic.
+        let again = analyzer.rank_by_degradation_resilient(
+            &app(),
+            &schedule,
+            RetryPolicy::default(),
+            &HealthConfig::monitored(),
+        );
+        for (a, b) in mitigated.iter().zip(&again) {
+            assert_eq!(a.faulty.makespan, b.faulty.makespan);
         }
     }
 

@@ -14,7 +14,13 @@
 //!   resort);
 //! * **throttle ramps** — time-varying execution-time multipliers
 //!   (thermal throttling, co-tenant contention) interpolated linearly
-//!   across a window.
+//!   across a window;
+//! * **silent data corruption** — a task completes on time but its output
+//!   is wrong; nothing fails, so only an explicit verification policy in
+//!   the runtime can catch it;
+//! * **flaky devices** — an elevated transient-fault rate on one device:
+//!   retries keep succeeding eventually, but the device keeps faulting —
+//!   the *gray* failure a health monitor exists to quarantine.
 //!
 //! All randomness comes from a small seeded PRNG ([`FaultRng`], SplitMix64):
 //! identical seeds replay identical runs, so every faulty execution is as
@@ -110,6 +116,36 @@ pub enum FaultEvent {
         /// Multiplier approached at `until`.
         end_factor: f64,
     },
+    /// Silent data corruption: while the window is open, each *successful*
+    /// task attempt on `dev` produces a wrong result with probability
+    /// `prob`. The attempt completes on time and nothing faults — only a
+    /// runtime verification policy (`VerificationPolicy::DupCheck`) can
+    /// detect the corruption and roll the epoch back to its checkpoint.
+    SilentCorruption {
+        /// Affected device.
+        dev: DeviceId,
+        /// Per-successful-attempt corruption probability in `[0, 1]`.
+        prob: f64,
+        /// Window start (inclusive).
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
+    /// A flaky device: an elevated transient-fault rate on `dev` while the
+    /// window is open. Mechanically this composes with [`FaultEvent::TaskFaults`]
+    /// windows as one more independent failure source; semantically it is
+    /// the gray failure a device-health circuit breaker quarantines —
+    /// retries keep passing, yet the device keeps faulting.
+    Flaky {
+        /// Affected device.
+        dev: DeviceId,
+        /// Per-attempt failure probability in `[0, 1]`.
+        fault_prob: f64,
+        /// Window start (inclusive).
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
 }
 
 fn in_window(now: SimTime, from: SimTime, until: SimTime) -> bool {
@@ -185,6 +221,40 @@ impl FaultSchedule {
         self
     }
 
+    /// Add a silent-data-corruption window on `dev`.
+    pub fn with_silent_corruption(
+        mut self,
+        dev: DeviceId,
+        prob: f64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.events.push(FaultEvent::SilentCorruption {
+            dev,
+            prob,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Add a flaky window on `dev` (elevated transient-fault rate).
+    pub fn with_flaky(
+        mut self,
+        dev: DeviceId,
+        fault_prob: f64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.events.push(FaultEvent::Flaky {
+            dev,
+            fault_prob,
+            from,
+            until,
+        });
+        self
+    }
+
     /// `true` when the schedule contains no events.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
@@ -196,19 +266,51 @@ impl FaultSchedule {
     }
 
     /// Probability that one task attempt dispatched on `dev` at `now`
-    /// fails: overlapping windows compose as independent failure sources
-    /// (`1 - Π(1 - pᵢ)`).
+    /// fails: overlapping windows — [`FaultEvent::TaskFaults`] and
+    /// [`FaultEvent::Flaky`] alike — compose as independent failure
+    /// sources (`1 - Π(1 - pᵢ)`).
     pub fn task_fault_prob(&self, dev: DeviceId, now: SimTime) -> f64 {
         let mut survive = 1.0;
         for ev in &self.events {
-            if let FaultEvent::TaskFaults {
+            let (prob, hit) = match ev {
+                FaultEvent::TaskFaults {
+                    dev: d,
+                    prob,
+                    from,
+                    until,
+                } => (
+                    prob,
+                    (d.is_none() || *d == Some(dev)) && in_window(now, *from, *until),
+                ),
+                FaultEvent::Flaky {
+                    dev: d,
+                    fault_prob,
+                    from,
+                    until,
+                } => (fault_prob, *d == dev && in_window(now, *from, *until)),
+                _ => continue,
+            };
+            if hit {
+                survive *= 1.0 - prob.clamp(0.0, 1.0);
+            }
+        }
+        (1.0 - survive).clamp(0.0, 1.0)
+    }
+
+    /// Probability that one *successful* task attempt on `dev` at `now`
+    /// silently corrupts its output (independent composition across open
+    /// windows, like [`FaultSchedule::task_fault_prob`]).
+    pub fn corruption_prob(&self, dev: DeviceId, now: SimTime) -> f64 {
+        let mut survive = 1.0;
+        for ev in &self.events {
+            if let FaultEvent::SilentCorruption {
                 dev: d,
                 prob,
                 from,
                 until,
             } = ev
             {
-                if (d.is_none() || *d == Some(dev)) && in_window(now, *from, *until) {
+                if *d == dev && in_window(now, *from, *until) {
                     survive *= 1.0 - prob.clamp(0.0, 1.0);
                 }
             }
@@ -267,6 +369,19 @@ impl FaultSchedule {
         factor
     }
 
+    /// `base` scaled by the throttle factor for `dev` at `now` — the one
+    /// place execution time meets throttling, shared by the resilient
+    /// executor's attempt loop, safe-mode completion, and the straggler
+    /// watchdog's hedge/verification predictions.
+    pub fn throttled_exec(&self, dev: DeviceId, now: SimTime, base: SimTime) -> SimTime {
+        let factor = self.throttle_factor(dev, now);
+        if factor == 1.0 {
+            base
+        } else {
+            SimTime::from_secs_f64(base.as_secs_f64() * factor)
+        }
+    }
+
     /// Check internal consistency: probabilities in `[0, 1]`, positive
     /// throttle factors, ordered windows, no host dropout.
     pub fn validate(&self) -> Result<(), String> {
@@ -275,7 +390,16 @@ impl FaultSchedule {
                 FaultEvent::TaskFaults {
                     prob, from, until, ..
                 }
-                | FaultEvent::TransferFaults { prob, from, until } => {
+                | FaultEvent::TransferFaults { prob, from, until }
+                | FaultEvent::SilentCorruption {
+                    prob, from, until, ..
+                }
+                | FaultEvent::Flaky {
+                    fault_prob: prob,
+                    from,
+                    until,
+                    ..
+                } => {
                     if !(0.0..=1.0).contains(prob) {
                         return Err(format!("event {i}: probability {prob} outside [0, 1]"));
                     }
@@ -474,6 +598,86 @@ mod tests {
     #[should_panic(expected = "host CPU cannot drop out")]
     fn host_dropout_is_rejected() {
         let _ = FaultSchedule::new(1).with_dropout(DeviceId(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn corruption_prob_respects_window_and_device() {
+        let s = FaultSchedule::new(1).with_silent_corruption(
+            DeviceId(1),
+            0.5,
+            SimTime::from_millis(10),
+            SimTime::from_millis(20),
+        );
+        assert_eq!(s.corruption_prob(DeviceId(1), SimTime::from_millis(5)), 0.0);
+        assert_eq!(
+            s.corruption_prob(DeviceId(1), SimTime::from_millis(15)),
+            0.5
+        );
+        assert_eq!(
+            s.corruption_prob(DeviceId(1), SimTime::from_millis(20)),
+            0.0
+        );
+        assert_eq!(
+            s.corruption_prob(DeviceId(0), SimTime::from_millis(15)),
+            0.0
+        );
+        // Corruption never feeds the fault-sampling path.
+        assert_eq!(
+            s.task_fault_prob(DeviceId(1), SimTime::from_millis(15)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn flaky_composes_with_task_faults() {
+        let s = FaultSchedule::new(1)
+            .with_task_faults(Some(DeviceId(1)), 0.5, SimTime::ZERO, SimTime::MAX)
+            .with_flaky(DeviceId(1), 0.5, SimTime::ZERO, SimTime::MAX);
+        let p = s.task_fault_prob(DeviceId(1), SimTime::from_millis(1));
+        assert!((p - 0.75).abs() < 1e-12, "{p}");
+        // Both windows are device-scoped.
+        assert_eq!(s.task_fault_prob(DeviceId(0), SimTime::from_millis(1)), 0.0);
+    }
+
+    #[test]
+    fn throttled_exec_scales_by_factor() {
+        let s =
+            FaultSchedule::new(1).with_throttle(DeviceId(1), SimTime::ZERO, SimTime::MAX, 4.0, 4.0);
+        let base = SimTime::from_millis(10);
+        assert_eq!(
+            s.throttled_exec(DeviceId(1), SimTime::from_millis(1), base),
+            SimTime::from_millis(40)
+        );
+        // Factor 1.0 passes `base` through exactly (no float round-trip).
+        assert_eq!(
+            s.throttled_exec(DeviceId(0), SimTime::from_millis(1), base),
+            base
+        );
+    }
+
+    #[test]
+    fn validate_catches_bad_gray_events() {
+        let mut s = FaultSchedule::new(1);
+        s.events.push(FaultEvent::SilentCorruption {
+            dev: DeviceId(1),
+            prob: -0.1,
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
+        });
+        assert!(s.validate().is_err());
+        let mut s = FaultSchedule::new(1);
+        s.events.push(FaultEvent::Flaky {
+            dev: DeviceId(1),
+            fault_prob: 0.5,
+            from: SimTime::from_millis(2),
+            until: SimTime::from_millis(1),
+        });
+        assert!(s.validate().is_err());
+        assert!(FaultSchedule::new(1)
+            .with_silent_corruption(DeviceId(1), 0.5, SimTime::ZERO, SimTime::MAX)
+            .with_flaky(DeviceId(1), 0.5, SimTime::ZERO, SimTime::MAX)
+            .validate()
+            .is_ok());
     }
 
     #[test]

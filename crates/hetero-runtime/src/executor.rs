@@ -43,9 +43,27 @@
 //!
 //! The fault path is strictly additive: with no schedule the executor takes
 //! the exact event sequence of the healthy simulator, byte for byte.
+//!
+//! # Gray-failure resilience
+//!
+//! [`simulate_resilient`] layers the [`crate::health`] subsystem on top:
+//! a straggler *watchdog* that hedges slow attempts onto the best other
+//! device (first finisher wins), *duplicate-check* verification that
+//! catches silently corrupted epochs at their barrier and rolls them back
+//! to the checkpoint, and a per-device *circuit breaker* fed by an EWMA
+//! health score. With [`HealthConfig::disabled`] the resilient executor is
+//! exactly [`simulate_faulty`], byte for byte. Because attempt durations
+//! are sampled at dispatch, the watchdog is *prescient*: the fire event is
+//! armed up front exactly when the attempt will still be running at its
+//! deadline — semantically identical to a wall-clock watchdog. Two
+//! documented simplifications: a hedged duplicate re-reads its inputs
+//! without re-charging transfers and samples no faults of its own, and a
+//! hedge win leaves the coherence directory naming the primary's memory
+//! space (only timing and attribution move to the peer).
 
 use crate::coherence::CoherenceDir;
 use crate::graph::TaskGraph;
+use crate::health::{BreakerState, HealthConfig, HealthReport, QuarantineSpan, VerificationPolicy};
 use crate::program::{Program, TaskDesc, TaskId};
 use crate::scheduler::{BindCtx, Scheduler};
 use crate::stats::{KernelStats, RunReport};
@@ -55,6 +73,11 @@ use hetero_platform::{
     PlatformCounters, RetryPolicy, SimTime,
 };
 use std::collections::VecDeque;
+
+/// Stream-splitting constant for the health RNG: verification sampling
+/// draws from its own SplitMix64 stream so enabling it never perturbs
+/// fault sampling.
+const HEALTH_STREAM: u64 = 0x5EED_C0DE_D00D_FEED;
 
 enum Ev {
     TaskDone {
@@ -71,6 +94,23 @@ enum Ev {
     DeviceDropout {
         dev: DeviceId,
     },
+    /// The straggler watchdog's deadline passed with the attempt still
+    /// running (`started`/`gen` identify the exact dispatch watched).
+    WatchdogFire {
+        task: TaskId,
+        started: SimTime,
+        gen: u32,
+    },
+    /// A hedged duplicate designated the winner finished on its peer.
+    HedgeDone {
+        task: TaskId,
+        dev: DeviceId,
+        gen: u32,
+    },
+    /// A quarantined device's cool-down elapsed: half-open the circuit.
+    CircuitProbe {
+        dev: DeviceId,
+    },
 }
 
 /// Simulate `program` on `platform` under `scheduler`.
@@ -79,7 +119,9 @@ pub fn simulate(
     platform: &Platform,
     scheduler: &mut dyn Scheduler,
 ) -> RunReport {
-    Sim::new(program, platform, scheduler, false, None).run().0
+    Sim::new(program, platform, scheduler, false, None, None)
+        .run()
+        .0
 }
 
 /// [`simulate`], additionally recording an execution [`Trace`].
@@ -88,7 +130,7 @@ pub fn simulate_traced(
     platform: &Platform,
     scheduler: &mut dyn Scheduler,
 ) -> (RunReport, Trace) {
-    let (report, trace) = Sim::new(program, platform, scheduler, true, None).run();
+    let (report, trace) = Sim::new(program, platform, scheduler, true, None, None).run();
     (report, trace.expect("tracing was enabled"))
 }
 
@@ -108,6 +150,7 @@ pub fn simulate_faulty(
         scheduler,
         false,
         Some((schedule, policy)),
+        None,
     )
     .run()
     .0
@@ -123,8 +166,63 @@ pub fn simulate_faulty_traced(
     schedule: &FaultSchedule,
     policy: RetryPolicy,
 ) -> (RunReport, Trace) {
-    let (report, trace) =
-        Sim::new(program, platform, scheduler, true, Some((schedule, policy))).run();
+    let (report, trace) = Sim::new(
+        program,
+        platform,
+        scheduler,
+        true,
+        Some((schedule, policy)),
+        None,
+    )
+    .run();
+    (report, trace.expect("tracing was enabled"))
+}
+
+/// [`simulate_faulty`] with the gray-failure resilience subsystem
+/// configured by `health` (see [`crate::health`]): the straggler watchdog
+/// with hedged duplicates, duplicate-check SDC verification with epoch
+/// rollback, and the device-health circuit breaker. With
+/// [`HealthConfig::disabled`] this is exactly [`simulate_faulty`].
+pub fn simulate_resilient(
+    program: &Program,
+    platform: &Platform,
+    scheduler: &mut dyn Scheduler,
+    schedule: &FaultSchedule,
+    policy: RetryPolicy,
+    health: &HealthConfig,
+) -> RunReport {
+    Sim::new(
+        program,
+        platform,
+        scheduler,
+        false,
+        Some((schedule, policy)),
+        Some(*health),
+    )
+    .run()
+    .0
+}
+
+/// [`simulate_resilient`], additionally recording an execution [`Trace`]
+/// with the gray-failure events ([`TraceEvent::HedgeLaunched`],
+/// [`TraceEvent::CorruptionDetected`], [`TraceEvent::CircuitOpen`], ...).
+pub fn simulate_resilient_traced(
+    program: &Program,
+    platform: &Platform,
+    scheduler: &mut dyn Scheduler,
+    schedule: &FaultSchedule,
+    policy: RetryPolicy,
+    health: &HealthConfig,
+) -> (RunReport, Trace) {
+    let (report, trace) = Sim::new(
+        program,
+        platform,
+        scheduler,
+        true,
+        Some((schedule, policy)),
+        Some(*health),
+    )
+    .run();
     (report, trace.expect("tracing was enabled"))
 }
 
@@ -157,23 +255,58 @@ struct FaultCtx<'a> {
     /// already booked into `time_lost` for the current dispatch, so a
     /// dropout that discards the dispatch charges only the remainder.
     booked_loss: Vec<SimTime>,
+    /// Per task: the current committed result is silently corrupted
+    /// (ground truth, tracked whether or not verification is on).
+    corrupt: Vec<bool>,
+    /// Corrupt results injected across all dispatches.
+    corruptions_injected: u64,
+    /// Corruption injection disabled for the open epoch's re-runs (set
+    /// after `max_rollbacks_per_epoch`; the SDC analog of safe mode).
+    suppress_corruption: bool,
 }
 
-fn scale_time(t: SimTime, factor: f64) -> SimTime {
-    if factor == 1.0 {
-        t
-    } else {
-        SimTime::from_secs_f64(t.as_secs_f64() * factor)
-    }
+/// An active hedged duplicate of one straggling task.
+#[derive(Clone, Copy)]
+struct Hedge {
+    /// Device the duplicate runs on.
+    peer: DeviceId,
+    /// When the duplicate was launched.
+    launched: SimTime,
+    /// The duplicate will finish before the straggling primary (decided at
+    /// launch — attempt durations are known at dispatch).
+    winner: bool,
 }
 
-/// The surviving device with the most slots (ties → lowest id), excluding
-/// `exclude`; the host (device 0, never dead) is the target of last resort.
-fn fallback_device(platform: &Platform, dead: &[bool], exclude: Option<DeviceId>) -> DeviceId {
+/// Mutable gray-failure state, present only when a [`HealthConfig`] with
+/// at least one mitigation enabled was supplied.
+struct HealthCtx {
+    config: HealthConfig,
+    /// Verification-sampling stream, independent of the fault stream.
+    rng: FaultRng,
+    report: HealthReport,
+    /// Per device: consecutive bad observations (resets on a good one).
+    consecutive_bad: Vec<u32>,
+    /// Per device: circuit-breaker state.
+    state: Vec<BreakerState>,
+    /// Per device: the probe task let through while half-open.
+    probe_task: Vec<Option<TaskId>>,
+    /// Per task: the watchdog fired for the current dispatch.
+    straggled: Vec<bool>,
+    /// Per task: active hedged duplicate.
+    hedge: Vec<Option<Hedge>>,
+    /// Rollbacks of the open epoch so far.
+    rollbacks_this_epoch: u32,
+}
+
+/// The available device with the most slots (ties → lowest id), excluding
+/// `exclude`; `blocked` marks devices no binding may target (dead, or
+/// quarantined by the circuit breaker). The host (device 0, never dead and
+/// never quarantined) is the target of last resort.
+fn fallback_device(platform: &Platform, blocked: &[bool], exclude: Option<DeviceId>) -> DeviceId {
     platform
         .devices
         .iter()
-        .filter(|d| !dead[d.id.0] && Some(d.id) != exclude)
+        .filter(|d| !blocked[d.id.0] && Some(d.id) != exclude)
         .max_by_key(|d| (d.spec.kind.slots(), std::cmp::Reverse(d.id.0)))
         .map(|d| d.id)
         .unwrap_or(DeviceId(0))
@@ -211,6 +344,7 @@ struct Sim<'a> {
     flushes_done: usize,
     trace: Option<Trace>,
     faults: Option<FaultCtx<'a>>,
+    health: Option<HealthCtx>,
 }
 
 impl<'a> Sim<'a> {
@@ -220,6 +354,7 @@ impl<'a> Sim<'a> {
         scheduler: &'a mut dyn Scheduler,
         traced: bool,
         faults: Option<(&'a FaultSchedule, RetryPolicy)>,
+        health: Option<HealthConfig>,
     ) -> Self {
         let graph = TaskGraph::build(program);
         let tasks: Vec<&TaskDesc> = program.tasks().into_iter().map(|(_, t)| t).collect();
@@ -251,8 +386,35 @@ impl<'a> Sim<'a> {
                 started_at: vec![SimTime::ZERO; n],
                 recorded: vec![false; n],
                 booked_loss: vec![SimTime::ZERO; n],
+                corrupt: vec![false; n],
+                corruptions_injected: 0,
+                suppress_corruption: false,
             }
         });
+        let ndev = platform.devices.len();
+        let health = health
+            .inspect(|config| {
+                config
+                    .validate()
+                    .unwrap_or_else(|e| panic!("invalid health config: {e}"));
+            })
+            .filter(HealthConfig::enabled)
+            .map(|config| HealthCtx {
+                config,
+                rng: FaultRng::new(
+                    faults.as_ref().map(|f| f.schedule.seed).unwrap_or(0) ^ HEALTH_STREAM,
+                ),
+                report: HealthReport {
+                    scores: vec![1.0; ndev],
+                    ..HealthReport::default()
+                },
+                consecutive_bad: vec![0; ndev],
+                state: vec![BreakerState::Closed; ndev],
+                probe_task: vec![None; ndev],
+                straggled: vec![false; n],
+                hedge: vec![None; n],
+                rollbacks_this_epoch: 0,
+            });
         Sim {
             remaining_preds: graph.preds.iter().map(Vec::len).collect(),
             graph,
@@ -282,6 +444,7 @@ impl<'a> Sim<'a> {
             flushes_done: 0,
             trace: traced.then(Trace::default),
             faults,
+            health,
         }
     }
 
@@ -328,6 +491,29 @@ impl<'a> Sim<'a> {
                     self.now = t;
                     self.on_device_dropout(dev);
                 }
+                Ev::WatchdogFire { task, started, gen } => {
+                    if self.stale(task, gen) {
+                        continue;
+                    }
+                    self.now = t;
+                    self.on_watchdog_fire(task, started);
+                }
+                Ev::HedgeDone { task, dev, gen } => {
+                    if self.stale(task, gen) {
+                        continue;
+                    }
+                    self.now = t;
+                    self.on_hedge_done(task, dev);
+                }
+                Ev::CircuitProbe { dev } => {
+                    // Like dropouts, probes after the program finished must
+                    // not extend the makespan.
+                    if self.cur_epoch >= self.epochs.len() {
+                        continue;
+                    }
+                    self.now = t;
+                    self.on_circuit_probe(dev);
+                }
             }
         }
         assert!(
@@ -338,6 +524,12 @@ impl<'a> Sim<'a> {
     }
 
     fn finish(self) -> (RunReport, Option<Trace>) {
+        let mut health = self.health.map(|h| h.report).unwrap_or_default();
+        if let Some(f) = &self.faults {
+            // Ground truth is reported whether or not verification ran.
+            health.corruptions_injected = f.corruptions_injected;
+            health.corrupt_committed = f.corrupt.iter().filter(|&&c| c).count() as u64;
+        }
         let report = RunReport {
             scheduler: self.scheduler.name().to_string(),
             makespan: self.now,
@@ -350,6 +542,7 @@ impl<'a> Sim<'a> {
                 .map(|d| d.spec.kind.is_gpu())
                 .collect(),
             faults: self.faults.map(|f| f.counters).unwrap_or_default(),
+            health,
         };
         (report, self.trace)
     }
@@ -366,6 +559,14 @@ impl<'a> Sim<'a> {
 
     /// Begin the current epoch: bind its dependency-free tasks.
     fn activate_epoch(&mut self) {
+        // Rollback budgets are per epoch: a fresh epoch re-enables
+        // corruption injection (rollback's re-activation bypasses this).
+        if let Some(h) = &mut self.health {
+            h.rollbacks_this_epoch = 0;
+        }
+        if let Some(f) = &mut self.faults {
+            f.suppress_corruption = false;
+        }
         let tasks: Vec<TaskId> = self.epochs[self.cur_epoch].clone();
         self.epoch_remaining = tasks.len();
         if tasks.is_empty() {
@@ -423,14 +624,24 @@ impl<'a> Sim<'a> {
             pred_placements: &pred_placements,
             transfer_estimate: &transfer_estimate,
         });
-        // A binding that names a dead device is redirected to the fallback
-        // survivor (a pinned plan keeps naming its dead device; redirecting
-        // here is what "falls back to Only-CPU completion").
-        if let Some(f) = &mut self.faults {
-            if f.dead[dev.0] {
-                let target = fallback_device(self.platform, &f.dead, None);
-                f.counters.failovers += 1;
-                f.suppress_complete[t.0] = true;
+        // A binding that names a dead or quarantined device is redirected
+        // to the fallback survivor (a pinned plan keeps naming its dead
+        // device; redirecting here is what "falls back to Only-CPU
+        // completion"). Half-open devices keep their bindings: they become
+        // probe candidates.
+        if self.faults.is_some() {
+            let unavail = self.unavailable();
+            let redirect = unavail[dev.0]
+                && !self
+                    .health
+                    .as_ref()
+                    .is_some_and(|h| h.state[dev.0] == BreakerState::HalfOpen);
+            if redirect {
+                let target = fallback_device(self.platform, &unavail, None);
+                if let Some(f) = self.faults.as_mut() {
+                    f.counters.failovers += 1;
+                    f.suppress_complete[t.0] = true;
+                }
                 if let Some(trace) = &mut self.trace {
                     trace.events.push(TraceEvent::Failover {
                         task: t,
@@ -452,21 +663,40 @@ impl<'a> Sim<'a> {
         }
     }
 
-    /// Start as many queued tasks on `dev` as free slots allow.
+    /// Start as many queued tasks on `dev` as free slots allow. A
+    /// quarantined device dispatches nothing; a half-open device lets a
+    /// single probe task through at a time.
     fn dispatch(&mut self, dev: DeviceId) {
         if self.faults.as_ref().is_some_and(|f| f.dead[dev.0]) {
             return;
         }
+        let half_open = match self.health.as_ref().map(|h| h.state[dev.0]) {
+            Some(BreakerState::Open) => return,
+            Some(BreakerState::HalfOpen) => {
+                if self.health.as_ref().unwrap().probe_task[dev.0].is_some() {
+                    return;
+                }
+                true
+            }
+            _ => false,
+        };
         while self.free_slots[dev.0] > 0 {
             let Some(t) = self.dev_queues[dev.0].pop_front() else {
                 break;
             };
             self.free_slots[dev.0] -= 1;
-            let (busy, aborted) = self.start_task(t, dev);
+            let (busy, nominal, aborted) = self.start_task(t, dev);
             let gen = self.cur_gen(t);
             if let Some(f) = &mut self.faults {
                 f.in_flight[t.0] = true;
                 f.started_at[t.0] = self.now;
+            }
+            if let Some(h) = &mut self.health {
+                h.straggled[t.0] = false;
+                if half_open {
+                    h.probe_task[dev.0] = Some(t);
+                    h.report.probes += 1;
+                }
             }
             let ev = if aborted {
                 Ev::TaskAborted { task: t, dev, gen }
@@ -474,18 +704,43 @@ impl<'a> Sim<'a> {
                 Ev::TaskDone { task: t, dev, gen }
             };
             self.queue.push(self.now + busy, ev);
+            // Prescient watchdog: attempt durations are sampled at
+            // dispatch, so the fire event is armed up front exactly when
+            // the attempt will still be running at its deadline.
+            if !aborted {
+                if let Some(w) = self.health.as_ref().and_then(|h| h.config.watchdog) {
+                    let deadline = SimTime::from_secs_f64(nominal.as_secs_f64() * w.slack);
+                    if nominal > SimTime::ZERO && busy > deadline {
+                        self.queue.push(
+                            self.now + deadline,
+                            Ev::WatchdogFire {
+                                task: t,
+                                started: self.now,
+                                gen,
+                            },
+                        );
+                    }
+                }
+            }
+            if half_open {
+                break;
+            }
         }
     }
 
     /// Account one task's slot occupancy: scheduling overhead + coherence
     /// transfers + roofline execution (+ fault attempts, under a schedule).
-    /// Mutates the coherence directory. Returns the slot occupancy and
-    /// whether the task aborted (exhausted its retries and must fail over).
-    fn start_task(&mut self, t: TaskId, dev: DeviceId) -> (SimTime, bool) {
+    /// Mutates the coherence directory. Returns the slot occupancy, the
+    /// *nominal* occupancy (the model's fault- and throttle-free
+    /// prediction, which is what the watchdog's deadline is computed
+    /// against), and whether the task aborted (exhausted its retries and
+    /// must fail over).
+    fn start_task(&mut self, t: TaskId, dev: DeviceId) -> (SimTime, SimTime, bool) {
         let task = self.tasks[t.0];
         let device = self.platform.device(dev);
         let space = device.mem_space;
         let mut busy = SimTime::ZERO;
+        let mut nominal = SimTime::ZERO;
 
         if let Some(f) = &mut self.faults {
             f.booked_loss[t.0] = SimTime::ZERO;
@@ -493,6 +748,7 @@ impl<'a> Sim<'a> {
 
         if self.scheduler.is_dynamic() {
             busy += self.platform.sched_overhead;
+            nominal += self.platform.sched_overhead;
             self.counters.record_sched(self.platform.sched_overhead);
         }
 
@@ -541,6 +797,7 @@ impl<'a> Sim<'a> {
                         });
                     }
                     busy += dt;
+                    nominal += dt;
                     self.counters.record_transfer(tr.bytes, dt);
                 }
             }
@@ -548,6 +805,7 @@ impl<'a> Sim<'a> {
 
         let profile = &self.program.kernels[task.kernel.0].profile;
         let base_exec = device.exec_time_weighted(profile, task.items, task.cost_scale);
+        nominal += base_exec;
         let mut exec = base_exec;
         let mut aborted = false;
         if let Some(f) = &mut self.faults {
@@ -555,7 +813,7 @@ impl<'a> Sim<'a> {
             let mut attempt: u32 = 1;
             loop {
                 let at = self.now + busy;
-                let this_exec = scale_time(base_exec, f.schedule.throttle_factor(dev, at));
+                let this_exec = f.schedule.throttled_exec(dev, at, base_exec);
                 let p = f.schedule.task_fault_prob(dev, at);
                 let failed = p > 0.0 && f.rng.next_f64() < p;
                 if !failed {
@@ -588,8 +846,7 @@ impl<'a> Sim<'a> {
                     } else {
                         // Safe mode: one final fault-free attempt
                         // guarantees termination on the last resort.
-                        let final_exec =
-                            scale_time(base_exec, f.schedule.throttle_factor(dev, self.now + busy));
+                        let final_exec = f.schedule.throttled_exec(dev, self.now + busy, base_exec);
                         exec = final_exec;
                         busy += final_exec;
                         f.counters.safe_mode_tasks += 1;
@@ -604,6 +861,19 @@ impl<'a> Sim<'a> {
                 busy += bo;
                 attempt += 1;
             }
+            // Silent corruption: the attempt "succeeds" on time but its
+            // committed result is wrong. Ground truth is tracked whether
+            // or not verification is on; the draw is gated on a positive
+            // probability so schedules without SDC events keep their
+            // exact fault stream.
+            if !aborted {
+                f.corrupt[t.0] = false;
+                let cp = f.schedule.corruption_prob(dev, self.now);
+                if cp > 0.0 && !f.suppress_corruption && f.rng.next_f64() < cp {
+                    f.corrupt[t.0] = true;
+                    f.corruptions_injected += 1;
+                }
+            }
         } else {
             busy += exec;
         }
@@ -616,7 +886,7 @@ impl<'a> Sim<'a> {
             if let Some(f) = &mut self.faults {
                 f.recorded[t.0] = false;
             }
-            return (busy, true);
+            return (busy, nominal, true);
         }
 
         for acc in &task.accesses {
@@ -645,7 +915,7 @@ impl<'a> Sim<'a> {
                 end: self.now + busy,
             });
         }
-        (busy, false)
+        (busy, nominal, false)
     }
 
     fn on_task_done(&mut self, t: TaskId, dev: DeviceId) {
@@ -671,6 +941,32 @@ impl<'a> Sim<'a> {
             );
         }
 
+        // A loser hedge is cancelled the moment its primary finishes: the
+        // peer slot it burned is charged to `time_hedged` and freed.
+        if let Some(h) = &mut self.health {
+            if let Some(hd) = h.hedge[t.0].take() {
+                let span = self.now.saturating_sub(hd.launched);
+                self.counters.devices[hd.peer.0].busy += span;
+                h.report.time_hedged += span;
+                self.free_slots[hd.peer.0] += 1;
+                self.dev_last_done[hd.peer.0] = self.dev_last_done[hd.peer.0].max(self.now);
+            }
+        }
+        if self.health.is_some() {
+            let bad = self.health.as_ref().unwrap().straggled[t.0]
+                || self
+                    .faults
+                    .as_ref()
+                    .is_some_and(|f| f.booked_loss[t.0] > SimTime::ZERO);
+            self.observe(dev, !bad, Some(t));
+        }
+
+        self.release_and_advance(t);
+    }
+
+    /// Completion tail shared by [`Sim::on_task_done`] and a winning
+    /// hedge: release successors, advance the epoch, refill slots.
+    fn release_and_advance(&mut self, t: TaskId) {
         // Release successors whose dependences are now satisfied. Only
         // successors in the *active* epoch become ready (later epochs wait
         // for their taskwait barrier; `activate_epoch` re-scans them). A
@@ -690,7 +986,7 @@ impl<'a> Sim<'a> {
 
         self.epoch_remaining -= 1;
         if self.epoch_remaining == 0 {
-            self.start_flush();
+            self.on_epoch_barrier();
         }
         self.dispatch_all();
     }
@@ -701,7 +997,7 @@ impl<'a> Sim<'a> {
     fn on_task_aborted(&mut self, t: TaskId, dev: DeviceId) {
         self.free_slots[dev.0] += 1;
         self.dev_last_done[dev.0] = self.dev_last_done[dev.0].max(self.now);
-        let target = {
+        {
             let f = self
                 .faults
                 .as_mut()
@@ -710,8 +1006,12 @@ impl<'a> Sim<'a> {
             f.failed_over[t.0] = true;
             f.suppress_complete[t.0] = true;
             f.counters.failovers += 1;
-            fallback_device(self.platform, &f.dead, Some(dev))
-        };
+        }
+        // Observe first: the exhaustion may trip the breaker, and the
+        // fallback choice must see the updated quarantine set.
+        self.observe(dev, false, Some(t));
+        let unavail = self.unavailable();
+        let target = fallback_device(self.platform, &unavail, Some(dev));
         if let Some(trace) = &mut self.trace {
             trace.events.push(TraceEvent::Failover {
                 task: t,
@@ -750,6 +1050,55 @@ impl<'a> Sim<'a> {
             trace
                 .events
                 .push(TraceEvent::DeviceDropout { dev, at: self.now });
+        }
+
+        // Hedge bookkeeping: a hedge whose peer died is lost (a
+        // designated-winner's primary completion is revived), and a hedge
+        // whose primary is about to be killed below is cancelled with it.
+        if self.health.is_some() {
+            for ti in 0..self.tasks.len() {
+                let Some(hd) = self.health.as_ref().and_then(|h| h.hedge[ti]) else {
+                    continue;
+                };
+                let span = self.now.saturating_sub(hd.launched);
+                if hd.peer == dev {
+                    self.counters.devices[dev.0].busy += span;
+                    if let Some(h) = self.health.as_mut() {
+                        h.report.time_hedged += span;
+                        h.hedge[ti] = None;
+                    }
+                    if hd.winner {
+                        // The primary is still physically running; its
+                        // completion was invalidated when the hedge was
+                        // designated winner — revive it under the current
+                        // generation (the primary outlives the hedge by
+                        // construction: hedge_end < primary_end).
+                        let f = self.faults.as_ref().unwrap();
+                        let end = f.started_at[ti] + self.busy_of[ti];
+                        let gen = f.gen[ti];
+                        let pdev = self.placements[ti].expect("hedged task was placed");
+                        self.queue.push(
+                            end,
+                            Ev::TaskDone {
+                                task: TaskId(ti),
+                                dev: pdev,
+                                gen,
+                            },
+                        );
+                    }
+                } else if self.placements[ti] == Some(dev)
+                    && self.faults.as_ref().is_some_and(|f| f.in_flight[ti])
+                {
+                    // The kill loop below requeues the primary; the
+                    // duplicate's result is discarded with it.
+                    self.counters.devices[hd.peer.0].busy += span;
+                    self.free_slots[hd.peer.0] += 1;
+                    if let Some(h) = self.health.as_mut() {
+                        h.report.time_hedged += span;
+                        h.hedge[ti] = None;
+                    }
+                }
+            }
         }
 
         // With the epoch's barrier already reached (flush in flight), the
@@ -866,6 +1215,457 @@ impl<'a> Sim<'a> {
         requeue.dedup();
         for t in requeue {
             self.make_ready(t);
+        }
+        self.dispatch_all();
+    }
+
+    /// Devices no new binding may target: dead, or with an open/half-open
+    /// circuit (half-open devices keep their existing bindings as probe
+    /// candidates but are not fallback targets).
+    fn unavailable(&self) -> Vec<bool> {
+        let mut v: Vec<bool> = match &self.faults {
+            Some(f) => f.dead.clone(),
+            None => vec![false; self.platform.devices.len()],
+        };
+        if let Some(h) = &self.health {
+            for (i, s) in h.state.iter().enumerate() {
+                if *s != BreakerState::Closed {
+                    v[i] = true;
+                }
+            }
+        }
+        v
+    }
+
+    /// Fold one good/bad observation of `dev` into its EWMA health score
+    /// and the circuit breaker. `task` identifies the observation's source
+    /// for half-open probe matching.
+    fn observe(&mut self, dev: DeviceId, good: bool, task: Option<TaskId>) {
+        enum Action {
+            None,
+            Trip(SimTime),
+            Close,
+            Reopen(SimTime),
+        }
+        let action = {
+            let Some(h) = self.health.as_mut() else {
+                return;
+            };
+            let alpha = h.config.ewma_alpha;
+            let s = &mut h.report.scores[dev.0];
+            *s = (1.0 - alpha) * *s + alpha * if good { 1.0 } else { 0.0 };
+            if good {
+                h.consecutive_bad[dev.0] = 0;
+            } else {
+                h.consecutive_bad[dev.0] += 1;
+            }
+            match (h.config.breaker, h.state[dev.0]) {
+                (Some(b), BreakerState::Closed)
+                    if !good
+                        && h.consecutive_bad[dev.0] >= b.trip_after
+                        && dev.0 != 0
+                        && !self.faults.as_ref().is_some_and(|f| f.dead[dev.0]) =>
+                {
+                    Action::Trip(b.cooldown)
+                }
+                (Some(b), BreakerState::HalfOpen)
+                    if task.is_some() && h.probe_task[dev.0] == task =>
+                {
+                    if good {
+                        Action::Close
+                    } else {
+                        Action::Reopen(b.cooldown)
+                    }
+                }
+                _ => Action::None,
+            }
+        };
+        match action {
+            Action::None => {}
+            Action::Trip(cooldown) => self.trip_breaker(dev, cooldown),
+            Action::Close => {
+                let h = self.health.as_mut().unwrap();
+                h.state[dev.0] = BreakerState::Closed;
+                h.probe_task[dev.0] = None;
+                h.consecutive_bad[dev.0] = 0;
+                h.report.circuit_closes += 1;
+                if let Some(span) = h
+                    .report
+                    .quarantine
+                    .iter_mut()
+                    .rev()
+                    .find(|q| q.dev == dev && q.until.is_none())
+                {
+                    span.until = Some(self.now);
+                }
+                if let Some(trace) = &mut self.trace {
+                    trace
+                        .events
+                        .push(TraceEvent::CircuitClose { dev, at: self.now });
+                }
+            }
+            Action::Reopen(cooldown) => {
+                {
+                    let h = self.health.as_mut().unwrap();
+                    h.state[dev.0] = BreakerState::Open;
+                    h.probe_task[dev.0] = None;
+                }
+                self.queue
+                    .push(self.now + cooldown, Ev::CircuitProbe { dev });
+                self.drain_and_rebind(dev);
+            }
+        }
+    }
+
+    /// Open the circuit: quarantine `dev`, schedule its half-open probe,
+    /// and redirect its queued (unstarted) work. In-flight work finishes —
+    /// quarantine is not a dropout.
+    fn trip_breaker(&mut self, dev: DeviceId, cooldown: SimTime) {
+        {
+            let h = self.health.as_mut().unwrap();
+            h.state[dev.0] = BreakerState::Open;
+            h.probe_task[dev.0] = None;
+            h.report.circuit_opens += 1;
+            h.report.quarantine.push(QuarantineSpan {
+                dev,
+                from: self.now,
+                until: None,
+            });
+        }
+        if let Some(trace) = &mut self.trace {
+            trace
+                .events
+                .push(TraceEvent::CircuitOpen { dev, at: self.now });
+        }
+        self.queue
+            .push(self.now + cooldown, Ev::CircuitProbe { dev });
+        self.drain_and_rebind(dev);
+    }
+
+    /// Re-bind a quarantined device's queued work; `make_ready` redirects
+    /// it to survivors (counted as failovers).
+    fn drain_and_rebind(&mut self, dev: DeviceId) {
+        let drained: Vec<TaskId> = self.dev_queues[dev.0].drain(..).collect();
+        for &t in &drained {
+            self.placements[t.0] = None;
+        }
+        for t in drained {
+            self.make_ready(t);
+        }
+    }
+
+    /// Cool-down elapsed: half-open the circuit and let one probe through.
+    fn on_circuit_probe(&mut self, dev: DeviceId) {
+        if self.faults.as_ref().is_some_and(|f| f.dead[dev.0]) {
+            return; // died while quarantined; the circuit stays open
+        }
+        let Some(h) = self.health.as_mut() else {
+            return;
+        };
+        if h.state[dev.0] != BreakerState::Open {
+            return;
+        }
+        h.state[dev.0] = BreakerState::HalfOpen;
+        h.probe_task[dev.0] = None;
+        self.dispatch(dev);
+    }
+
+    /// The watchdog's deadline passed with the attempt still running:
+    /// record a straggle observation and (if configured) launch a hedged
+    /// duplicate on the best other device.
+    fn on_watchdog_fire(&mut self, t: TaskId, started: SimTime) {
+        let live = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.in_flight[t.0] && f.started_at[t.0] == started);
+        if !live {
+            return;
+        }
+        let Some(primary) = self.placements[t.0] else {
+            return;
+        };
+        {
+            let h = self.health.as_mut().unwrap();
+            if h.straggled[t.0] || h.hedge[t.0].is_some() {
+                return;
+            }
+            h.straggled[t.0] = true;
+        }
+        self.observe(primary, false, Some(t));
+        let hedging = self
+            .health
+            .as_ref()
+            .unwrap()
+            .config
+            .watchdog
+            .is_some_and(|w| w.hedging);
+        if !hedging {
+            return;
+        }
+        // Best live, closed peer with a free slot: minimum throttled
+        // execution estimate. The duplicate re-reads the inputs the
+        // primary already staged, so transfers are not re-charged, and it
+        // samples no faults of its own (see the module docs).
+        let unavail = self.unavailable();
+        let task = self.tasks[t.0];
+        let profile = &self.program.kernels[task.kernel.0].profile;
+        let mut best: Option<(SimTime, DeviceId)> = None;
+        for d in &self.platform.devices {
+            if d.id == primary || unavail[d.id.0] || self.free_slots[d.id.0] == 0 {
+                continue;
+            }
+            let base = d.exec_time_weighted(profile, task.items, task.cost_scale);
+            let cost = self
+                .faults
+                .as_ref()
+                .map_or(base, |f| f.schedule.throttled_exec(d.id, self.now, base));
+            if best.is_none_or(|(c, _)| cost < c) {
+                best = Some((cost, d.id));
+            }
+        }
+        let Some((cost, peer)) = best else {
+            return;
+        };
+        let hedge_end = self.now + cost;
+        let primary_end = self.faults.as_ref().unwrap().started_at[t.0] + self.busy_of[t.0];
+        self.free_slots[peer.0] -= 1;
+        // First finisher wins, and both finish times are known here.
+        let winner = hedge_end < primary_end;
+        if winner {
+            let f = self.faults.as_mut().unwrap();
+            f.gen[t.0] += 1; // invalidate the straggling primary's completion
+            let gen = f.gen[t.0];
+            self.queue.push(
+                hedge_end,
+                Ev::HedgeDone {
+                    task: t,
+                    dev: peer,
+                    gen,
+                },
+            );
+        }
+        let h = self.health.as_mut().unwrap();
+        h.report.hedges_issued += 1;
+        h.hedge[t.0] = Some(Hedge {
+            peer,
+            launched: self.now,
+            winner,
+        });
+        if let Some(trace) = &mut self.trace {
+            trace.events.push(TraceEvent::HedgeLaunched {
+                task: t,
+                from: primary,
+                to: peer,
+                at: self.now,
+            });
+        }
+    }
+
+    /// A winning hedged duplicate finished: cancel the straggling primary
+    /// mid-attempt, commit the result on the peer, and complete the task.
+    fn on_hedge_done(&mut self, t: TaskId, peer: DeviceId) {
+        let hd = self.health.as_mut().unwrap().hedge[t.0]
+            .take()
+            .expect("hedge event implies an active hedge");
+        let primary = self.placements[t.0].expect("hedged task was placed");
+        let task = self.tasks[t.0];
+        // Reverse the primary's dispatch accounting; the slot span it
+        // actually occupied is charged (net of fault losses already booked
+        // to `time_lost`) to `time_hedged`.
+        let span_primary;
+        {
+            let f = self.faults.as_mut().unwrap();
+            span_primary = self.now.saturating_sub(f.started_at[t.0]);
+            f.in_flight[t.0] = false;
+            f.suppress_complete[t.0] = true;
+            f.corrupt[t.0] = false; // the primary's result is discarded
+            let c = &mut self.counters.devices[primary.0];
+            c.busy = c.busy.saturating_sub(self.busy_of[t.0]) + span_primary;
+            if f.recorded[t.0] {
+                c.tasks -= 1;
+                c.items -= task.items;
+                let ks = &mut self.per_kernel[task.kernel.0];
+                ks.items_per_device[primary.0] -= task.items;
+                ks.tasks_per_device[primary.0] -= 1;
+            }
+        }
+        {
+            let h = self.health.as_mut().unwrap();
+            h.report.hedges_won += 1;
+            h.report.time_hedged +=
+                span_primary.saturating_sub(self.faults.as_ref().unwrap().booked_loss[t.0]);
+        }
+        self.free_slots[primary.0] += 1;
+        self.dev_last_done[primary.0] = self.dev_last_done[primary.0].max(self.now);
+        // Commit the duplicate's result on the peer.
+        let hspan = self.now.saturating_sub(hd.launched);
+        self.counters.record_task(peer, task.items, hspan);
+        let ks = &mut self.per_kernel[task.kernel.0];
+        ks.items_per_device[peer.0] += task.items;
+        ks.tasks_per_device[peer.0] += 1;
+        self.busy_of[t.0] = hspan;
+        self.exec_of[t.0] = hspan;
+        self.placements[t.0] = Some(peer);
+        self.free_slots[peer.0] += 1;
+        self.dev_last_done[peer.0] = self.dev_last_done[peer.0].max(self.now);
+        self.completed[t.0] = true;
+        if let Some(trace) = &mut self.trace {
+            trace.events.push(TraceEvent::Task {
+                task: t,
+                kernel: task.kernel,
+                dev: peer,
+                items: task.items,
+                start: hd.launched,
+                end: self.now,
+            });
+            trace.events.push(TraceEvent::HedgeWon {
+                task: t,
+                dev: peer,
+                at: self.now,
+            });
+        }
+        self.observe(peer, true, Some(t));
+        self.release_and_advance(t);
+    }
+
+    /// All tasks of the open epoch completed. Under `DupCheck` a seeded
+    /// sample is re-executed on a peer device first; a mismatch rolls the
+    /// epoch back to its checkpoint instead of committing it.
+    fn on_epoch_barrier(&mut self) {
+        if let Some(sample_rate) = self.dup_check_rate() {
+            let (verify_end, detected) = self.verify_epoch(sample_rate);
+            self.now = self.now.max(verify_end);
+            if detected {
+                self.rollback_epoch();
+                return;
+            }
+        }
+        self.start_flush();
+    }
+
+    fn dup_check_rate(&self) -> Option<f64> {
+        match self.health.as_ref().map(|h| h.config.verification) {
+            Some(VerificationPolicy::DupCheck { sample_rate }) if sample_rate > 0.0 => {
+                Some(sample_rate)
+            }
+            _ => None,
+        }
+    }
+
+    /// Re-execute a seeded sample of the epoch's tasks on peer devices and
+    /// compare. Verification serialises per peer starting at the barrier;
+    /// returns when the last comparison lands and whether any corruption
+    /// was detected.
+    fn verify_epoch(&mut self, sample_rate: f64) -> (SimTime, bool) {
+        let epoch_tasks = self.epochs[self.cur_epoch].clone();
+        let mut cursors: Vec<SimTime> = vec![self.now; self.platform.devices.len()];
+        let mut any = false;
+        let mut bad_obs: Vec<(DeviceId, TaskId)> = Vec::new();
+        for t in epoch_tasks {
+            let sampled = if sample_rate >= 1.0 {
+                true
+            } else {
+                self.health.as_mut().unwrap().rng.next_f64() < sample_rate
+            };
+            if !sampled {
+                continue;
+            }
+            let placed = self.placements[t.0].expect("epoch task completed");
+            let unavail = self.unavailable();
+            let task = self.tasks[t.0];
+            let profile = &self.program.kernels[task.kernel.0].profile;
+            let mut best: Option<(SimTime, DeviceId)> = None;
+            for d in &self.platform.devices {
+                if d.id == placed || unavail[d.id.0] {
+                    continue;
+                }
+                let base = d.exec_time_weighted(profile, task.items, task.cost_scale);
+                let cost = self.faults.as_ref().map_or(base, |f| {
+                    f.schedule.throttled_exec(d.id, cursors[d.id.0], base)
+                });
+                if best.is_none_or(|(c, _)| cost < c) {
+                    best = Some((cost, d.id));
+                }
+            }
+            let Some((cost, peer)) = best else {
+                continue; // no peer left to verify against
+            };
+            let end = cursors[peer.0] + cost;
+            cursors[peer.0] = end;
+            self.counters.devices[peer.0].busy += cost;
+            let h = self.health.as_mut().unwrap();
+            h.report.tasks_verified += 1;
+            h.report.time_verifying += cost;
+            if self.faults.as_ref().is_some_and(|f| f.corrupt[t.0]) {
+                any = true;
+                h.report.corruptions_detected += 1;
+                if let Some(trace) = &mut self.trace {
+                    trace.events.push(TraceEvent::CorruptionDetected {
+                        task: t,
+                        dev: placed,
+                        at: end,
+                    });
+                }
+                bad_obs.push((placed, t));
+            }
+        }
+        let verify_end = cursors.into_iter().max().unwrap_or(self.now);
+        for (dev, t) in bad_obs {
+            self.observe(dev, false, Some(t));
+        }
+        (verify_end, any)
+    }
+
+    /// A detected corruption invalidates the open epoch: reverse its
+    /// committed accounting, drop the untrusted device copies (readers
+    /// re-fetch from the host checkpoint), and re-run it. After
+    /// `max_rollbacks_per_epoch` attempts, corruption injection is
+    /// suppressed so the re-run commits clean — the SDC analog of safe
+    /// mode, guaranteeing termination.
+    fn rollback_epoch(&mut self) {
+        {
+            let h = self.health.as_mut().unwrap();
+            h.report.epoch_rollbacks += 1;
+            h.rollbacks_this_epoch += 1;
+            if h.rollbacks_this_epoch >= h.config.max_rollbacks_per_epoch {
+                if let Some(f) = self.faults.as_mut() {
+                    f.suppress_corruption = true;
+                }
+            }
+        }
+        let epoch_tasks = self.epochs[self.cur_epoch].clone();
+        for &t in &epoch_tasks {
+            let dev = self.placements[t.0].expect("epoch task completed");
+            let task = self.tasks[t.0];
+            self.completed[t.0] = false;
+            let c = &mut self.counters.devices[dev.0];
+            c.tasks -= 1;
+            c.items -= task.items;
+            c.busy = c.busy.saturating_sub(self.busy_of[t.0]);
+            let ks = &mut self.per_kernel[task.kernel.0];
+            ks.items_per_device[dev.0] -= task.items;
+            ks.tasks_per_device[dev.0] -= 1;
+            let f = self.faults.as_mut().unwrap();
+            f.corrupt[t.0] = false;
+            self.placements[t.0] = None;
+        }
+        // Re-arm every dependence the epoch's completions had satisfied;
+        // re-completions will satisfy them again.
+        for &t in &epoch_tasks {
+            for s in self.graph.succs[t.0].clone() {
+                self.remaining_preds[s.0] += 1;
+            }
+        }
+        for d in &self.platform.devices {
+            if !d.mem_space.is_host() {
+                self.coherence.drop_space(d.mem_space);
+            }
+        }
+        self.epoch_remaining = epoch_tasks.len();
+        for t in epoch_tasks {
+            if self.remaining_preds[t.0] == 0 {
+                self.make_ready(t);
+            }
         }
         self.dispatch_all();
     }

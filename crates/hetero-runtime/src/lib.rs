@@ -48,6 +48,7 @@ pub mod coherence;
 pub mod data;
 pub mod executor;
 pub mod graph;
+pub mod health;
 pub mod interval;
 pub mod native;
 pub mod program;
@@ -57,8 +58,15 @@ pub mod trace;
 
 pub use coherence::{CoherenceDir, Transfer};
 pub use data::{Access, AccessMode, BufferDesc, BufferId, Region};
-pub use executor::{simulate, simulate_faulty, simulate_faulty_traced, simulate_traced};
+pub use executor::{
+    simulate, simulate_faulty, simulate_faulty_traced, simulate_resilient,
+    simulate_resilient_traced, simulate_traced,
+};
 pub use graph::TaskGraph;
+pub use health::{
+    BreakerConfig, BreakerState, HealthConfig, HealthReport, QuarantineSpan, VerificationPolicy,
+    WatchdogConfig,
+};
 pub use interval::{Interval, IntervalMap, IntervalSet};
 pub use native::{run_native, run_native_parallel, ExecOrder, HostBuffers, KernelFn};
 pub use program::{
@@ -99,4 +107,21 @@ pub fn simulate_dp_perf_warmed_faulty(
     let _ = simulate_faulty(program, platform, &mut warm, schedule, policy);
     let mut measured = PerfScheduler::seeded(platform, warm.rates().clone());
     simulate_faulty(program, platform, &mut measured, schedule, policy)
+}
+
+/// [`simulate_dp_perf_warmed_faulty`] with gray-failure mitigation enabled:
+/// both the warm-up and the measured run execute under `schedule` *and*
+/// `health`, so the learned rates and the watchdog/breaker see the same
+/// misbehaving platform.
+pub fn simulate_dp_perf_warmed_resilient(
+    program: &Program,
+    platform: &hetero_platform::Platform,
+    schedule: &hetero_platform::FaultSchedule,
+    policy: hetero_platform::RetryPolicy,
+    health: &HealthConfig,
+) -> RunReport {
+    let mut warm = PerfScheduler::new(platform);
+    let _ = simulate_resilient(program, platform, &mut warm, schedule, policy, health);
+    let mut measured = PerfScheduler::seeded(platform, warm.rates().clone());
+    simulate_resilient(program, platform, &mut measured, schedule, policy, health)
 }

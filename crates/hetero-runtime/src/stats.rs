@@ -1,5 +1,6 @@
 //! Run reports: everything the paper's figures need from one execution.
 
+use crate::health::HealthReport;
 use crate::program::KernelId;
 use hetero_platform::{DeviceId, FaultCounters, PlatformCounters, SimTime};
 use serde::{Deserialize, Serialize};
@@ -43,6 +44,9 @@ pub struct RunReport {
     pub device_is_gpu: Vec<bool>,
     /// What the fault machinery did (all zeros for a healthy run).
     pub faults: FaultCounters,
+    /// What the gray-failure machinery did (empty/default when health
+    /// monitoring is disabled and no corruption was injected).
+    pub health: HealthReport,
 }
 
 impl RunReport {
@@ -147,6 +151,7 @@ mod tests {
             }],
             device_is_gpu: vec![false, true],
             faults: FaultCounters::default(),
+            health: HealthReport::default(),
         };
         assert!((r.gpu_item_share() - 0.4).abs() < 1e-12);
         assert!((r.cpu_item_share() - 0.6).abs() < 1e-12);

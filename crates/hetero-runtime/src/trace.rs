@@ -95,6 +95,53 @@ pub enum TraceEvent {
         /// When the move happened.
         at: SimTime,
     },
+    /// The watchdog judged an attempt a straggler and launched a hedged
+    /// duplicate on another device (first finisher wins).
+    HedgeLaunched {
+        /// The straggling instance.
+        task: TaskId,
+        /// Device the straggling attempt occupies.
+        from: DeviceId,
+        /// Device the duplicate was launched on.
+        to: DeviceId,
+        /// When the hedge was launched.
+        at: SimTime,
+    },
+    /// A hedged duplicate finished before the straggling original; the
+    /// original's result is discarded and its slot time charged to
+    /// `time_hedged`.
+    HedgeWon {
+        /// The instance whose hedge won.
+        task: TaskId,
+        /// Device the winning duplicate ran on.
+        dev: DeviceId,
+        /// When the duplicate finished.
+        at: SimTime,
+    },
+    /// Duplicate-execution verification caught a silently corrupted output.
+    CorruptionDetected {
+        /// The instance whose output was wrong.
+        task: TaskId,
+        /// Device that produced the corrupt output.
+        dev: DeviceId,
+        /// When the mismatch was established.
+        at: SimTime,
+    },
+    /// The health circuit breaker quarantined a device (its queue is
+    /// redirected to survivors until a probe succeeds).
+    CircuitOpen {
+        /// The quarantined device.
+        dev: DeviceId,
+        /// When the breaker tripped.
+        at: SimTime,
+    },
+    /// A half-open probe succeeded and the device rejoined the pool.
+    CircuitClose {
+        /// The rehabilitated device.
+        dev: DeviceId,
+        /// When the breaker re-closed.
+        at: SimTime,
+    },
 }
 
 /// A complete execution trace.
@@ -147,7 +194,12 @@ impl Trace {
                 | TraceEvent::TransferRetry { end, .. } => *end,
                 TraceEvent::TaskFault { at, .. }
                 | TraceEvent::DeviceDropout { at, .. }
-                | TraceEvent::Failover { at, .. } => *at,
+                | TraceEvent::Failover { at, .. }
+                | TraceEvent::HedgeLaunched { at, .. }
+                | TraceEvent::HedgeWon { at, .. }
+                | TraceEvent::CorruptionDetected { at, .. }
+                | TraceEvent::CircuitOpen { at, .. }
+                | TraceEvent::CircuitClose { at, .. } => *at,
             })
             .max()
             .unwrap_or(SimTime::ZERO);
@@ -334,6 +386,61 @@ impl Trace {
                         ts: at.as_micros_f64(),
                         dur: 0.0,
                         pid: to.0,
+                        tid: 63,
+                        args: serde_json::Value::Null,
+                    });
+                }
+                TraceEvent::HedgeLaunched { task, from, to, at } => {
+                    events.push(Ev {
+                        name: format!("HEDGE task{} dev{}->dev{}", task.0, from.0, to.0),
+                        ph: "X",
+                        ts: at.as_micros_f64(),
+                        dur: 0.0,
+                        pid: to.0,
+                        tid: 63,
+                        args: serde_json::Value::Null,
+                    });
+                }
+                TraceEvent::HedgeWon { task, dev, at } => {
+                    events.push(Ev {
+                        name: format!("HEDGE WON task{}", task.0),
+                        ph: "X",
+                        ts: at.as_micros_f64(),
+                        dur: 0.0,
+                        pid: dev.0,
+                        tid: 63,
+                        args: serde_json::Value::Null,
+                    });
+                }
+                TraceEvent::CorruptionDetected { task, dev, at } => {
+                    events.push(Ev {
+                        name: format!("CORRUPT task{}", task.0),
+                        ph: "X",
+                        ts: at.as_micros_f64(),
+                        dur: 0.0,
+                        pid: dev.0,
+                        tid: 63,
+                        args: serde_json::Value::Null,
+                    });
+                }
+                TraceEvent::CircuitOpen { dev, at } => {
+                    events.push(Ev {
+                        name: format!("CIRCUIT OPEN device {}", dev.0),
+                        ph: "X",
+                        ts: at.as_micros_f64(),
+                        dur: 0.0,
+                        pid: dev.0,
+                        tid: 63,
+                        args: serde_json::Value::Null,
+                    });
+                }
+                TraceEvent::CircuitClose { dev, at } => {
+                    events.push(Ev {
+                        name: format!("CIRCUIT CLOSE device {}", dev.0),
+                        ph: "X",
+                        ts: at.as_micros_f64(),
+                        dur: 0.0,
+                        pid: dev.0,
                         tid: 63,
                         args: serde_json::Value::Null,
                     });

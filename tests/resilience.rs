@@ -8,11 +8,12 @@
 
 use hetero_match::matchmaker::{ExecutionConfig, Planner, Strategy};
 use hetero_match::platform::{
-    DeviceId, FaultSchedule, KernelProfile, Platform, RetryPolicy, SimTime,
+    DeviceId, Efficiency, FaultSchedule, KernelProfile, Platform, Precision, RetryPolicy, SimTime,
 };
 use hetero_match::runtime::{
-    simulate, simulate_faulty, simulate_traced, Access, PinnedScheduler, Program, Region,
-    RunReport, TraceEvent,
+    simulate, simulate_faulty, simulate_resilient, simulate_resilient_traced, simulate_traced,
+    Access, BreakerConfig, HealthConfig, PinnedScheduler, Program, Region, RunReport, TraceEvent,
+    VerificationPolicy, WatchdogConfig,
 };
 use proptest::prelude::*;
 
@@ -37,6 +38,41 @@ fn sp_single_program(platform: &Platform, n: u64) -> Program {
 
 fn total_items(r: &RunReport) -> u64 {
     r.counters.devices.iter().map(|c| c.items).sum()
+}
+
+/// A compute-bound kernel whose effective rate is identical on
+/// `Platform::test_small`'s GPU and on one of its CPU slots (both
+/// 25 Gflop/s), so a hedge or verification replica costs exactly what the
+/// unthrottled primary would have.
+fn balanced_profile(flops_per_item: f64) -> KernelProfile {
+    KernelProfile {
+        flops_per_item,
+        bytes_per_item: 0.0,
+        fixed_flops: 0.0,
+        fixed_bytes: 0.0,
+        precision: Precision::Single,
+        cpu_efficiency: Efficiency {
+            compute: 1.0,
+            bandwidth: 1.0,
+        },
+        // 400 Gflop/s peak x 0.0625 = 25 Gflop/s effective.
+        gpu_efficiency: Efficiency {
+            compute: 0.0625,
+            bandwidth: 1.0,
+        },
+    }
+}
+
+/// Straggler hedging only: no verification, no breaker, so the comparison
+/// against the fail-stop executor isolates the watchdog.
+fn hedging_only() -> HealthConfig {
+    HealthConfig {
+        watchdog: Some(WatchdogConfig {
+            slack: 1.5,
+            hedging: true,
+        }),
+        ..HealthConfig::disabled()
+    }
 }
 
 #[test]
@@ -302,6 +338,354 @@ fn dropout_with_inflight_consumer_of_reset_producer() {
     assert_eq!(again.faults, report.faults);
 }
 
+#[test]
+fn throttle_ramp_lengthens_makespan_end_to_end() {
+    let platform = Platform::icpp15();
+    let n = 1u64 << 18;
+    let program = sp_single_program(&platform, n);
+    let healthy = simulate(&program, &platform, &mut PinnedScheduler);
+
+    // The GPU ramps from full speed toward 8x slower across twice the
+    // healthy makespan: early tasks barely notice, late tasks crawl.
+    let until = SimTime::from_secs_f64(2.0 * healthy.makespan.as_secs_f64());
+    let schedule =
+        FaultSchedule::new(31).with_throttle(DeviceId(1), SimTime::ZERO, until, 1.0, 8.0);
+    let report = simulate_faulty(
+        &program,
+        &platform,
+        &mut PinnedScheduler,
+        &schedule,
+        RetryPolicy::default(),
+    );
+
+    assert_eq!(total_items(&report), n, "throttling never loses work");
+    assert!(
+        report.makespan > healthy.makespan,
+        "a ramped straggler must lengthen the makespan: {} vs {}",
+        report.makespan,
+        healthy.makespan
+    );
+    assert_eq!(report.faults.task_faults, 0, "throttling is not a fault");
+
+    // A steeper ramp is strictly worse.
+    let steeper =
+        FaultSchedule::new(31).with_throttle(DeviceId(1), SimTime::ZERO, until, 1.0, 16.0);
+    let worse = simulate_faulty(
+        &program,
+        &platform,
+        &mut PinnedScheduler,
+        &steeper,
+        RetryPolicy::default(),
+    );
+    assert!(worse.makespan > report.makespan);
+
+    // Identical schedule, identical replay.
+    let again = simulate_faulty(
+        &program,
+        &platform,
+        &mut PinnedScheduler,
+        &schedule,
+        RetryPolicy::default(),
+    );
+    assert_eq!(again.makespan, report.makespan);
+}
+
+#[test]
+fn hedging_beats_fail_stop_executor_on_mid_run_straggler() {
+    let platform = Platform::test_small();
+    let per_task = 1u64 << 16;
+    // Four serialized tasks pinned to the single-slot GPU; the CPU's four
+    // slots sit idle, ready to absorb hedges.
+    let mut b = Program::builder();
+    let x = b.buffer("x", 4 * per_task, 4);
+    let k = b.kernel("k", balanced_profile(400_000.0));
+    for i in 0..4 {
+        b.submit_pinned(
+            k,
+            per_task,
+            vec![Access::read_write(Region::new(
+                x,
+                i * per_task,
+                (i + 1) * per_task,
+            ))],
+            DeviceId(1),
+        );
+    }
+    let program = b.build();
+    let healthy = simulate(&program, &platform, &mut PinnedScheduler);
+
+    // The GPU throttles 4x from mid-run onward: every attempt still
+    // succeeds, so the fail-stop executor never reacts.
+    let mid = SimTime::from_secs_f64(healthy.makespan.as_secs_f64() / 2.0);
+    let schedule = FaultSchedule::new(41).with_throttle(DeviceId(1), mid, SimTime::MAX, 4.0, 4.0);
+
+    let fail_stop = simulate_faulty(
+        &program,
+        &platform,
+        &mut PinnedScheduler,
+        &schedule,
+        RetryPolicy::default(),
+    );
+    let (hedged, trace) = simulate_resilient_traced(
+        &program,
+        &platform,
+        &mut PinnedScheduler,
+        &schedule,
+        RetryPolicy::default(),
+        &hedging_only(),
+    );
+
+    assert_eq!(total_items(&fail_stop), 4 * per_task);
+    assert_eq!(total_items(&hedged), 4 * per_task);
+    assert_eq!(fail_stop.health.hedges_issued, 0);
+    assert!(hedged.health.hedges_issued >= 1, "{:?}", hedged.health);
+    assert!(hedged.health.hedges_won >= 1, "{:?}", hedged.health);
+    assert!(hedged.health.time_hedged > SimTime::ZERO);
+    assert!(
+        hedged.makespan < fail_stop.makespan,
+        "hedging around the straggler must beat the fail-stop executor: {} vs {}",
+        hedged.makespan,
+        fail_stop.makespan
+    );
+    assert!(
+        hedged.makespan > healthy.makespan,
+        "hedging is not free: the straggled prefix still costs time"
+    );
+    // Won hedges re-attribute the straggler's work to the CPU.
+    assert!(hedged.counters.devices[0].items >= per_task);
+    assert!(trace
+        .events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::HedgeLaunched { .. })));
+    assert!(trace
+        .events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::HedgeWon { .. })));
+
+    // Identical schedule, identical replay.
+    let again = simulate_resilient(
+        &program,
+        &platform,
+        &mut PinnedScheduler,
+        &schedule,
+        RetryPolicy::default(),
+        &hedging_only(),
+    );
+    assert_eq!(again.makespan, hedged.makespan);
+    assert_eq!(again.health, hedged.health);
+}
+
+#[test]
+fn dup_check_detects_silent_corruption_and_recommits_clean() {
+    let platform = Platform::test_small();
+    let per_task = 1000u64;
+    // Two taskwait-separated epochs, each with two GPU and two CPU tasks.
+    let mut b = Program::builder();
+    let x = b.buffer("x", 8 * per_task, 4);
+    let k = b.kernel("k", balanced_profile(2500.0));
+    for epoch in 0..2u64 {
+        for i in 0..4u64 {
+            let j = epoch * 4 + i;
+            b.submit_pinned(
+                k,
+                per_task,
+                vec![Access::read_write(Region::new(
+                    x,
+                    j * per_task,
+                    (j + 1) * per_task,
+                ))],
+                DeviceId(if i < 2 { 1 } else { 0 }),
+            );
+        }
+        if epoch == 0 {
+            b.taskwait();
+        }
+    }
+    let program = b.build();
+
+    // Every successful GPU attempt silently corrupts its output.
+    let schedule = FaultSchedule::new(51).with_silent_corruption(
+        DeviceId(1),
+        1.0,
+        SimTime::ZERO,
+        SimTime::MAX,
+    );
+
+    // Fail-stop baseline: nothing ever faults, so the corruption commits
+    // silently — the run "succeeds" with wrong results.
+    let silent = simulate_faulty(
+        &program,
+        &platform,
+        &mut PinnedScheduler,
+        &schedule,
+        RetryPolicy::default(),
+    );
+    assert_eq!(silent.health.corruptions_detected, 0);
+    assert!(silent.health.corruptions_injected >= 1);
+    assert!(silent.health.corrupt_committed >= 1, "{:?}", silent.health);
+    assert_eq!(silent.faults.task_faults, 0, "SDC is not a fail-stop fault");
+
+    // DupCheck re-executes every task on a peer at the barrier, catches the
+    // mismatch, rolls the epoch back, and (after the per-epoch rollback
+    // budget) re-runs it with injection suppressed — the SDC analog of safe
+    // mode — so the final commit is clean.
+    let verified = HealthConfig {
+        verification: VerificationPolicy::DupCheck { sample_rate: 1.0 },
+        ..HealthConfig::disabled()
+    };
+    let checked = simulate_resilient(
+        &program,
+        &platform,
+        &mut PinnedScheduler,
+        &schedule,
+        RetryPolicy::default(),
+        &verified,
+    );
+    assert!(
+        checked.health.corruptions_detected >= 1,
+        "{:?}",
+        checked.health
+    );
+    assert!(checked.health.epoch_rollbacks >= 1, "{:?}", checked.health);
+    assert_eq!(
+        checked.health.corrupt_committed, 0,
+        "every epoch must re-commit clean: {:?}",
+        checked.health
+    );
+    assert!(checked.health.tasks_verified >= 1);
+    assert!(checked.health.time_verifying > SimTime::ZERO);
+    assert!(checked.health.corruptions_detected <= checked.health.corruptions_injected);
+    assert_eq!(
+        total_items(&checked),
+        8 * per_task,
+        "rollback re-runs must not double-count items"
+    );
+    assert!(
+        checked.makespan > silent.makespan,
+        "verification and rollback cost simulated time"
+    );
+
+    // Identical schedule, identical replay.
+    let again = simulate_resilient(
+        &program,
+        &platform,
+        &mut PinnedScheduler,
+        &schedule,
+        RetryPolicy::default(),
+        &verified,
+    );
+    assert_eq!(again.makespan, checked.makespan);
+    assert_eq!(again.health, checked.health);
+}
+
+#[test]
+fn circuit_breaker_quarantines_flaky_gpu_and_recloses_after_probe() {
+    let platform = Platform::test_small();
+    let per_task = 1000u64;
+    // Epoch 1: 8 GPU-pinned tasks (the first three each burn a full retry
+    // budget on the flaky GPU — three consecutive exhaustions trip the
+    // breaker — and the rest drain to the CPU) plus 16 CPU-pinned tasks
+    // that keep the barrier far enough out for the cool-down to elapse
+    // first. Epoch 2: 4 GPU-pinned tasks that arrive half-open — one goes
+    // through as the probe.
+    let mut b = Program::builder();
+    let x = b.buffer("x", 28 * per_task, 4);
+    let k = b.kernel("k", balanced_profile(2500.0));
+    let mut next = 0u64;
+    let region = |next: &mut u64| {
+        let r = Region::new(x, *next * per_task, (*next + 1) * per_task);
+        *next += 1;
+        r
+    };
+    for _ in 0..8 {
+        b.submit_pinned(
+            k,
+            per_task,
+            vec![Access::read_write(region(&mut next))],
+            DeviceId(1),
+        );
+    }
+    for _ in 0..16 {
+        b.submit_pinned(
+            k,
+            per_task,
+            vec![Access::read_write(region(&mut next))],
+            DeviceId(0),
+        );
+    }
+    b.taskwait();
+    for _ in 0..4 {
+        b.submit_pinned(
+            k,
+            per_task,
+            vec![Access::read_write(region(&mut next))],
+            DeviceId(1),
+        );
+    }
+    let program = b.build();
+
+    // The GPU is flaky (every attempt fails) for the first millisecond —
+    // long enough for three 100us-per-attempt retry storms — then recovers
+    // for good, well before the half-open probe dispatches at the epoch
+    // barrier.
+    let schedule =
+        FaultSchedule::new(61).with_flaky(DeviceId(1), 1.0, SimTime::ZERO, SimTime::from_millis(1));
+    let health = HealthConfig {
+        breaker: Some(BreakerConfig {
+            trip_after: 3,
+            cooldown: SimTime::from_micros(150),
+        }),
+        ..HealthConfig::disabled()
+    };
+    let report = simulate_resilient(
+        &program,
+        &platform,
+        &mut PinnedScheduler,
+        &schedule,
+        RetryPolicy::default(),
+        &health,
+    );
+
+    assert_eq!(total_items(&report), 28 * per_task);
+    assert!(report.faults.task_faults >= 3, "{:?}", report.faults);
+    assert_eq!(report.health.circuit_opens, 1, "{:?}", report.health);
+    assert!(report.health.probes >= 1);
+    assert_eq!(
+        report.health.circuit_closes, 1,
+        "a clean probe after the flaky window must re-close the circuit: {:?}",
+        report.health
+    );
+    assert_eq!(report.health.quarantine.len(), 1);
+    assert_eq!(report.health.quarantine[0].dev, DeviceId(1));
+    assert!(report.health.quarantine[0].until.is_some());
+    assert!(
+        report.faults.failovers >= 7,
+        "the quarantined queue drains to the CPU: {:?}",
+        report.faults
+    );
+    assert!(
+        report.counters.devices[1].items >= per_task,
+        "the re-closed GPU must be readmitted to useful work"
+    );
+    assert!(
+        report.health.scores[1] < 1.0,
+        "the flaky window leaves a scar on the EWMA score: {:?}",
+        report.health.scores
+    );
+
+    // Identical schedule, identical replay.
+    let again = simulate_resilient(
+        &program,
+        &platform,
+        &mut PinnedScheduler,
+        &schedule,
+        RetryPolicy::default(),
+        &health,
+    );
+    assert_eq!(again.makespan, report.makespan);
+    assert_eq!(again.health, report.health);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -340,5 +724,55 @@ proptest! {
             serde_json::to_string(&b).unwrap()
         );
         prop_assert_eq!(total_items(&a), 1 << 14);
+    }
+
+    /// Any valid gray-failure schedule terminates under full monitoring
+    /// with every item processed, never reports more detected corruptions
+    /// than were injected, and replays byte-identical reports *and traces*
+    /// from the same seed.
+    #[test]
+    fn gray_schedules_terminate_and_replay_byte_identical(
+        seed in 0u64..1_000,
+        corrupt_prob in 0.0f64..=1.0,
+        flaky_prob in 0.0f64..=0.8,
+        end_factor in 1.0f64..8.0,
+        until_us in 1u64..2_000,
+    ) {
+        let platform = Platform::test_small();
+        let program = sp_single_program(&platform, 1 << 14);
+        let until = SimTime::from_micros(until_us);
+        let schedule = FaultSchedule::new(seed)
+            .with_throttle(DeviceId(1), SimTime::ZERO, until, 1.0, end_factor)
+            .with_flaky(DeviceId(1), flaky_prob, SimTime::ZERO, until)
+            .with_silent_corruption(DeviceId(1), corrupt_prob, SimTime::ZERO, until);
+        prop_assert!(schedule.validate().is_ok());
+        let health = HealthConfig::monitored();
+        let (a, ta) = simulate_resilient_traced(
+            &program,
+            &platform,
+            &mut PinnedScheduler,
+            &schedule,
+            RetryPolicy::default(),
+            &health,
+        );
+        prop_assert_eq!(total_items(&a), 1 << 14);
+        prop_assert!(a.makespan > SimTime::ZERO);
+        prop_assert!(a.health.corruptions_detected <= a.health.corruptions_injected);
+        let (b, tb) = simulate_resilient_traced(
+            &program,
+            &platform,
+            &mut PinnedScheduler,
+            &schedule,
+            RetryPolicy::default(),
+            &health,
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&ta).unwrap(),
+            serde_json::to_string(&tb).unwrap()
+        );
     }
 }

@@ -8,7 +8,8 @@ use hetero_match::platform::{
     DeviceId, FaultCounters, FaultSchedule, Platform, RetryPolicy, SimTime,
 };
 use hetero_match::runtime::{
-    simulate_faulty, simulate_traced, PinnedScheduler, Program, RunReport, Trace,
+    simulate_faulty, simulate_resilient, simulate_traced, BreakerConfig, HealthConfig,
+    HealthReport, PinnedScheduler, Program, RunReport, Trace, VerificationPolicy, WatchdogConfig,
 };
 
 #[test]
@@ -97,7 +98,7 @@ fn trace_roundtrips_and_chrome_export_parses() {
 
 #[test]
 fn fault_schedule_and_retry_policy_roundtrip() {
-    // A schedule exercising all four event kinds.
+    // A schedule exercising all six event kinds.
     let schedule = FaultSchedule::new(42)
         .with_task_faults(
             Some(DeviceId(1)),
@@ -114,6 +115,13 @@ fn fault_schedule_and_retry_policy_roundtrip() {
             SimTime::from_millis(10),
             1.0,
             8.0,
+        )
+        .with_silent_corruption(DeviceId(1), 0.2, SimTime::ZERO, SimTime::from_millis(4))
+        .with_flaky(
+            DeviceId(1),
+            0.4,
+            SimTime::from_millis(1),
+            SimTime::from_millis(6),
         );
     schedule.validate().unwrap();
 
@@ -125,6 +133,10 @@ fn fault_schedule_and_retry_policy_roundtrip() {
     assert_eq!(
         back.task_fault_prob(DeviceId(1), SimTime::from_micros(1500)),
         schedule.task_fault_prob(DeviceId(1), SimTime::from_micros(1500))
+    );
+    assert_eq!(
+        back.corruption_prob(DeviceId(1), SimTime::from_micros(1500)),
+        schedule.corruption_prob(DeviceId(1), SimTime::from_micros(1500))
     );
     assert_eq!(back.dropouts(), schedule.dropouts());
     assert_eq!(back.rng().next_u64(), schedule.rng().next_u64());
@@ -170,4 +182,79 @@ fn faulty_report_and_counters_roundtrip() {
     let cj = serde_json::to_string(&report.faults).unwrap();
     let cb: FaultCounters = serde_json::from_str(&cj).unwrap();
     assert_eq!(cb, report.faults);
+}
+
+#[test]
+fn health_config_roundtrips() {
+    for config in [
+        HealthConfig::disabled(),
+        HealthConfig::monitored(),
+        HealthConfig {
+            watchdog: Some(WatchdogConfig {
+                slack: 2.5,
+                hedging: false,
+            }),
+            verification: VerificationPolicy::DupCheck { sample_rate: 0.5 },
+            breaker: Some(BreakerConfig {
+                trip_after: 5,
+                cooldown: SimTime::from_micros(250),
+            }),
+            ewma_alpha: 0.1,
+            max_rollbacks_per_epoch: 4,
+        },
+    ] {
+        config.validate().unwrap();
+        let json = serde_json::to_string(&config).unwrap();
+        let back: HealthConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, config);
+        assert_eq!(back.enabled(), config.enabled());
+    }
+}
+
+#[test]
+fn resilient_report_health_roundtrips() {
+    let platform = Platform::test_small();
+    let planner = Planner::new(&platform);
+    let desc = blackscholes::descriptor(1 << 14);
+    let program = planner
+        .plan(&desc, ExecutionConfig::Strategy(Strategy::SpSingle))
+        .program;
+    // A gray schedule that exercises the whole health report: a straggling
+    // window for the watchdog, silent corruption for DupCheck, flakiness
+    // for the breaker.
+    let schedule = FaultSchedule::new(7)
+        .with_throttle(
+            DeviceId(1),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            4.0,
+            4.0,
+        )
+        .with_silent_corruption(DeviceId(1), 1.0, SimTime::ZERO, SimTime::MAX)
+        .with_flaky(DeviceId(1), 0.5, SimTime::ZERO, SimTime::from_micros(500));
+    let report = simulate_resilient(
+        &program,
+        &platform,
+        &mut PinnedScheduler,
+        &schedule,
+        RetryPolicy::default(),
+        &HealthConfig::monitored(),
+    );
+    assert!(report.health.corruptions_injected >= 1);
+    assert!(!report.health.scores.is_empty());
+
+    // The full report, health included, survives a round trip.
+    let json = serde_json::to_string(&report).unwrap();
+    let back: RunReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.makespan, report.makespan);
+    assert_eq!(back.health, report.health);
+
+    // HealthReport stands alone too.
+    let hj = serde_json::to_string(&report.health).unwrap();
+    let hb: HealthReport = serde_json::from_str(&hj).unwrap();
+    assert_eq!(hb, report.health);
+    assert_eq!(
+        hb.detection_shortfall(),
+        report.health.detection_shortfall()
+    );
 }

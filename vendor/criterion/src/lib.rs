@@ -38,7 +38,7 @@ impl Criterion {
 
     /// Run a standalone benchmark (no group).
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl AsRef<str>, mut f: F) {
-        let mut b = Bencher::new(format!("{}", id.as_ref()), self.sample_size, None);
+        let mut b = Bencher::new(id.as_ref().to_string(), self.sample_size, None);
         f(&mut b);
         b.report();
     }
