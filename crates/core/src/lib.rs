@@ -61,7 +61,8 @@ pub use dag::{analyze_dag, refine_class, DagProfile};
 pub use descriptor::{
     AccessPattern, AppDescriptor, BufferSpec, ExecutionFlow, KernelSpec, SyncPolicy,
 };
+pub use hetero_runtime::PlanError;
 pub use plan::{KernelModel, KernelSplit, Plan, Planner};
-pub use ranking::{best_strategy, rank_of, ranking, SyncMode};
+pub use ranking::{best_strategy, escalation_target, rank_of, ranking, SyncMode};
 pub use robustness::DegradationEntry;
 pub use strategy::{ExecutionConfig, Strategy};

@@ -32,7 +32,9 @@ use glinda::{
     MultiDeviceProblem, MultiSolution, PartitionProblem, TransferModel,
 };
 use hetero_platform::{DeviceId, DeviceKind, MemSpaceId, Platform};
-use hetero_runtime::{split_even, Access, KernelId, Program, ProgramBuilder, Region};
+use hetero_runtime::{
+    split_even, Access, AdaptPlan, KernelId, PlanError, Program, ProgramBuilder, Region,
+};
 use serde::{Deserialize, Serialize};
 
 /// Builds programs for one platform.
@@ -52,6 +54,15 @@ pub struct Planner<'a> {
     pub dynamic_instances_per_kernel: u64,
     /// Utilisation thresholds for Glinda's decision step.
     pub decision: DecisionConfig,
+    /// Multiplicative `(cpu, gpu)` skew applied to every profiled rate in
+    /// [`Planner::kernel_model`] — `(1.0, 1.0)` is a faithful profile.
+    /// Models a *mispredicted* profiling run (the platform misbehaved, or
+    /// was perturbed by `FaultEvent::ProfilePerturb`, while the planner
+    /// measured it): the plan is built from the skewed rates while
+    /// execution proceeds at the true ones, which is exactly the gap the
+    /// adaptive controller closes. Multi-accelerator waterfilling profiles
+    /// each accelerator directly and is not skewed (future work).
+    pub profile_skew: (f64, f64),
 }
 
 /// The outcome of planning: the program plus, per kernel, the hardware
@@ -122,6 +133,7 @@ impl<'a> Planner<'a> {
                 min_gpu_granules: 4,
                 cpu_threads: threads,
             },
+            profile_skew: (1.0, 1.0),
         }
     }
 
@@ -159,8 +171,8 @@ impl<'a> Planner<'a> {
             TransferModel::NONE
         };
         KernelModel {
-            cpu_rate: rates.cpu_rate,
-            gpu_rate: rates.gpu_rate,
+            cpu_rate: rates.cpu_rate * self.profile_skew.0,
+            gpu_rate: rates.gpu_rate * self.profile_skew.1,
             transfer,
         }
     }
@@ -232,15 +244,23 @@ impl<'a> Planner<'a> {
                 &model,
             ));
         }
-        let problem = PartitionProblem {
+        KernelSplit::Single(decide(&self.kernel_problem(desc, k), &self.decision))
+    }
+
+    /// The two-way partitioning problem SP-Single/SP-Varied solve for one
+    /// kernel on a single-accelerator platform (with the kernel's own
+    /// per-offload transfer model). This is also the problem the adaptive
+    /// controller re-solves against observed rates mid-run.
+    pub fn kernel_problem(&self, desc: &AppDescriptor, k: usize) -> PartitionProblem {
+        let model = self.kernel_model(desc, k, true);
+        PartitionProblem {
             items: desc.kernels[k].domain,
             cpu_rate: model.cpu_rate,
             gpu_rate: model.gpu_rate,
             transfer: model.transfer,
             link_bandwidth: self.link_bandwidth(),
             gpu_granularity: self.gpu().spec.kind.partition_granularity(),
-        };
-        KernelSplit::Single(decide(&problem, &self.decision))
+        }
     }
 
     /// Glinda's imbalanced-workload split (ICS'14): the GPU takes the item
@@ -337,14 +357,11 @@ impl<'a> Planner<'a> {
         );
         let iters = desc.iterations() as f64;
         let mut cpu_tpi = 0.0;
-        let mut gpu_tpi = 0.0;
         for k in 0..desc.kernels.len() {
             let m = self.kernel_model(desc, k, false);
             cpu_tpi += 1.0 / m.cpu_rate;
-            gpu_tpi += 1.0 / m.gpu_rate;
         }
         cpu_tpi *= iters;
-        gpu_tpi *= iters;
         let kernel_refs: Vec<&KernelSpec> = desc.kernels.iter().collect();
         let transfer = self.transfer_model(desc, &kernel_refs);
         if self.platform.accelerators().count() > 1 {
@@ -381,29 +398,123 @@ impl<'a> Planner<'a> {
                 accelerators,
             }));
         }
-        let problem = PartitionProblem {
+        KernelSplit::Single(decide(&self.unified_problem(desc), &self.decision))
+    }
+
+    /// The fused-sequence partitioning problem SP-Unified solves on a
+    /// single-accelerator platform: one partitioning point over the whole
+    /// (possibly iterated) kernel sequence, one transfer round-trip. Also
+    /// the problem the adaptive controller re-solves for SP-Unified plans.
+    pub fn unified_problem(&self, desc: &AppDescriptor) -> PartitionProblem {
+        let domain = desc.kernels[0].domain;
+        assert!(
+            desc.kernels.iter().all(|k| k.domain == domain),
+            "SP-Unified requires a common kernel domain"
+        );
+        let iters = desc.iterations() as f64;
+        let mut cpu_tpi = 0.0;
+        let mut gpu_tpi = 0.0;
+        for k in 0..desc.kernels.len() {
+            let m = self.kernel_model(desc, k, false);
+            cpu_tpi += 1.0 / m.cpu_rate;
+            gpu_tpi += 1.0 / m.gpu_rate;
+        }
+        cpu_tpi *= iters;
+        gpu_tpi *= iters;
+        let kernel_refs: Vec<&KernelSpec> = desc.kernels.iter().collect();
+        PartitionProblem {
             items: domain,
             cpu_rate: 1.0 / cpu_tpi,
             gpu_rate: 1.0 / gpu_tpi,
-            transfer,
+            transfer: self.transfer_model(desc, &kernel_refs),
             link_bandwidth: self.link_bandwidth(),
             gpu_granularity: self.gpu().spec.kind.partition_granularity(),
-        };
-        KernelSplit::Single(decide(&problem, &self.decision))
+        }
     }
 
-    /// Plan a program for the given execution configuration.
+    /// The [`AdaptPlan`] to carry into `simulate_adaptive` for a static
+    /// hybrid plan: the partitioning problem this planner solved (with
+    /// whatever misprediction `profile_skew` baked in) plus the emitted
+    /// split and the accelerator it pins to.
+    ///
+    /// Returns `None` when the run has nothing the controller could
+    /// re-solve: dynamic strategies and single-device baselines, non-hybrid
+    /// decisions (Only-CPU/Only-GPU fallbacks of the decision step),
+    /// multi-accelerator platforms (the two-way re-solve doesn't apply),
+    /// imbalanced weighted kernels (split by work, not count), and
+    /// SP-Varied over several kernels (per-kernel re-solving is future
+    /// work).
+    pub fn adapt_plan(&self, desc: &AppDescriptor, config: ExecutionConfig) -> Option<AdaptPlan> {
+        if self.platform.accelerators().count() > 1 {
+            return None;
+        }
+        let problem = match config {
+            ExecutionConfig::Strategy(Strategy::SpSingle | Strategy::SpVaried) => {
+                if desc.kernels.len() != 1 || desc.kernels[0].weights.is_some() {
+                    return None;
+                }
+                self.kernel_problem(desc, 0)
+            }
+            ExecutionConfig::Strategy(Strategy::SpUnified) => {
+                if desc.kernels.iter().any(|k| k.weights.is_some()) {
+                    return None;
+                }
+                self.unified_problem(desc)
+            }
+            _ => return None,
+        };
+        match decide(&problem, &self.decision) {
+            HardwareConfig::Hybrid(solution) => Some(AdaptPlan {
+                problem,
+                solution,
+                gpu: self.gpu().id,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Plan a program for the given execution configuration; panics on
+    /// malformed inputs (use [`Planner::try_plan`] to handle the
+    /// [`PlanError`] instead).
     pub fn plan(&self, desc: &AppDescriptor, config: ExecutionConfig) -> Plan {
+        self.try_plan(desc, config)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Plan a program for the given execution configuration, returning a
+    /// typed [`PlanError`] when the descriptor, the strategy/application
+    /// pairing, or the declared accesses are malformed.
+    pub fn try_plan(
+        &self,
+        desc: &AppDescriptor,
+        config: ExecutionConfig,
+    ) -> Result<Plan, PlanError> {
         desc.validate()
-            .unwrap_or_else(|e| panic!("invalid descriptor '{}': {e}", desc.name));
+            .map_err(|reason| PlanError::InvalidDescriptor {
+                app: desc.name.clone(),
+                reason,
+            })?;
+        if self.platform.gpu().is_none() {
+            return Err(PlanError::NoGpu);
+        }
         let nk = desc.kernels.len();
+        if matches!(config, ExecutionConfig::Strategy(Strategy::SpSingle)) && nk != 1 {
+            return Err(PlanError::SingleKernelStrategy { kernels: nk });
+        }
+        if matches!(config, ExecutionConfig::Strategy(Strategy::SpUnified))
+            && desc
+                .kernels
+                .iter()
+                .any(|k| k.domain != desc.kernels[0].domain)
+        {
+            return Err(PlanError::UnifiedDomainMismatch);
+        }
 
         // Static decisions, computed once and reused across iterations
         // ("we determine the partitioning for one iteration, and use it
         // for all iterations").
         let kernel_configs: Vec<Option<KernelSplit>> = match config {
             ExecutionConfig::Strategy(Strategy::SpSingle) => {
-                assert_eq!(nk, 1, "SP-Single targets single-kernel applications");
                 vec![Some(self.decide_kernel(desc, 0))]
             }
             ExecutionConfig::Strategy(Strategy::SpVaried) => {
@@ -433,7 +544,7 @@ impl<'a> Planner<'a> {
         let iterations = desc.iterations();
         for it in 0..iterations {
             for (pos, &k) in order.iter().enumerate() {
-                self.emit_kernel(&mut b, desc, k, kernel_ids[k], &config, &kernel_configs);
+                self.emit_kernel(&mut b, desc, k, kernel_ids[k], &config, &kernel_configs)?;
                 let last_kernel = pos + 1 == order.len();
                 let sync_here = self.taskwait_after(desc, &config, last_kernel);
                 if sync_here && !(last_kernel && it + 1 == iterations) {
@@ -442,10 +553,10 @@ impl<'a> Planner<'a> {
             }
         }
 
-        Plan {
-            program: b.build(),
+        Ok(Plan {
+            program: b.try_build()?,
             kernel_configs,
-        }
+        })
     }
 
     /// Kernel emission order: sequence order, or a topological order of the
@@ -489,7 +600,7 @@ impl<'a> Planner<'a> {
         kid: KernelId,
         config: &ExecutionConfig,
         kernel_configs: &[Option<KernelSplit>],
-    ) {
+    ) -> Result<(), PlanError> {
         let spec = &desc.kernels[k];
         let n = spec.domain;
         let m = self.instances_per_kernel;
@@ -498,10 +609,10 @@ impl<'a> Planner<'a> {
 
         match config {
             ExecutionConfig::OnlyCpu => {
-                self.emit_split(b, desc, spec, kid, 0, n, m, Some(cpu));
+                self.emit_split(b, desc, spec, kid, 0, n, m, Some(cpu))?;
             }
             ExecutionConfig::OnlyGpu => {
-                self.emit_split(b, desc, spec, kid, 0, n, 1, Some(gpu));
+                self.emit_split(b, desc, spec, kid, 0, n, 1, Some(gpu))?;
             }
             ExecutionConfig::Strategy(Strategy::DpDep)
             | ExecutionConfig::Strategy(Strategy::DpPerf) => {
@@ -514,7 +625,7 @@ impl<'a> Planner<'a> {
                     n,
                     self.dynamic_instances_per_kernel,
                     None,
-                );
+                )?;
             }
             ExecutionConfig::Strategy(
                 Strategy::SpSingle | Strategy::SpUnified | Strategy::SpVaried,
@@ -533,12 +644,12 @@ impl<'a> Planner<'a> {
                 {
                     let items = items.min(n - off);
                     if items > 0 {
-                        self.emit_split(b, desc, spec, kid, off, off + items, 1, Some(dev));
+                        self.emit_split(b, desc, spec, kid, off, off + items, 1, Some(dev))?;
                         off += items;
                     }
                 }
                 if off < n {
-                    self.emit_split(b, desc, spec, kid, off, n, m, Some(cpu));
+                    self.emit_split(b, desc, spec, kid, off, n, m, Some(cpu))?;
                 }
             }
             ExecutionConfig::ConvertedStatic => {
@@ -555,10 +666,11 @@ impl<'a> Planner<'a> {
                 let chunks = split_even(n, md);
                 for (i, (s, e)) in chunks.into_iter().enumerate() {
                     let dev = if (i as u64) < gpu_count { gpu } else { cpu };
-                    self.emit_split(b, desc, spec, kid, s, e, 1, Some(dev));
+                    self.emit_split(b, desc, spec, kid, s, e, 1, Some(dev))?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Emit `parts` instances covering `[start, end)` of the kernel domain,
@@ -574,11 +686,11 @@ impl<'a> Planner<'a> {
         end: u64,
         parts: u64,
         dev: Option<DeviceId>,
-    ) {
+    ) -> Result<(), PlanError> {
         let prefix = weight_prefix(spec);
         for (s, e) in split_even(end - start, parts) {
             let (s, e) = (start + s, start + e);
-            let accesses = instance_accesses(desc, spec, s, e);
+            let accesses = instance_accesses(desc, spec, s, e)?;
             let cost_scale = match &prefix {
                 None => 1.0,
                 Some(pre) => {
@@ -598,6 +710,7 @@ impl<'a> Planner<'a> {
                 cost_scale,
             });
         }
+        Ok(())
     }
 }
 
@@ -619,40 +732,47 @@ fn weight_prefix(spec: &KernelSpec) -> Option<Vec<f64>> {
     Some(pre)
 }
 
-/// Materialise the access list of an instance covering `[s, e)`.
-fn instance_accesses(desc: &AppDescriptor, spec: &KernelSpec, s: u64, e: u64) -> Vec<Access> {
+/// Materialise the access list of an instance covering `[s, e)`, rejecting
+/// access shapes no instance could execute soundly.
+fn instance_accesses(
+    desc: &AppDescriptor,
+    spec: &KernelSpec,
+    s: u64,
+    e: u64,
+) -> Result<Vec<Access>, PlanError> {
     let whole = spec.domain == e - s;
-    spec.accesses
-        .iter()
-        .map(|a| match *a {
+    let mut out = Vec::with_capacity(spec.accesses.len());
+    for a in &spec.accesses {
+        out.push(match *a {
             AccessPattern::Partitioned { buffer, mode, halo } => {
+                if halo > 0 && mode.writes() {
+                    return Err(PlanError::HaloWrite {
+                        kernel: spec.name.clone(),
+                    });
+                }
                 let items = desc.buffers[buffer].items;
                 let lo = s.saturating_sub(halo);
                 let hi = (e + halo).min(items);
-                assert!(
-                    halo == 0 || !mode.writes(),
-                    "halo'd write access is unsound (kernel '{}')",
-                    spec.name
-                );
                 Access {
                     region: Region::new(hetero_runtime::BufferId(buffer), lo, hi),
                     mode,
                 }
             }
             AccessPattern::Full { buffer, mode } => {
-                assert!(
-                    !mode.writes() || whole,
-                    "whole-buffer write by a partitioned instance (kernel '{}')",
-                    spec.name
-                );
+                if mode.writes() && !whole {
+                    return Err(PlanError::PartitionedFullWrite {
+                        kernel: spec.name.clone(),
+                    });
+                }
                 let items = desc.buffers[buffer].items;
                 Access {
                     region: Region::new(hetero_runtime::BufferId(buffer), 0, items),
                     mode,
                 }
             }
-        })
-        .collect()
+        });
+    }
+    Ok(out)
 }
 
 /// Which device kind a `DeviceKind` display uses (report helper).
@@ -910,6 +1030,125 @@ mod tests {
             .filter(|o| matches!(o, Op::Taskwait))
             .count();
         assert_eq!(waits, 4); // between iterations only; trailing implicit
+    }
+
+    /// A platform with a host CPU and no accelerator at all.
+    fn cpu_only_platform() -> Platform {
+        let mut spec = Platform::icpp15().cpu().spec.clone();
+        spec.name = "lonely-cpu".into();
+        Platform::builder().cpu(spec).build()
+    }
+
+    #[test]
+    fn try_plan_rejects_invalid_descriptor() {
+        let platform = Platform::icpp15();
+        let planner = Planner::new(&platform);
+        let mut desc = sk_one(1000);
+        desc.kernels.clear(); // "no kernels"
+        let err = planner
+            .try_plan(&desc, ExecutionConfig::OnlyCpu)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::InvalidDescriptor {
+                app: "sk1".into(),
+                reason: "no kernels".into(),
+            }
+        );
+        assert!(err.to_string().starts_with("invalid descriptor 'sk1'"));
+    }
+
+    #[test]
+    fn try_plan_rejects_sp_single_on_multi_kernel_apps() {
+        let platform = Platform::icpp15();
+        let planner = Planner::new(&platform);
+        let err = planner
+            .try_plan(
+                &mk_seq(100_000, 3, true),
+                ExecutionConfig::Strategy(Strategy::SpSingle),
+            )
+            .unwrap_err();
+        assert_eq!(err, PlanError::SingleKernelStrategy { kernels: 3 });
+        assert!(err
+            .to_string()
+            .contains("SP-Single targets single-kernel applications"));
+    }
+
+    #[test]
+    fn try_plan_rejects_unified_domain_mismatch() {
+        let platform = Platform::icpp15();
+        let planner = Planner::new(&platform);
+        let mut desc = mk_seq(100_000, 2, true);
+        desc.kernels[1].domain = 50_000; // buffers still large enough
+        assert!(desc.validate().is_ok());
+        let err = planner
+            .try_plan(&desc, ExecutionConfig::Strategy(Strategy::SpUnified))
+            .unwrap_err();
+        assert_eq!(err, PlanError::UnifiedDomainMismatch);
+        // Other strategies handle per-kernel domains fine.
+        assert!(planner
+            .try_plan(&desc, ExecutionConfig::Strategy(Strategy::SpVaried))
+            .is_ok());
+    }
+
+    #[test]
+    fn try_plan_rejects_halod_writes() {
+        let platform = Platform::icpp15();
+        let planner = Planner::new(&platform);
+        let mut desc = sk_one(10_000);
+        desc.kernels[0].accesses[1] = AccessPattern::Partitioned {
+            buffer: 1,
+            mode: AccessMode::Out,
+            halo: 1,
+        };
+        let err = planner
+            .try_plan(&desc, ExecutionConfig::OnlyCpu)
+            .unwrap_err();
+        assert_eq!(err, PlanError::HaloWrite { kernel: "k".into() });
+        assert!(err.to_string().contains("halo'd write access is unsound"));
+    }
+
+    #[test]
+    fn try_plan_rejects_whole_buffer_writes_from_partial_instances() {
+        let platform = Platform::icpp15();
+        let planner = Planner::new(&platform);
+        let mut desc = sk_one(10_000);
+        desc.kernels[0].accesses[1] = AccessPattern::Full {
+            buffer: 1,
+            mode: AccessMode::Out,
+        };
+        // One whole-domain GPU instance may write the whole buffer...
+        assert!(planner.try_plan(&desc, ExecutionConfig::OnlyGpu).is_ok());
+        // ...but `m` partial CPU instances may not.
+        let err = planner
+            .try_plan(&desc, ExecutionConfig::OnlyCpu)
+            .unwrap_err();
+        assert_eq!(err, PlanError::PartitionedFullWrite { kernel: "k".into() });
+        assert!(err
+            .to_string()
+            .contains("whole-buffer write by a partitioned instance"));
+    }
+
+    #[test]
+    fn try_plan_requires_a_gpu() {
+        let platform = cpu_only_platform();
+        let planner = Planner::new(&platform);
+        let err = planner
+            .try_plan(&sk_one(10_000), ExecutionConfig::OnlyCpu)
+            .unwrap_err();
+        assert_eq!(err, PlanError::NoGpu);
+        assert_eq!(err.to_string(), "planning requires a platform with a GPU");
+    }
+
+    #[test]
+    #[should_panic(expected = "SP-Single targets single-kernel applications")]
+    fn plan_panics_with_the_typed_error_message() {
+        let platform = Platform::icpp15();
+        let planner = Planner::new(&platform);
+        let _ = planner.plan(
+            &mk_seq(100_000, 3, true),
+            ExecutionConfig::Strategy(Strategy::SpSingle),
+        );
     }
 
     #[test]

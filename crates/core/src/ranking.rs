@@ -61,6 +61,19 @@ pub fn rank_of(strategy: Strategy, class: AppClass, sync: SyncMode) -> Option<us
     ranking(class, sync).iter().position(|&s| s == strategy)
 }
 
+/// The strategy an adaptive run escalates to when `from`'s static plan
+/// keeps missing its balance target: the [`Strategy::dynamic_sibling`],
+/// provided both `from` and the sibling appear in the class's Table I
+/// ranking. Because DP-Perf is ranked for every class, escalation from any
+/// *suitable* static strategy is always legal; `None` means `from` itself
+/// was never a legal choice for this class (nothing to escalate from) —
+/// the controller must not "launder" an unsuitable plan into a dynamic one.
+pub fn escalation_target(from: Strategy, class: AppClass, sync: SyncMode) -> Option<Strategy> {
+    rank_of(from, class, sync)?;
+    let sibling = from.dynamic_sibling();
+    rank_of(sibling, class, sync).map(|_| sibling)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +148,34 @@ mod tests {
         assert_eq!(rank_of(SpSingle, SkOne, SyncMode::WithoutSync), Some(0));
         assert_eq!(rank_of(SpUnified, MkSeq, SyncMode::WithSync), Some(3));
         assert_eq!(rank_of(SpSingle, MkDag, SyncMode::WithSync), None);
+    }
+
+    #[test]
+    fn escalation_is_legal_from_every_ranked_static_strategy() {
+        for class in AppClass::ALL {
+            for sync in [SyncMode::WithoutSync, SyncMode::WithSync] {
+                for s in ranking(class, sync) {
+                    // Any ranked strategy (static or dynamic) has a legal
+                    // escalation target, and it is always ranked too.
+                    let target = escalation_target(s, class, sync);
+                    assert_eq!(target, Some(s.dynamic_sibling()), "{s} in {class}");
+                    if s.is_static() {
+                        assert_eq!(target, Some(DpPerf));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn escalation_from_unsuitable_strategy_is_refused() {
+        // SP-Single is not ranked for MK-DAG: there is no static plan to
+        // escalate *from*, so the helper refuses.
+        assert_eq!(escalation_target(SpSingle, MkDag, SyncMode::WithSync), None);
+        assert_eq!(
+            escalation_target(SpUnified, SkOne, SyncMode::WithoutSync),
+            None
+        );
     }
 
     #[test]

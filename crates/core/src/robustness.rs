@@ -13,9 +13,10 @@
 
 use crate::analyzer::Analyzer;
 use crate::descriptor::AppDescriptor;
+use crate::plan::Planner;
 use crate::strategy::ExecutionConfig;
-use hetero_platform::{FaultSchedule, RetryPolicy};
-use hetero_runtime::{HealthConfig, RunReport};
+use hetero_platform::{FaultSchedule, RetryPolicy, SimTime};
+use hetero_runtime::{AdaptConfig, HealthConfig, RunReport};
 
 /// One configuration's healthy/faulty pair from [`Analyzer::rank_by_degradation`].
 #[derive(Clone, Debug)]
@@ -86,6 +87,94 @@ impl<'a> Analyzer<'a> {
         }
     }
 
+    /// [`Analyzer::simulate_resilient`] with the adaptive-repartitioning
+    /// controller in the loop — the full PR-3 pipeline:
+    ///
+    /// 1. the plan is built by a planner whose profiled rates are skewed
+    ///    by the schedule's `ProfilePerturb` windows open at time zero
+    ///    (the planner "profiled" the perturbed platform and baked the
+    ///    misprediction into the plan; execution runs at true rates);
+    /// 2. for static hybrid strategies the mispredicted
+    ///    [`hetero_runtime::AdaptPlan`] rides along so the controller can
+    ///    re-solve it against observed throughputs at taskwait barriers
+    ///    and, when re-solves are exhausted, escalate to the strategy's
+    ///    dynamic sibling (`Strategy::dynamic_sibling`, SP-* → DP-Perf).
+    ///
+    /// With [`AdaptConfig::disabled`] this reproduces the *mispredicted
+    /// baseline*: the same skewed plan executed with no mitigation.
+    pub fn simulate_adaptive(
+        &self,
+        desc: &AppDescriptor,
+        config: ExecutionConfig,
+        schedule: &FaultSchedule,
+        policy: RetryPolicy,
+        health: &HealthConfig,
+        adapt: &AdaptConfig,
+    ) -> RunReport {
+        use crate::strategy::Strategy;
+        use hetero_runtime::{
+            simulate_adaptive, simulate_dp_perf_warmed_adaptive, DepScheduler, PinnedScheduler,
+        };
+        let planner = self.misprediction_planner(schedule);
+        let plan = planner.plan(desc, config);
+        let platform = planner.platform;
+        match config {
+            ExecutionConfig::Strategy(Strategy::DpDep) => {
+                let mut s = DepScheduler::new(platform);
+                simulate_adaptive(
+                    &plan.program,
+                    platform,
+                    &mut s,
+                    schedule,
+                    policy,
+                    health,
+                    adapt,
+                    None,
+                )
+            }
+            ExecutionConfig::Strategy(Strategy::DpPerf) => simulate_dp_perf_warmed_adaptive(
+                &plan.program,
+                platform,
+                schedule,
+                policy,
+                health,
+                adapt,
+            ),
+            _ => simulate_adaptive(
+                &plan.program,
+                platform,
+                &mut PinnedScheduler,
+                schedule,
+                policy,
+                health,
+                adapt,
+                planner.adapt_plan(desc, config),
+            ),
+        }
+    }
+
+    /// A planner that saw the perturbed platform while profiling: every
+    /// device's profiled rate is scaled by the schedule's
+    /// [`FaultSchedule::profile_factor`] at time zero (planning precedes
+    /// the run). With no `ProfilePerturb` events this is the analyzer's
+    /// own planner, unchanged.
+    fn misprediction_planner(&self, schedule: &FaultSchedule) -> Planner<'a> {
+        let p = self.planner();
+        let cpu = schedule.profile_factor(p.platform.cpu().id, SimTime::ZERO);
+        let gpu = p
+            .platform
+            .gpu()
+            .map(|g| schedule.profile_factor(g.id, SimTime::ZERO))
+            .unwrap_or(1.0);
+        Planner {
+            platform: p.platform,
+            instances_per_kernel: p.instances_per_kernel,
+            dynamic_instances_per_kernel: p.dynamic_instances_per_kernel,
+            decision: p.decision,
+            profile_skew: (p.profile_skew.0 * cpu, p.profile_skew.1 * gpu),
+        }
+    }
+
     /// Replay the §IV comparison (both single-device baselines plus every
     /// suitable strategy) healthy and under `schedule`, and return the
     /// entries sorted by [`DegradationEntry::degradation`], most robust
@@ -129,6 +218,48 @@ impl<'a> Analyzer<'a> {
                 config,
                 healthy: self.simulate(desc, config),
                 faulty: self.simulate_resilient(desc, config, schedule, policy, health),
+            })
+            .collect();
+        entries.sort_by(|a, b| {
+            a.degradation()
+                .partial_cmp(&b.degradation())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        entries
+    }
+
+    /// [`Analyzer::rank_by_degradation_resilient`] with adaptive
+    /// repartitioning in the loop: every candidate replays under
+    /// `schedule` with the misprediction applied to its plan *and* the
+    /// controller configured by `adapt` — answering "which strategy loses
+    /// the least when the model is wrong, given the runtime may fight
+    /// back?". The healthy baseline stays the faithful (unskewed) plan, so
+    /// degradation measures the full cost of the misprediction net of
+    /// whatever the controller recovered.
+    pub fn rank_by_degradation_adaptive(
+        &self,
+        desc: &AppDescriptor,
+        schedule: &FaultSchedule,
+        policy: RetryPolicy,
+        health: &HealthConfig,
+        adapt: &AdaptConfig,
+    ) -> Vec<DegradationEntry> {
+        let analysis = self.analyze(desc);
+        let configs: Vec<ExecutionConfig> = [ExecutionConfig::OnlyGpu, ExecutionConfig::OnlyCpu]
+            .into_iter()
+            .chain(
+                analysis
+                    .ranking
+                    .iter()
+                    .map(|&s| ExecutionConfig::Strategy(s)),
+            )
+            .collect();
+        let mut entries: Vec<DegradationEntry> = configs
+            .into_iter()
+            .map(|config| DegradationEntry {
+                config,
+                healthy: self.simulate(desc, config),
+                faulty: self.simulate_adaptive(desc, config, schedule, policy, health, adapt),
             })
             .collect();
         entries.sort_by(|a, b| {

@@ -51,6 +51,18 @@ impl Strategy {
         !self.is_static()
     }
 
+    /// The dynamic strategy a static plan falls back to when adaptive
+    /// re-solving is exhausted: SP-* → DP-Perf (the performance-aware
+    /// policy, which Table I ranks for *every* class, so the escalation is
+    /// always legal — see `ranking::escalation_target`). Dynamic
+    /// strategies are their own sibling.
+    pub fn dynamic_sibling(self) -> Strategy {
+        match self {
+            Strategy::SpSingle | Strategy::SpUnified | Strategy::SpVaried => Strategy::DpPerf,
+            dynamic => dynamic,
+        }
+    }
+
     /// Is this strategy *applicable* to an application class at all
     /// (independently of how well it ranks)?
     ///
@@ -124,6 +136,19 @@ mod tests {
         assert!(Strategy::SpVaried.is_static());
         assert!(Strategy::DpDep.is_dynamic());
         assert!(Strategy::DpPerf.is_dynamic());
+    }
+
+    #[test]
+    fn dynamic_sibling_maps_static_to_dp_perf() {
+        for s in Strategy::ALL {
+            let sib = s.dynamic_sibling();
+            assert!(sib.is_dynamic());
+            if s.is_static() {
+                assert_eq!(sib, Strategy::DpPerf);
+            } else {
+                assert_eq!(sib, s);
+            }
+        }
     }
 
     #[test]

@@ -65,4 +65,4 @@ pub use metrics::PartitionMetrics;
 pub use multi::{solve_multi, AcceleratorSide, MultiDeviceProblem, MultiSolution};
 pub use problem::{PartitionProblem, TransferModel};
 pub use profiling::{estimate_rates, RateEstimates};
-pub use solve::{solve, PartitionSolution};
+pub use solve::{resolve_with_observations, solve, PartitionSolution};

@@ -45,7 +45,7 @@ impl TransferModel {
 /// Rates are *sustained application throughputs* in items/second — the
 /// quantities Glinda estimates by profiling (not hardware peaks). The
 /// transfer side carries the interconnect's bandwidth and the volume model.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PartitionProblem {
     /// Total data items.
     pub items: u64,

@@ -146,6 +146,24 @@ pub enum FaultEvent {
         /// Window end (exclusive).
         until: SimTime,
     },
+    /// Model misprediction: while the window is open, the throughput the
+    /// *planner* estimates for `dev` is multiplied by `factor` — the device
+    /// itself runs at true speed. A factor of 0.5 makes the profile claim
+    /// the device is half as fast as it really is (so a static plan
+    /// under-assigns it); 2.0 makes it look twice as fast (over-assigning
+    /// it). This is the misprediction injector for adaptive repartitioning:
+    /// nothing faults, nothing throttles — the plan is simply wrong, and
+    /// only observing real per-device throughput at run time can reveal it.
+    ProfilePerturb {
+        /// Device whose *estimated* throughput is skewed.
+        dev: DeviceId,
+        /// Multiplier applied to the planner-visible rate (> 0, finite).
+        factor: f64,
+        /// Window start (inclusive).
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
 }
 
 fn in_window(now: SimTime, from: SimTime, until: SimTime) -> bool {
@@ -249,6 +267,23 @@ impl FaultSchedule {
         self.events.push(FaultEvent::Flaky {
             dev,
             fault_prob,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Add a profile perturbation on `dev` (planner-visible rate skew).
+    pub fn with_profile_perturb(
+        mut self,
+        dev: DeviceId,
+        factor: f64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.events.push(FaultEvent::ProfilePerturb {
+            dev,
+            factor,
             from,
             until,
         });
@@ -369,6 +404,28 @@ impl FaultSchedule {
         factor
     }
 
+    /// Multiplier on the *planner-visible* throughput estimate for `dev`
+    /// at `now`: the product of every open [`FaultEvent::ProfilePerturb`]
+    /// window's factor (1.0 when none is open). True execution is never
+    /// touched by this — only profiling/planning paths consult it.
+    pub fn profile_factor(&self, dev: DeviceId, now: SimTime) -> f64 {
+        let mut factor = 1.0;
+        for ev in &self.events {
+            if let FaultEvent::ProfilePerturb {
+                dev: d,
+                factor: f,
+                from,
+                until,
+            } = ev
+            {
+                if *d == dev && in_window(now, *from, *until) {
+                    factor *= f;
+                }
+            }
+        }
+        factor
+    }
+
     /// `base` scaled by the throttle factor for `dev` at `now` — the one
     /// place execution time meets throttling, shared by the resilient
     /// executor's attempt loop, safe-mode completion, and the straggler
@@ -421,6 +478,21 @@ impl FaultSchedule {
                 } => {
                     if *start_factor <= 0.0 || *end_factor <= 0.0 {
                         return Err(format!("event {i}: throttle factors must be positive"));
+                    }
+                    if from > until {
+                        return Err(format!("event {i}: window {from} > {until}"));
+                    }
+                }
+                FaultEvent::ProfilePerturb {
+                    factor,
+                    from,
+                    until,
+                    ..
+                } => {
+                    if !(factor.is_finite() && *factor > 0.0) {
+                        return Err(format!(
+                            "event {i}: profile factor {factor} must be positive and finite"
+                        ));
                     }
                     if from > until {
                         return Err(format!("event {i}: window {from} > {until}"));
@@ -676,6 +748,44 @@ mod tests {
         assert!(FaultSchedule::new(1)
             .with_silent_corruption(DeviceId(1), 0.5, SimTime::ZERO, SimTime::MAX)
             .with_flaky(DeviceId(1), 0.5, SimTime::ZERO, SimTime::MAX)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn profile_perturb_skews_only_the_planner_view() {
+        let s = FaultSchedule::new(1).with_profile_perturb(
+            DeviceId(1),
+            0.5,
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+        );
+        assert_eq!(s.profile_factor(DeviceId(1), SimTime::ZERO), 0.5);
+        // Outside the window and on other devices: nominal.
+        assert_eq!(s.profile_factor(DeviceId(1), SimTime::from_millis(10)), 1.0);
+        assert_eq!(s.profile_factor(DeviceId(0), SimTime::ZERO), 1.0);
+        // True execution paths never see the perturbation.
+        assert_eq!(s.throttle_factor(DeviceId(1), SimTime::ZERO), 1.0);
+        assert_eq!(s.task_fault_prob(DeviceId(1), SimTime::ZERO), 0.0);
+        // Overlapping windows compose multiplicatively.
+        let s2 = s.with_profile_perturb(DeviceId(1), 0.5, SimTime::ZERO, SimTime::MAX);
+        assert_eq!(s2.profile_factor(DeviceId(1), SimTime::ZERO), 0.25);
+    }
+
+    #[test]
+    fn validate_catches_bad_profile_factor() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let mut s = FaultSchedule::new(1);
+            s.events.push(FaultEvent::ProfilePerturb {
+                dev: DeviceId(1),
+                factor: bad,
+                from: SimTime::ZERO,
+                until: SimTime::MAX,
+            });
+            assert!(s.validate().is_err(), "factor {bad} should be rejected");
+        }
+        assert!(FaultSchedule::new(1)
+            .with_profile_perturb(DeviceId(1), 0.5, SimTime::ZERO, SimTime::MAX)
             .validate()
             .is_ok());
     }

@@ -1,0 +1,233 @@
+//! Adaptive repartitioning: online imbalance detection, epoch re-solving,
+//! and static→dynamic strategy fallback under model misprediction.
+//!
+//! PRs 1–2 made the runtime survive fail-stop and gray *hardware*
+//! failures, but the paper's static strategies (SP-Single/Unified/Varied)
+//! still trust the Glinda profile blindly: a mispredicted partition — a
+//! skewed profiling run ([`ProfilePerturb`]), mid-run performance drift
+//! (`ThrottleRamp`) — silently inflates makespan with no mitigation. This
+//! module closes the control loop, configured through [`AdaptConfig`]:
+//!
+//! 1. **Detect** — at every taskwait barrier the executor computes the
+//!    per-device *busy-time skew* of the just-finished epoch
+//!    (`(max − min) / max` over slot-normalised busy time of the devices
+//!    that participated). A skew above [`AdaptConfig::skew_threshold`] for
+//!    [`AdaptConfig::hysteresis`] consecutive barriers triggers the
+//!    controller (hysteresis suppresses one-epoch noise).
+//! 2. **Re-solve** — the *observed* per-device throughputs (items per busy
+//!    second, folding transfer and queueing effects into an effective
+//!    rate) are fed back into Glinda through
+//!    [`glinda::resolve_with_observations`], which warm-starts from the
+//!    prior split; the corrected split then re-pins the remaining epochs'
+//!    statically placed tasks (whole task chunks move — region splits are
+//!    baked into the plan, so the granularity is one chunk), with the
+//!    chunk assignment chosen to minimise a slot-quantised predicted
+//!    epoch wall at the observed rates (equal chunks run in waves over a
+//!    device's slots, which a continuous item target cannot see). A
+//!    no-regression guard keeps the old placement when the model predicts
+//!    no improvement.
+//! 3. **Escalate** — if [`AdaptConfig::max_resolves`] consecutive
+//!    corrections still miss [`AdaptConfig::balance_target`], the static
+//!    plan is abandoned for its dynamic sibling: remaining statically
+//!    pinned tasks are handed to an internal DP-Perf scheduler seeded with
+//!    the run's own observations (the Table I escalation SP-* → DP-Perf).
+//!
+//! Every adaptation decision draws from a dedicated seeded SplitMix64
+//! stream, so enabling adaptation never perturbs fault or health sampling
+//! and identical seeds replay byte-identically. With adaptation disabled
+//! (the [`Default`]) the executor's event sequence is byte-identical to
+//! the resilient path. What happened is reported through [`AdaptReport`]
+//! (`RunReport::adapt`).
+//!
+//! [`ProfilePerturb`]: hetero_platform::FaultEvent::ProfilePerturb
+
+use glinda::{PartitionProblem, PartitionSolution};
+use hetero_platform::DeviceId;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the adaptive repartitioning controller. The disabled
+/// configuration ([`AdaptConfig::disabled`]) makes `simulate_adaptive`
+/// take the exact event sequence of the resilient executor.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AdaptConfig {
+    /// Per-epoch busy-time skew `(max − min) / max` above which an epoch
+    /// counts as imbalanced (in `(0, 1)`).
+    pub skew_threshold: f64,
+    /// Skew at or below which the controller considers the run balanced
+    /// again; must be ≤ `skew_threshold` (the gap is the hysteresis band).
+    pub balance_target: f64,
+    /// Consecutive imbalanced barriers required before the controller
+    /// acts (≥ 1; higher values suppress one-epoch noise).
+    pub hysteresis: u32,
+    /// Consecutive re-solves allowed to miss `balance_target` before the
+    /// static plan escalates to its dynamic sibling (≥ 1).
+    pub max_resolves: u32,
+    /// Re-solve and re-pin remaining epochs on imbalance (`false`
+    /// observes skew for the report without correcting).
+    pub repartition: bool,
+    /// Escalate SP-* → DP-Perf when re-solves are exhausted.
+    pub escalation: bool,
+}
+
+impl AdaptConfig {
+    /// Everything off: byte-identical to the resilient executor.
+    pub fn disabled() -> Self {
+        AdaptConfig {
+            skew_threshold: 0.25,
+            balance_target: 0.10,
+            hysteresis: 1,
+            max_resolves: 2,
+            repartition: false,
+            escalation: false,
+        }
+    }
+
+    /// Full adaptation with default thresholds: repartition at 25% skew
+    /// after one imbalanced barrier, escalate to DP-Perf after two
+    /// consecutive re-solves that miss the 10% balance target.
+    pub fn enabled_default() -> Self {
+        AdaptConfig {
+            repartition: true,
+            escalation: true,
+            ..AdaptConfig::disabled()
+        }
+    }
+
+    /// `true` when any mitigation (repartitioning, escalation) is on.
+    pub fn enabled(&self) -> bool {
+        self.repartition || self.escalation
+    }
+
+    /// Check internal consistency: thresholds in `(0, 1)`, target ≤
+    /// threshold, counters ≥ 1.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.skew_threshold > 0.0 && self.skew_threshold < 1.0) {
+            return Err(format!(
+                "skew_threshold {} outside (0, 1)",
+                self.skew_threshold
+            ));
+        }
+        if !(self.balance_target > 0.0 && self.balance_target < 1.0) {
+            return Err(format!(
+                "balance_target {} outside (0, 1)",
+                self.balance_target
+            ));
+        }
+        if self.balance_target > self.skew_threshold {
+            return Err(format!(
+                "balance_target {} exceeds skew_threshold {} (inverted hysteresis band)",
+                self.balance_target, self.skew_threshold
+            ));
+        }
+        if self.hysteresis == 0 {
+            return Err("hysteresis must be >= 1".into());
+        }
+        if self.max_resolves == 0 {
+            return Err("max_resolves must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        AdaptConfig::disabled()
+    }
+}
+
+/// The static partitioning decision behind the running plan, carried into
+/// the executor so the controller can re-solve it against observed rates.
+/// Produced by the planner (`matchmaker::Planner::adapt_plan`) for static
+/// hybrid strategies; dynamic strategies have nothing to re-solve and run
+/// without one.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AdaptPlan {
+    /// The partitioning problem the planner solved (planner-visible rates,
+    /// possibly mispredicted).
+    pub problem: PartitionProblem,
+    /// The split the plan was emitted from.
+    pub solution: PartitionSolution,
+    /// The accelerator the split's GPU share is pinned to.
+    pub gpu: DeviceId,
+}
+
+/// What the adaptive controller observed and did during one run (all
+/// zeros for a balanced run or with adaptation disabled). Reported
+/// through `RunReport::adapt`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdaptReport {
+    /// Taskwait barriers at which the controller observed epoch skew.
+    pub barriers_observed: u64,
+    /// Barriers whose skew exceeded the threshold (pre-hysteresis).
+    pub imbalances_detected: u64,
+    /// Re-solves that changed the placement of remaining epochs.
+    pub repartitions: u64,
+    /// Data items moved between devices by repartitioning.
+    pub items_moved: u64,
+    /// `true` once the static plan escalated to its dynamic sibling.
+    pub escalated: bool,
+    /// Epoch index at whose barrier escalation happened.
+    pub escalated_at_epoch: Option<usize>,
+    /// Tasks bound by the escalated DP-Perf scheduler.
+    pub escalated_tasks: u64,
+    /// Largest per-epoch skew observed.
+    pub max_skew: f64,
+    /// Skew of the last epoch that had ≥ 2 participating devices.
+    pub final_skew: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_config_is_inert_and_valid() {
+        let c = AdaptConfig::disabled();
+        assert!(!c.enabled());
+        assert!(c.validate().is_ok());
+        assert_eq!(c, AdaptConfig::default());
+    }
+
+    #[test]
+    fn enabled_config_is_enabled_and_valid() {
+        let c = AdaptConfig::enabled_default();
+        assert!(c.enabled());
+        assert!(c.validate().is_ok());
+        assert!(c.repartition);
+        assert!(c.escalation);
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        let mut c = AdaptConfig::enabled_default();
+        c.skew_threshold = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = AdaptConfig::enabled_default();
+        c.balance_target = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = AdaptConfig::enabled_default();
+        c.balance_target = 0.5;
+        c.skew_threshold = 0.25;
+        assert!(c.validate().is_err());
+
+        let mut c = AdaptConfig::enabled_default();
+        c.hysteresis = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = AdaptConfig::enabled_default();
+        c.max_resolves = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn report_defaults_are_zero() {
+        let r = AdaptReport::default();
+        assert_eq!(r.barriers_observed, 0);
+        assert_eq!(r.repartitions, 0);
+        assert!(!r.escalated);
+        assert_eq!(r.escalated_at_epoch, None);
+        assert_eq!(r.max_skew, 0.0);
+    }
+}

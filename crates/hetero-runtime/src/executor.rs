@@ -60,24 +60,45 @@
 //! without re-charging transfers and samples no faults of its own, and a
 //! hedge win leaves the coherence directory naming the primary's memory
 //! space (only timing and attribution move to the peer).
+//!
+//! # Adaptive repartitioning
+//!
+//! [`simulate_adaptive`] layers the [`crate::adapt`] controller on top:
+//! at each taskwait barrier the per-device busy-time skew of the closing
+//! epoch is measured, a sustained imbalance re-solves the plan's Glinda
+//! partition against the *observed* throughputs and re-pins the remaining
+//! epochs' chunks, and when re-solves are exhausted the static plan
+//! escalates to an internal DP-Perf scheduler seeded with the run's own
+//! observations. With [`AdaptConfig::disabled`] the adaptive executor is
+//! exactly [`simulate_resilient`], byte for byte. Skew accounting is
+//! dispatch-based (a hedge win still attributes to the primary's
+//! dispatch), and a dropout or epoch rollback clears the open epoch's
+//! observation window — the detector is a heuristic over committed work,
+//! not an audit trail.
 
+use crate::adapt::{AdaptConfig, AdaptPlan, AdaptReport};
 use crate::coherence::CoherenceDir;
 use crate::graph::TaskGraph;
 use crate::health::{BreakerState, HealthConfig, HealthReport, QuarantineSpan, VerificationPolicy};
-use crate::program::{Program, TaskDesc, TaskId};
-use crate::scheduler::{BindCtx, Scheduler};
+use crate::program::{KernelId, Program, TaskDesc, TaskId};
+use crate::scheduler::{BindCtx, PerfScheduler, RateObservation, Scheduler};
 use crate::stats::{KernelStats, RunReport};
 use crate::trace::{Trace, TraceEvent};
 use hetero_platform::{
     DeviceId, EventQueue, FaultCounters, FaultRng, FaultSchedule, MemSpaceId, Platform,
     PlatformCounters, RetryPolicy, SimTime,
 };
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Stream-splitting constant for the health RNG: verification sampling
 /// draws from its own SplitMix64 stream so enabling it never perturbs
 /// fault sampling.
 const HEALTH_STREAM: u64 = 0x5EED_C0DE_D00D_FEED;
+
+/// Stream-splitting constant for the adaptation RNG: the controller's
+/// tie-breaks draw from their own SplitMix64 stream so enabling
+/// adaptation never perturbs fault or verification sampling.
+const ADAPT_STREAM: u64 = 0xADA7_ADA7_ADA7_ADA7;
 
 enum Ev {
     TaskDone {
@@ -119,7 +140,7 @@ pub fn simulate(
     platform: &Platform,
     scheduler: &mut dyn Scheduler,
 ) -> RunReport {
-    Sim::new(program, platform, scheduler, false, None, None)
+    Sim::new(program, platform, scheduler, false, None, None, None)
         .run()
         .0
 }
@@ -130,7 +151,7 @@ pub fn simulate_traced(
     platform: &Platform,
     scheduler: &mut dyn Scheduler,
 ) -> (RunReport, Trace) {
-    let (report, trace) = Sim::new(program, platform, scheduler, true, None, None).run();
+    let (report, trace) = Sim::new(program, platform, scheduler, true, None, None, None).run();
     (report, trace.expect("tracing was enabled"))
 }
 
@@ -150,6 +171,7 @@ pub fn simulate_faulty(
         scheduler,
         false,
         Some((schedule, policy)),
+        None,
         None,
     )
     .run()
@@ -172,6 +194,7 @@ pub fn simulate_faulty_traced(
         scheduler,
         true,
         Some((schedule, policy)),
+        None,
         None,
     )
     .run();
@@ -198,6 +221,7 @@ pub fn simulate_resilient(
         false,
         Some((schedule, policy)),
         Some(*health),
+        None,
     )
     .run()
     .0
@@ -221,6 +245,66 @@ pub fn simulate_resilient_traced(
         true,
         Some((schedule, policy)),
         Some(*health),
+        None,
+    )
+    .run();
+    (report, trace.expect("tracing was enabled"))
+}
+
+/// [`simulate_resilient`] with the adaptive repartitioning controller
+/// configured by `adapt` (see [`crate::adapt`]): per-epoch imbalance
+/// detection, Glinda re-solving against observed throughputs, and
+/// static → dynamic strategy escalation. `plan` carries the static
+/// partitioning decision behind the program (when there is one) so the
+/// controller can re-solve it; programs without a static split pass
+/// `None` and can still escalate. With [`AdaptConfig::disabled`] this is
+/// exactly [`simulate_resilient`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_adaptive(
+    program: &Program,
+    platform: &Platform,
+    scheduler: &mut dyn Scheduler,
+    schedule: &FaultSchedule,
+    policy: RetryPolicy,
+    health: &HealthConfig,
+    adapt: &AdaptConfig,
+    plan: Option<AdaptPlan>,
+) -> RunReport {
+    Sim::new(
+        program,
+        platform,
+        scheduler,
+        false,
+        Some((schedule, policy)),
+        Some(*health),
+        Some((*adapt, plan)),
+    )
+    .run()
+    .0
+}
+
+/// [`simulate_adaptive`], additionally recording an execution [`Trace`]
+/// with the adaptation events ([`TraceEvent::ImbalanceDetected`],
+/// [`TraceEvent::Repartitioned`], [`TraceEvent::StrategyEscalated`]).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_adaptive_traced(
+    program: &Program,
+    platform: &Platform,
+    scheduler: &mut dyn Scheduler,
+    schedule: &FaultSchedule,
+    policy: RetryPolicy,
+    health: &HealthConfig,
+    adapt: &AdaptConfig,
+    plan: Option<AdaptPlan>,
+) -> (RunReport, Trace) {
+    let (report, trace) = Sim::new(
+        program,
+        platform,
+        scheduler,
+        true,
+        Some((schedule, policy)),
+        Some(*health),
+        Some((*adapt, plan)),
     )
     .run();
     (report, trace.expect("tracing was enabled"))
@@ -298,6 +382,37 @@ struct HealthCtx {
     rollbacks_this_epoch: u32,
 }
 
+/// Mutable adaptation state, present only when an [`AdaptConfig`] with at
+/// least one mitigation enabled was supplied.
+struct AdaptCtx {
+    config: AdaptConfig,
+    /// The static partitioning decision behind the program, re-solved on
+    /// imbalance (`solution` tracks the currently applied split). `None`
+    /// disables repartitioning but still allows escalation.
+    plan: Option<AdaptPlan>,
+    /// Tie-break stream, independent of the fault and health streams.
+    rng: FaultRng,
+    report: AdaptReport,
+    /// Per device: busy time committed in the open epoch's window.
+    epoch_busy: Vec<SimTime>,
+    /// Per device: items committed in the open epoch's window.
+    epoch_items: Vec<u64>,
+    /// Cumulative (kernel, device) throughput observations; seeds the
+    /// escalated DP-Perf scheduler.
+    obs: BTreeMap<(KernelId, DeviceId), RateObservation>,
+    /// Consecutive barriers whose skew exceeded the threshold.
+    consecutive_imbalanced: u32,
+    /// Re-solves since the run last met the balance target.
+    resolves_since_balance: u32,
+    /// Per task: repartition override re-pinning a not-yet-placed chunk.
+    override_of: Vec<Option<DeviceId>>,
+    /// The internal DP-Perf scheduler, once the static plan is abandoned.
+    escalated: Option<PerfScheduler>,
+    /// Per task: bound by the escalated scheduler (pays the dynamic
+    /// per-decision scheduling overhead, routes `on_complete` internally).
+    bound_by_escalated: Vec<bool>,
+}
+
 /// The available device with the most slots (ties → lowest id), excluding
 /// `exclude`; `blocked` marks devices no binding may target (dead, or
 /// quarantined by the circuit breaker). The host (device 0, never dead and
@@ -345,6 +460,7 @@ struct Sim<'a> {
     trace: Option<Trace>,
     faults: Option<FaultCtx<'a>>,
     health: Option<HealthCtx>,
+    adapt: Option<AdaptCtx>,
 }
 
 impl<'a> Sim<'a> {
@@ -355,6 +471,7 @@ impl<'a> Sim<'a> {
         traced: bool,
         faults: Option<(&'a FaultSchedule, RetryPolicy)>,
         health: Option<HealthConfig>,
+        adapt: Option<(AdaptConfig, Option<AdaptPlan>)>,
     ) -> Self {
         let graph = TaskGraph::build(program);
         let tasks: Vec<&TaskDesc> = program.tasks().into_iter().map(|(_, t)| t).collect();
@@ -415,6 +532,29 @@ impl<'a> Sim<'a> {
                 hedge: vec![None; n],
                 rollbacks_this_epoch: 0,
             });
+        let adapt = adapt
+            .inspect(|(config, _)| {
+                config
+                    .validate()
+                    .unwrap_or_else(|e| panic!("invalid adapt config: {e}"));
+            })
+            .filter(|(config, _)| config.enabled())
+            .map(|(config, plan)| AdaptCtx {
+                config,
+                plan,
+                rng: FaultRng::new(
+                    faults.as_ref().map(|f| f.schedule.seed).unwrap_or(0) ^ ADAPT_STREAM,
+                ),
+                report: AdaptReport::default(),
+                epoch_busy: vec![SimTime::ZERO; ndev],
+                epoch_items: vec![0; ndev],
+                obs: BTreeMap::new(),
+                consecutive_imbalanced: 0,
+                resolves_since_balance: 0,
+                override_of: vec![None; n],
+                escalated: None,
+                bound_by_escalated: vec![false; n],
+            });
         Sim {
             remaining_preds: graph.preds.iter().map(Vec::len).collect(),
             graph,
@@ -445,6 +585,7 @@ impl<'a> Sim<'a> {
             trace: traced.then(Trace::default),
             faults,
             health,
+            adapt,
         }
     }
 
@@ -543,6 +684,7 @@ impl<'a> Sim<'a> {
                 .collect(),
             faults: self.faults.map(|f| f.counters).unwrap_or_default(),
             health,
+            adapt: self.adapt.map(|a| a.report).unwrap_or_default(),
         };
         (report, self.trace)
     }
@@ -566,6 +708,11 @@ impl<'a> Sim<'a> {
         }
         if let Some(f) = &mut self.faults {
             f.suppress_corruption = false;
+        }
+        // The skew detector observes one epoch at a time.
+        if let Some(a) = &mut self.adapt {
+            a.epoch_busy.fill(SimTime::ZERO);
+            a.epoch_items.fill(0);
         }
         let tasks: Vec<TaskId> = self.epochs[self.cur_epoch].clone();
         self.epoch_remaining = tasks.len();
@@ -616,14 +763,41 @@ impl<'a> Sim<'a> {
             }
             total
         };
-        let mut dev = self.scheduler.bind(&BindCtx {
+        // Once the plan escalated, the internal DP-Perf scheduler binds
+        // everything that follows; its view of the task has the static pin
+        // stripped (a pinned task would otherwise bypass the policy).
+        // Before escalation, a repartition override re-pins the chunk.
+        let escalated_bind = self.adapt.as_ref().is_some_and(|a| a.escalated.is_some());
+        let stripped;
+        let bind_task = if escalated_bind {
+            stripped = TaskDesc {
+                pinned: None,
+                ..task.clone()
+            };
+            &stripped
+        } else {
+            task
+        };
+        let ctx = BindCtx {
             now: self.now,
             platform: self.platform,
-            task,
+            task: bind_task,
             task_id: t,
             pred_placements: &pred_placements,
             transfer_estimate: &transfer_estimate,
-        });
+        };
+        let mut dev = if escalated_bind {
+            let a = self.adapt.as_mut().unwrap();
+            if !a.bound_by_escalated[t.0] {
+                a.bound_by_escalated[t.0] = true;
+                a.report.escalated_tasks += 1;
+            }
+            a.escalated.as_mut().unwrap().bind(&ctx)
+        } else if let Some(d) = self.adapt.as_ref().and_then(|a| a.override_of[t.0]) {
+            d
+        } else {
+            self.scheduler.bind(&ctx)
+        };
         // A binding that names a dead or quarantined device is redirected
         // to the fallback survivor (a pinned plan keeps naming its dead
         // device; redirecting here is what "falls back to Only-CPU
@@ -746,7 +920,14 @@ impl<'a> Sim<'a> {
             f.booked_loss[t.0] = SimTime::ZERO;
         }
 
-        if self.scheduler.is_dynamic() {
+        // Tasks bound by the escalated DP-Perf scheduler pay the dynamic
+        // per-decision overhead even though the run started static.
+        let dynamic_bound = self.scheduler.is_dynamic()
+            || self
+                .adapt
+                .as_ref()
+                .is_some_and(|a| a.bound_by_escalated[t.0]);
+        if dynamic_bound {
             busy += self.platform.sched_overhead;
             nominal += self.platform.sched_overhead;
             self.counters.record_sched(self.platform.sched_overhead);
@@ -905,6 +1086,16 @@ impl<'a> Sim<'a> {
         if let Some(f) = &mut self.faults {
             f.recorded[t.0] = true;
         }
+        // Feed the adaptation observers: per-epoch skew accumulators and
+        // the cumulative rate table that seeds an eventual escalation.
+        if let Some(a) = &mut self.adapt {
+            a.epoch_busy[dev.0] += busy;
+            a.epoch_items[dev.0] += task.items;
+            let o = a.obs.entry((task.kernel, dev)).or_default();
+            o.count += 1;
+            o.items += task.items as f64;
+            o.secs += exec.as_secs_f64();
+        }
         if let Some(trace) = &mut self.trace {
             trace.events.push(TraceEvent::Task {
                 task: t,
@@ -930,15 +1121,35 @@ impl<'a> Sim<'a> {
             false
         };
         if !suppress {
-            self.scheduler.on_complete(
-                t,
-                task.kernel,
-                dev,
-                task.items,
-                self.busy_of[t.0],
-                self.exec_of[t.0],
-                self.now,
-            );
+            // Escalated bindings report to the internal DP-Perf scheduler
+            // whose books they live in, not the original (static) policy.
+            if self
+                .adapt
+                .as_ref()
+                .is_some_and(|a| a.bound_by_escalated[t.0])
+            {
+                if let Some(esc) = self.adapt.as_mut().and_then(|a| a.escalated.as_mut()) {
+                    esc.on_complete(
+                        t,
+                        task.kernel,
+                        dev,
+                        task.items,
+                        self.busy_of[t.0],
+                        self.exec_of[t.0],
+                        self.now,
+                    );
+                }
+            } else {
+                self.scheduler.on_complete(
+                    t,
+                    task.kernel,
+                    dev,
+                    task.items,
+                    self.busy_of[t.0],
+                    self.exec_of[t.0],
+                    self.now,
+                );
+            }
         }
 
         // A loser hedge is cancelled the moment its primary finishes: the
@@ -1201,6 +1412,13 @@ impl<'a> Sim<'a> {
         // host's epoch checkpoint.
         let dead_space = self.platform.device(dev).mem_space;
         self.coherence.drop_space(dead_space);
+
+        // The reversals above made the open epoch's skew window garbage;
+        // the detector sits this epoch out rather than acting on it.
+        if let Some(a) = &mut self.adapt {
+            a.epoch_busy.fill(SimTime::ZERO);
+            a.epoch_items.fill(0);
+        }
 
         // 5. Re-bind everything that is still dependency-free, in TaskId
         // order (deterministic). Tasks whose dependences the re-arm put
@@ -1540,6 +1758,9 @@ impl<'a> Sim<'a> {
                 return;
             }
         }
+        // The epoch's results stand: let the adaptive controller observe
+        // it and correct the remaining epochs before the flush commits.
+        self.adapt_at_barrier();
         self.start_flush();
     }
 
@@ -1662,12 +1883,280 @@ impl<'a> Sim<'a> {
             }
         }
         self.epoch_remaining = epoch_tasks.len();
+        // The rolled-back accounting invalidates the epoch's observation
+        // window; the re-run is observed fresh.
+        if let Some(a) = &mut self.adapt {
+            a.epoch_busy.fill(SimTime::ZERO);
+            a.epoch_items.fill(0);
+        }
         for t in epoch_tasks {
             if self.remaining_preds[t.0] == 0 {
                 self.make_ready(t);
             }
         }
         self.dispatch_all();
+    }
+
+    /// The adaptive-repartitioning controller, run at each taskwait
+    /// barrier once the epoch's results are verified (a rolled-back epoch
+    /// is re-run, not observed). Detection compares slot-normalised
+    /// per-device busy time of the closing epoch; hysteresis demands the
+    /// imbalance persist before anything changes; the response is a
+    /// re-solve while corrections remain and an escalation once
+    /// `max_resolves` consecutive corrections have missed the balance
+    /// target.
+    fn adapt_at_barrier(&mut self) {
+        if self.adapt.is_none() {
+            return;
+        }
+        // Detect: skew = (max − min) / max over busy/slots of the devices
+        // that ran work this epoch. One participant (or none) is trivially
+        // balanced — there is no peer to be skewed against.
+        let (skew, participants) = {
+            let a = self.adapt.as_ref().unwrap();
+            let mut max_n = 0.0f64;
+            let mut min_n = f64::INFINITY;
+            let mut participants = 0u32;
+            for d in &self.platform.devices {
+                let busy = a.epoch_busy[d.id.0];
+                if busy == SimTime::ZERO {
+                    continue;
+                }
+                let n = busy.as_secs_f64() / d.spec.kind.slots() as f64;
+                max_n = max_n.max(n);
+                min_n = min_n.min(n);
+                participants += 1;
+            }
+            if participants >= 2 && max_n > 0.0 {
+                ((max_n - min_n) / max_n, participants)
+            } else {
+                (0.0, participants)
+            }
+        };
+        let imbalanced = {
+            let a = self.adapt.as_mut().unwrap();
+            a.report.barriers_observed += 1;
+            if participants >= 2 {
+                a.report.max_skew = a.report.max_skew.max(skew);
+                a.report.final_skew = skew;
+            }
+            if skew <= a.config.balance_target {
+                // Balance restored: the correction budget refills.
+                a.resolves_since_balance = 0;
+            }
+            if skew > a.config.skew_threshold {
+                a.report.imbalances_detected += 1;
+                a.consecutive_imbalanced += 1;
+                true
+            } else {
+                a.consecutive_imbalanced = 0;
+                false
+            }
+        };
+        if imbalanced {
+            if let Some(trace) = &mut self.trace {
+                trace.events.push(TraceEvent::ImbalanceDetected {
+                    epoch: self.cur_epoch,
+                    skew,
+                    at: self.now,
+                });
+            }
+        }
+        // Act only while there are future epochs to correct.
+        let a = self.adapt.as_ref().unwrap();
+        let triggered = a.consecutive_imbalanced >= a.config.hysteresis
+            && a.escalated.is_none()
+            && self.cur_epoch + 1 < self.epochs.len();
+        if !triggered {
+            return;
+        }
+        let exhausted = {
+            let a = self.adapt.as_mut().unwrap();
+            a.consecutive_imbalanced = 0; // re-arm the hysteresis window
+            a.config.escalation && a.resolves_since_balance >= a.config.max_resolves
+        };
+        if exhausted {
+            self.escalate();
+        } else {
+            let a = self.adapt.as_mut().unwrap();
+            let can_repartition = a.config.repartition && a.plan.is_some();
+            a.resolves_since_balance += 1;
+            if can_repartition {
+                self.repartition();
+            }
+        }
+    }
+
+    /// Re-solve the plan's partition against the observed whole-device
+    /// throughputs ([`glinda::resolve_with_observations`], warm-started
+    /// from the prior split) and re-pin the remaining epochs' chunks.
+    /// Whole chunks move (region splits are baked into the plan), and the
+    /// chunk-level assignment minimises a *slot-quantised* predicted epoch
+    /// wall at the observed rates rather than chasing the continuous item
+    /// target — equal-size chunks run in waves over a device's slots, and
+    /// a count-based target can balance busy time without shortening the
+    /// critical path. A no-regression guard keeps an epoch's old placement
+    /// when the model predicts no improvement.
+    fn repartition(&mut self) {
+        let (plan, obs_cpu, obs_gpu) = {
+            let a = self.adapt.as_ref().unwrap();
+            let plan = a.plan.expect("repartition requires a plan");
+            // Effective whole-device throughput: items per second of wall
+            // time, busy spread over the device's slots, transfers and
+            // overheads folded in. The two-way Glinda model sees the host
+            // as the CPU side and the plan's accelerator as the GPU side.
+            let rate = |dev: DeviceId| -> Option<f64> {
+                let busy = a.epoch_busy[dev.0].as_secs_f64();
+                let slots = self.platform.device(dev).spec.kind.slots() as f64;
+                let items = a.epoch_items[dev.0] as f64;
+                (busy > 0.0 && items > 0.0).then_some(items * slots / busy)
+            };
+            (plan, rate(DeviceId(0)), rate(plan.gpu))
+        };
+        // One side idle this epoch (or its device dead): nothing observed
+        // to correct with — leave the plan alone.
+        let (Some(obs_cpu), Some(obs_gpu)) = (obs_cpu, obs_gpu) else {
+            return;
+        };
+        if self.faults.as_ref().is_some_and(|f| f.dead[plan.gpu.0]) {
+            return;
+        }
+        let prior = self
+            .adapt
+            .as_ref()
+            .unwrap()
+            .plan
+            .expect("checked above")
+            .solution;
+        let corrected = glinda::resolve_with_observations(&plan.problem, &prior, obs_cpu, obs_gpu);
+        if plan.problem.items == 0 {
+            return;
+        }
+        // Per-chunk costs at the observed whole-device rates, and the
+        // slot-quantised wall clock of one side: chunks dispatch onto a
+        // device's parallel slots, so equal-size CPU chunks run in *waves*
+        // (24 vs 17 chunks on 12 threads are both two waves) — an
+        // item-count target that ignores this can balance busy time
+        // without moving the epoch's critical path. `lpt` mirrors the
+        // executor's least-loaded dispatch (longest chunks first).
+        let cpu_slots = self.platform.device(DeviceId(0)).spec.kind.slots();
+        let gpu_slots = self.platform.device(plan.gpu).spec.kind.slots();
+        let lpt = |times: &[f64], slots: usize| -> f64 {
+            let mut load = vec![0.0f64; slots.max(1)];
+            for &t in times {
+                let m = load
+                    .iter_mut()
+                    .min_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal))
+                    .unwrap();
+                *m += t;
+            }
+            load.into_iter().fold(0.0, f64::max)
+        };
+        let t_cpu = |items: u64| items as f64 * cpu_slots as f64 / obs_cpu;
+        let t_gpu = |items: u64| items as f64 * gpu_slots as f64 / obs_gpu;
+        let mut moved_items = 0u64;
+        let mut changed = false;
+        let epochs = &self.epochs;
+        let tasks = &self.tasks;
+        let a = self.adapt.as_mut().unwrap();
+        for epoch in epochs.iter().skip(self.cur_epoch + 1) {
+            // The epoch's statically placed chunks and their current homes.
+            let mut chunks: Vec<(TaskId, u64, DeviceId)> = Vec::new();
+            let mut total = 0u64;
+            for &t in epoch {
+                let Some(cur) = a.override_of[t.0].or(tasks[t.0].pinned) else {
+                    continue;
+                };
+                chunks.push((t, tasks[t.0].items, cur));
+                total += tasks[t.0].items;
+            }
+            if chunks.len() < 2 || total == 0 {
+                continue;
+            }
+            // Sweep the prefix splits of the size-ordered chunks (the
+            // corrected split always offloads a contiguous "biggest
+            // chunks" share): GPU takes the first `j`, the CPU the rest;
+            // pick the `j` with the smallest predicted wall (a coin from
+            // the adaptation stream breaks an exact tie).
+            let mut order: Vec<usize> = (0..chunks.len()).collect();
+            order.sort_by_key(|&i| (std::cmp::Reverse(chunks[i].1), chunks[i].0));
+            let mut best_j = 0usize;
+            let mut best_wall = f64::INFINITY;
+            for j in 0..=order.len() {
+                let gpu_times: Vec<f64> = order[..j].iter().map(|&i| t_gpu(chunks[i].1)).collect();
+                let cpu_times: Vec<f64> = order[j..].iter().map(|&i| t_cpu(chunks[i].1)).collect();
+                let wall = lpt(&gpu_times, gpu_slots).max(lpt(&cpu_times, cpu_slots));
+                let better = match wall.partial_cmp(&best_wall) {
+                    Some(std::cmp::Ordering::Less) => true,
+                    Some(std::cmp::Ordering::Equal) => a.rng.next_f64() < 0.5,
+                    _ => false,
+                };
+                if better {
+                    best_wall = wall;
+                    best_j = j;
+                }
+            }
+            // No-regression guard: apply only if the observed-rate model
+            // predicts the new assignment strictly beats the current one.
+            let cur_gpu_times: Vec<f64> = chunks
+                .iter()
+                .filter(|&&(_, _, cur)| cur == plan.gpu)
+                .map(|&(_, items, _)| t_gpu(items))
+                .collect();
+            let cur_cpu_times: Vec<f64> = chunks
+                .iter()
+                .filter(|&&(_, _, cur)| cur != plan.gpu)
+                .map(|&(_, items, _)| t_cpu(items))
+                .collect();
+            let cur_wall = lpt(&cur_gpu_times, gpu_slots).max(lpt(&cur_cpu_times, cpu_slots));
+            if best_wall >= cur_wall {
+                continue;
+            }
+            let mut assign_gpu = vec![false; chunks.len()];
+            for &i in &order[..best_j] {
+                assign_gpu[i] = true;
+            }
+            for (i, &(t, items, cur)) in chunks.iter().enumerate() {
+                let dest = if assign_gpu[i] { plan.gpu } else { DeviceId(0) };
+                if dest != cur {
+                    a.override_of[t.0] = Some(dest);
+                    moved_items += items;
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            a.report.repartitions += 1;
+            a.report.items_moved += moved_items;
+            if let Some(p) = a.plan.as_mut() {
+                // The applied split becomes the next re-solve's warm start.
+                p.solution = corrected;
+            }
+            if let Some(trace) = &mut self.trace {
+                trace.events.push(TraceEvent::Repartitioned {
+                    epoch: self.cur_epoch,
+                    gpu_items: corrected.gpu_items,
+                    cpu_items: corrected.cpu_items,
+                    at: self.now,
+                });
+            }
+        }
+    }
+
+    /// Hand the rest of the run to an internal DP-Perf scheduler seeded
+    /// with the run's own per-(kernel, device) observations — the Table I
+    /// static → dynamic sibling escalation (SP-* → DP-Perf).
+    fn escalate(&mut self) {
+        let a = self.adapt.as_mut().unwrap();
+        a.escalated = Some(PerfScheduler::seeded(self.platform, a.obs.clone()));
+        a.report.escalated = true;
+        a.report.escalated_at_epoch = Some(self.cur_epoch);
+        if let Some(trace) = &mut self.trace {
+            trace.events.push(TraceEvent::StrategyEscalated {
+                epoch: self.cur_epoch,
+                at: self.now,
+            });
+        }
     }
 
     fn on_epoch_flushed(&mut self) {

@@ -44,6 +44,7 @@
 //! assert_eq!(report.counters.devices[1].items, 500_000);
 //! ```
 
+pub mod adapt;
 pub mod coherence;
 pub mod data;
 pub mod executor;
@@ -56,11 +57,12 @@ pub mod scheduler;
 pub mod stats;
 pub mod trace;
 
+pub use adapt::{AdaptConfig, AdaptPlan, AdaptReport};
 pub use coherence::{CoherenceDir, Transfer};
 pub use data::{Access, AccessMode, BufferDesc, BufferId, Region};
 pub use executor::{
-    simulate, simulate_faulty, simulate_faulty_traced, simulate_resilient,
-    simulate_resilient_traced, simulate_traced,
+    simulate, simulate_adaptive, simulate_adaptive_traced, simulate_faulty, simulate_faulty_traced,
+    simulate_resilient, simulate_resilient_traced, simulate_traced,
 };
 pub use graph::TaskGraph;
 pub use health::{
@@ -70,7 +72,7 @@ pub use health::{
 pub use interval::{Interval, IntervalMap, IntervalSet};
 pub use native::{run_native, run_native_parallel, ExecOrder, HostBuffers, KernelFn};
 pub use program::{
-    split_even, KernelDesc, KernelId, Op, Program, ProgramBuilder, TaskDesc, TaskId,
+    split_even, KernelDesc, KernelId, Op, PlanError, Program, ProgramBuilder, TaskDesc, TaskId,
 };
 pub use scheduler::{
     BindCtx, DepScheduler, PerfScheduler, PinnedScheduler, RateObservation, Scheduler,
@@ -124,4 +126,33 @@ pub fn simulate_dp_perf_warmed_resilient(
     let _ = simulate_resilient(program, platform, &mut warm, schedule, policy, health);
     let mut measured = PerfScheduler::seeded(platform, warm.rates().clone());
     simulate_resilient(program, platform, &mut measured, schedule, policy, health)
+}
+
+/// [`simulate_dp_perf_warmed_resilient`] with the adaptive-repartitioning
+/// controller active in the measured run. DP-Perf has no static plan to
+/// re-solve (the `AdaptPlan` is `None`): the controller observes skew and
+/// can at most "escalate" to a DP-Perf re-seeded from live observations —
+/// the interesting comparison is against the static strategies, whose
+/// plans it can actually correct.
+pub fn simulate_dp_perf_warmed_adaptive(
+    program: &Program,
+    platform: &hetero_platform::Platform,
+    schedule: &hetero_platform::FaultSchedule,
+    policy: hetero_platform::RetryPolicy,
+    health: &HealthConfig,
+    adapt: &AdaptConfig,
+) -> RunReport {
+    let mut warm = PerfScheduler::new(platform);
+    let _ = simulate_resilient(program, platform, &mut warm, schedule, policy, health);
+    let mut measured = PerfScheduler::seeded(platform, warm.rates().clone());
+    simulate_adaptive(
+        program,
+        platform,
+        &mut measured,
+        schedule,
+        policy,
+        health,
+        adapt,
+        None,
+    )
 }

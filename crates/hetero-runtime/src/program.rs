@@ -12,6 +12,118 @@ use crate::data::{Access, BufferDesc, BufferId};
 use hetero_platform::{DeviceId, KernelProfile};
 use serde::{Deserialize, Serialize};
 
+/// A structural defect in a program, or in the inputs handed to a planner
+/// lowering a strategy to a program. Produced by [`Program::validate`] /
+/// [`ProgramBuilder::try_build`] (the program-level variants) and by the
+/// matchmaker planner's fallible entry point (the planning-level
+/// variants); the panicking entry points format these through [`Display`].
+///
+/// [`Display`]: std::fmt::Display
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PlanError {
+    /// A submitted task names a kernel that was never declared.
+    KernelOutOfRange {
+        /// Index of the offending operation in the stream.
+        op: usize,
+        /// The undeclared kernel id.
+        kernel: KernelId,
+    },
+    /// A task access names a buffer that was never declared.
+    BufferOutOfRange {
+        /// Index of the offending operation in the stream.
+        op: usize,
+        /// The undeclared buffer id.
+        buffer: BufferId,
+    },
+    /// A task access region reaches past the end of its buffer.
+    RegionOutOfRange {
+        /// Index of the offending operation in the stream.
+        op: usize,
+        /// Region start (inclusive), in items.
+        start: u64,
+        /// Region end (exclusive), in items.
+        end: u64,
+        /// Name of the overrun buffer.
+        buffer: String,
+        /// The buffer's actual length, in items.
+        items: u64,
+    },
+    /// The application descriptor failed its own validation.
+    InvalidDescriptor {
+        /// The application's name.
+        app: String,
+        /// The descriptor's validation message.
+        reason: String,
+    },
+    /// SP-Single was asked to plan a multi-kernel application.
+    SingleKernelStrategy {
+        /// How many kernels the application actually has.
+        kernels: usize,
+    },
+    /// SP-Unified was asked to plan kernels with differing domains (one
+    /// fused partitioning point needs a common domain).
+    UnifiedDomainMismatch,
+    /// A partitioned access combines a halo with write permission; the
+    /// overlapping writes of neighbouring instances would race.
+    HaloWrite {
+        /// Name of the offending kernel.
+        kernel: String,
+    },
+    /// A whole-buffer write was requested for a kernel the configuration
+    /// splits into partial instances; every instance would claim to
+    /// produce the full buffer.
+    PartitionedFullWrite {
+        /// Name of the offending kernel.
+        kernel: String,
+    },
+    /// Planning targets a CPU+accelerator split, but the platform has no
+    /// accelerator.
+    NoGpu,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::KernelOutOfRange { op, kernel } => {
+                write!(f, "op {op}: kernel {kernel:?} out of range")
+            }
+            PlanError::BufferOutOfRange { op, buffer } => {
+                write!(f, "op {op}: buffer {buffer:?} out of range")
+            }
+            PlanError::RegionOutOfRange {
+                op,
+                start,
+                end,
+                buffer,
+                items,
+            } => write!(
+                f,
+                "op {op}: region [{start}, {end}) exceeds buffer '{buffer}' ({items} items)"
+            ),
+            PlanError::InvalidDescriptor { app, reason } => {
+                write!(f, "invalid descriptor '{app}': {reason}")
+            }
+            PlanError::SingleKernelStrategy { kernels } => write!(
+                f,
+                "SP-Single targets single-kernel applications ({kernels} kernels)"
+            ),
+            PlanError::UnifiedDomainMismatch => {
+                write!(f, "SP-Unified requires a common kernel domain")
+            }
+            PlanError::HaloWrite { kernel } => {
+                write!(f, "halo'd write access is unsound (kernel '{kernel}')")
+            }
+            PlanError::PartitionedFullWrite { kernel } => write!(
+                f,
+                "whole-buffer write by a partitioned instance (kernel '{kernel}')"
+            ),
+            PlanError::NoGpu => write!(f, "planning requires a platform with a GPU"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 /// Identifies a kernel (a parallel section of code) within a program.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct KernelId(pub usize);
@@ -130,24 +242,30 @@ impl Program {
     }
 
     /// Validate internal consistency: buffer/kernel indices in range and
-    /// regions within their buffers. Returns a description of the first
-    /// violation.
-    pub fn validate(&self) -> Result<(), String> {
+    /// regions within their buffers. Returns the first violation as a
+    /// typed [`PlanError`].
+    pub fn validate(&self) -> Result<(), PlanError> {
         for (i, op) in self.ops.iter().enumerate() {
             let Op::Submit(t) = op else { continue };
             if t.kernel.0 >= self.kernels.len() {
-                return Err(format!("op {i}: kernel {:?} out of range", t.kernel));
+                return Err(PlanError::KernelOutOfRange {
+                    op: i,
+                    kernel: t.kernel,
+                });
             }
             for a in &t.accesses {
                 let b = a.region.buffer;
                 let Some(desc) = self.buffers.get(b.0) else {
-                    return Err(format!("op {i}: buffer {b:?} out of range"));
+                    return Err(PlanError::BufferOutOfRange { op: i, buffer: b });
                 };
                 if a.region.span.end > desc.items {
-                    return Err(format!(
-                        "op {i}: region {:?} exceeds buffer '{}' ({} items)",
-                        a.region.span, desc.name, desc.items
-                    ));
+                    return Err(PlanError::RegionOutOfRange {
+                        op: i,
+                        start: a.region.span.start,
+                        end: a.region.span.end,
+                        buffer: desc.name.clone(),
+                        items: desc.items,
+                    });
                 }
             }
         }
@@ -227,12 +345,17 @@ impl ProgramBuilder {
         self.program.ops.push(Op::Taskwait);
     }
 
-    /// Finish; panics if the program fails validation.
+    /// Finish; returns the first validation violation as a [`PlanError`].
+    pub fn try_build(self) -> Result<Program, PlanError> {
+        self.program.validate()?;
+        Ok(self.program)
+    }
+
+    /// Finish; panics if the program fails validation (use
+    /// [`ProgramBuilder::try_build`] to handle the error instead).
     pub fn build(self) -> Program {
-        if let Err(e) = self.program.validate() {
-            panic!("invalid program: {e}");
-        }
-        self.program
+        self.try_build()
+            .unwrap_or_else(|e| panic!("invalid program: {e}"))
     }
 }
 
@@ -308,6 +431,58 @@ mod tests {
         let k = b.kernel("k", KernelProfile::compute_only(1.0));
         b.submit_dynamic(k, 20, vec![Access::write(Region::new(buf, 0, 20))]);
         let _ = b.build();
+    }
+
+    #[test]
+    fn try_build_reports_out_of_range_region() {
+        let mut b = Program::builder();
+        let buf = b.buffer("x", 10, 4);
+        let k = b.kernel("k", KernelProfile::compute_only(1.0));
+        b.submit_dynamic(k, 20, vec![Access::write(Region::new(buf, 0, 20))]);
+        let err = b.try_build().unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::RegionOutOfRange {
+                op: 0,
+                start: 0,
+                end: 20,
+                buffer: "x".into(),
+                items: 10,
+            }
+        );
+        assert!(err.to_string().contains("exceeds buffer 'x'"));
+    }
+
+    #[test]
+    fn try_build_reports_undeclared_kernel() {
+        let mut b = Program::builder();
+        let buf = b.buffer("x", 10, 4);
+        b.submit_dynamic(KernelId(3), 10, vec![Access::read(Region::new(buf, 0, 10))]);
+        let err = b.try_build().unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::KernelOutOfRange {
+                op: 0,
+                kernel: KernelId(3),
+            }
+        );
+        assert!(err.to_string().contains("kernel KernelId(3) out of range"));
+    }
+
+    #[test]
+    fn try_build_reports_undeclared_buffer() {
+        let mut b = Program::builder();
+        let k = b.kernel("k", KernelProfile::compute_only(1.0));
+        b.submit_dynamic(k, 10, vec![Access::read(Region::new(BufferId(7), 0, 10))]);
+        let err = b.try_build().unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::BufferOutOfRange {
+                op: 0,
+                buffer: BufferId(7),
+            }
+        );
+        assert!(err.to_string().contains("buffer BufferId(7) out of range"));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Run reports: everything the paper's figures need from one execution.
 
+use crate::adapt::AdaptReport;
 use crate::health::HealthReport;
 use crate::program::KernelId;
 use hetero_platform::{DeviceId, FaultCounters, PlatformCounters, SimTime};
@@ -47,6 +48,9 @@ pub struct RunReport {
     /// What the gray-failure machinery did (empty/default when health
     /// monitoring is disabled and no corruption was injected).
     pub health: HealthReport,
+    /// What the adaptive-repartitioning controller did (all zeros when
+    /// adaptation is disabled or the run stayed balanced).
+    pub adapt: AdaptReport,
 }
 
 impl RunReport {
@@ -152,6 +156,7 @@ mod tests {
             device_is_gpu: vec![false, true],
             faults: FaultCounters::default(),
             health: HealthReport::default(),
+            adapt: AdaptReport::default(),
         };
         assert!((r.gpu_item_share() - 0.4).abs() < 1e-12);
         assert!((r.cpu_item_share() - 0.6).abs() < 1e-12);

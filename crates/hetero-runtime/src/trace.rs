@@ -142,6 +142,36 @@ pub enum TraceEvent {
         /// When the breaker re-closed.
         at: SimTime,
     },
+    /// The adaptive controller observed per-device busy-time skew above
+    /// its threshold at a taskwait barrier.
+    ImbalanceDetected {
+        /// Epoch whose barrier observed the imbalance.
+        epoch: usize,
+        /// Observed skew, `(max − min) / max` over slot-normalised busy.
+        skew: f64,
+        /// When the barrier was reached.
+        at: SimTime,
+    },
+    /// The controller re-solved the partition against observed
+    /// throughputs and re-pinned the remaining epochs' chunks.
+    Repartitioned {
+        /// Epoch whose barrier triggered the re-solve.
+        epoch: usize,
+        /// Corrected split: items on the accelerator side.
+        gpu_items: u64,
+        /// Corrected split: items on the CPU side.
+        cpu_items: u64,
+        /// When the re-solve was applied.
+        at: SimTime,
+    },
+    /// The static plan was abandoned for its dynamic sibling (DP-Perf)
+    /// after consecutive corrections missed the balance target.
+    StrategyEscalated {
+        /// Epoch whose barrier escalated the strategy.
+        epoch: usize,
+        /// When the escalation happened.
+        at: SimTime,
+    },
 }
 
 /// A complete execution trace.
@@ -199,7 +229,10 @@ impl Trace {
                 | TraceEvent::HedgeWon { at, .. }
                 | TraceEvent::CorruptionDetected { at, .. }
                 | TraceEvent::CircuitOpen { at, .. }
-                | TraceEvent::CircuitClose { at, .. } => *at,
+                | TraceEvent::CircuitClose { at, .. }
+                | TraceEvent::ImbalanceDetected { at, .. }
+                | TraceEvent::Repartitioned { at, .. }
+                | TraceEvent::StrategyEscalated { at, .. } => *at,
             })
             .max()
             .unwrap_or(SimTime::ZERO);
@@ -441,6 +474,46 @@ impl Trace {
                         ts: at.as_micros_f64(),
                         dur: 0.0,
                         pid: dev.0,
+                        tid: 63,
+                        args: serde_json::Value::Null,
+                    });
+                }
+                TraceEvent::ImbalanceDetected { epoch, skew, at } => {
+                    events.push(Ev {
+                        name: format!("IMBALANCE epoch {epoch} (skew {skew:.2})"),
+                        ph: "X",
+                        ts: at.as_micros_f64(),
+                        dur: 0.0,
+                        pid: platform.devices.len(),
+                        tid: 63,
+                        args: serde_json::json!({ "skew": skew }),
+                    });
+                }
+                TraceEvent::Repartitioned {
+                    epoch,
+                    gpu_items,
+                    cpu_items,
+                    at,
+                } => {
+                    events.push(Ev {
+                        name: format!(
+                            "REPARTITION epoch {epoch} (gpu {gpu_items} / cpu {cpu_items})"
+                        ),
+                        ph: "X",
+                        ts: at.as_micros_f64(),
+                        dur: 0.0,
+                        pid: platform.devices.len(),
+                        tid: 63,
+                        args: serde_json::json!({ "gpu_items": gpu_items, "cpu_items": cpu_items }),
+                    });
+                }
+                TraceEvent::StrategyEscalated { epoch, at } => {
+                    events.push(Ev {
+                        name: format!("ESCALATE epoch {epoch} -> DP-Perf"),
+                        ph: "X",
+                        ts: at.as_micros_f64(),
+                        dur: 0.0,
+                        pid: platform.devices.len(),
                         tid: 63,
                         args: serde_json::Value::Null,
                     });

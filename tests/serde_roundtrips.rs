@@ -2,14 +2,17 @@
 //! descriptors through JSON, the harness dumps run matrices, and traces
 //! export to Chrome JSON — all of these must survive a round trip intact.
 
-use hetero_match::apps::{blackscholes, stream};
-use hetero_match::matchmaker::{AppDescriptor, ExecutionConfig, Planner, Strategy};
+use hetero_match::apps::{blackscholes, stream, synth};
+use hetero_match::matchmaker::{
+    Analyzer, AppDescriptor, ExecutionConfig, ExecutionFlow, Planner, Strategy,
+};
 use hetero_match::platform::{
     DeviceId, FaultCounters, FaultSchedule, Platform, RetryPolicy, SimTime,
 };
 use hetero_match::runtime::{
-    simulate_faulty, simulate_resilient, simulate_traced, BreakerConfig, HealthConfig,
-    HealthReport, PinnedScheduler, Program, RunReport, Trace, VerificationPolicy, WatchdogConfig,
+    simulate_faulty, simulate_resilient, simulate_traced, AdaptConfig, AdaptReport, BreakerConfig,
+    HealthConfig, HealthReport, PinnedScheduler, Program, RunReport, Trace, VerificationPolicy,
+    WatchdogConfig,
 };
 
 #[test]
@@ -98,8 +101,14 @@ fn trace_roundtrips_and_chrome_export_parses() {
 
 #[test]
 fn fault_schedule_and_retry_policy_roundtrip() {
-    // A schedule exercising all six event kinds.
+    // A schedule exercising all seven event kinds.
     let schedule = FaultSchedule::new(42)
+        .with_profile_perturb(
+            DeviceId(1),
+            0.75,
+            SimTime::from_millis(2),
+            SimTime::from_millis(9),
+        )
         .with_task_faults(
             Some(DeviceId(1)),
             0.25,
@@ -137,6 +146,10 @@ fn fault_schedule_and_retry_policy_roundtrip() {
     assert_eq!(
         back.corruption_prob(DeviceId(1), SimTime::from_micros(1500)),
         schedule.corruption_prob(DeviceId(1), SimTime::from_micros(1500))
+    );
+    assert_eq!(
+        back.profile_factor(DeviceId(1), SimTime::from_millis(5)),
+        schedule.profile_factor(DeviceId(1), SimTime::from_millis(5))
     );
     assert_eq!(back.dropouts(), schedule.dropouts());
     assert_eq!(back.rng().next_u64(), schedule.rng().next_u64());
@@ -209,6 +222,60 @@ fn health_config_roundtrips() {
         assert_eq!(back, config);
         assert_eq!(back.enabled(), config.enabled());
     }
+}
+
+#[test]
+fn adapt_config_and_report_roundtrip() {
+    for config in [
+        AdaptConfig::disabled(),
+        AdaptConfig::enabled_default(),
+        AdaptConfig {
+            skew_threshold: 0.4,
+            balance_target: 0.2,
+            hysteresis: 2,
+            max_resolves: 3,
+            repartition: true,
+            escalation: false,
+        },
+    ] {
+        config.validate().unwrap();
+        let json = serde_json::to_string(&config).unwrap();
+        let back: AdaptConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, config);
+        assert_eq!(back.enabled(), config.enabled());
+    }
+
+    // A real adaptive run's report survives a round trip, adapt section
+    // included.
+    let platform = Platform::icpp15();
+    let analyzer = Analyzer::new(&platform);
+    let desc = synth::single_kernel(
+        "roundtrip",
+        1 << 20,
+        65536.0,
+        ExecutionFlow::Loop { iterations: 4 },
+        true,
+    );
+    let schedule =
+        FaultSchedule::new(11).with_profile_perturb(DeviceId(1), 0.5, SimTime::ZERO, SimTime::MAX);
+    let report = analyzer.simulate_adaptive(
+        &desc,
+        ExecutionConfig::Strategy(Strategy::SpSingle),
+        &schedule,
+        RetryPolicy::default(),
+        &HealthConfig::disabled(),
+        &AdaptConfig::enabled_default(),
+    );
+    assert!(report.adapt.barriers_observed > 0);
+    let json = serde_json::to_string(&report).unwrap();
+    let back: RunReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.makespan, report.makespan);
+    assert_eq!(back.adapt, report.adapt);
+
+    // AdaptReport stands alone too.
+    let aj = serde_json::to_string(&report.adapt).unwrap();
+    let ab: AdaptReport = serde_json::from_str(&aj).unwrap();
+    assert_eq!(ab, report.adapt);
 }
 
 #[test]
