@@ -15,18 +15,32 @@
 //! options:
 //!   --platform icpp15|icpp15-phi        # preset (default icpp15)
 //!   --refined                           # enable MK-DAG chain refinement
+//!   --width <n>                         # gantt width in buckets (timeline; default 72)
+//!   --metrics <path>                    # write Prometheus metrics of each simulated
+//!                                       # run (compare/timeline) to <path>
+//!   --breakdown                         # print the per-device makespan blame
+//!                                       # breakdown after compare/timeline
+//!   --profile <path>                    # plan from recorded kernel rates; the file
+//!                                       # is created (by probing) if missing
 //! ```
 
 use hetero_platform::Platform;
-use matchmaker::{tune_task_size, Analyzer, AppDescriptor, ExecutionConfig, Strategy};
+use hetero_runtime::{
+    MetricsObserver, MetricsRegistry, MultiObserver, TraceObserver, DEFAULT_GANTT_WIDTH,
+};
+use matchmaker::{
+    tune_task_size, Analyzer, AppDescriptor, ExecutionConfig, ProfileStore, Strategy,
+};
 use std::env;
 use std::fs;
+use std::path::Path;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
         "usage: matchmake <template|analyze|compare|timeline|tune|platforms> [app.json] \
-         [--platform icpp15|icpp15-phi] [--refined]"
+         [--platform icpp15|icpp15-phi] [--refined] [--width <n>] [--metrics <path>] \
+         [--breakdown] [--profile <path>]"
     );
     exit(2);
 }
@@ -39,6 +53,46 @@ fn platform_by_name(name: &str) -> Platform {
             eprintln!("unknown platform '{other}' (try: icpp15, icpp15-phi)");
             exit(2);
         }
+    }
+}
+
+/// Install kernel-rate profiles into the analyzer's planner: load them from
+/// `path` when the file exists, otherwise probe the descriptor's kernels and
+/// persist the result so the next invocation plans without probing.
+fn install_profiles(analyzer: &mut Analyzer<'_>, desc: &AppDescriptor, path: &str) {
+    let path = Path::new(path);
+    let store = if path.exists() {
+        ProfileStore::load(path).unwrap_or_else(|e| {
+            eprintln!("cannot load profile {}: {e}", path.display());
+            exit(1);
+        })
+    } else {
+        let store = analyzer.planner().record_profiles(desc);
+        if let Err(e) = store.save(path) {
+            eprintln!("cannot write profile {}: {e}", path.display());
+            exit(1);
+        }
+        eprintln!(
+            "profile: probed {} kernel(s) -> {}",
+            store.len(),
+            path.display()
+        );
+        store
+    };
+    analyzer.planner_mut().profiles = Some(store);
+}
+
+/// Write a registry to `path`: Prometheus text exposition by default, JSON
+/// when the path ends in `.json`.
+fn write_metrics(path: &str, registry: &MetricsRegistry) {
+    let text = if path.ends_with(".json") {
+        registry.to_json()
+    } else {
+        registry.to_prometheus()
+    };
+    if let Err(e) = fs::write(path, text) {
+        eprintln!("cannot write metrics {path}: {e}");
+        exit(1);
     }
 }
 
@@ -71,6 +125,10 @@ fn main() {
     let mut file = None;
     let mut platform_name = "icpp15".to_string();
     let mut refined = false;
+    let mut width = DEFAULT_GANTT_WIDTH;
+    let mut metrics_path: Option<String> = None;
+    let mut breakdown = false;
+    let mut profile_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -78,6 +136,19 @@ fn main() {
                 platform_name = it.next().cloned().unwrap_or_else(|| usage());
             }
             "--refined" => refined = true,
+            "--width" => {
+                width = it
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--metrics" => {
+                metrics_path = Some(it.next().cloned().unwrap_or_else(|| usage()));
+            }
+            "--breakdown" => breakdown = true,
+            "--profile" => {
+                profile_path = Some(it.next().cloned().unwrap_or_else(|| usage()));
+            }
             _ if command.is_none() => command = Some(a.clone()),
             _ if file.is_none() => file = Some(a.clone()),
             _ => usage(),
@@ -151,56 +222,105 @@ fn main() {
         "compare" => {
             let desc = load_descriptor(file.as_deref().unwrap_or_else(|| usage()));
             let platform = platform_by_name(&platform_name);
-            let analyzer = Analyzer::new(&platform);
+            let mut analyzer = Analyzer::new(&platform);
+            if let Some(p) = &profile_path {
+                install_profiles(&mut analyzer, &desc, p);
+            }
+            let analysis = analyzer.analyze(&desc);
+            let names: Vec<&str> = platform
+                .devices
+                .iter()
+                .map(|d| d.spec.name.as_str())
+                .collect();
+            let mut registry = MetricsRegistry::new();
+            let mut blames: Vec<(String, String)> = Vec::new();
             println!(
                 "{:<14} {:>12} {:>11} {:>12} {:>10}",
                 "config", "time", "GPU share", "transferred", "decisions"
             );
-            for (config, report) in analyzer.compare_all(&desc) {
+            for config in [ExecutionConfig::OnlyGpu, ExecutionConfig::OnlyCpu]
+                .into_iter()
+                .chain(
+                    analysis
+                        .ranking
+                        .iter()
+                        .map(|&s| ExecutionConfig::Strategy(s)),
+                )
+            {
+                let label = config.to_string();
+                let report = if metrics_path.is_some() {
+                    let mut mobs = MetricsObserver::new(&platform, &label);
+                    let report = analyzer.simulate_observed(&desc, config, &mut mobs);
+                    registry.merge(mobs.registry());
+                    report
+                } else {
+                    analyzer.simulate(&desc, config)
+                };
                 println!(
                     "{:<14} {:>12} {:>10.1}% {:>9.2} GB {:>10}",
-                    config.to_string(),
+                    label,
                     report.makespan.to_string(),
                     100.0 * report.gpu_item_share(),
                     report.counters.transfers.bytes as f64 / 1e9,
                     report.counters.sched_decisions
                 );
+                if breakdown {
+                    blames.push((label, report.breakdown.render(&names)));
+                }
+            }
+            for (label, table) in blames {
+                println!();
+                println!("{label} blame:");
+                print!("{table}");
+            }
+            if let Some(p) = &metrics_path {
+                write_metrics(p, &registry);
             }
         }
         "timeline" => {
             let desc = load_descriptor(file.as_deref().unwrap_or_else(|| usage()));
             let platform = platform_by_name(&platform_name);
-            let analyzer = Analyzer::new(&platform);
+            let mut analyzer = Analyzer::new(&platform);
+            if let Some(p) = &profile_path {
+                install_profiles(&mut analyzer, &desc, p);
+            }
             let analysis = analyzer.analyze(&desc);
-            let plan = analyzer.plan(&desc, ExecutionConfig::Strategy(analysis.best));
-            let (report, trace) = match analysis.best {
-                Strategy::DpDep => {
-                    let mut s = hetero_runtime::DepScheduler::new(&platform);
-                    hetero_runtime::simulate_traced(&plan.program, &platform, &mut s)
-                }
-                Strategy::DpPerf => {
-                    let mut warm = hetero_runtime::PerfScheduler::new(&platform);
-                    let _ = hetero_runtime::simulate(&plan.program, &platform, &mut warm);
-                    let mut seeded =
-                        hetero_runtime::PerfScheduler::seeded(&platform, warm.rates().clone());
-                    hetero_runtime::simulate_traced(&plan.program, &platform, &mut seeded)
-                }
-                _ => hetero_runtime::simulate_traced(
-                    &plan.program,
-                    &platform,
-                    &mut hetero_runtime::PinnedScheduler,
-                ),
+            let mut tobs = TraceObserver::new();
+            let mut mobs = MetricsObserver::new(&platform, &analysis.best.to_string());
+            let report = {
+                let mut multi = MultiObserver::new().with(&mut tobs).with(&mut mobs);
+                analyzer.simulate_observed(
+                    &desc,
+                    ExecutionConfig::Strategy(analysis.best),
+                    &mut multi,
+                )
             };
             println!(
                 "{} under {} — {}",
                 analysis.app, analysis.best, report.makespan
             );
-            print!("{}", trace.gantt(&platform, 72));
+            print!("{}", tobs.trace().gantt(&platform, width));
+            if breakdown {
+                let names: Vec<&str> = platform
+                    .devices
+                    .iter()
+                    .map(|d| d.spec.name.as_str())
+                    .collect();
+                println!();
+                println!("{} blame:", analysis.best);
+                print!("{}", report.breakdown.render(&names));
+            }
+            if let Some(p) = &metrics_path {
+                write_metrics(p, mobs.registry());
+            }
         }
         "tune" => {
             let desc = load_descriptor(file.as_deref().unwrap_or_else(|| usage()));
             let platform = platform_by_name(&platform_name);
             let mut analyzer = Analyzer::new(&platform);
+            if let Some(p) = &profile_path {
+                install_profiles(&mut analyzer, &desc, p);
+            }
             let result = tune_task_size(&mut analyzer, &desc, Strategy::DpPerf, None);
             println!("{:<10} {:>12}", "m", "DP-Perf time");
             for (m, t) in &result.sweep {

@@ -11,7 +11,10 @@ use crate::plan::{Plan, Planner};
 use crate::ranking::{best_strategy, ranking, SyncMode};
 use crate::strategy::{ExecutionConfig, Strategy};
 use hetero_platform::Platform;
-use hetero_runtime::{simulate, simulate_dp_perf_warmed, DepScheduler, PinnedScheduler, RunReport};
+use hetero_runtime::{
+    simulate, simulate_dp_perf_warmed, simulate_dp_perf_warmed_observed, simulate_observed,
+    DepScheduler, Observer, PinnedScheduler, RunReport,
+};
 use serde::{Deserialize, Serialize};
 
 /// The analyzer's verdict for one application.
@@ -100,6 +103,29 @@ impl<'a> Analyzer<'a> {
                 simulate_dp_perf_warmed(&plan.program, platform)
             }
             _ => simulate(&plan.program, platform, &mut PinnedScheduler),
+        }
+    }
+
+    /// [`Analyzer::simulate`] with an [`Observer`] installed on the run
+    /// (for DP-Perf, on the measured run only — the profiling warm-up is
+    /// excluded from the observed stream just as it is from the report).
+    pub fn simulate_observed(
+        &self,
+        desc: &AppDescriptor,
+        config: ExecutionConfig,
+        obs: &mut dyn Observer,
+    ) -> RunReport {
+        let plan = self.plan(desc, config);
+        let platform = self.planner.platform;
+        match config {
+            ExecutionConfig::Strategy(Strategy::DpDep) => {
+                let mut s = DepScheduler::new(platform);
+                simulate_observed(&plan.program, platform, &mut s, obs)
+            }
+            ExecutionConfig::Strategy(Strategy::DpPerf) => {
+                simulate_dp_perf_warmed_observed(&plan.program, platform, obs)
+            }
+            _ => simulate_observed(&plan.program, platform, &mut PinnedScheduler, obs),
         }
     }
 

@@ -49,6 +49,7 @@ pub mod convert;
 pub mod dag;
 pub mod descriptor;
 pub mod plan;
+pub mod profile;
 pub mod ranking;
 pub mod robustness;
 pub mod strategy;
@@ -63,6 +64,7 @@ pub use descriptor::{
 };
 pub use hetero_runtime::PlanError;
 pub use plan::{KernelModel, KernelSplit, Plan, Planner};
+pub use profile::{ProfileStore, RateProfile};
 pub use ranking::{best_strategy, escalation_target, rank_of, ranking, SyncMode};
 pub use robustness::DegradationEntry;
 pub use strategy::{ExecutionConfig, Strategy};

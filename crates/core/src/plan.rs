@@ -25,6 +25,7 @@
 
 use crate::convert::ratio_to_counts_aligned;
 use crate::descriptor::{AccessPattern, AppDescriptor, ExecutionFlow, KernelSpec};
+use crate::profile::{ProfileStore, RateProfile};
 use crate::strategy::{ExecutionConfig, Strategy};
 use glinda::profiling::{default_probe_items, estimate_device_rate};
 use glinda::{
@@ -63,6 +64,12 @@ pub struct Planner<'a> {
     /// adaptive controller closes. Multi-accelerator waterfilling profiles
     /// each accelerator directly and is not skewed (future work).
     pub profile_skew: (f64, f64),
+    /// Recorded rate profiles to plan from instead of probing
+    /// ([`crate::ProfileStore`], typically loaded from disk). A kernel
+    /// found in the store skips the probe; kernels absent from the store
+    /// fall back to probing, so a partial recording is usable.
+    /// `profile_skew` applies either way.
+    pub profiles: Option<ProfileStore>,
 }
 
 /// The outcome of planning: the program plus, per kernel, the hardware
@@ -134,6 +141,7 @@ impl<'a> Planner<'a> {
                 cpu_threads: threads,
             },
             profile_skew: (1.0, 1.0),
+            profiles: None,
         }
     }
 
@@ -154,6 +162,10 @@ impl<'a> Planner<'a> {
 
     /// Profile one kernel and derive its transfer model.
     ///
+    /// Rates come from a recorded [`ProfileStore`] entry when one is
+    /// installed and names this kernel, otherwise from a fresh probe
+    /// against the platform roofline; `profile_skew` applies either way.
+    ///
     /// `per_offload_transfers = false` models device-resident data (the
     /// SP-Unified interior): the transfer model is zeroed.
     pub fn kernel_model(
@@ -163,8 +175,11 @@ impl<'a> Planner<'a> {
         per_offload_transfers: bool,
     ) -> KernelModel {
         let spec = &desc.kernels[k];
-        let probe = default_probe_items(spec.domain, self.gpu().spec.kind.partition_granularity());
-        let rates = estimate_rates(self.platform, &spec.profile, probe);
+        let rates = self
+            .profiles
+            .as_ref()
+            .and_then(|store| store.get(&spec.name))
+            .unwrap_or_else(|| self.probed_rates(spec));
         let transfer = if per_offload_transfers {
             self.transfer_model(desc, &[spec])
         } else {
@@ -175,6 +190,27 @@ impl<'a> Planner<'a> {
             gpu_rate: rates.gpu_rate * self.profile_skew.1,
             transfer,
         }
+    }
+
+    /// Probe one kernel against the platform roofline (raw rates, no skew).
+    fn probed_rates(&self, spec: &KernelSpec) -> RateProfile {
+        let probe = default_probe_items(spec.domain, self.gpu().spec.kind.partition_granularity());
+        let rates = estimate_rates(self.platform, &spec.profile, probe);
+        RateProfile {
+            cpu_rate: rates.cpu_rate,
+            gpu_rate: rates.gpu_rate,
+        }
+    }
+
+    /// Probe every kernel of `desc` and return the recordings as a
+    /// [`ProfileStore`] (raw, unskewed rates — suitable for
+    /// [`ProfileStore::save`] and later replay via [`Planner::profiles`]).
+    pub fn record_profiles(&self, desc: &AppDescriptor) -> ProfileStore {
+        let mut store = ProfileStore::new();
+        for spec in &desc.kernels {
+            store.record(&spec.name, self.probed_rates(spec));
+        }
+        store
     }
 
     /// Build the transfer model for offloading a *fused* run of `kernels`

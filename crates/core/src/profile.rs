@@ -1,0 +1,141 @@
+//! Profile persistence: recorded per-kernel rate estimates that can be
+//! saved to disk and replayed into a [`crate::Planner`].
+//!
+//! The planner normally probes every kernel against the platform's roofline
+//! model at plan time ([`crate::Planner::kernel_model`]). A [`ProfileStore`]
+//! decouples *when rates were measured* from *when plans are built*: record
+//! once (`Planner::record_profiles`), save the JSON, and later plans —
+//! including misprediction experiments on a platform that has since changed,
+//! or `matchmake --profile <path>` runs — reuse the recorded numbers instead
+//! of re-probing. Recorded rates are raw measurements: the planner's
+//! `profile_skew` is applied on top when the store is replayed, so one
+//! recording serves both faithful and mispredicted planning.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Whole-device sustained rates for one kernel, items/s.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RateProfile {
+    /// Whole-CPU sustained rate.
+    pub cpu_rate: f64,
+    /// Whole-GPU sustained rate (kernel only, transfers excluded).
+    pub gpu_rate: f64,
+}
+
+/// A set of recorded kernel profiles, keyed by kernel name.
+///
+/// Serialization is deterministic: the map is a `BTreeMap`, so the JSON key
+/// order is the sorted kernel-name order regardless of recording order.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProfileStore {
+    /// Recorded rates per kernel name.
+    pub kernels: BTreeMap<String, RateProfile>,
+}
+
+impl ProfileStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Recorded rates for `kernel`, if present.
+    pub fn get(&self, kernel: &str) -> Option<RateProfile> {
+        self.kernels.get(kernel).copied()
+    }
+
+    /// Record (or overwrite) one kernel's rates.
+    pub fn record(&mut self, kernel: &str, rates: RateProfile) {
+        self.kernels.insert(kernel.to_string(), rates);
+    }
+
+    /// Number of recorded kernels.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Whether the store has no recordings.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("profile store serializes")
+    }
+
+    /// Parse from JSON text.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("invalid profile store: {e:?}"))
+    }
+
+    /// Write the store to `path` as JSON.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Load a store previously written by [`ProfileStore::save`].
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ProfileStore {
+        let mut s = ProfileStore::new();
+        s.record(
+            "grayscale",
+            RateProfile {
+                cpu_rate: 1.5e8,
+                gpu_rate: 9.25e8,
+            },
+        );
+        s.record(
+            "hist",
+            RateProfile {
+                cpu_rate: 2.0e7,
+                gpu_rate: 4.0e7,
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_rates() {
+        let s = store();
+        let back = ProfileStore::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_name_sorted() {
+        let mut reordered = ProfileStore::new();
+        // Insert in the opposite order; BTreeMap sorts on serialization.
+        let s = store();
+        reordered.record("hist", s.get("hist").unwrap());
+        reordered.record("grayscale", s.get("grayscale").unwrap());
+        assert_eq!(reordered.to_json(), s.to_json());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let s = store();
+        let dir = std::env::temp_dir().join("matchmaker-profile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profiles.json");
+        s.save(&path).unwrap();
+        let back = ProfileStore::load(&path).unwrap();
+        assert_eq!(back, s);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(ProfileStore::from_json("not json").is_err());
+    }
+}

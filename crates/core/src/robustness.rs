@@ -34,6 +34,24 @@ impl DegradationEntry {
     pub fn degradation(&self) -> f64 {
         self.faulty.degradation_vs(&self.healthy)
     }
+
+    /// Slot time the faulty run burnt on fault handling and mitigation,
+    /// summed over devices: fault loss + hedge waste + rollback + verify
+    /// (from the faulty run's blame breakdown).
+    pub fn resilience_overhead(&self) -> SimTime {
+        self.faulty
+            .breakdown
+            .per_device
+            .iter()
+            .map(|b| b.resilience_overhead())
+            .sum()
+    }
+
+    /// Where the degradation went, per device: the faulty run's blame
+    /// components as a compact table (`names` indexed by `DeviceId.0`).
+    pub fn blame_summary(&self, names: &[&str]) -> String {
+        self.faulty.breakdown.render(names)
+    }
 }
 
 impl<'a> Analyzer<'a> {
@@ -172,6 +190,7 @@ impl<'a> Analyzer<'a> {
             dynamic_instances_per_kernel: p.dynamic_instances_per_kernel,
             decision: p.decision,
             profile_skew: (p.profile_skew.0 * cpu, p.profile_skew.1 * gpu),
+            profiles: p.profiles.clone(),
         }
     }
 

@@ -19,6 +19,19 @@ pub struct DeviceCounters {
     pub items: u64,
 }
 
+impl DeviceCounters {
+    /// Slot utilisation over a window: `busy / (window × slots)`, clamped
+    /// to `[0, 1]`. Zero for an empty window.
+    pub fn utilization(&self, window: SimTime, slots: usize) -> f64 {
+        let cap = window.as_secs_f64() * slots.max(1) as f64;
+        if cap <= 0.0 {
+            0.0
+        } else {
+            (self.busy.as_secs_f64() / cap).clamp(0.0, 1.0)
+        }
+    }
+}
+
 /// Transfer accounting across all links.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TransferCounters {
@@ -120,6 +133,18 @@ mod tests {
         let c = PlatformCounters::new(2);
         assert_eq!(c.item_share(DeviceId(0)), 0.0);
         assert_eq!(c.task_share(DeviceId(1)), 0.0);
+    }
+
+    #[test]
+    fn utilization_normalises_by_slots_and_window() {
+        let mut c = PlatformCounters::new(1);
+        c.record_task(DeviceId(0), 10, SimTime::from_millis(6));
+        let d = c.devices[0];
+        // 6 ms of slot-busy over a 2 ms window on 4 slots = 75%.
+        assert!((d.utilization(SimTime::from_millis(2), 4) - 0.75).abs() < 1e-12);
+        assert_eq!(d.utilization(SimTime::ZERO, 4), 0.0);
+        // Saturates at 1.0 even if busy accounting exceeds the window.
+        assert_eq!(d.utilization(SimTime::from_millis(1), 1), 1.0);
     }
 
     #[test]

@@ -80,6 +80,9 @@ use crate::adapt::{AdaptConfig, AdaptPlan, AdaptReport};
 use crate::coherence::CoherenceDir;
 use crate::graph::TaskGraph;
 use crate::health::{BreakerState, HealthConfig, HealthReport, QuarantineSpan, VerificationPolicy};
+use crate::obs::{
+    route_event, DeviceBreakdown, NullObserver, Observer, TimeBreakdown, TraceObserver,
+};
 use crate::program::{KernelId, Program, TaskDesc, TaskId};
 use crate::scheduler::{BindCtx, PerfScheduler, RateObservation, Scheduler};
 use crate::stats::{KernelStats, RunReport};
@@ -140,9 +143,19 @@ pub fn simulate(
     platform: &Platform,
     scheduler: &mut dyn Scheduler,
 ) -> RunReport {
-    Sim::new(program, platform, scheduler, false, None, None, None)
-        .run()
-        .0
+    simulate_observed(program, platform, scheduler, &mut NullObserver)
+}
+
+/// [`simulate`] with a pluggable [`Observer`] receiving every executor
+/// event (see [`crate::obs`]). Observers are strictly observational: the
+/// run's virtual-time outcome is identical for any observer.
+pub fn simulate_observed(
+    program: &Program,
+    platform: &Platform,
+    scheduler: &mut dyn Scheduler,
+    obs: &mut dyn Observer,
+) -> RunReport {
+    Sim::new(program, platform, scheduler, obs, None, None, None).run()
 }
 
 /// [`simulate`], additionally recording an execution [`Trace`].
@@ -151,8 +164,9 @@ pub fn simulate_traced(
     platform: &Platform,
     scheduler: &mut dyn Scheduler,
 ) -> (RunReport, Trace) {
-    let (report, trace) = Sim::new(program, platform, scheduler, true, None, None, None).run();
-    (report, trace.expect("tracing was enabled"))
+    let mut obs = TraceObserver::new();
+    let report = simulate_observed(program, platform, scheduler, &mut obs);
+    (report, obs.into_trace())
 }
 
 /// [`simulate`] under a seeded [`FaultSchedule`]: injects the scheduled
@@ -165,17 +179,35 @@ pub fn simulate_faulty(
     schedule: &FaultSchedule,
     policy: RetryPolicy,
 ) -> RunReport {
+    simulate_faulty_observed(
+        program,
+        platform,
+        scheduler,
+        schedule,
+        policy,
+        &mut NullObserver,
+    )
+}
+
+/// [`simulate_faulty`] with a pluggable [`Observer`] (see [`crate::obs`]).
+pub fn simulate_faulty_observed(
+    program: &Program,
+    platform: &Platform,
+    scheduler: &mut dyn Scheduler,
+    schedule: &FaultSchedule,
+    policy: RetryPolicy,
+    obs: &mut dyn Observer,
+) -> RunReport {
     Sim::new(
         program,
         platform,
         scheduler,
-        false,
+        obs,
         Some((schedule, policy)),
         None,
         None,
     )
     .run()
-    .0
 }
 
 /// [`simulate_faulty`], additionally recording an execution [`Trace`] with
@@ -188,17 +220,9 @@ pub fn simulate_faulty_traced(
     schedule: &FaultSchedule,
     policy: RetryPolicy,
 ) -> (RunReport, Trace) {
-    let (report, trace) = Sim::new(
-        program,
-        platform,
-        scheduler,
-        true,
-        Some((schedule, policy)),
-        None,
-        None,
-    )
-    .run();
-    (report, trace.expect("tracing was enabled"))
+    let mut obs = TraceObserver::new();
+    let report = simulate_faulty_observed(program, platform, scheduler, schedule, policy, &mut obs);
+    (report, obs.into_trace())
 }
 
 /// [`simulate_faulty`] with the gray-failure resilience subsystem
@@ -214,17 +238,38 @@ pub fn simulate_resilient(
     policy: RetryPolicy,
     health: &HealthConfig,
 ) -> RunReport {
+    simulate_resilient_observed(
+        program,
+        platform,
+        scheduler,
+        schedule,
+        policy,
+        health,
+        &mut NullObserver,
+    )
+}
+
+/// [`simulate_resilient`] with a pluggable [`Observer`] (see
+/// [`crate::obs`]).
+pub fn simulate_resilient_observed(
+    program: &Program,
+    platform: &Platform,
+    scheduler: &mut dyn Scheduler,
+    schedule: &FaultSchedule,
+    policy: RetryPolicy,
+    health: &HealthConfig,
+    obs: &mut dyn Observer,
+) -> RunReport {
     Sim::new(
         program,
         platform,
         scheduler,
-        false,
+        obs,
         Some((schedule, policy)),
         Some(*health),
         None,
     )
     .run()
-    .0
 }
 
 /// [`simulate_resilient`], additionally recording an execution [`Trace`]
@@ -238,17 +283,11 @@ pub fn simulate_resilient_traced(
     policy: RetryPolicy,
     health: &HealthConfig,
 ) -> (RunReport, Trace) {
-    let (report, trace) = Sim::new(
-        program,
-        platform,
-        scheduler,
-        true,
-        Some((schedule, policy)),
-        Some(*health),
-        None,
-    )
-    .run();
-    (report, trace.expect("tracing was enabled"))
+    let mut obs = TraceObserver::new();
+    let report = simulate_resilient_observed(
+        program, platform, scheduler, schedule, policy, health, &mut obs,
+    );
+    (report, obs.into_trace())
 }
 
 /// [`simulate_resilient`] with the adaptive repartitioning controller
@@ -270,17 +309,43 @@ pub fn simulate_adaptive(
     adapt: &AdaptConfig,
     plan: Option<AdaptPlan>,
 ) -> RunReport {
+    simulate_adaptive_observed(
+        program,
+        platform,
+        scheduler,
+        schedule,
+        policy,
+        health,
+        adapt,
+        plan,
+        &mut NullObserver,
+    )
+}
+
+/// [`simulate_adaptive`] with a pluggable [`Observer`] (see
+/// [`crate::obs`]).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_adaptive_observed(
+    program: &Program,
+    platform: &Platform,
+    scheduler: &mut dyn Scheduler,
+    schedule: &FaultSchedule,
+    policy: RetryPolicy,
+    health: &HealthConfig,
+    adapt: &AdaptConfig,
+    plan: Option<AdaptPlan>,
+    obs: &mut dyn Observer,
+) -> RunReport {
     Sim::new(
         program,
         platform,
         scheduler,
-        false,
+        obs,
         Some((schedule, policy)),
         Some(*health),
         Some((*adapt, plan)),
     )
     .run()
-    .0
 }
 
 /// [`simulate_adaptive`], additionally recording an execution [`Trace`]
@@ -297,17 +362,11 @@ pub fn simulate_adaptive_traced(
     adapt: &AdaptConfig,
     plan: Option<AdaptPlan>,
 ) -> (RunReport, Trace) {
-    let (report, trace) = Sim::new(
-        program,
-        platform,
-        scheduler,
-        true,
-        Some((schedule, policy)),
-        Some(*health),
-        Some((*adapt, plan)),
-    )
-    .run();
-    (report, trace.expect("tracing was enabled"))
+    let mut obs = TraceObserver::new();
+    let report = simulate_adaptive_observed(
+        program, platform, scheduler, schedule, policy, health, adapt, plan, &mut obs,
+    );
+    (report, obs.into_trace())
 }
 
 /// Mutable fault-injection state, present only on the faulty path.
@@ -427,6 +486,22 @@ fn fallback_device(platform: &Platform, blocked: &[bool], exclude: Option<Device
         .unwrap_or(DeviceId(0))
 }
 
+/// Per-dispatch blame decomposition of one task's slot occupancy, mirrored
+/// alongside `busy_of` so reversals (dropout kills, epoch resets, hedge
+/// losses, rollbacks) can recategorize exactly what dispatch charged.
+/// Invariant: `sched + adapt + transfer + fault + exec == busy_of` for a
+/// successful dispatch (`exec == 0` for an aborted one).
+#[derive(Clone, Copy, Default)]
+struct TaskCost {
+    sched: SimTime,
+    adapt: SimTime,
+    transfer: SimTime,
+    exec: SimTime,
+    /// Mirrors the dispatch's `booked_loss`: fault time already charged to
+    /// `fault_loss` at dispatch, so reversals charge only the remainder.
+    fault: SimTime,
+}
+
 struct Sim<'a> {
     program: &'a Program,
     platform: &'a Platform,
@@ -457,7 +532,14 @@ struct Sim<'a> {
     cur_epoch: usize,
     epoch_remaining: usize,
     flushes_done: usize,
-    trace: Option<Trace>,
+    obs: &'a mut dyn Observer,
+    /// Per-device blame accumulators (always on; `dead`/`idle`/`slots` are
+    /// filled in at `finish`).
+    blame: Vec<DeviceBreakdown>,
+    /// Per-task blame mirror of the current dispatch's accounting.
+    cost_of: Vec<TaskCost>,
+    /// Per-device dropout time (for the `dead` blame component).
+    death_at: Vec<Option<SimTime>>,
     faults: Option<FaultCtx<'a>>,
     health: Option<HealthCtx>,
     adapt: Option<AdaptCtx>,
@@ -468,7 +550,7 @@ impl<'a> Sim<'a> {
         program: &'a Program,
         platform: &'a Platform,
         scheduler: &'a mut dyn Scheduler,
-        traced: bool,
+        obs: &'a mut dyn Observer,
         faults: Option<(&'a FaultSchedule, RetryPolicy)>,
         health: Option<HealthConfig>,
         adapt: Option<(AdaptConfig, Option<AdaptPlan>)>,
@@ -582,14 +664,30 @@ impl<'a> Sim<'a> {
             cur_epoch: 0,
             epoch_remaining: 0,
             flushes_done: 0,
-            trace: traced.then(Trace::default),
+            obs,
+            blame: vec![DeviceBreakdown::default(); ndev],
+            cost_of: vec![TaskCost::default(); n],
+            death_at: vec![None; ndev],
             faults,
             health,
             adapt,
         }
     }
 
-    fn run(mut self) -> (RunReport, Option<Trace>) {
+    /// Reverse the non-fault blame components of `t`'s current dispatch on
+    /// `dev` — the blame mirror of taking back `busy_of[t]` from the device
+    /// counters. The `fault` component stays booked (it mirrors
+    /// `time_lost`, which reversals also keep).
+    fn unblame(&mut self, t: TaskId, dev: DeviceId) {
+        let c = self.cost_of[t.0];
+        let b = &mut self.blame[dev.0];
+        b.scheduling = b.scheduling.saturating_sub(c.sched);
+        b.adaptation = b.adaptation.saturating_sub(c.adapt);
+        b.transfer = b.transfer.saturating_sub(c.transfer);
+        b.compute = b.compute.saturating_sub(c.exec);
+    }
+
+    fn run(mut self) -> RunReport {
         if self.epochs.is_empty() || self.tasks.is_empty() {
             return self.finish();
         }
@@ -664,16 +762,30 @@ impl<'a> Sim<'a> {
         self.finish()
     }
 
-    fn finish(self) -> (RunReport, Option<Trace>) {
+    fn finish(self) -> RunReport {
         let mut health = self.health.map(|h| h.report).unwrap_or_default();
         if let Some(f) = &self.faults {
             // Ground truth is reported whether or not verification ran.
             health.corruptions_injected = f.corruptions_injected;
             health.corrupt_committed = f.corrupt.iter().filter(|&&c| c).count() as u64;
         }
+        // Close the blame books: per device, capacity = makespan × slots;
+        // dead time covers the post-dropout tail, idle is the remainder —
+        // so every device's components sum exactly to its capacity.
+        let makespan = self.now;
+        let mut per_device = self.blame;
+        for (i, d) in self.platform.devices.iter().enumerate() {
+            let b = &mut per_device[i];
+            b.slots = d.spec.kind.slots() as u64;
+            let cap = makespan * b.slots;
+            b.dead = self.death_at[i]
+                .map(|at| makespan.saturating_sub(at) * b.slots)
+                .unwrap_or(SimTime::ZERO);
+            b.idle = cap.saturating_sub(b.active() + b.dead);
+        }
         let report = RunReport {
             scheduler: self.scheduler.name().to_string(),
-            makespan: self.now,
+            makespan,
             counters: self.counters,
             per_kernel: self.per_kernel,
             device_is_gpu: self
@@ -685,8 +797,15 @@ impl<'a> Sim<'a> {
             faults: self.faults.map(|f| f.counters).unwrap_or_default(),
             health,
             adapt: self.adapt.map(|a| a.report).unwrap_or_default(),
+            breakdown: TimeBreakdown {
+                makespan,
+                per_device,
+            },
         };
-        (report, self.trace)
+        if self.obs.enabled() {
+            self.obs.on_run_end(&report);
+        }
+        report
     }
 
     /// `true` when a completion event belongs to a dispatch that a dropout
@@ -816,19 +935,24 @@ impl<'a> Sim<'a> {
                     f.counters.failovers += 1;
                     f.suppress_complete[t.0] = true;
                 }
-                if let Some(trace) = &mut self.trace {
-                    trace.events.push(TraceEvent::Failover {
+                route_event(
+                    &mut *self.obs,
+                    &TraceEvent::Failover {
                         task: t,
                         from: dev,
                         to: target,
                         at: self.now,
-                    });
-                }
+                    },
+                );
                 dev = target;
             }
         }
         self.placements[t.0] = Some(dev);
         self.dev_queues[dev.0].push_back(t);
+        if self.obs.enabled() {
+            let depth = self.dev_queues[dev.0].len();
+            self.obs.on_task_bound(t, dev, self.now, depth);
+        }
     }
 
     fn dispatch_all(&mut self) {
@@ -915,6 +1039,7 @@ impl<'a> Sim<'a> {
         let space = device.mem_space;
         let mut busy = SimTime::ZERO;
         let mut nominal = SimTime::ZERO;
+        let mut cost = TaskCost::default();
 
         if let Some(f) = &mut self.faults {
             f.booked_loss[t.0] = SimTime::ZERO;
@@ -922,15 +1047,22 @@ impl<'a> Sim<'a> {
 
         // Tasks bound by the escalated DP-Perf scheduler pay the dynamic
         // per-decision overhead even though the run started static.
-        let dynamic_bound = self.scheduler.is_dynamic()
-            || self
-                .adapt
-                .as_ref()
-                .is_some_and(|a| a.bound_by_escalated[t.0]);
+        let by_escalated = self
+            .adapt
+            .as_ref()
+            .is_some_and(|a| a.bound_by_escalated[t.0]);
+        let dynamic_bound = self.scheduler.is_dynamic() || by_escalated;
         if dynamic_bound {
             busy += self.platform.sched_overhead;
             nominal += self.platform.sched_overhead;
             self.counters.record_sched(self.platform.sched_overhead);
+            // Overhead paid *because* the run escalated is adaptation
+            // blame; ordinary dynamic-policy overhead is scheduling blame.
+            if by_escalated {
+                cost.adapt += self.platform.sched_overhead;
+            } else {
+                cost.sched += self.platform.sched_overhead;
+            }
         }
 
         for acc in &task.accesses {
@@ -954,31 +1086,35 @@ impl<'a> Sim<'a> {
                             f.counters.transfer_retries += 1;
                             f.counters.time_lost += dt;
                             f.booked_loss[t.0] += dt;
+                            cost.fault += dt;
                             self.counters.record_transfer(tr.bytes, dt);
-                            if let Some(trace) = &mut self.trace {
-                                trace.events.push(TraceEvent::TransferRetry {
+                            route_event(
+                                &mut *self.obs,
+                                &TraceEvent::TransferRetry {
                                     from: tr.from,
                                     to: tr.to,
                                     bytes: tr.bytes,
                                     start: self.now + busy,
                                     end: self.now + busy + dt,
-                                });
-                            }
+                                },
+                            );
                             busy += dt;
                             attempts += 1;
                         }
                     }
-                    if let Some(trace) = &mut self.trace {
-                        trace.events.push(TraceEvent::Transfer {
+                    route_event(
+                        &mut *self.obs,
+                        &TraceEvent::Transfer {
                             from: tr.from,
                             to: tr.to,
                             bytes: tr.bytes,
                             start: self.now + busy,
                             end: self.now + busy + dt,
-                        });
-                    }
+                        },
+                    );
                     busy += dt;
                     nominal += dt;
+                    cost.transfer += dt;
                     self.counters.record_transfer(tr.bytes, dt);
                 }
             }
@@ -1006,15 +1142,17 @@ impl<'a> Sim<'a> {
                 f.counters.task_faults += 1;
                 f.counters.time_lost += this_exec;
                 f.booked_loss[t.0] += this_exec;
+                cost.fault += this_exec;
                 busy += this_exec;
-                if let Some(trace) = &mut self.trace {
-                    trace.events.push(TraceEvent::TaskFault {
+                route_event(
+                    &mut *self.obs,
+                    &TraceEvent::TaskFault {
                         task: t,
                         dev,
                         attempt,
                         at: self.now + busy,
-                    });
-                }
+                    },
+                );
                 if attempt >= max {
                     let has_failover_target = !f.failed_over[t.0]
                         && self
@@ -1039,6 +1177,7 @@ impl<'a> Sim<'a> {
                 f.counters.backoff_time += bo;
                 f.counters.time_lost += bo;
                 f.booked_loss[t.0] += bo;
+                cost.fault += bo;
                 busy += bo;
                 attempt += 1;
             }
@@ -1067,6 +1206,8 @@ impl<'a> Sim<'a> {
             if let Some(f) = &mut self.faults {
                 f.recorded[t.0] = false;
             }
+            self.cost_of[t.0] = cost;
+            self.apply_blame(dev, cost);
             return (busy, nominal, true);
         }
 
@@ -1083,6 +1224,9 @@ impl<'a> Sim<'a> {
         ks.tasks_per_device[dev.0] += 1;
         self.busy_of[t.0] = busy;
         self.exec_of[t.0] = exec;
+        cost.exec = exec;
+        self.cost_of[t.0] = cost;
+        self.apply_blame(dev, cost);
         if let Some(f) = &mut self.faults {
             f.recorded[t.0] = true;
         }
@@ -1096,23 +1240,37 @@ impl<'a> Sim<'a> {
             o.items += task.items as f64;
             o.secs += exec.as_secs_f64();
         }
-        if let Some(trace) = &mut self.trace {
-            trace.events.push(TraceEvent::Task {
+        route_event(
+            &mut *self.obs,
+            &TraceEvent::Task {
                 task: t,
                 kernel: task.kernel,
                 dev,
                 items: task.items,
                 start: self.now,
                 end: self.now + busy,
-            });
-        }
+            },
+        );
         (busy, nominal, false)
+    }
+
+    /// Charge one dispatch's blame components to `dev`'s accumulators.
+    fn apply_blame(&mut self, dev: DeviceId, cost: TaskCost) {
+        let b = &mut self.blame[dev.0];
+        b.scheduling += cost.sched;
+        b.adaptation += cost.adapt;
+        b.transfer += cost.transfer;
+        b.fault_loss += cost.fault;
+        b.compute += cost.exec;
     }
 
     fn on_task_done(&mut self, t: TaskId, dev: DeviceId) {
         self.completed[t.0] = true;
         self.free_slots[dev.0] += 1;
         self.dev_last_done[dev.0] = self.dev_last_done[dev.0].max(self.now);
+        if self.obs.enabled() {
+            self.obs.on_task_done(t, dev, self.now);
+        }
         let task = self.tasks[t.0];
         let suppress = if let Some(f) = &mut self.faults {
             f.in_flight[t.0] = false;
@@ -1158,6 +1316,7 @@ impl<'a> Sim<'a> {
             if let Some(hd) = h.hedge[t.0].take() {
                 let span = self.now.saturating_sub(hd.launched);
                 self.counters.devices[hd.peer.0].busy += span;
+                self.blame[hd.peer.0].hedge_waste += span;
                 h.report.time_hedged += span;
                 self.free_slots[hd.peer.0] += 1;
                 self.dev_last_done[hd.peer.0] = self.dev_last_done[hd.peer.0].max(self.now);
@@ -1223,14 +1382,15 @@ impl<'a> Sim<'a> {
         self.observe(dev, false, Some(t));
         let unavail = self.unavailable();
         let target = fallback_device(self.platform, &unavail, Some(dev));
-        if let Some(trace) = &mut self.trace {
-            trace.events.push(TraceEvent::Failover {
+        route_event(
+            &mut *self.obs,
+            &TraceEvent::Failover {
                 task: t,
                 from: dev,
                 to: target,
                 at: self.now,
-            });
-        }
+            },
+        );
         self.placements[t.0] = Some(target);
         self.dev_queues[target.0].push_back(t);
         self.dispatch_all();
@@ -1257,11 +1417,11 @@ impl<'a> Sim<'a> {
             f.counters.device_dropouts += 1;
         }
         self.free_slots[dev.0] = 0;
-        if let Some(trace) = &mut self.trace {
-            trace
-                .events
-                .push(TraceEvent::DeviceDropout { dev, at: self.now });
-        }
+        self.death_at[dev.0] = Some(self.now);
+        route_event(
+            &mut *self.obs,
+            &TraceEvent::DeviceDropout { dev, at: self.now },
+        );
 
         // Hedge bookkeeping: a hedge whose peer died is lost (a
         // designated-winner's primary completion is revived), and a hedge
@@ -1274,6 +1434,7 @@ impl<'a> Sim<'a> {
                 let span = self.now.saturating_sub(hd.launched);
                 if hd.peer == dev {
                     self.counters.devices[dev.0].busy += span;
+                    self.blame[dev.0].hedge_waste += span;
                     if let Some(h) = self.health.as_mut() {
                         h.report.time_hedged += span;
                         h.hedge[ti] = None;
@@ -1303,6 +1464,7 @@ impl<'a> Sim<'a> {
                     // The kill loop below requeues the primary; the
                     // duplicate's result is discarded with it.
                     self.counters.devices[hd.peer.0].busy += span;
+                    self.blame[hd.peer.0].hedge_waste += span;
                     self.free_slots[hd.peer.0] += 1;
                     if let Some(h) = self.health.as_mut() {
                         h.report.time_hedged += span;
@@ -1351,6 +1513,11 @@ impl<'a> Sim<'a> {
                 ks.items_per_device[dev.0] -= task.items;
                 ks.tasks_per_device[dev.0] -= 1;
             }
+            // Blame mirror: the dispatch's categorized charges come back;
+            // what the slot really burned before the death (net of fault
+            // time already booked) is fault loss.
+            self.unblame(t, dev);
+            self.blame[dev.0].fault_loss += lost;
         }
 
         // 3. Uncommitted completions of the open epoch that ran here must
@@ -1380,6 +1547,11 @@ impl<'a> Sim<'a> {
             // As with kills, the fault loss inside `busy_of` was already
             // booked at dispatch.
             f.counters.time_lost += self.busy_of[t.0].saturating_sub(f.booked_loss[t.0]);
+            // Blame mirror: the whole discarded span becomes fault loss
+            // (its fault component was already booked at dispatch).
+            self.unblame(t, dev);
+            let extra = self.busy_of[t.0].saturating_sub(self.cost_of[t.0].fault);
+            self.blame[dev.0].fault_loss += extra;
         }
         // Everything the dropout un-ran loses its placement: from here on
         // "placed" again means queued, in flight, or completed.
@@ -1516,11 +1688,10 @@ impl<'a> Sim<'a> {
                 {
                     span.until = Some(self.now);
                 }
-                if let Some(trace) = &mut self.trace {
-                    trace
-                        .events
-                        .push(TraceEvent::CircuitClose { dev, at: self.now });
-                }
+                route_event(
+                    &mut *self.obs,
+                    &TraceEvent::CircuitClose { dev, at: self.now },
+                );
             }
             Action::Reopen(cooldown) => {
                 {
@@ -1550,11 +1721,10 @@ impl<'a> Sim<'a> {
                 until: None,
             });
         }
-        if let Some(trace) = &mut self.trace {
-            trace
-                .events
-                .push(TraceEvent::CircuitOpen { dev, at: self.now });
-        }
+        route_event(
+            &mut *self.obs,
+            &TraceEvent::CircuitOpen { dev, at: self.now },
+        );
         self.queue
             .push(self.now + cooldown, Ev::CircuitProbe { dev });
         self.drain_and_rebind(dev);
@@ -1669,14 +1839,15 @@ impl<'a> Sim<'a> {
             launched: self.now,
             winner,
         });
-        if let Some(trace) = &mut self.trace {
-            trace.events.push(TraceEvent::HedgeLaunched {
+        route_event(
+            &mut *self.obs,
+            &TraceEvent::HedgeLaunched {
                 task: t,
                 from: primary,
                 to: peer,
                 at: self.now,
-            });
-        }
+            },
+        );
     }
 
     /// A winning hedged duplicate finished: cancel the straggling primary
@@ -1713,6 +1884,11 @@ impl<'a> Sim<'a> {
             h.report.time_hedged +=
                 span_primary.saturating_sub(self.faults.as_ref().unwrap().booked_loss[t.0]);
         }
+        // Blame mirror: reverse the primary's categorized charges; the slot
+        // span it actually burned (net of booked fault loss) is hedge
+        // waste, matching `time_hedged`.
+        self.unblame(t, primary);
+        self.blame[primary.0].hedge_waste += span_primary.saturating_sub(self.cost_of[t.0].fault);
         self.free_slots[primary.0] += 1;
         self.dev_last_done[primary.0] = self.dev_last_done[primary.0].max(self.now);
         // Commit the duplicate's result on the peer.
@@ -1723,24 +1899,38 @@ impl<'a> Sim<'a> {
         ks.tasks_per_device[peer.0] += 1;
         self.busy_of[t.0] = hspan;
         self.exec_of[t.0] = hspan;
+        // The committed dispatch is now the peer's span, all of it useful
+        // execution — a later rollback reverses exactly that.
+        self.cost_of[t.0] = TaskCost {
+            exec: hspan,
+            ..TaskCost::default()
+        };
+        self.blame[peer.0].compute += hspan;
         self.placements[t.0] = Some(peer);
         self.free_slots[peer.0] += 1;
         self.dev_last_done[peer.0] = self.dev_last_done[peer.0].max(self.now);
         self.completed[t.0] = true;
-        if let Some(trace) = &mut self.trace {
-            trace.events.push(TraceEvent::Task {
+        route_event(
+            &mut *self.obs,
+            &TraceEvent::Task {
                 task: t,
                 kernel: task.kernel,
                 dev: peer,
                 items: task.items,
                 start: hd.launched,
                 end: self.now,
-            });
-            trace.events.push(TraceEvent::HedgeWon {
+            },
+        );
+        route_event(
+            &mut *self.obs,
+            &TraceEvent::HedgeWon {
                 task: t,
                 dev: peer,
                 at: self.now,
-            });
+            },
+        );
+        if self.obs.enabled() {
+            self.obs.on_task_done(t, peer, self.now);
         }
         self.observe(peer, true, Some(t));
         self.release_and_advance(t);
@@ -1814,19 +2004,21 @@ impl<'a> Sim<'a> {
             let end = cursors[peer.0] + cost;
             cursors[peer.0] = end;
             self.counters.devices[peer.0].busy += cost;
+            self.blame[peer.0].verify += cost;
             let h = self.health.as_mut().unwrap();
             h.report.tasks_verified += 1;
             h.report.time_verifying += cost;
             if self.faults.as_ref().is_some_and(|f| f.corrupt[t.0]) {
                 any = true;
                 h.report.corruptions_detected += 1;
-                if let Some(trace) = &mut self.trace {
-                    trace.events.push(TraceEvent::CorruptionDetected {
+                route_event(
+                    &mut *self.obs,
+                    &TraceEvent::CorruptionDetected {
                         task: t,
                         dev: placed,
                         at: end,
-                    });
-                }
+                    },
+                );
                 bad_obs.push((placed, t));
             }
         }
@@ -1866,6 +2058,11 @@ impl<'a> Sim<'a> {
             let ks = &mut self.per_kernel[task.kernel.0];
             ks.items_per_device[dev.0] -= task.items;
             ks.tasks_per_device[dev.0] -= 1;
+            // Blame mirror: the reversed dispatch's physical span stays on
+            // the device as rollback loss (already-booked fault loss keeps
+            // its category).
+            self.unblame(t, dev);
+            self.blame[dev.0].rollback += self.busy_of[t.0].saturating_sub(self.cost_of[t.0].fault);
             let f = self.faults.as_mut().unwrap();
             f.corrupt[t.0] = false;
             self.placements[t.0] = None;
@@ -1954,13 +2151,14 @@ impl<'a> Sim<'a> {
             }
         };
         if imbalanced {
-            if let Some(trace) = &mut self.trace {
-                trace.events.push(TraceEvent::ImbalanceDetected {
+            route_event(
+                &mut *self.obs,
+                &TraceEvent::ImbalanceDetected {
                     epoch: self.cur_epoch,
                     skew,
                     at: self.now,
-                });
-            }
+                },
+            );
         }
         // Act only while there are future epochs to correct.
         let a = self.adapt.as_ref().unwrap();
@@ -2132,14 +2330,15 @@ impl<'a> Sim<'a> {
                 // The applied split becomes the next re-solve's warm start.
                 p.solution = corrected;
             }
-            if let Some(trace) = &mut self.trace {
-                trace.events.push(TraceEvent::Repartitioned {
+            route_event(
+                &mut *self.obs,
+                &TraceEvent::Repartitioned {
                     epoch: self.cur_epoch,
                     gpu_items: corrected.gpu_items,
                     cpu_items: corrected.cpu_items,
                     at: self.now,
-                });
-            }
+                },
+            );
         }
     }
 
@@ -2151,12 +2350,13 @@ impl<'a> Sim<'a> {
         a.escalated = Some(PerfScheduler::seeded(self.platform, a.obs.clone()));
         a.report.escalated = true;
         a.report.escalated_at_epoch = Some(self.cur_epoch);
-        if let Some(trace) = &mut self.trace {
-            trace.events.push(TraceEvent::StrategyEscalated {
+        route_event(
+            &mut *self.obs,
+            &TraceEvent::StrategyEscalated {
                 epoch: self.cur_epoch,
                 at: self.now,
-            });
-        }
+            },
+        );
     }
 
     fn on_epoch_flushed(&mut self) {
@@ -2198,23 +2398,25 @@ impl<'a> Sim<'a> {
             *cursor = t0 + dt;
             flush_start = flush_start.min(t0);
             flush_end = flush_end.max(*cursor);
-            if let Some(trace) = &mut self.trace {
-                trace.events.push(TraceEvent::Transfer {
+            route_event(
+                &mut *self.obs,
+                &TraceEvent::Transfer {
                     from: tr.from,
                     to: tr.to,
                     bytes: tr.bytes,
                     start: t0,
                     end: t0 + dt,
-                });
-            }
+                },
+            );
         }
-        if let Some(trace) = &mut self.trace {
-            trace.events.push(TraceEvent::Flush {
+        route_event(
+            &mut *self.obs,
+            &TraceEvent::Flush {
                 epoch: self.flushes_done,
                 start: flush_start.min(self.now),
                 end: flush_end,
-            });
-        }
+            },
+        );
         self.flushes_done += 1;
         self.queue.push(flush_end, Ev::EpochFlushed);
     }

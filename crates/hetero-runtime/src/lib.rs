@@ -52,6 +52,7 @@ pub mod graph;
 pub mod health;
 pub mod interval;
 pub mod native;
+pub mod obs;
 pub mod program;
 pub mod scheduler;
 pub mod stats;
@@ -61,8 +62,9 @@ pub use adapt::{AdaptConfig, AdaptPlan, AdaptReport};
 pub use coherence::{CoherenceDir, Transfer};
 pub use data::{Access, AccessMode, BufferDesc, BufferId, Region};
 pub use executor::{
-    simulate, simulate_adaptive, simulate_adaptive_traced, simulate_faulty, simulate_faulty_traced,
-    simulate_resilient, simulate_resilient_traced, simulate_traced,
+    simulate, simulate_adaptive, simulate_adaptive_observed, simulate_adaptive_traced,
+    simulate_faulty, simulate_faulty_observed, simulate_faulty_traced, simulate_observed,
+    simulate_resilient, simulate_resilient_observed, simulate_resilient_traced, simulate_traced,
 };
 pub use graph::TaskGraph;
 pub use health::{
@@ -71,6 +73,11 @@ pub use health::{
 };
 pub use interval::{Interval, IntervalMap, IntervalSet};
 pub use native::{run_native, run_native_parallel, ExecOrder, HostBuffers, KernelFn};
+pub use obs::{
+    CriticalPath, DeviceBreakdown, LogHistogram, MetricsObserver, MetricsRegistry, MultiObserver,
+    NullObserver, Observer, PathKind, PathSegment, Series, SeriesValue, TimeBreakdown,
+    TraceObserver,
+};
 pub use program::{
     split_even, KernelDesc, KernelId, Op, PlanError, Program, ProgramBuilder, TaskDesc, TaskId,
 };
@@ -79,7 +86,7 @@ pub use scheduler::{
     WorkConservingScheduler,
 };
 pub use stats::{KernelStats, RunReport};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Trace, TraceEvent, DEFAULT_GANTT_WIDTH};
 
 /// Run a program under DP-Perf with the paper's methodology: a warm-up run
 /// performs the profiling phase (3 instances per kernel per device), then
@@ -93,6 +100,21 @@ pub fn simulate_dp_perf_warmed(
     let _ = simulate(program, platform, &mut warm);
     let mut measured = PerfScheduler::seeded(platform, warm.rates().clone());
     simulate(program, platform, &mut measured)
+}
+
+/// [`simulate_dp_perf_warmed`] with an [`Observer`] installed on the
+/// *measured* run. The warm-up run is unobserved (it exists only to learn
+/// rates and is excluded from reported numbers), so an attached metrics
+/// sink sees exactly the run the report describes.
+pub fn simulate_dp_perf_warmed_observed(
+    program: &Program,
+    platform: &hetero_platform::Platform,
+    obs: &mut dyn Observer,
+) -> RunReport {
+    let mut warm = PerfScheduler::new(platform);
+    let _ = simulate(program, platform, &mut warm);
+    let mut measured = PerfScheduler::seeded(platform, warm.rates().clone());
+    simulate_observed(program, platform, &mut measured, obs)
 }
 
 /// [`simulate_dp_perf_warmed`] under a fault schedule: both the warm-up and

@@ -1,0 +1,393 @@
+//! Makespan blame attribution: where did every slot-second go?
+//!
+//! The paper's comparison figures (Figs. 6–12) are ultimately an accounting
+//! exercise — a strategy wins because it spends less wall-clock on transfers
+//! or scheduling overhead, or leaves fewer slots idle. This module gives the
+//! simulator the same vocabulary:
+//!
+//! * [`TimeBreakdown`] / [`DeviceBreakdown`] — a per-device decomposition of
+//!   `makespan × slots` (the device's *capacity* over the run) into compute,
+//!   transfer, scheduling, adaptation, fault loss, hedge waste, rollback,
+//!   verification, dead time and idle time. The executor maintains this
+//!   alongside its ordinary counters, with the same reversal discipline
+//!   (dropout kills, hedge losses and epoch rollbacks *recategorize* time
+//!   rather than drop it), so the components always sum to capacity.
+//! * [`CriticalPath`] — a trace analyzer that walks the dependency-free
+//!   "latest predecessor span" chain backwards from the last event and
+//!   classifies the makespan into compute / transfer / flush / wait
+//!   segments.
+
+use crate::trace::{Trace, TraceEvent};
+use hetero_platform::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Per-device decomposition of the run. All time components are in *slot
+/// time*: a 12-slot CPU accrues up to 12 seconds of slot time per second of
+/// makespan. The identity maintained by the executor is
+///
+/// ```text
+/// compute + transfer + scheduling + adaptation + fault_loss + hedge_waste
+///   + rollback + verify + dead + idle  ==  makespan × slots
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceBreakdown {
+    /// Number of schedulable slots on this device.
+    pub slots: u64,
+    /// Useful kernel execution (committed work, net of reversals).
+    pub compute: SimTime,
+    /// Slot time spent waiting on coherence transfers for bound tasks.
+    pub transfer: SimTime,
+    /// Dynamic scheduling overhead charged to this device's slots.
+    pub scheduling: SimTime,
+    /// Adaptation overhead: decisions charged to tasks bound by an
+    /// escalated (fallback) scheduler.
+    pub adaptation: SimTime,
+    /// Time lost to faults: failed attempts, retry backoff, transfer
+    /// retries, and work discarded by device dropout.
+    pub fault_loss: SimTime,
+    /// Duplicate work burnt on hedges: losing-replica spans and the
+    /// overtaken portion of hedged primaries.
+    pub hedge_waste: SimTime,
+    /// Committed work discarded by an epoch rollback after a corruption
+    /// detection.
+    pub rollback: SimTime,
+    /// Slot time spent re-executing sampled tasks for corruption
+    /// verification (DupCheck).
+    pub verify: SimTime,
+    /// Capacity lost to a dropped-out device: `(makespan − death) × slots`.
+    pub dead: SimTime,
+    /// Remaining capacity: slots up and idle.
+    pub idle: SimTime,
+}
+
+impl DeviceBreakdown {
+    /// Sum of every component (should equal `makespan × slots`).
+    pub fn accounted(&self) -> SimTime {
+        self.active() + self.dead + self.idle
+    }
+
+    /// Sum of the *active* components — everything except `dead` and
+    /// `idle`; i.e. slot time actually charged to work of some kind.
+    pub fn active(&self) -> SimTime {
+        self.compute
+            + self.transfer
+            + self.scheduling
+            + self.adaptation
+            + self.fault_loss
+            + self.hedge_waste
+            + self.rollback
+            + self.verify
+    }
+
+    /// The overhead components introduced by fault handling and mitigation:
+    /// `fault_loss + hedge_waste + rollback + verify`.
+    pub fn resilience_overhead(&self) -> SimTime {
+        self.fault_loss + self.hedge_waste + self.rollback + self.verify
+    }
+
+    /// The component names and values, in canonical order (excluding
+    /// `slots`). Useful for generic rendering and metric export.
+    pub fn components(&self) -> [(&'static str, SimTime); 10] {
+        [
+            ("compute", self.compute),
+            ("transfer", self.transfer),
+            ("scheduling", self.scheduling),
+            ("adaptation", self.adaptation),
+            ("fault_loss", self.fault_loss),
+            ("hedge_waste", self.hedge_waste),
+            ("rollback", self.rollback),
+            ("verify", self.verify),
+            ("dead", self.dead),
+            ("idle", self.idle),
+        ]
+    }
+}
+
+/// The full blame decomposition of a run: one [`DeviceBreakdown`] per
+/// device, indexed by `DeviceId.0`, plus the run makespan.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// The run's makespan (same value as `RunReport::makespan`).
+    pub makespan: SimTime,
+    /// Per-device decompositions, indexed by `DeviceId.0`.
+    pub per_device: Vec<DeviceBreakdown>,
+}
+
+impl TimeBreakdown {
+    /// The slot-time capacity of device `dev` over the run:
+    /// `makespan × slots`.
+    pub fn capacity(&self, dev: usize) -> SimTime {
+        self.makespan * self.per_device[dev].slots
+    }
+
+    /// Whether every device's components sum exactly to its capacity — the
+    /// invariant the executor maintains, and the property test asserts.
+    pub fn identity_holds(&self) -> bool {
+        (0..self.per_device.len()).all(|d| self.per_device[d].accounted() == self.capacity(d))
+    }
+
+    /// Render a compact per-device table. `names` are device names indexed
+    /// by `DeviceId.0` (missing names fall back to `dev<i>`). Components
+    /// that round to 0.0% of capacity are omitted.
+    pub fn render(&self, names: &[&str]) -> String {
+        let mut out = String::new();
+        for (i, b) in self.per_device.iter().enumerate() {
+            let name = names
+                .get(i)
+                .copied()
+                .map(String::from)
+                .unwrap_or_else(|| format!("dev{i}"));
+            let cap = self.capacity(i).as_secs_f64();
+            out.push_str(&format!("{:<22} ({:>2} slots)", name, b.slots));
+            if cap <= 0.0 {
+                out.push_str("  (no capacity)\n");
+                continue;
+            }
+            for (label, v) in b.components() {
+                let pct = 100.0 * v.as_secs_f64() / cap;
+                if pct >= 0.05 {
+                    out.push_str(&format!("  {label} {pct:.1}%"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One segment of the extracted critical path.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PathKind {
+    /// A task slot span on a device.
+    Task {
+        /// Task index within the program.
+        task: usize,
+        /// Device the span ran on.
+        dev: usize,
+    },
+    /// A coherence or write-back transfer (including faulted retries).
+    Transfer,
+    /// An epoch write-back flush.
+    Flush {
+        /// Flush index.
+        epoch: usize,
+    },
+    /// A gap where no span ends at the next segment's start — scheduling
+    /// latency, barrier waits, or event-queue slack.
+    Wait,
+}
+
+/// A `[start, end)` slice of the critical path.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathSegment {
+    /// What occupied this slice.
+    pub kind: PathKind,
+    /// Segment start (virtual time).
+    pub start: SimTime,
+    /// Segment end (virtual time).
+    pub end: SimTime,
+}
+
+impl PathSegment {
+    /// Segment duration.
+    pub fn dur(&self) -> SimTime {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// The critical path of a traced run: a back-to-front chain of span events
+/// where each link is the latest-ending span that finishes at or before the
+/// next link starts, with explicit [`PathKind::Wait`] segments for gaps.
+///
+/// This is a *trace-level* approximation of the DAG critical path: it does
+/// not consult task dependences, only observable span containment, which is
+/// exactly what an external profile (e.g. a Chrome trace) could compute.
+/// It is deterministic: ties are broken by (end, kind, position) order.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CriticalPath {
+    /// Path segments in chronological order, covering `[0, makespan)`.
+    pub segments: Vec<PathSegment>,
+}
+
+impl CriticalPath {
+    /// Extract the critical path from a trace. Returns an empty path for an
+    /// empty trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        // Collect all span events with a deterministic rank: Task spans are
+        // preferred over Transfers over Flushes when several end together.
+        let mut spans: Vec<(SimTime, SimTime, u8, usize, PathKind)> = Vec::new();
+        for (idx, ev) in trace.events.iter().enumerate() {
+            let Some((start, end)) = ev.span() else {
+                continue;
+            };
+            let (rank, kind) = match ev {
+                TraceEvent::Task { task, dev, .. } => (
+                    2u8,
+                    PathKind::Task {
+                        task: task.0,
+                        dev: dev.0,
+                    },
+                ),
+                TraceEvent::Transfer { .. } | TraceEvent::TransferRetry { .. } => {
+                    (1, PathKind::Transfer)
+                }
+                TraceEvent::Flush { epoch, .. } => (0, PathKind::Flush { epoch: *epoch }),
+                _ => continue,
+            };
+            spans.push((start, end, rank, idx, kind));
+        }
+        let Some(last) = spans
+            .iter()
+            .max_by_key(|(_, end, rank, idx, _)| (*end, *rank, *idx))
+            .cloned()
+        else {
+            return Self::default();
+        };
+
+        let mut rev: Vec<PathSegment> = Vec::new();
+        let mut cur = last;
+        loop {
+            rev.push(PathSegment {
+                kind: cur.4.clone(),
+                start: cur.0,
+                end: cur.1,
+            });
+            let cur_start = cur.0;
+            if cur_start == SimTime::ZERO {
+                break;
+            }
+            let pred = spans
+                .iter()
+                .filter(|(_, end, _, idx, _)| *end <= cur_start && *idx != cur.3)
+                .max_by_key(|(_, end, rank, idx, _)| (*end, *rank, *idx))
+                .cloned();
+            match pred {
+                Some(p) => {
+                    if p.1 < cur_start {
+                        rev.push(PathSegment {
+                            kind: PathKind::Wait,
+                            start: p.1,
+                            end: cur_start,
+                        });
+                    }
+                    cur = p;
+                }
+                None => {
+                    rev.push(PathSegment {
+                        kind: PathKind::Wait,
+                        start: SimTime::ZERO,
+                        end: cur_start,
+                    });
+                    break;
+                }
+            }
+        }
+        rev.reverse();
+        Self { segments: rev }
+    }
+
+    /// Total time in task spans along the path.
+    pub fn compute_time(&self) -> SimTime {
+        self.time_in(|k| matches!(k, PathKind::Task { .. }))
+    }
+
+    /// Total time in transfer spans along the path.
+    pub fn transfer_time(&self) -> SimTime {
+        self.time_in(|k| matches!(k, PathKind::Transfer))
+    }
+
+    /// Total time in flush spans along the path.
+    pub fn flush_time(&self) -> SimTime {
+        self.time_in(|k| matches!(k, PathKind::Flush { .. }))
+    }
+
+    /// Total gap time along the path.
+    pub fn wait_time(&self) -> SimTime {
+        self.time_in(|k| matches!(k, PathKind::Wait))
+    }
+
+    /// The end of the last segment (the traced makespan), or zero when
+    /// empty.
+    pub fn end(&self) -> SimTime {
+        self.segments.last().map(|s| s.end).unwrap_or(SimTime::ZERO)
+    }
+
+    fn time_in(&self, pred: impl Fn(&PathKind) -> bool) -> SimTime {
+        self.segments
+            .iter()
+            .filter(|s| pred(&s.kind))
+            .map(PathSegment::dur)
+            .sum()
+    }
+
+    /// One-line summary: `compute X / transfer Y / flush Z / wait W`.
+    pub fn summary(&self) -> String {
+        format!(
+            "compute {} / transfer {} / flush {} / wait {}",
+            self.compute_time(),
+            self.transfer_time(),
+            self.flush_time(),
+            self.wait_time()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{KernelId, TaskId};
+    use hetero_platform::DeviceId;
+
+    fn task(t: usize, dev: usize, s: u64, e: u64) -> TraceEvent {
+        TraceEvent::Task {
+            task: TaskId(t),
+            kernel: KernelId(0),
+            dev: DeviceId(dev),
+            items: 1,
+            start: SimTime::from_millis(s),
+            end: SimTime::from_millis(e),
+        }
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_path() {
+        let p = CriticalPath::from_trace(&Trace::default());
+        assert!(p.segments.is_empty());
+        assert_eq!(p.end(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn chain_with_gap_inserts_wait() {
+        let trace = Trace {
+            events: vec![task(0, 0, 0, 10), task(1, 1, 12, 20)],
+        };
+        let p = CriticalPath::from_trace(&trace);
+        assert_eq!(p.segments.len(), 3);
+        assert_eq!(p.end(), SimTime::from_millis(20));
+        assert_eq!(p.wait_time(), SimTime::from_millis(2));
+        assert_eq!(p.compute_time(), SimTime::from_millis(18));
+        // Path covers [0, end) with no overlap.
+        let mut t = SimTime::ZERO;
+        for s in &p.segments {
+            assert_eq!(s.start, t);
+            t = s.end;
+        }
+    }
+
+    #[test]
+    fn breakdown_identity_and_render() {
+        let b = TimeBreakdown {
+            makespan: SimTime::from_millis(10),
+            per_device: vec![DeviceBreakdown {
+                slots: 2,
+                compute: SimTime::from_millis(12),
+                idle: SimTime::from_millis(8),
+                ..Default::default()
+            }],
+        };
+        assert!(b.identity_holds());
+        let s = b.render(&["cpu"]);
+        assert!(s.contains("compute 60.0%"), "{s}");
+        assert!(s.contains("idle 40.0%"), "{s}");
+    }
+}

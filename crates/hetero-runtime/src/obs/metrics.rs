@@ -1,0 +1,635 @@
+//! A deterministic metrics registry: typed counters, gauges and log-bucketed
+//! histograms with Prometheus text exposition and JSON export, plus the
+//! built-in [`MetricsObserver`] that feeds it from executor events.
+//!
+//! Determinism is load-bearing: the simulator replays byte-for-byte from a
+//! seed, and the exported metrics must too (CI diffs a double run). The
+//! registry therefore keys series in a `BTreeMap` by their rendered identity
+//! (`name{label="value",...}` with labels sorted by key) and renders floats
+//! with Rust's shortest-roundtrip `Display` — no HashMap iteration order, no
+//! locale, no timestamps.
+
+use crate::program::{KernelId, TaskId};
+use crate::stats::RunReport;
+use crate::trace::TraceEvent;
+use hetero_platform::{DeviceId, MemSpaceId, Platform, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use super::Observer;
+
+/// Number of log2 buckets in a [`LogHistogram`]. With a 1µs base bucket the
+/// largest finite bound is `1µs × 2^26 ≈ 67s`; beyond that counts land in
+/// the overflow (`+Inf`) bucket.
+pub const HISTOGRAM_BUCKETS: usize = 27;
+
+/// Base (smallest) bucket upper bound for [`LogHistogram`], in nanoseconds.
+pub const HISTOGRAM_BASE_NANOS: u64 = 1_000;
+
+/// A log2-bucketed latency histogram over virtual time. Bucket `i` counts
+/// observations `≤ HISTOGRAM_BASE_NANOS << i`; larger observations go to the
+/// overflow bucket (rendered as `+Inf`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Per-bucket (non-cumulative) observation counts.
+    pub buckets: Vec<u64>,
+    /// Observations above the largest finite bound.
+    pub overflow: u64,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observations, in nanoseconds.
+    pub sum_nanos: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            overflow: 0,
+            count: 0,
+            sum_nanos: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Record one observation.
+    pub fn observe(&mut self, t: SimTime) {
+        let ns = t.as_nanos();
+        self.count += 1;
+        self.sum_nanos = self.sum_nanos.saturating_add(ns);
+        for (i, b) in self.buckets.iter_mut().enumerate() {
+            if ns <= HISTOGRAM_BASE_NANOS << i {
+                *b += 1;
+                return;
+            }
+        }
+        self.overflow += 1;
+    }
+
+    /// Merge another histogram into this one (bucketwise addition).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum_nanos = self.sum_nanos.saturating_add(other.sum_nanos);
+    }
+
+    /// The upper bound of bucket `i`, in seconds (for `le` labels).
+    pub fn bound_secs(i: usize) -> f64 {
+        (HISTOGRAM_BASE_NANOS << i) as f64 / 1e9
+    }
+}
+
+/// The value of one series.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SeriesValue {
+    /// A monotonically increasing integer.
+    Counter(u64),
+    /// A point-in-time float.
+    Gauge(f64),
+    /// A latency distribution.
+    Histogram(LogHistogram),
+}
+
+/// One labeled series in the registry.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Metric name (Prometheus naming conventions, `hm_` prefix).
+    pub name: String,
+    /// Help text emitted as `# HELP`.
+    pub help: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+    /// The series value.
+    pub value: SeriesValue,
+}
+
+/// A registry of labeled series with deterministic iteration and export.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    /// Series keyed by rendered identity `name{k="v",...}`.
+    pub series: BTreeMap<String, Series>,
+}
+
+fn series_id(name: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut id = String::from(name);
+    id.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            id.push(',');
+        }
+        let _ = write!(id, "{k}=\"{v}\"");
+    }
+    id.push('}');
+    id
+}
+
+fn sorted_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut ls: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    ls.sort();
+    ls
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn entry(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        init: impl FnOnce() -> SeriesValue,
+    ) -> &mut Series {
+        let ls = sorted_labels(labels);
+        let id = series_id(name, &ls);
+        self.series.entry(id).or_insert_with(|| Series {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: ls,
+            value: init(),
+        })
+    }
+
+    /// Add `delta` to a counter series, creating it at zero if absent.
+    pub fn counter_add(&mut self, name: &str, help: &str, labels: &[(&str, &str)], delta: u64) {
+        let s = self.entry(name, help, labels, || SeriesValue::Counter(0));
+        if let SeriesValue::Counter(c) = &mut s.value {
+            *c += delta;
+        }
+    }
+
+    /// Set a gauge series to `value`.
+    pub fn gauge_set(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        let s = self.entry(name, help, labels, || SeriesValue::Gauge(0.0));
+        if let SeriesValue::Gauge(g) = &mut s.value {
+            *g = value;
+        }
+    }
+
+    /// Raise a gauge series to `value` if larger (high-water mark).
+    pub fn gauge_max(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        let s = self.entry(name, help, labels, || SeriesValue::Gauge(f64::NEG_INFINITY));
+        if let SeriesValue::Gauge(g) = &mut s.value {
+            if value > *g {
+                *g = value;
+            }
+        }
+    }
+
+    /// Record an observation into a histogram series.
+    pub fn observe(&mut self, name: &str, help: &str, labels: &[(&str, &str)], t: SimTime) {
+        let s = self.entry(name, help, labels, || {
+            SeriesValue::Histogram(LogHistogram::default())
+        });
+        if let SeriesValue::Histogram(h) = &mut s.value {
+            h.observe(t);
+        }
+    }
+
+    /// Merge another registry: counters add, histograms merge bucketwise,
+    /// gauges take the maximum. Series absent here are copied.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (id, s) in &other.series {
+            match self.series.get_mut(id) {
+                None => {
+                    self.series.insert(id.clone(), s.clone());
+                }
+                Some(mine) => match (&mut mine.value, &s.value) {
+                    (SeriesValue::Counter(a), SeriesValue::Counter(b)) => *a += b,
+                    (SeriesValue::Gauge(a), SeriesValue::Gauge(b)) if *b > *a => *a = *b,
+                    (SeriesValue::Histogram(a), SeriesValue::Histogram(b)) => a.merge(b),
+                    _ => {}
+                },
+            }
+        }
+    }
+
+    /// Render the registry in the Prometheus text exposition format.
+    /// Deterministic: metric families sorted by name, series by label
+    /// identity, histograms expanded to cumulative `_bucket`/`_sum`/`_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut families: BTreeMap<&str, Vec<&Series>> = BTreeMap::new();
+        for s in self.series.values() {
+            families.entry(&s.name).or_default().push(s);
+        }
+        let mut out = String::new();
+        for (name, series) in families {
+            let (help, kind) = {
+                let s = series[0];
+                let kind = match s.value {
+                    SeriesValue::Counter(_) => "counter",
+                    SeriesValue::Gauge(_) => "gauge",
+                    SeriesValue::Histogram(_) => "histogram",
+                };
+                (&s.help, kind)
+            };
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for s in series {
+                let id = series_id(&s.name, &s.labels);
+                match &s.value {
+                    SeriesValue::Counter(c) => {
+                        let _ = writeln!(out, "{id} {c}");
+                    }
+                    SeriesValue::Gauge(g) => {
+                        let _ = writeln!(out, "{id} {g}");
+                    }
+                    SeriesValue::Histogram(h) => {
+                        let mut cum = 0u64;
+                        for (i, b) in h.buckets.iter().enumerate() {
+                            cum += b;
+                            let mut labels = s.labels.clone();
+                            labels.push(("le".into(), format!("{}", LogHistogram::bound_secs(i))));
+                            labels.sort();
+                            let _ = writeln!(
+                                out,
+                                "{} {cum}",
+                                series_id(&format!("{name}_bucket"), &labels)
+                            );
+                        }
+                        let mut labels = s.labels.clone();
+                        labels.push(("le".into(), "+Inf".into()));
+                        labels.sort();
+                        let _ = writeln!(
+                            out,
+                            "{} {}",
+                            series_id(&format!("{name}_bucket"), &labels),
+                            cum + h.overflow
+                        );
+                        let sum = h.sum_nanos as f64 / 1e9;
+                        let _ = writeln!(
+                            out,
+                            "{} {sum}",
+                            series_id(&format!("{name}_sum"), &s.labels)
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{} {}",
+                            series_id(&format!("{name}_count"), &s.labels),
+                            h.count
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Render the registry as pretty-printed JSON (via serde).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics registry serializes")
+    }
+}
+
+/// The built-in metrics sink: implements [`Observer`] and feeds a
+/// [`MetricsRegistry`] with the metric catalog documented in DESIGN.md §8.3
+/// (task latency, transfer bytes/latency, queue depth, fault and adaptation
+/// counts, per-epoch per-device utilization, and the final makespan plus
+/// blame components).
+#[derive(Clone, Debug)]
+pub struct MetricsObserver {
+    registry: MetricsRegistry,
+    strategy: String,
+    dev_names: Vec<String>,
+    dev_slots: Vec<u64>,
+    epoch_busy: Vec<SimTime>,
+    last_flush_end: SimTime,
+    queue_peak: Vec<usize>,
+}
+
+impl MetricsObserver {
+    /// A metrics sink for one run of `strategy` on `platform`. The strategy
+    /// string becomes the `strategy` label on every series.
+    pub fn new(platform: &Platform, strategy: &str) -> Self {
+        let n = platform.devices.len();
+        Self {
+            registry: MetricsRegistry::new(),
+            strategy: strategy.to_string(),
+            dev_names: platform
+                .devices
+                .iter()
+                .map(|d| d.spec.name.clone())
+                .collect(),
+            dev_slots: platform
+                .devices
+                .iter()
+                .map(|d| d.spec.kind.slots() as u64)
+                .collect(),
+            epoch_busy: vec![SimTime::ZERO; n],
+            last_flush_end: SimTime::ZERO,
+            queue_peak: vec![0; n],
+        }
+    }
+
+    /// The registry accumulated so far.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Consume the observer and return its registry.
+    pub fn into_registry(self) -> MetricsRegistry {
+        self.registry
+    }
+
+    fn fault_kind(ev: &TraceEvent) -> &'static str {
+        match ev {
+            TraceEvent::TaskFault { .. } => "task_fault",
+            TraceEvent::TransferRetry { .. } => "transfer_retry",
+            TraceEvent::DeviceDropout { .. } => "dropout",
+            TraceEvent::Failover { .. } => "failover",
+            TraceEvent::HedgeLaunched { .. } => "hedge_launched",
+            TraceEvent::HedgeWon { .. } => "hedge_won",
+            TraceEvent::CorruptionDetected { .. } => "corruption_detected",
+            TraceEvent::CircuitOpen { .. } => "circuit_open",
+            TraceEvent::CircuitClose { .. } => "circuit_close",
+            _ => "other",
+        }
+    }
+
+    fn adapt_kind(ev: &TraceEvent) -> &'static str {
+        match ev {
+            TraceEvent::ImbalanceDetected { .. } => "imbalance_detected",
+            TraceEvent::Repartitioned { .. } => "repartitioned",
+            TraceEvent::StrategyEscalated { .. } => "escalated",
+            _ => "other",
+        }
+    }
+
+    fn dev_name(&self, dev: DeviceId) -> &str {
+        self.dev_names
+            .get(dev.0)
+            .map(String::as_str)
+            .unwrap_or("unknown")
+    }
+}
+
+impl Observer for MetricsObserver {
+    fn on_task_start(
+        &mut self,
+        _task: TaskId,
+        kernel: KernelId,
+        dev: DeviceId,
+        items: u64,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        let strategy = self.strategy.clone();
+        let device = self.dev_name(dev).to_string();
+        let kernel = format!("k{}", kernel.0);
+        let labels: &[(&str, &str)] = &[
+            ("device", device.as_str()),
+            ("kernel", kernel.as_str()),
+            ("strategy", strategy.as_str()),
+        ];
+        self.registry.counter_add(
+            "hm_tasks_total",
+            "Task instances committed to a device slot.",
+            labels,
+            1,
+        );
+        self.registry.counter_add(
+            "hm_task_items_total",
+            "Work items across committed task instances.",
+            labels,
+            items,
+        );
+        self.registry.observe(
+            "hm_task_slot_seconds",
+            "Slot occupancy per task instance (transfers + attempts + execution).",
+            labels,
+            end.saturating_sub(start),
+        );
+        if let Some(b) = self.epoch_busy.get_mut(dev.0) {
+            *b += end.saturating_sub(start);
+        }
+    }
+
+    fn on_task_bound(&mut self, _task: TaskId, dev: DeviceId, _at: SimTime, queue_depth: usize) {
+        if let Some(p) = self.queue_peak.get_mut(dev.0) {
+            if queue_depth > *p {
+                *p = queue_depth;
+            }
+        }
+    }
+
+    fn on_transfer(
+        &mut self,
+        _from: MemSpaceId,
+        _to: MemSpaceId,
+        bytes: u64,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        let strategy = self.strategy.clone();
+        let labels: &[(&str, &str)] = &[("strategy", strategy.as_str())];
+        self.registry.counter_add(
+            "hm_transfers_total",
+            "Coherence and write-back transfers.",
+            labels,
+            1,
+        );
+        self.registry.counter_add(
+            "hm_transfer_bytes_total",
+            "Bytes moved by coherence and write-back transfers.",
+            labels,
+            bytes,
+        );
+        self.registry.observe(
+            "hm_transfer_seconds",
+            "Latency per transfer.",
+            labels,
+            end.saturating_sub(start),
+        );
+    }
+
+    fn on_epoch_end(&mut self, epoch: usize, _start: SimTime, end: SimTime) {
+        let strategy = self.strategy.clone();
+        let window = end.saturating_sub(self.last_flush_end);
+        let epoch_s = format!("{epoch}");
+        for d in 0..self.epoch_busy.len() {
+            let device = self.dev_names[d].clone();
+            let cap = window * self.dev_slots[d];
+            let util = if cap.is_zero() {
+                0.0
+            } else {
+                self.epoch_busy[d].as_secs_f64() / cap.as_secs_f64()
+            };
+            self.registry.gauge_set(
+                "hm_epoch_utilization",
+                "Fraction of a device's slot capacity busy within an epoch window.",
+                &[
+                    ("device", device.as_str()),
+                    ("epoch", epoch_s.as_str()),
+                    ("strategy", strategy.as_str()),
+                ],
+                util,
+            );
+            self.epoch_busy[d] = SimTime::ZERO;
+        }
+        self.last_flush_end = end;
+    }
+
+    fn on_fault(&mut self, ev: &TraceEvent) {
+        let strategy = self.strategy.clone();
+        self.registry.counter_add(
+            "hm_faults_total",
+            "Fault and mitigation events by kind.",
+            &[
+                ("kind", Self::fault_kind(ev)),
+                ("strategy", strategy.as_str()),
+            ],
+            1,
+        );
+    }
+
+    fn on_adapt_action(&mut self, ev: &TraceEvent) {
+        let strategy = self.strategy.clone();
+        self.registry.counter_add(
+            "hm_adapt_total",
+            "Adaptation events by kind.",
+            &[
+                ("kind", Self::adapt_kind(ev)),
+                ("strategy", strategy.as_str()),
+            ],
+            1,
+        );
+    }
+
+    fn on_run_end(&mut self, report: &RunReport) {
+        let strategy = self.strategy.clone();
+        self.registry.gauge_set(
+            "hm_makespan_seconds",
+            "Run makespan.",
+            &[
+                ("scheduler", report.scheduler.as_str()),
+                ("strategy", strategy.as_str()),
+            ],
+            report.makespan.as_secs_f64(),
+        );
+        for (d, peak) in self.queue_peak.iter().enumerate() {
+            let device = self.dev_names[d].clone();
+            self.registry.gauge_max(
+                "hm_queue_depth_peak",
+                "High-water mark of a device's bound-task queue.",
+                &[("device", device.as_str()), ("strategy", strategy.as_str())],
+                *peak as f64,
+            );
+        }
+        for (d, b) in report.breakdown.per_device.iter().enumerate() {
+            let device = self
+                .dev_names
+                .get(d)
+                .cloned()
+                .unwrap_or_else(|| format!("dev{d}"));
+            for (component, v) in b.components() {
+                self.registry.gauge_set(
+                    "hm_blame_seconds",
+                    "Slot time attributed to each blame component.",
+                    &[
+                        ("component", component),
+                        ("device", device.as_str()),
+                        ("strategy", strategy.as_str()),
+                    ],
+                    v.as_secs_f64(),
+                );
+            }
+        }
+        let retries = report.faults.task_retries + report.faults.transfer_retries;
+        for (name, help, v) in [
+            (
+                "hm_retries_total",
+                "Task and transfer retries across the run.",
+                retries,
+            ),
+            (
+                "hm_hedges_won_total",
+                "Hedged replicas that overtook their primary.",
+                report.health.hedges_won,
+            ),
+            (
+                "hm_rollbacks_total",
+                "Epoch rollbacks after corruption detection.",
+                report.health.epoch_rollbacks,
+            ),
+            (
+                "hm_repartitions_total",
+                "Barrier repartitions applied by the adaptive controller.",
+                report.adapt.repartitions,
+            ),
+        ] {
+            self.registry
+                .counter_add(name, help, &[("strategy", strategy.as_str())], v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_export() {
+        let mut h = LogHistogram::default();
+        h.observe(SimTime::from_nanos(500)); // bucket 0 (≤ 1µs)
+        h.observe(SimTime::from_micros(3)); // ≤ 4µs → bucket 2
+        h.observe(SimTime::from_secs_f64(100.0)); // overflow
+        assert_eq!(h.count, 3);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.overflow, 1);
+    }
+
+    #[test]
+    fn prometheus_export_is_deterministic_and_sorted() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("hm_b", "b help", &[("x", "2")], 2);
+        r.counter_add("hm_a", "a help", &[], 1);
+        r.observe("hm_lat", "lat", &[], SimTime::from_micros(2));
+        let a = r.to_prometheus();
+        let b = r.to_prometheus();
+        assert_eq!(a, b);
+        let ia = a.find("# HELP hm_a").unwrap();
+        let ib = a.find("# HELP hm_b").unwrap();
+        assert!(ia < ib, "families sorted by name");
+        assert!(a.contains("hm_lat_bucket{le=\"+Inf\"} 1"));
+        assert!(a.contains("hm_lat_count 1"));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.counter_add("hm_c", "h", &[], 1);
+        b.counter_add("hm_c", "h", &[], 2);
+        b.gauge_set("hm_g", "h", &[], 4.0);
+        a.merge(&b);
+        match &a.series.get("hm_c").unwrap().value {
+            SeriesValue::Counter(c) => assert_eq!(*c, 3),
+            _ => panic!("counter expected"),
+        }
+        assert!(a.series.contains_key("hm_g"));
+    }
+
+    #[test]
+    fn registry_json_roundtrip() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("hm_c", "h", &[("device", "cpu")], 7);
+        r.observe("hm_lat", "lat", &[], SimTime::from_micros(9));
+        let json = r.to_json();
+        let back: MetricsRegistry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

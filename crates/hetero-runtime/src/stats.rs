@@ -2,6 +2,7 @@
 
 use crate::adapt::AdaptReport;
 use crate::health::HealthReport;
+use crate::obs::TimeBreakdown;
 use crate::program::KernelId;
 use hetero_platform::{DeviceId, FaultCounters, PlatformCounters, SimTime};
 use serde::{Deserialize, Serialize};
@@ -51,6 +52,11 @@ pub struct RunReport {
     /// What the adaptive-repartitioning controller did (all zeros when
     /// adaptation is disabled or the run stayed balanced).
     pub adapt: AdaptReport,
+    /// Where the makespan went: per-device slot-time decomposed into
+    /// compute / transfer / scheduling / adaptation / fault-loss /
+    /// hedge-waste / rollback / verify / dead / idle. Per device, the
+    /// components sum to `makespan × slots`.
+    pub breakdown: TimeBreakdown,
 }
 
 impl RunReport {
@@ -157,6 +163,7 @@ mod tests {
             faults: FaultCounters::default(),
             health: HealthReport::default(),
             adapt: AdaptReport::default(),
+            breakdown: TimeBreakdown::default(),
         };
         assert!((r.gpu_item_share() - 0.4).abs() < 1e-12);
         assert!((r.cpu_item_share() - 0.6).abs() < 1e-12);

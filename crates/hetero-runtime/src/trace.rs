@@ -10,6 +10,10 @@ use crate::program::{KernelId, TaskId};
 use hetero_platform::{DeviceId, MemSpaceId, Platform, SimTime};
 use serde::{Deserialize, Serialize};
 
+/// Default bucket count for ASCII gantt rendering, shared by the bench
+/// binary and the examples (`--width` overrides it in `matchmake`).
+pub const DEFAULT_GANTT_WIDTH: usize = 72;
+
 /// One recorded event.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum TraceEvent {
@@ -174,6 +178,58 @@ pub enum TraceEvent {
     },
 }
 
+impl TraceEvent {
+    /// The `[start, end)` interval of a span event (tasks, transfers,
+    /// retried transfers, flush windows); `None` for point events.
+    ///
+    /// The match is exhaustive on purpose: a new variant must decide here
+    /// whether it is a span or a point, which keeps every consumer
+    /// ([`Trace::end_time`], the gantt, the Chrome exporter, the critical
+    /// path) in sync automatically.
+    pub fn span(&self) -> Option<(SimTime, SimTime)> {
+        match self {
+            TraceEvent::Task { start, end, .. }
+            | TraceEvent::Transfer { start, end, .. }
+            | TraceEvent::Flush { start, end, .. }
+            | TraceEvent::TransferRetry { start, end, .. } => Some((*start, *end)),
+            TraceEvent::TaskFault { .. }
+            | TraceEvent::DeviceDropout { .. }
+            | TraceEvent::Failover { .. }
+            | TraceEvent::HedgeLaunched { .. }
+            | TraceEvent::HedgeWon { .. }
+            | TraceEvent::CorruptionDetected { .. }
+            | TraceEvent::CircuitOpen { .. }
+            | TraceEvent::CircuitClose { .. }
+            | TraceEvent::ImbalanceDetected { .. }
+            | TraceEvent::Repartitioned { .. }
+            | TraceEvent::StrategyEscalated { .. } => None,
+        }
+    }
+
+    /// The instant the event is anchored at: a span's `end`, a point
+    /// event's `at`. This is the timestamp `Trace::end_time` maximises
+    /// over.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::Task { end, .. }
+            | TraceEvent::Transfer { end, .. }
+            | TraceEvent::Flush { end, .. }
+            | TraceEvent::TransferRetry { end, .. } => *end,
+            TraceEvent::TaskFault { at, .. }
+            | TraceEvent::DeviceDropout { at, .. }
+            | TraceEvent::Failover { at, .. }
+            | TraceEvent::HedgeLaunched { at, .. }
+            | TraceEvent::HedgeWon { at, .. }
+            | TraceEvent::CorruptionDetected { at, .. }
+            | TraceEvent::CircuitOpen { at, .. }
+            | TraceEvent::CircuitClose { at, .. }
+            | TraceEvent::ImbalanceDetected { at, .. }
+            | TraceEvent::Repartitioned { at, .. }
+            | TraceEvent::StrategyEscalated { at, .. } => *at,
+        }
+    }
+}
+
 /// A complete execution trace.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Trace {
@@ -209,33 +265,22 @@ impl Trace {
             .sum()
     }
 
+    /// The latest instant any recorded event touches ([`TraceEvent::at`]
+    /// maximised over the trace); zero for an empty trace.
+    pub fn end_time(&self) -> SimTime {
+        self.events
+            .iter()
+            .map(TraceEvent::at)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
     /// Render an ASCII utilisation timeline: one row per device, `width`
     /// time buckets; each cell shows the fraction of the device's slots
     /// busy in that bucket (` .:-=+*#%@` from idle to saturated).
     pub fn gantt(&self, platform: &Platform, width: usize) -> String {
         const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
-        let end = self
-            .events
-            .iter()
-            .map(|e| match e {
-                TraceEvent::Task { end, .. }
-                | TraceEvent::Transfer { end, .. }
-                | TraceEvent::Flush { end, .. }
-                | TraceEvent::TransferRetry { end, .. } => *end,
-                TraceEvent::TaskFault { at, .. }
-                | TraceEvent::DeviceDropout { at, .. }
-                | TraceEvent::Failover { at, .. }
-                | TraceEvent::HedgeLaunched { at, .. }
-                | TraceEvent::HedgeWon { at, .. }
-                | TraceEvent::CorruptionDetected { at, .. }
-                | TraceEvent::CircuitOpen { at, .. }
-                | TraceEvent::CircuitClose { at, .. }
-                | TraceEvent::ImbalanceDetected { at, .. }
-                | TraceEvent::Repartitioned { at, .. }
-                | TraceEvent::StrategyEscalated { at, .. } => *at,
-            })
-            .max()
-            .unwrap_or(SimTime::ZERO);
+        let end = self.end_time();
         if end.is_zero() || width == 0 {
             return String::from("(empty trace)\n");
         }
@@ -307,6 +352,9 @@ impl Trace {
         let mut events: Vec<Ev> = Vec::new();
         // Greedy lane assignment per device.
         let mut lanes: Vec<Vec<SimTime>> = platform.devices.iter().map(|_| Vec::new()).collect();
+        // Cumulative per-device slot busy, sampled as a counter track at
+        // each flush barrier.
+        let mut cum_busy: Vec<SimTime> = vec![SimTime::ZERO; platform.devices.len()];
         for e in &self.events {
             match e {
                 TraceEvent::Task {
@@ -317,6 +365,7 @@ impl Trace {
                     start,
                     end,
                 } => {
+                    cum_busy[dev.0] += *end - *start;
                     let lane = {
                         let ls = &mut lanes[dev.0];
                         match ls.iter().position(|&free| free <= *start) {
@@ -366,6 +415,29 @@ impl Trace {
                         pid: platform.devices.len(),
                         tid: 64,
                         args: serde_json::Value::Null,
+                    });
+                    // Blame counter track: cumulative slot-busy seconds per
+                    // device, sampled at each barrier (renders as stacked
+                    // counter series in chrome://tracing / Perfetto).
+                    events.push(Ev {
+                        name: String::from("cumulative busy (s)"),
+                        ph: "C",
+                        ts: end.as_micros_f64(),
+                        dur: 0.0,
+                        pid: platform.devices.len(),
+                        tid: 65,
+                        args: serde_json::Value::Map(
+                            platform
+                                .devices
+                                .iter()
+                                .map(|d| {
+                                    (
+                                        d.spec.name.clone(),
+                                        serde_json::Value::F64(cum_busy[d.id.0].as_secs_f64()),
+                                    )
+                                })
+                                .collect(),
+                        ),
                     });
                 }
                 TraceEvent::TransferRetry {

@@ -167,5 +167,16 @@ fn main() {
     );
     assert_eq!(replay.makespan, adaptive.makespan);
     assert_eq!(replay.adapt, adaptive.adapt);
-    println!("\nreplay with the same seed: identical makespan and adapt report ✓");
+    assert_eq!(replay.breakdown, adaptive.breakdown);
+    println!("\nreplay with the same seed: identical makespan, adapt report and blame breakdown ✓");
+
+    // --- 5. Blame: adaptation overhead is visible, not hidden ------------
+    let names: Vec<&str> = platform
+        .devices
+        .iter()
+        .map(|d| d.spec.name.as_str())
+        .collect();
+    println!("\nadaptive-run blame (planner saw the GPU at half speed):");
+    print!("{}", adaptive.breakdown.render(&names));
+    assert!(adaptive.breakdown.identity_holds());
 }

@@ -13,7 +13,7 @@
 use hetero_match::apps::synth;
 use hetero_match::matchmaker::{ExecutionConfig, KernelSplit, Planner, Strategy};
 use hetero_match::platform::Platform;
-use hetero_match::runtime::{simulate, simulate_traced, PinnedScheduler};
+use hetero_match::runtime::{simulate, simulate_traced, PinnedScheduler, DEFAULT_GANTT_WIDTH};
 
 fn main() {
     let platform = Platform::icpp15_with_phi();
@@ -92,5 +92,5 @@ fn main() {
 
     println!();
     println!("three-way timeline:");
-    print!("{}", trace.gantt(&platform, 72));
+    print!("{}", trace.gantt(&platform, DEFAULT_GANTT_WIDTH));
 }

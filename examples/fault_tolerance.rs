@@ -95,11 +95,28 @@ fn main() {
     println!("\nrobustness ranking under this schedule (degradation = faulty/healthy):");
     for e in analyzer.rank_by_degradation(&app, &schedule, policy) {
         println!(
-            "  {:<16} {:>7.2}x   (healthy {}, faulty {})",
+            "  {:<16} {:>7.2}x   (healthy {}, faulty {}, resilience overhead {})",
             e.config.to_string(),
             e.degradation(),
             e.healthy.makespan,
-            e.faulty.makespan
+            e.faulty.makespan,
+            e.resilience_overhead()
         );
     }
+
+    // --- 5. Blame attribution: where did the failed-over time go? --------
+    // The breakdown decomposes `makespan × slots` per device: useful
+    // compute, transfers, fault losses, capacity dead after the dropout,
+    // and idle — and the books must balance exactly.
+    let names: Vec<&str> = platform
+        .devices
+        .iter()
+        .map(|d| d.spec.name.as_str())
+        .collect();
+    println!("\nSP-Single failed-over blame (slot time per device):");
+    print!("{}", failed_over.breakdown.render(&names));
+    assert!(
+        failed_over.breakdown.identity_holds(),
+        "blame components must sum to makespan × slots on every device"
+    );
 }

@@ -10,12 +10,12 @@
 use hetero_match::apps::{blackscholes, stream};
 use hetero_match::matchmaker::{Analyzer, ExecutionConfig, Strategy};
 use hetero_match::platform::Platform;
-use hetero_match::runtime::{simulate_traced, PinnedScheduler};
+use hetero_match::runtime::{simulate_traced, PinnedScheduler, DEFAULT_GANTT_WIDTH};
 
 fn main() {
     let platform = Platform::icpp15();
     let analyzer = Analyzer::new(&platform);
-    let width = 72;
+    let width = DEFAULT_GANTT_WIDTH;
 
     println!("BlackScholes (80.5M options) — slot utilisation over time\n");
     for (label, config) in [
