@@ -22,11 +22,20 @@
 //!                                       # breakdown after compare/timeline
 //!   --profile <path>                    # plan from recorded kernel rates; the file
 //!                                       # is created (by probing) if missing
+//!   --fault-trace <path>                # compare: simulate every configuration under
+//!                                       # the FaultTrace JSON at <path> (replayed
+//!                                       # deterministically unless recording)
+//!   --fault-trace-out <path>            # compare: run the trace's schedule live
+//!                                       # (correlated domains may fire) and write the
+//!                                       # selected strategy's effective FaultTrace —
+//!                                       # input events plus synthesized triggers — to
+//!                                       # <path>; requires --fault-trace
 //! ```
 
-use hetero_platform::Platform;
+use hetero_platform::{FaultTrace, Platform, RetryPolicy};
 use hetero_runtime::{
-    MetricsObserver, MetricsRegistry, MultiObserver, TraceObserver, DEFAULT_GANTT_WIDTH,
+    HealthConfig, MetricsObserver, MetricsRegistry, MultiObserver, TraceObserver,
+    DEFAULT_GANTT_WIDTH,
 };
 use matchmaker::{
     tune_task_size, Analyzer, AppDescriptor, ExecutionConfig, ProfileStore, Strategy,
@@ -40,7 +49,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: matchmake <template|analyze|compare|timeline|tune|platforms> [app.json] \
          [--platform icpp15|icpp15-phi] [--refined] [--width <n>] [--metrics <path>] \
-         [--breakdown] [--profile <path>]"
+         [--breakdown] [--profile <path>] [--fault-trace <path>] [--fault-trace-out <path>]"
     );
     exit(2);
 }
@@ -96,6 +105,17 @@ fn write_metrics(path: &str, registry: &MetricsRegistry) {
     }
 }
 
+fn load_fault_trace(path: &str) -> FaultTrace {
+    let text = fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read fault trace {path}: {e}");
+        exit(1);
+    });
+    FaultTrace::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: invalid fault trace: {e}");
+        exit(1);
+    })
+}
+
 fn load_descriptor(path: &str) -> AppDescriptor {
     let text = fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
@@ -129,6 +149,8 @@ fn main() {
     let mut metrics_path: Option<String> = None;
     let mut breakdown = false;
     let mut profile_path: Option<String> = None;
+    let mut fault_trace_path: Option<String> = None;
+    let mut fault_trace_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -148,6 +170,12 @@ fn main() {
             "--breakdown" => breakdown = true,
             "--profile" => {
                 profile_path = Some(it.next().cloned().unwrap_or_else(|| usage()));
+            }
+            "--fault-trace" => {
+                fault_trace_path = Some(it.next().cloned().unwrap_or_else(|| usage()));
+            }
+            "--fault-trace-out" => {
+                fault_trace_out = Some(it.next().cloned().unwrap_or_else(|| usage()));
             }
             _ if command.is_none() => command = Some(a.clone()),
             _ if file.is_none() => file = Some(a.clone()),
@@ -226,6 +254,29 @@ fn main() {
             if let Some(p) = &profile_path {
                 install_profiles(&mut analyzer, &desc, p);
             }
+            if fault_trace_out.is_some() && fault_trace_path.is_none() {
+                eprintln!("--fault-trace-out requires --fault-trace (the schedule to run)");
+                exit(2);
+            }
+            // With `--fault-trace` alone the trace is *replayed*: synthesized
+            // events are baked in as plain windows and conditional triggering
+            // is disabled, so repeated invocations are byte-identical. With
+            // `--fault-trace-out` the input schedule runs live (correlated
+            // domains may fire) and the selected strategy's effective trace
+            // is written out for later replay.
+            let fault_schedule = fault_trace_path.as_deref().map(|p| {
+                let trace = load_fault_trace(p);
+                let recording = fault_trace_out.is_some();
+                eprintln!(
+                    "fault trace: {p} ({} mode)",
+                    if recording { "record" } else { "replay" }
+                );
+                if recording {
+                    trace.schedule
+                } else {
+                    trace.replay_schedule()
+                }
+            });
             let analysis = analyzer.analyze(&desc);
             let names: Vec<&str> = platform
                 .devices
@@ -234,6 +285,7 @@ fn main() {
                 .collect();
             let mut registry = MetricsRegistry::new();
             let mut blames: Vec<(String, String)> = Vec::new();
+            let mut best_synth = Vec::new();
             println!(
                 "{:<14} {:>12} {:>11} {:>12} {:>10}",
                 "config", "time", "GPU share", "transferred", "decisions"
@@ -248,7 +300,23 @@ fn main() {
                 )
             {
                 let label = config.to_string();
-                let report = if metrics_path.is_some() {
+                let report = if let Some(schedule) = &fault_schedule {
+                    if metrics_path.is_some() {
+                        let mut mobs = MetricsObserver::new(&platform, &label);
+                        let report = analyzer.simulate_resilient_observed(
+                            &desc,
+                            config,
+                            schedule,
+                            RetryPolicy::default(),
+                            &HealthConfig::disabled(),
+                            &mut mobs,
+                        );
+                        registry.merge(mobs.registry());
+                        report
+                    } else {
+                        analyzer.simulate_faulty(&desc, config, schedule, RetryPolicy::default())
+                    }
+                } else if metrics_path.is_some() {
                     let mut mobs = MetricsObserver::new(&platform, &label);
                     let report = analyzer.simulate_observed(&desc, config, &mut mobs);
                     registry.merge(mobs.registry());
@@ -256,6 +324,9 @@ fn main() {
                 } else {
                     analyzer.simulate(&desc, config)
                 };
+                if config == ExecutionConfig::Strategy(analysis.best) {
+                    best_synth = report.synthesized_faults.clone();
+                }
                 println!(
                     "{:<14} {:>12} {:>10.1}% {:>9.2} GB {:>10}",
                     label,
@@ -275,6 +346,17 @@ fn main() {
             }
             if let Some(p) = &metrics_path {
                 write_metrics(p, &registry);
+            }
+            if let (Some(out), Some(schedule)) = (&fault_trace_out, &fault_schedule) {
+                let trace = FaultTrace::new(schedule.clone(), best_synth);
+                if let Err(e) = fs::write(out, trace.to_json()) {
+                    eprintln!("cannot write fault trace {out}: {e}");
+                    exit(1);
+                }
+                eprintln!(
+                    "fault trace: recorded {} synthesized event(s) -> {out}",
+                    trace.synthesized.len()
+                );
             }
         }
         "timeline" => {

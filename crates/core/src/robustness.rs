@@ -15,7 +15,7 @@ use crate::analyzer::Analyzer;
 use crate::descriptor::AppDescriptor;
 use crate::plan::Planner;
 use crate::strategy::ExecutionConfig;
-use hetero_platform::{FaultSchedule, RetryPolicy, SimTime};
+use hetero_platform::{FaultSchedule, FaultTrace, RetryPolicy, SimTime};
 use hetero_runtime::{AdaptConfig, HealthConfig, RunReport};
 
 /// One configuration's healthy/faulty pair from [`Analyzer::rank_by_degradation`].
@@ -80,29 +80,101 @@ impl<'a> Analyzer<'a> {
         policy: RetryPolicy,
         health: &HealthConfig,
     ) -> RunReport {
+        self.simulate_resilient_observed(
+            desc,
+            config,
+            schedule,
+            policy,
+            health,
+            &mut hetero_runtime::NullObserver,
+        )
+    }
+
+    /// [`Analyzer::simulate_resilient`] with a pluggable
+    /// [`hetero_runtime::Observer`]. DP-Perf's warm-up pass runs
+    /// unobserved; only the measured pass feeds `obs`, so metrics and
+    /// traces describe exactly one run.
+    pub fn simulate_resilient_observed(
+        &self,
+        desc: &AppDescriptor,
+        config: ExecutionConfig,
+        schedule: &FaultSchedule,
+        policy: RetryPolicy,
+        health: &HealthConfig,
+        obs: &mut dyn hetero_runtime::Observer,
+    ) -> RunReport {
         use crate::strategy::Strategy;
         use hetero_runtime::{
-            simulate_dp_perf_warmed_resilient, simulate_resilient, DepScheduler, PinnedScheduler,
+            simulate_resilient, simulate_resilient_observed, DepScheduler, PerfScheduler,
+            PinnedScheduler,
         };
         let plan = self.plan(desc, config);
         let platform = self.planner().platform;
         match config {
             ExecutionConfig::Strategy(Strategy::DpDep) => {
                 let mut s = DepScheduler::new(platform);
-                simulate_resilient(&plan.program, platform, &mut s, schedule, policy, health)
+                simulate_resilient_observed(
+                    &plan.program,
+                    platform,
+                    &mut s,
+                    schedule,
+                    policy,
+                    health,
+                    obs,
+                )
             }
             ExecutionConfig::Strategy(Strategy::DpPerf) => {
-                simulate_dp_perf_warmed_resilient(&plan.program, platform, schedule, policy, health)
+                let mut warm = PerfScheduler::new(platform);
+                let _ = simulate_resilient(
+                    &plan.program,
+                    platform,
+                    &mut warm,
+                    schedule,
+                    policy,
+                    health,
+                );
+                let mut measured = PerfScheduler::seeded(platform, warm.rates().clone());
+                simulate_resilient_observed(
+                    &plan.program,
+                    platform,
+                    &mut measured,
+                    schedule,
+                    policy,
+                    health,
+                    obs,
+                )
             }
-            _ => simulate_resilient(
+            _ => simulate_resilient_observed(
                 &plan.program,
                 platform,
                 &mut PinnedScheduler,
                 schedule,
                 policy,
                 health,
+                obs,
             ),
         }
+    }
+
+    /// Run `config` under `schedule` and record the run's *effective*
+    /// fault trace: the input schedule plus every event synthesized
+    /// during the run by correlated fault domains.
+    /// [`FaultTrace::replay_schedule`] turns the result into a plain
+    /// schedule — triggers baked in as ordinary windowed events,
+    /// conditional triggering disabled — that replays this run
+    /// byte-identically, and the trace's JSON form
+    /// ([`FaultTrace::to_json`]) can be archived or handed back to any
+    /// `rank_by_degradation_*` as a what-if.
+    pub fn record_fault_trace(
+        &self,
+        desc: &AppDescriptor,
+        config: ExecutionConfig,
+        schedule: &FaultSchedule,
+        policy: RetryPolicy,
+    ) -> (RunReport, FaultTrace) {
+        let report = self.simulate_faulty(desc, config, schedule, policy);
+        let trace = FaultTrace::new(schedule.clone(), report.synthesized_faults.clone());
+        (report, trace)
     }
 
     /// [`Analyzer::simulate_resilient`] with the adaptive-repartitioning
@@ -129,9 +201,38 @@ impl<'a> Analyzer<'a> {
         health: &HealthConfig,
         adapt: &AdaptConfig,
     ) -> RunReport {
+        self.simulate_adaptive_observed(
+            desc,
+            config,
+            schedule,
+            policy,
+            health,
+            adapt,
+            &mut hetero_runtime::NullObserver,
+        )
+    }
+
+    /// [`Analyzer::simulate_adaptive`] with a pluggable
+    /// [`hetero_runtime::Observer`] — the way to capture the adaptation
+    /// event stream ([`hetero_runtime::TraceEvent::StrategyEscalated`],
+    /// [`hetero_runtime::TraceEvent::StrategyReinstated`], ...) from the
+    /// full planner-in-the-loop pipeline. DP-Perf's warm-up pass runs
+    /// unobserved, as in [`Analyzer::simulate_resilient_observed`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn simulate_adaptive_observed(
+        &self,
+        desc: &AppDescriptor,
+        config: ExecutionConfig,
+        schedule: &FaultSchedule,
+        policy: RetryPolicy,
+        health: &HealthConfig,
+        adapt: &AdaptConfig,
+        obs: &mut dyn hetero_runtime::Observer,
+    ) -> RunReport {
         use crate::strategy::Strategy;
         use hetero_runtime::{
-            simulate_adaptive, simulate_dp_perf_warmed_adaptive, DepScheduler, PinnedScheduler,
+            simulate_adaptive_observed, simulate_resilient, DepScheduler, PerfScheduler,
+            PinnedScheduler,
         };
         let planner = self.misprediction_planner(schedule);
         let plan = planner.plan(desc, config);
@@ -139,7 +240,7 @@ impl<'a> Analyzer<'a> {
         match config {
             ExecutionConfig::Strategy(Strategy::DpDep) => {
                 let mut s = DepScheduler::new(platform);
-                simulate_adaptive(
+                simulate_adaptive_observed(
                     &plan.program,
                     platform,
                     &mut s,
@@ -148,17 +249,33 @@ impl<'a> Analyzer<'a> {
                     health,
                     adapt,
                     None,
+                    obs,
                 )
             }
-            ExecutionConfig::Strategy(Strategy::DpPerf) => simulate_dp_perf_warmed_adaptive(
-                &plan.program,
-                platform,
-                schedule,
-                policy,
-                health,
-                adapt,
-            ),
-            _ => simulate_adaptive(
+            ExecutionConfig::Strategy(Strategy::DpPerf) => {
+                let mut warm = PerfScheduler::new(platform);
+                let _ = simulate_resilient(
+                    &plan.program,
+                    platform,
+                    &mut warm,
+                    schedule,
+                    policy,
+                    health,
+                );
+                let mut measured = PerfScheduler::seeded(platform, warm.rates().clone());
+                simulate_adaptive_observed(
+                    &plan.program,
+                    platform,
+                    &mut measured,
+                    schedule,
+                    policy,
+                    health,
+                    adapt,
+                    None,
+                    obs,
+                )
+            }
+            _ => simulate_adaptive_observed(
                 &plan.program,
                 platform,
                 &mut PinnedScheduler,
@@ -167,6 +284,7 @@ impl<'a> Analyzer<'a> {
                 health,
                 adapt,
                 planner.adapt_plan(desc, config),
+                obs,
             ),
         }
     }

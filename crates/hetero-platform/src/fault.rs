@@ -20,13 +20,25 @@
 //!   the runtime can catch it;
 //! * **flaky devices** — an elevated transient-fault rate on one device:
 //!   retries keep succeeding eventually, but the device keeps faulting —
-//!   the *gray* failure a health monitor exists to quarantine.
+//!   the *gray* failure a health monitor exists to quarantine;
+//! * **link degradation** — a host↔device link loses bandwidth and/or
+//!   gains latency over a window (a renegotiated PCIe lane width, bus
+//!   contention): transfers priced while the window is open cost more;
+//! * **correlated fault domains** — devices grouped by a shared failure
+//!   root ([`FaultDomain`]: a power rail, a PCIe switch, a thermal zone)
+//!   fail *together*: a [`FaultEvent::DomainOutage`] drops or throttles
+//!   every member at once, and a fault on one member conditionally raises
+//!   its siblings' fault probability for a window (synthesized
+//!   [`FaultEvent::TaskFaults`] events, recorded so the run can be
+//!   replayed).
 //!
 //! All randomness comes from a small seeded PRNG ([`FaultRng`], SplitMix64):
 //! identical seeds replay identical runs, so every faulty execution is as
 //! reproducible as a healthy one. The resilient executor in `hetero-runtime`
 //! consumes the schedule together with a [`RetryPolicy`] and reports what
-//! happened through [`FaultCounters`].
+//! happened through [`FaultCounters`]. A schedule plus the events a run
+//! synthesized (correlated triggers) exports as a [`FaultTrace`] —
+//! deterministic JSON that replays the observed disturbance verbatim.
 
 use crate::device::DeviceId;
 use crate::time::SimTime;
@@ -164,11 +176,208 @@ pub enum FaultEvent {
         /// Window end (exclusive).
         until: SimTime,
     },
+    /// Link degradation: while the window is open, the host↔`dev` link
+    /// runs at `bandwidth_factor` × its nominal bandwidth and
+    /// `latency_factor` × its nominal latency (a renegotiated PCIe lane
+    /// width, bus contention). The link is identified by its accelerator
+    /// endpoint — every link in a [`crate::Platform`] connects the host
+    /// space to one accelerator's space — so `dev` must not be the host.
+    /// `bandwidth_factor: 0.25` means a quarter of nominal bandwidth
+    /// (4× slower wire time); both factors must be positive and finite.
+    LinkDegrade {
+        /// Accelerator endpoint of the degraded host↔device link.
+        dev: DeviceId,
+        /// Multiplier on the link's nominal bandwidth (> 0, finite).
+        bandwidth_factor: f64,
+        /// Multiplier on the link's nominal latency (> 0, finite).
+        latency_factor: f64,
+        /// Window start (inclusive).
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
+    /// A correlated outage of every member of one [`FaultDomain`] (indexed
+    /// into [`FaultSchedule::domains`]): the shared failure root itself
+    /// fails. With `throttle: Some(f)` every member runs `f`× slower while
+    /// the window is open (a browning power rail, a shared heat sink);
+    /// with `throttle: None` every member permanently drops out at `from`
+    /// (`until` is conventionally [`SimTime::MAX`]) — which is why a
+    /// drop-outage domain must not contain the host.
+    DomainOutage {
+        /// Index into [`FaultSchedule::domains`].
+        domain: usize,
+        /// Window start (inclusive); the drop instant when `throttle` is
+        /// `None`.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+        /// `Some(factor)` throttles members over the window; `None` drops
+        /// them permanently at `from`.
+        throttle: Option<f64>,
+    },
 }
 
 fn in_window(now: SimTime, from: SimTime, until: SimTime) -> bool {
     from <= now && now < until
 }
+
+/// A group of devices sharing one failure root — a power rail, a PCIe
+/// switch, a thermal zone. Membership makes faults *correlated* in two
+/// ways: a [`FaultEvent::DomainOutage`] hits every member at once, and a
+/// sampled fault (or dropout) on one member conditionally raises its
+/// siblings' transient-fault probability for a window — with probability
+/// `trigger_prob` per sibling, a `TaskFaults { prob: sibling_fault_prob }`
+/// window of length `window` opens on that sibling at the moment of the
+/// member fault. Conditional draws come from a dedicated RNG stream, so
+/// enabling correlation never perturbs the base fault sampling, and every
+/// synthesized window is recorded (see `RunReport::synthesized_faults` and
+/// [`FaultTrace`]) so the observed run replays byte-identically.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultDomain {
+    /// Human-readable failure root ("pcie-switch-0", "rail-B", …).
+    pub name: String,
+    /// The devices sharing the root (at least two).
+    pub members: Vec<DeviceId>,
+    /// Probability that a member fault opens a sibling window, per sibling
+    /// (`0.0` disables conditional triggering for this domain).
+    pub trigger_prob: f64,
+    /// Per-attempt fault probability of a synthesized sibling window.
+    pub sibling_fault_prob: f64,
+    /// Length of a synthesized sibling window.
+    pub window: SimTime,
+}
+
+impl FaultDomain {
+    /// Whether `dev` belongs to this domain.
+    pub fn contains(&self, dev: DeviceId) -> bool {
+        self.members.contains(&dev)
+    }
+}
+
+/// Why a [`FaultSchedule`] failed validation. Carries the offending event
+/// (or domain) index so callers can point at the exact entry; the `Display`
+/// form is the human-readable message the executor panics with.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultError {
+    /// A fault probability outside `[0, 1]`.
+    BadProbability {
+        /// Index into [`FaultSchedule::events`].
+        event: usize,
+        /// The offending probability.
+        prob: f64,
+    },
+    /// An empty or inverted window (`from >= until`).
+    BadWindow {
+        /// Index into [`FaultSchedule::events`].
+        event: usize,
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        until: SimTime,
+    },
+    /// A dropout of device 0 — the host is the failover target of last
+    /// resort and can never drop out.
+    HostDropout {
+        /// Index into [`FaultSchedule::events`].
+        event: usize,
+    },
+    /// A non-positive throttle factor.
+    BadThrottleFactor {
+        /// Index into [`FaultSchedule::events`].
+        event: usize,
+    },
+    /// A profile-perturbation factor that is not positive and finite.
+    BadProfileFactor {
+        /// Index into [`FaultSchedule::events`].
+        event: usize,
+        /// The offending factor.
+        factor: f64,
+    },
+    /// A link-degradation factor that is not positive and finite.
+    BadLinkFactor {
+        /// Index into [`FaultSchedule::events`].
+        event: usize,
+        /// The offending factor.
+        factor: f64,
+    },
+    /// A [`FaultEvent::LinkDegrade`] naming the host: links are identified
+    /// by their accelerator endpoint, and the host has no host↔host link.
+    HostLink {
+        /// Index into [`FaultSchedule::events`].
+        event: usize,
+    },
+    /// A [`FaultEvent::DomainOutage`] whose `domain` index does not name a
+    /// domain in [`FaultSchedule::domains`].
+    UnknownDomain {
+        /// Index into [`FaultSchedule::events`].
+        event: usize,
+        /// The out-of-range domain index.
+        domain: usize,
+    },
+    /// A drop-outage (`throttle: None`) of a domain containing the host.
+    HostInDroppedDomain {
+        /// Index into [`FaultSchedule::events`].
+        event: usize,
+        /// Index into [`FaultSchedule::domains`].
+        domain: usize,
+    },
+    /// A malformed [`FaultDomain`] (too few members, or a probability
+    /// outside `[0, 1]`).
+    BadDomain {
+        /// Index into [`FaultSchedule::domains`].
+        domain: usize,
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::BadProbability { event, prob } => {
+                write!(f, "event {event}: probability {prob} outside [0, 1]")
+            }
+            FaultError::BadWindow { event, from, until } => {
+                write!(f, "event {event}: window {from} >= {until}")
+            }
+            FaultError::HostDropout { event } => {
+                write!(f, "event {event}: the host CPU cannot drop out")
+            }
+            FaultError::BadThrottleFactor { event } => {
+                write!(f, "event {event}: throttle factors must be positive")
+            }
+            FaultError::BadProfileFactor { event, factor } => {
+                write!(
+                    f,
+                    "event {event}: profile factor {factor} must be positive and finite"
+                )
+            }
+            FaultError::BadLinkFactor { event, factor } => {
+                write!(
+                    f,
+                    "event {event}: link factor {factor} must be positive and finite"
+                )
+            }
+            FaultError::HostLink { event } => {
+                write!(f, "event {event}: the host has no host link to degrade")
+            }
+            FaultError::UnknownDomain { event, domain } => {
+                write!(f, "event {event}: unknown fault domain {domain}")
+            }
+            FaultError::HostInDroppedDomain { event, domain } => {
+                write!(
+                    f,
+                    "event {event}: domain {domain} contains the host CPU, which cannot drop out"
+                )
+            }
+            FaultError::BadDomain { domain, reason } => {
+                write!(f, "domain {domain}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
 
 /// A seeded, replayable schedule of platform faults.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -177,6 +386,10 @@ pub struct FaultSchedule {
     pub seed: u64,
     /// The timed fault events.
     pub events: Vec<FaultEvent>,
+    /// Correlated fault domains referenced by [`FaultEvent::DomainOutage`]
+    /// and consulted for conditional sibling triggering (empty for
+    /// uncorrelated schedules — the pre-domain behaviour).
+    pub domains: Vec<FaultDomain>,
 }
 
 impl FaultSchedule {
@@ -185,6 +398,7 @@ impl FaultSchedule {
         FaultSchedule {
             seed,
             events: Vec::new(),
+            domains: Vec::new(),
         }
     }
 
@@ -290,9 +504,103 @@ impl FaultSchedule {
         self
     }
 
+    /// Add a link-degradation window on the host↔`dev` link. Panics for
+    /// the host (device 0): links are identified by their accelerator
+    /// endpoint.
+    pub fn with_link_degrade(
+        mut self,
+        dev: DeviceId,
+        bandwidth_factor: f64,
+        latency_factor: f64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        assert!(dev.0 != 0, "the host has no host link to degrade");
+        self.events.push(FaultEvent::LinkDegrade {
+            dev,
+            bandwidth_factor,
+            latency_factor,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Register a correlated fault domain and return its index for
+    /// [`FaultSchedule::with_domain_dropout`] /
+    /// [`FaultSchedule::with_domain_throttle`]. `trigger_prob` is the
+    /// per-sibling probability that a member fault opens a
+    /// `sibling_fault_prob` window of length `window` on each sibling
+    /// (`0.0` disables conditional triggering).
+    pub fn with_domain(
+        mut self,
+        name: &str,
+        members: Vec<DeviceId>,
+        trigger_prob: f64,
+        sibling_fault_prob: f64,
+        window: SimTime,
+    ) -> Self {
+        self.domains.push(FaultDomain {
+            name: name.to_string(),
+            members,
+            trigger_prob,
+            sibling_fault_prob,
+            window,
+        });
+        self
+    }
+
+    /// Add a correlated drop-outage: every member of `domain` permanently
+    /// drops out at `at` (the shared root — a power rail, a switch —
+    /// fails).
+    pub fn with_domain_dropout(mut self, domain: usize, at: SimTime) -> Self {
+        self.events.push(FaultEvent::DomainOutage {
+            domain,
+            from: at,
+            until: SimTime::MAX,
+            throttle: None,
+        });
+        self
+    }
+
+    /// Add a correlated throttle: every member of `domain` runs `factor`×
+    /// slower while the window is open (a browning rail, a shared thermal
+    /// zone).
+    pub fn with_domain_throttle(
+        mut self,
+        domain: usize,
+        from: SimTime,
+        until: SimTime,
+        factor: f64,
+    ) -> Self {
+        self.events.push(FaultEvent::DomainOutage {
+            domain,
+            from,
+            until,
+            throttle: Some(factor),
+        });
+        self
+    }
+
     /// `true` when the schedule contains no events.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// `true` when any domain has conditional triggering enabled — the
+    /// executor only then allocates the correlated RNG stream, so
+    /// domain-free schedules replay exactly as before.
+    pub fn has_correlation(&self) -> bool {
+        self.domains.iter().any(|d| d.trigger_prob > 0.0)
+    }
+
+    /// `true` when the schedule contains any [`FaultEvent::LinkDegrade`]
+    /// window — the executor's fast path prices transfers nominally
+    /// otherwise.
+    pub fn has_link_degrade(&self) -> bool {
+        self.events
+            .iter()
+            .any(|ev| matches!(ev, FaultEvent::LinkDegrade { .. }))
     }
 
     /// A fresh PRNG seeded from the schedule's seed.
@@ -305,8 +613,18 @@ impl FaultSchedule {
     /// [`FaultEvent::Flaky`] alike — compose as independent failure
     /// sources (`1 - Π(1 - pᵢ)`).
     pub fn task_fault_prob(&self, dev: DeviceId, now: SimTime) -> f64 {
+        self.task_fault_prob_with(dev, now, &[])
+    }
+
+    /// [`FaultSchedule::task_fault_prob`] with `extra` windows appended to
+    /// the schedule's events — the executor composes the sibling windows it
+    /// synthesized mid-run through this, and because the product runs over
+    /// `events ++ extra` in order, it is bit-identical to evaluating a
+    /// [`FaultTrace::replay_schedule`] (which appends the synthesized
+    /// events to the event list) with no extras.
+    pub fn task_fault_prob_with(&self, dev: DeviceId, now: SimTime, extra: &[FaultEvent]) -> f64 {
         let mut survive = 1.0;
-        for ev in &self.events {
+        for ev in self.events.iter().chain(extra) {
             let (prob, hit) = match ev {
                 FaultEvent::TaskFaults {
                     dev: d,
@@ -366,31 +684,44 @@ impl FaultSchedule {
         (1.0 - survive).clamp(0.0, 1.0)
     }
 
-    /// All scheduled dropouts as `(device, time)` pairs.
+    /// All scheduled dropouts as `(device, time)` pairs — individual
+    /// [`FaultEvent::DeviceDropout`]s plus every member of each
+    /// drop-outage domain (in event order, members in domain order).
     pub fn dropouts(&self) -> Vec<(DeviceId, SimTime)> {
-        self.events
-            .iter()
-            .filter_map(|ev| match ev {
-                FaultEvent::DeviceDropout { dev, at } => Some((*dev, *at)),
-                _ => None,
-            })
-            .collect()
+        let mut out = Vec::new();
+        for ev in &self.events {
+            match ev {
+                FaultEvent::DeviceDropout { dev, at } => out.push((*dev, *at)),
+                FaultEvent::DomainOutage {
+                    domain,
+                    from,
+                    throttle: None,
+                    ..
+                } => {
+                    if let Some(d) = self.domains.get(*domain) {
+                        out.extend(d.members.iter().map(|&m| (m, *from)));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
     }
 
     /// Execution-time multiplier for `dev` at `now`: the product of every
-    /// open ramp's interpolated factor (1.0 when none is open).
+    /// open ramp's interpolated factor and every open domain throttle the
+    /// device is a member of (1.0 when none is open).
     pub fn throttle_factor(&self, dev: DeviceId, now: SimTime) -> f64 {
         let mut factor = 1.0;
         for ev in &self.events {
-            if let FaultEvent::ThrottleRamp {
-                dev: d,
-                from,
-                until,
-                start_factor,
-                end_factor,
-            } = ev
-            {
-                if *d == dev && in_window(now, *from, *until) {
+            match ev {
+                FaultEvent::ThrottleRamp {
+                    dev: d,
+                    from,
+                    until,
+                    start_factor,
+                    end_factor,
+                } if *d == dev && in_window(now, *from, *until) => {
                     let span = until.saturating_sub(*from).as_secs_f64();
                     let frac = if span > 0.0 {
                         (now.saturating_sub(*from).as_secs_f64() / span).clamp(0.0, 1.0)
@@ -399,9 +730,76 @@ impl FaultSchedule {
                     };
                     factor *= start_factor + (end_factor - start_factor) * frac;
                 }
+                FaultEvent::DomainOutage {
+                    domain,
+                    from,
+                    until,
+                    throttle: Some(f),
+                } if in_window(now, *from, *until)
+                    && self.domains.get(*domain).is_some_and(|d| d.contains(dev)) =>
+                {
+                    factor *= f;
+                }
+                _ => {}
             }
         }
         factor
+    }
+
+    /// `(bandwidth_factor, latency_factor)` for the host↔`dev` link at
+    /// `now`: the product over every open [`FaultEvent::LinkDegrade`]
+    /// window on that link, `(1.0, 1.0)` when none is open.
+    pub fn link_factors(&self, dev: DeviceId, now: SimTime) -> (f64, f64) {
+        let (mut bw, mut lat) = (1.0, 1.0);
+        for ev in &self.events {
+            if let FaultEvent::LinkDegrade {
+                dev: d,
+                bandwidth_factor,
+                latency_factor,
+                from,
+                until,
+            } = ev
+            {
+                if *d == dev && in_window(now, *from, *until) {
+                    bw *= bandwidth_factor;
+                    lat *= latency_factor;
+                }
+            }
+        }
+        (bw, lat)
+    }
+
+    /// Whether any *runtime* disturbance is open at `now`: a fault,
+    /// throttle, corruption, flaky, link-degradation or domain-throttle
+    /// window containing `now`, or any dropout (individual or domain) that
+    /// has already happened — a dead device never comes back, so its
+    /// disturbance never closes. [`FaultEvent::ProfilePerturb`] is *not* a
+    /// runtime disturbance (it skews only the planner's view), so a
+    /// mispredicted-but-healthy platform reads as calm. The adapt
+    /// controller consults this before de-escalating: a run only returns
+    /// to its static plan once the platform is actually quiet.
+    pub fn disturbance_open(&self, now: SimTime) -> bool {
+        self.events.iter().any(|ev| match ev {
+            FaultEvent::TaskFaults { from, until, .. }
+            | FaultEvent::TransferFaults { from, until, .. }
+            | FaultEvent::ThrottleRamp { from, until, .. }
+            | FaultEvent::SilentCorruption { from, until, .. }
+            | FaultEvent::Flaky { from, until, .. }
+            | FaultEvent::LinkDegrade { from, until, .. }
+            | FaultEvent::DomainOutage {
+                from,
+                until,
+                throttle: Some(_),
+                ..
+            } => in_window(now, *from, *until),
+            FaultEvent::DeviceDropout { at, .. } => *at <= now,
+            FaultEvent::DomainOutage {
+                from,
+                throttle: None,
+                ..
+            } => *from <= now,
+            FaultEvent::ProfilePerturb { .. } => false,
+        })
     }
 
     /// Multiplier on the *planner-visible* throughput estimate for `dev`
@@ -440,9 +838,44 @@ impl FaultSchedule {
     }
 
     /// Check internal consistency: probabilities in `[0, 1]`, positive
-    /// throttle factors, ordered windows, no host dropout.
-    pub fn validate(&self) -> Result<(), String> {
+    /// throttle/link factors, non-empty ordered windows (`from < until`),
+    /// no host dropout (individual or via a dropped domain), and
+    /// well-formed domains. Errors are typed ([`FaultError`]) so callers
+    /// can match on the exact defect; `Display` gives the human-readable
+    /// message.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        for (i, d) in self.domains.iter().enumerate() {
+            if d.members.len() < 2 {
+                return Err(FaultError::BadDomain {
+                    domain: i,
+                    reason: "a fault domain needs at least two members",
+                });
+            }
+            if !(0.0..=1.0).contains(&d.trigger_prob) {
+                return Err(FaultError::BadDomain {
+                    domain: i,
+                    reason: "trigger probability outside [0, 1]",
+                });
+            }
+            if !(0.0..=1.0).contains(&d.sibling_fault_prob) {
+                return Err(FaultError::BadDomain {
+                    domain: i,
+                    reason: "sibling fault probability outside [0, 1]",
+                });
+            }
+        }
         for (i, ev) in self.events.iter().enumerate() {
+            let window = |from: &SimTime, until: &SimTime| {
+                if from >= until {
+                    Err(FaultError::BadWindow {
+                        event: i,
+                        from: *from,
+                        until: *until,
+                    })
+                } else {
+                    Ok(())
+                }
+            };
             match ev {
                 FaultEvent::TaskFaults {
                     prob, from, until, ..
@@ -458,15 +891,16 @@ impl FaultSchedule {
                     ..
                 } => {
                     if !(0.0..=1.0).contains(prob) {
-                        return Err(format!("event {i}: probability {prob} outside [0, 1]"));
+                        return Err(FaultError::BadProbability {
+                            event: i,
+                            prob: *prob,
+                        });
                     }
-                    if from > until {
-                        return Err(format!("event {i}: window {from} > {until}"));
-                    }
+                    window(from, until)?;
                 }
                 FaultEvent::DeviceDropout { dev, .. } => {
                     if dev.0 == 0 {
-                        return Err(format!("event {i}: the host CPU cannot drop out"));
+                        return Err(FaultError::HostDropout { event: i });
                     }
                 }
                 FaultEvent::ThrottleRamp {
@@ -477,11 +911,9 @@ impl FaultSchedule {
                     ..
                 } => {
                     if *start_factor <= 0.0 || *end_factor <= 0.0 {
-                        return Err(format!("event {i}: throttle factors must be positive"));
+                        return Err(FaultError::BadThrottleFactor { event: i });
                     }
-                    if from > until {
-                        return Err(format!("event {i}: window {from} > {until}"));
-                    }
+                    window(from, until)?;
                 }
                 FaultEvent::ProfilePerturb {
                     factor,
@@ -490,17 +922,124 @@ impl FaultSchedule {
                     ..
                 } => {
                     if !(factor.is_finite() && *factor > 0.0) {
-                        return Err(format!(
-                            "event {i}: profile factor {factor} must be positive and finite"
-                        ));
+                        return Err(FaultError::BadProfileFactor {
+                            event: i,
+                            factor: *factor,
+                        });
                     }
-                    if from > until {
-                        return Err(format!("event {i}: window {from} > {until}"));
+                    window(from, until)?;
+                }
+                FaultEvent::LinkDegrade {
+                    dev,
+                    bandwidth_factor,
+                    latency_factor,
+                    from,
+                    until,
+                } => {
+                    if dev.0 == 0 {
+                        return Err(FaultError::HostLink { event: i });
+                    }
+                    for factor in [bandwidth_factor, latency_factor] {
+                        if !(factor.is_finite() && *factor > 0.0) {
+                            return Err(FaultError::BadLinkFactor {
+                                event: i,
+                                factor: *factor,
+                            });
+                        }
+                    }
+                    window(from, until)?;
+                }
+                FaultEvent::DomainOutage {
+                    domain,
+                    from,
+                    until,
+                    throttle,
+                } => {
+                    let Some(d) = self.domains.get(*domain) else {
+                        return Err(FaultError::UnknownDomain {
+                            event: i,
+                            domain: *domain,
+                        });
+                    };
+                    match throttle {
+                        Some(f) => {
+                            if !(f.is_finite() && *f > 0.0) {
+                                return Err(FaultError::BadThrottleFactor { event: i });
+                            }
+                            window(from, until)?;
+                        }
+                        None => {
+                            if d.members.iter().any(|m| m.0 == 0) {
+                                return Err(FaultError::HostInDroppedDomain {
+                                    event: i,
+                                    domain: *domain,
+                                });
+                            }
+                        }
                     }
                 }
             }
         }
         Ok(())
+    }
+}
+
+/// A recorded disturbance: the [`FaultSchedule`] a run executed under plus
+/// every event the run *synthesized* while it ran (conditional sibling
+/// windows opened by correlated triggering). Exports as deterministic JSON
+/// so an observed run can be archived, diffed, replayed byte-identically,
+/// or handed to the analyzer's degradation ranking as a what-if.
+///
+/// [`FaultTrace::replay_schedule`] folds the synthesized events into the
+/// base schedule and zeroes every domain's `trigger_prob`: replaying that
+/// schedule injects exactly the disturbance the recorded run observed —
+/// the sibling windows open at the recorded instants instead of being
+/// re-drawn — so the same seed reproduces the run bit for bit. (Window
+/// composition is commutative, and conditional draws come from a separate
+/// RNG stream, so moving a window from "synthesized during the run" to
+/// "scheduled up front" changes nothing the base fault sampling sees.)
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultTrace {
+    /// The schedule the recorded run executed under.
+    pub schedule: FaultSchedule,
+    /// Events synthesized during the run, in trigger order.
+    pub synthesized: Vec<FaultEvent>,
+}
+
+impl FaultTrace {
+    /// Pair a schedule with the events a run synthesized under it (see
+    /// `RunReport::synthesized_faults`).
+    pub fn new(schedule: FaultSchedule, synthesized: Vec<FaultEvent>) -> Self {
+        FaultTrace {
+            schedule,
+            synthesized,
+        }
+    }
+
+    /// Deterministic pretty-printed JSON (field order is declaration
+    /// order; identical traces render identical bytes).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("fault trace serialization cannot fail")
+    }
+
+    /// Parse a trace previously written by [`FaultTrace::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let trace: FaultTrace = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        trace.schedule.validate().map_err(|e| e.to_string())?;
+        Ok(trace)
+    }
+
+    /// The deterministic replay schedule: base events plus the synthesized
+    /// windows, with conditional triggering disabled so nothing is drawn
+    /// twice. Running any executor under this schedule (same seed)
+    /// reproduces the recorded run's fault behaviour exactly.
+    pub fn replay_schedule(&self) -> FaultSchedule {
+        let mut schedule = self.schedule.clone();
+        schedule.events.extend(self.synthesized.iter().cloned());
+        for d in &mut schedule.domains {
+            d.trigger_prob = 0.0;
+        }
+        schedule
     }
 }
 
@@ -561,6 +1100,9 @@ pub struct FaultCounters {
     /// Tasks finished in safe mode (fault sampling disabled after retries
     /// were exhausted with no surviving failover target).
     pub safe_mode_tasks: u64,
+    /// Sibling fault windows opened by correlated triggering (a member
+    /// fault conditionally raising its domain siblings' fault rate).
+    pub correlated_triggers: u64,
     /// Simulated time spent in retry backoff.
     pub backoff_time: SimTime,
     /// Simulated time wasted on faults: failed attempts, backoff, and
@@ -799,7 +1341,246 @@ mod tests {
             from: SimTime::ZERO,
             until: SimTime::MAX,
         });
-        assert!(s.validate().is_err());
+        assert_eq!(
+            s.validate(),
+            Err(FaultError::BadProbability {
+                event: 0,
+                prob: 1.5
+            })
+        );
         assert!(FaultSchedule::new(1).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_empty_windows() {
+        // `from == until` is a half-open window containing nothing: it can
+        // never fire, so it is a schedule bug, not a no-op.
+        let mut s = FaultSchedule::new(1);
+        s.events.push(FaultEvent::TaskFaults {
+            dev: None,
+            prob: 0.5,
+            from: SimTime::from_millis(3),
+            until: SimTime::from_millis(3),
+        });
+        assert_eq!(
+            s.validate(),
+            Err(FaultError::BadWindow {
+                event: 0,
+                from: SimTime::from_millis(3),
+                until: SimTime::from_millis(3),
+            })
+        );
+    }
+
+    fn two_dev_domain(trigger: f64) -> FaultSchedule {
+        FaultSchedule::new(1).with_domain(
+            "pcie-switch",
+            vec![DeviceId(1), DeviceId(2)],
+            trigger,
+            0.5,
+            SimTime::from_millis(1),
+        )
+    }
+
+    #[test]
+    fn domain_dropout_drops_every_member() {
+        let s = two_dev_domain(0.0).with_domain_dropout(0, SimTime::from_millis(5));
+        assert_eq!(
+            s.dropouts(),
+            vec![
+                (DeviceId(1), SimTime::from_millis(5)),
+                (DeviceId(2), SimTime::from_millis(5)),
+            ]
+        );
+        assert!(s.validate().is_ok());
+        assert!(!s.has_correlation());
+        assert!(two_dev_domain(0.5).has_correlation());
+    }
+
+    #[test]
+    fn domain_throttle_hits_members_only() {
+        let s = two_dev_domain(0.0).with_domain_throttle(
+            0,
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+            4.0,
+        );
+        assert_eq!(s.throttle_factor(DeviceId(1), SimTime::from_millis(1)), 4.0);
+        assert_eq!(s.throttle_factor(DeviceId(2), SimTime::from_millis(1)), 4.0);
+        assert_eq!(s.throttle_factor(DeviceId(0), SimTime::from_millis(1)), 1.0);
+        assert_eq!(
+            s.throttle_factor(DeviceId(1), SimTime::from_millis(10)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn link_factors_compose_and_respect_window() {
+        let s = FaultSchedule::new(1)
+            .with_link_degrade(
+                DeviceId(1),
+                0.5,
+                2.0,
+                SimTime::ZERO,
+                SimTime::from_millis(10),
+            )
+            .with_link_degrade(
+                DeviceId(1),
+                0.5,
+                1.0,
+                SimTime::from_millis(5),
+                SimTime::from_millis(10),
+            );
+        assert_eq!(
+            s.link_factors(DeviceId(1), SimTime::from_millis(1)),
+            (0.5, 2.0)
+        );
+        assert_eq!(
+            s.link_factors(DeviceId(1), SimTime::from_millis(6)),
+            (0.25, 2.0)
+        );
+        assert_eq!(
+            s.link_factors(DeviceId(1), SimTime::from_millis(10)),
+            (1.0, 1.0)
+        );
+        assert_eq!(
+            s.link_factors(DeviceId(2), SimTime::from_millis(1)),
+            (1.0, 1.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "host has no host link")]
+    fn host_link_degrade_is_rejected() {
+        let _ = FaultSchedule::new(1).with_link_degrade(
+            DeviceId(0),
+            0.5,
+            1.0,
+            SimTime::ZERO,
+            SimTime::MAX,
+        );
+    }
+
+    #[test]
+    fn validate_catches_bad_domains_and_outages() {
+        // Unknown domain index.
+        let s = FaultSchedule::new(1).with_domain_dropout(0, SimTime::ZERO);
+        assert_eq!(
+            s.validate(),
+            Err(FaultError::UnknownDomain {
+                event: 0,
+                domain: 0
+            })
+        );
+        // Host inside a dropped domain.
+        let s = FaultSchedule::new(1)
+            .with_domain(
+                "rail",
+                vec![DeviceId(0), DeviceId(1)],
+                0.0,
+                0.0,
+                SimTime::ZERO,
+            )
+            .with_domain_dropout(0, SimTime::ZERO);
+        assert_eq!(
+            s.validate(),
+            Err(FaultError::HostInDroppedDomain {
+                event: 0,
+                domain: 0
+            })
+        );
+        // ... but a throttled domain may include the host.
+        let s = FaultSchedule::new(1)
+            .with_domain(
+                "rail",
+                vec![DeviceId(0), DeviceId(1)],
+                0.0,
+                0.0,
+                SimTime::ZERO,
+            )
+            .with_domain_throttle(0, SimTime::ZERO, SimTime::MAX, 2.0);
+        assert!(s.validate().is_ok());
+        // A one-member domain is no domain.
+        let s =
+            FaultSchedule::new(1).with_domain("solo", vec![DeviceId(1)], 0.5, 0.5, SimTime::ZERO);
+        assert!(matches!(
+            s.validate(),
+            Err(FaultError::BadDomain { domain: 0, .. })
+        ));
+        // Bad link factor.
+        let mut s = FaultSchedule::new(1);
+        s.events.push(FaultEvent::LinkDegrade {
+            dev: DeviceId(1),
+            bandwidth_factor: 0.0,
+            latency_factor: 1.0,
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
+        });
+        assert_eq!(
+            s.validate(),
+            Err(FaultError::BadLinkFactor {
+                event: 0,
+                factor: 0.0
+            })
+        );
+    }
+
+    #[test]
+    fn disturbance_open_tracks_windows_and_dropouts() {
+        let s = FaultSchedule::new(1)
+            .with_throttle(
+                DeviceId(1),
+                SimTime::from_millis(1),
+                SimTime::from_millis(2),
+                4.0,
+                4.0,
+            )
+            .with_dropout(DeviceId(2), SimTime::from_millis(10));
+        assert!(!s.disturbance_open(SimTime::ZERO));
+        assert!(s.disturbance_open(SimTime::from_millis(1)));
+        // The throttle window closed and the dropout has not happened yet.
+        assert!(!s.disturbance_open(SimTime::from_millis(5)));
+        // A dropout never closes: the device stays dead.
+        assert!(s.disturbance_open(SimTime::from_millis(11)));
+        // Profile perturbation skews only the planner: never a runtime
+        // disturbance.
+        let p = FaultSchedule::new(1).with_profile_perturb(
+            DeviceId(1),
+            0.5,
+            SimTime::ZERO,
+            SimTime::MAX,
+        );
+        assert!(!p.disturbance_open(SimTime::from_millis(1)));
+    }
+
+    #[test]
+    fn fault_trace_replay_schedule_bakes_synthesized_windows() {
+        let base = two_dev_domain(0.8).with_task_faults(
+            Some(DeviceId(1)),
+            0.5,
+            SimTime::ZERO,
+            SimTime::from_millis(2),
+        );
+        let synth = vec![FaultEvent::TaskFaults {
+            dev: Some(DeviceId(2)),
+            prob: 0.5,
+            from: SimTime::from_millis(1),
+            until: SimTime::from_millis(2),
+        }];
+        let trace = FaultTrace::new(base.clone(), synth.clone());
+        let replay = trace.replay_schedule();
+        // Same seed, triggering disabled, synthesized windows folded in.
+        assert_eq!(replay.seed, base.seed);
+        assert!(!replay.has_correlation());
+        assert_eq!(replay.events.len(), base.events.len() + synth.len());
+        assert_eq!(
+            replay.task_fault_prob(DeviceId(2), SimTime::from_micros(1500)),
+            0.5
+        );
+        // JSON round trip is exact and deterministic.
+        let json = trace.to_json();
+        let back = FaultTrace::from_json(&json).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.to_json(), json);
     }
 }

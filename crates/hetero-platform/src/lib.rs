@@ -49,7 +49,10 @@ pub mod workload;
 pub use counters::{DeviceCounters, PlatformCounters, TransferCounters};
 pub use device::{Device, DeviceId, DeviceKind, DeviceSpec};
 pub use event::EventQueue;
-pub use fault::{FaultCounters, FaultEvent, FaultRng, FaultSchedule, RetryPolicy};
+pub use fault::{
+    FaultCounters, FaultDomain, FaultError, FaultEvent, FaultRng, FaultSchedule, FaultTrace,
+    RetryPolicy,
+};
 pub use link::LinkSpec;
 pub use platform::{MemSpaceId, Platform, PlatformBuilder};
 pub use time::SimTime;

@@ -38,11 +38,36 @@ impl LinkSpec {
         self.latency + SimTime::from_secs_f64(bytes as f64 / (self.bandwidth_gbs * 1e9))
     }
 
+    /// [`LinkSpec::transfer_time`] on a *degraded* link: the wire runs at
+    /// `bandwidth_factor` × nominal bandwidth and `latency_factor` ×
+    /// nominal latency (see `FaultSchedule::link_factors`). With both
+    /// factors at exactly `1.0` this returns the nominal cost bit for bit
+    /// — no float round trip — so undegraded schedules replay unchanged.
+    pub fn transfer_time_scaled(
+        &self,
+        bytes: u64,
+        bandwidth_factor: f64,
+        latency_factor: f64,
+    ) -> SimTime {
+        if bandwidth_factor == 1.0 && latency_factor == 1.0 {
+            return self.transfer_time(bytes);
+        }
+        if bytes == 0 {
+            return SimTime::ZERO;
+        }
+        SimTime::from_secs_f64(self.latency.as_secs_f64() * latency_factor)
+            + SimTime::from_secs_f64(bytes as f64 / (self.bandwidth_gbs * bandwidth_factor * 1e9))
+    }
+
     /// Effective bandwidth (bytes/s) achieved for a transfer of `bytes`,
-    /// accounting for latency.
+    /// accounting for latency. Convention: a zero-byte transfer takes zero
+    /// time (see [`LinkSpec::transfer_time`]), so its effective bandwidth
+    /// is the nominal wire rate `bandwidth_gbs * 1e9` — the limit the
+    /// latency-amortisation curve approaches, not `0.0` (which used to
+    /// force callers to special-case the empty transfer).
     pub fn effective_bandwidth(&self, bytes: u64) -> f64 {
         if bytes == 0 {
-            return 0.0;
+            return self.bandwidth_gbs * 1e9;
         }
         bytes as f64 / self.transfer_time(bytes).as_secs_f64()
     }
@@ -78,5 +103,28 @@ mod tests {
     #[should_panic(expected = "bandwidth must be positive")]
     fn rejects_nonpositive_bandwidth() {
         let _ = LinkSpec::new(0.0, SimTime::ZERO);
+    }
+
+    #[test]
+    fn zero_byte_effective_bandwidth_is_nominal() {
+        let l = LinkSpec::new(6.0, SimTime::from_micros(10));
+        // A free transfer achieves the nominal wire rate — the limit the
+        // amortisation curve approaches — not 0.0.
+        assert_eq!(l.effective_bandwidth(0), 6.0e9);
+        assert!(l.effective_bandwidth(1 << 30) < l.effective_bandwidth(0));
+    }
+
+    #[test]
+    fn scaled_transfer_time_degrades_the_wire() {
+        let l = LinkSpec::new(6.0, SimTime::from_micros(10));
+        // Unit factors reproduce the nominal cost exactly.
+        assert_eq!(
+            l.transfer_time_scaled(12_345, 1.0, 1.0),
+            l.transfer_time(12_345)
+        );
+        assert_eq!(l.transfer_time_scaled(0, 0.5, 2.0), SimTime::ZERO);
+        // Half bandwidth, double latency: 6 GB now takes 2 s + 20 us.
+        let t = l.transfer_time_scaled(6_000_000_000, 0.5, 2.0);
+        assert_eq!(t, SimTime::from_secs_f64(2.0) + SimTime::from_micros(20));
     }
 }

@@ -67,6 +67,11 @@ pub struct AdaptConfig {
     pub repartition: bool,
     /// Escalate SP-* → DP-Perf when re-solves are exhausted.
     pub escalation: bool,
+    /// Consecutive *calm* barriers (skew at or below `balance_target`,
+    /// no open fault window) an escalated run must observe before the
+    /// static plan is reinstated (DP-Perf → SP-* de-escalation). `0`
+    /// disables de-escalation: once escalated, the run stays dynamic.
+    pub reinstate_after: u32,
 }
 
 impl AdaptConfig {
@@ -79,16 +84,19 @@ impl AdaptConfig {
             max_resolves: 2,
             repartition: false,
             escalation: false,
+            reinstate_after: 0,
         }
     }
 
     /// Full adaptation with default thresholds: repartition at 25% skew
     /// after one imbalanced barrier, escalate to DP-Perf after two
-    /// consecutive re-solves that miss the 10% balance target.
+    /// consecutive re-solves that miss the 10% balance target, and
+    /// reinstate the static plan after two consecutive calm barriers.
     pub fn enabled_default() -> Self {
         AdaptConfig {
             repartition: true,
             escalation: true,
+            reinstate_after: 2,
             ..AdaptConfig::disabled()
         }
     }
@@ -170,6 +178,10 @@ pub struct AdaptReport {
     pub escalated_at_epoch: Option<usize>,
     /// Tasks bound by the escalated DP-Perf scheduler.
     pub escalated_tasks: u64,
+    /// `true` once an escalated run returned to its static plan.
+    pub reinstated: bool,
+    /// Epoch index at whose barrier the static plan was reinstated.
+    pub reinstated_at_epoch: Option<usize>,
     /// Largest per-epoch skew observed.
     pub max_skew: f64,
     /// Skew of the last epoch that had ≥ 2 participating devices.
@@ -228,6 +240,17 @@ mod tests {
         assert_eq!(r.repartitions, 0);
         assert!(!r.escalated);
         assert_eq!(r.escalated_at_epoch, None);
+        assert!(!r.reinstated);
+        assert_eq!(r.reinstated_at_epoch, None);
         assert_eq!(r.max_skew, 0.0);
+    }
+
+    #[test]
+    fn de_escalation_defaults() {
+        // Disabled config never reinstates; the enabled default waits for
+        // two calm barriers.
+        assert_eq!(AdaptConfig::disabled().reinstate_after, 0);
+        assert_eq!(AdaptConfig::enabled_default().reinstate_after, 2);
+        assert!(AdaptConfig::enabled_default().validate().is_ok());
     }
 }

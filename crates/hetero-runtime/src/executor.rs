@@ -88,7 +88,7 @@ use crate::scheduler::{BindCtx, PerfScheduler, RateObservation, Scheduler};
 use crate::stats::{KernelStats, RunReport};
 use crate::trace::{Trace, TraceEvent};
 use hetero_platform::{
-    DeviceId, EventQueue, FaultCounters, FaultRng, FaultSchedule, MemSpaceId, Platform,
+    DeviceId, EventQueue, FaultCounters, FaultEvent, FaultRng, FaultSchedule, MemSpaceId, Platform,
     PlatformCounters, RetryPolicy, SimTime,
 };
 use std::collections::{BTreeMap, VecDeque};
@@ -102,6 +102,13 @@ const HEALTH_STREAM: u64 = 0x5EED_C0DE_D00D_FEED;
 /// tie-breaks draw from their own SplitMix64 stream so enabling
 /// adaptation never perturbs fault or verification sampling.
 const ADAPT_STREAM: u64 = 0xADA7_ADA7_ADA7_ADA7;
+
+/// Stream-splitting constant for the correlated-trigger RNG: conditional
+/// sibling draws come from their own SplitMix64 stream so a schedule with
+/// fault domains replays the *base* fault sampling of the same schedule
+/// without domains byte-identically. The stream is only allocated when
+/// [`FaultSchedule::has_correlation`] is true.
+const CORRELATED_STREAM: u64 = 0x00C0_DEFA_17D0_5EED;
 
 enum Ev {
     TaskDone {
@@ -406,6 +413,74 @@ struct FaultCtx<'a> {
     /// Corruption injection disabled for the open epoch's re-runs (set
     /// after `max_rollbacks_per_epoch`; the SDC analog of safe mode).
     suppress_corruption: bool,
+    /// Sibling fault windows synthesized by correlated triggering during
+    /// this run, in trigger order (exported as
+    /// `RunReport::synthesized_faults` for trace recording).
+    synth: Vec<FaultEvent>,
+    /// Conditional-trigger stream, allocated only when the schedule has a
+    /// domain with `trigger_prob > 0` so domain-free schedules replay
+    /// byte-identically.
+    corr_rng: Option<FaultRng>,
+}
+
+impl FaultCtx<'_> {
+    /// Task-fault probability for `dev` at `at`, composing the schedule's
+    /// windows with the sibling windows synthesized so far (same ordered
+    /// product a replayed [`hetero_platform::FaultTrace`] computes).
+    fn task_fault_prob(&self, dev: DeviceId, at: SimTime) -> f64 {
+        self.schedule.task_fault_prob_with(dev, at, &self.synth)
+    }
+
+    /// `true` while any synthesized sibling window is open at `now`.
+    fn synth_window_open(&self, now: SimTime) -> bool {
+        self.synth.iter().any(|ev| {
+            matches!(ev, FaultEvent::TaskFaults { from, until, .. }
+                if *from <= now && now < *until)
+        })
+    }
+}
+
+/// A member of a fault domain faulted at `now` on `source`: draw, per
+/// sibling, whether the shared root condition propagates — opening a
+/// `sibling_fault_prob` window of the domain's length on the sibling. The
+/// draws come from the dedicated correlated stream and every opened window
+/// is recorded in `f.synth` (and the trace), so a recorded run replays
+/// byte-identically with triggering disabled.
+fn trigger_correlated(f: &mut FaultCtx, obs: &mut dyn Observer, source: DeviceId, now: SimTime) {
+    let Some(rng) = f.corr_rng.as_mut() else {
+        return;
+    };
+    for (di, d) in f.schedule.domains.iter().enumerate() {
+        if d.trigger_prob <= 0.0 || !d.contains(source) {
+            continue;
+        }
+        for &sib in &d.members {
+            if sib == source {
+                continue;
+            }
+            if rng.next_f64() >= d.trigger_prob {
+                continue;
+            }
+            let until = now + d.window;
+            f.synth.push(FaultEvent::TaskFaults {
+                dev: Some(sib),
+                prob: d.sibling_fault_prob,
+                from: now,
+                until,
+            });
+            f.counters.correlated_triggers += 1;
+            route_event(
+                obs,
+                &TraceEvent::CorrelatedFaultTriggered {
+                    domain: di,
+                    source,
+                    sibling: sib,
+                    until,
+                    at: now,
+                },
+            );
+        }
+    }
 }
 
 /// An active hedged duplicate of one straggling task.
@@ -470,6 +545,13 @@ struct AdaptCtx {
     /// Per task: bound by the escalated scheduler (pays the dynamic
     /// per-decision scheduling overhead, routes `on_complete` internally).
     bound_by_escalated: Vec<bool>,
+    /// Consecutive escalated barriers that were balanced *and* free of any
+    /// open disturbance window; reaching `reinstate_after` attempts a
+    /// de-escalation back to the (re-solved) static plan.
+    calm_barriers: u32,
+    /// When the previous taskwait barrier was reached — the closing
+    /// epoch's wall clock, the de-escalation guard's dynamic baseline.
+    last_barrier_at: SimTime,
 }
 
 /// The available device with the most slots (ties → lowest id), excluding
@@ -489,8 +571,8 @@ fn fallback_device(platform: &Platform, blocked: &[bool], exclude: Option<Device
 /// Per-dispatch blame decomposition of one task's slot occupancy, mirrored
 /// alongside `busy_of` so reversals (dropout kills, epoch resets, hedge
 /// losses, rollbacks) can recategorize exactly what dispatch charged.
-/// Invariant: `sched + adapt + transfer + fault + exec == busy_of` for a
-/// successful dispatch (`exec == 0` for an aborted one).
+/// Invariant: `sched + adapt + transfer + link + fault + exec == busy_of`
+/// for a successful dispatch (`exec == 0` for an aborted one).
 #[derive(Clone, Copy, Default)]
 struct TaskCost {
     sched: SimTime,
@@ -500,6 +582,9 @@ struct TaskCost {
     /// Mirrors the dispatch's `booked_loss`: fault time already charged to
     /// `fault_loss` at dispatch, so reversals charge only the remainder.
     fault: SimTime,
+    /// Extra wire time a successful transfer paid on a degraded link over
+    /// its nominal cost (reversed with `transfer` on reversal).
+    link: SimTime,
 }
 
 struct Sim<'a> {
@@ -540,6 +625,10 @@ struct Sim<'a> {
     cost_of: Vec<TaskCost>,
     /// Per-device dropout time (for the `dead` blame component).
     death_at: Vec<Option<SimTime>>,
+    /// Accelerator device owning each non-host memory space (`None` for
+    /// the host space), for mapping a transfer hop to the host↔device
+    /// link a [`FaultEvent::LinkDegrade`] window names.
+    space_dev: Vec<Option<DeviceId>>,
     faults: Option<FaultCtx<'a>>,
     health: Option<HealthCtx>,
     adapt: Option<AdaptCtx>,
@@ -588,6 +677,10 @@ impl<'a> Sim<'a> {
                 corrupt: vec![false; n],
                 corruptions_injected: 0,
                 suppress_corruption: false,
+                synth: Vec::new(),
+                corr_rng: schedule
+                    .has_correlation()
+                    .then(|| FaultRng::new(schedule.seed ^ CORRELATED_STREAM)),
             }
         });
         let ndev = platform.devices.len();
@@ -636,6 +729,8 @@ impl<'a> Sim<'a> {
                 override_of: vec![None; n],
                 escalated: None,
                 bound_by_escalated: vec![false; n],
+                calm_barriers: 0,
+                last_barrier_at: SimTime::ZERO,
             });
         Sim {
             remaining_preds: graph.preds.iter().map(Vec::len).collect(),
@@ -668,6 +763,15 @@ impl<'a> Sim<'a> {
             blame: vec![DeviceBreakdown::default(); ndev],
             cost_of: vec![TaskCost::default(); n],
             death_at: vec![None; ndev],
+            space_dev: {
+                let mut map = vec![None; platform.mem_spaces];
+                for d in &platform.devices {
+                    if !d.mem_space.is_host() {
+                        map[d.mem_space.0] = Some(d.id);
+                    }
+                }
+                map
+            },
             faults,
             health,
             adapt,
@@ -684,6 +788,7 @@ impl<'a> Sim<'a> {
         b.scheduling = b.scheduling.saturating_sub(c.sched);
         b.adaptation = b.adaptation.saturating_sub(c.adapt);
         b.transfer = b.transfer.saturating_sub(c.transfer);
+        b.link_degraded = b.link_degraded.saturating_sub(c.link);
         b.compute = b.compute.saturating_sub(c.exec);
     }
 
@@ -794,6 +899,11 @@ impl<'a> Sim<'a> {
                 .iter()
                 .map(|d| d.spec.kind.is_gpu())
                 .collect(),
+            synthesized_faults: self
+                .faults
+                .as_ref()
+                .map(|f| f.synth.clone())
+                .unwrap_or_default(),
             faults: self.faults.map(|f| f.counters).unwrap_or_default(),
             health,
             adapt: self.adapt.map(|a| a.report).unwrap_or_default(),
@@ -860,8 +970,26 @@ impl<'a> Sim<'a> {
         let coherence = &self.coherence;
         let platform = self.platform;
         let buffers = &self.program.buffers;
+        // Estimates see the wire as it stands *now*: an open LinkDegrade
+        // window steers dynamic policies away from the throttled device.
+        let now = self.now;
+        let link_sched = self
+            .faults
+            .as_ref()
+            .map(|f| f.schedule)
+            .filter(|s| s.has_link_degrade());
         let transfer_estimate = move |dev: DeviceId| -> SimTime {
             let space = platform.device(dev).mem_space;
+            let (bw, lat) = link_sched.map_or((1.0, 1.0), |s| s.link_factors(dev, now));
+            let price = |from: MemSpaceId, to: MemSpaceId, bytes: u64| -> SimTime {
+                if bw == 1.0 && lat == 1.0 {
+                    platform.transfer_time(from, to, bytes)
+                } else {
+                    platform
+                        .link(from, to)
+                        .map_or(SimTime::ZERO, |l| l.transfer_time_scaled(bytes, bw, lat))
+                }
+            };
             let mut total = SimTime::ZERO;
             for acc in &task.accesses {
                 if acc.mode.reads() {
@@ -869,7 +997,7 @@ impl<'a> Sim<'a> {
                         coherence.missing_read_bytes(acc.region.buffer, acc.region.span, space);
                     if bytes > 0 {
                         // Approximation: data arrives from the host.
-                        total += platform.transfer_time(MemSpaceId::HOST, space, bytes);
+                        total += price(MemSpaceId::HOST, space, bytes);
                     }
                 }
                 if acc.mode.writes() && !space.is_host() {
@@ -877,7 +1005,7 @@ impl<'a> Sim<'a> {
                     // back; charge it to the placement (conservative, as in
                     // a descriptor-based data-movement estimate).
                     let bytes = acc.region.len() * buffers[acc.region.buffer.0].item_bytes;
-                    total += platform.transfer_time(space, MemSpaceId::HOST, bytes);
+                    total += price(space, MemSpaceId::HOST, bytes);
                 }
             }
             total
@@ -1071,7 +1199,12 @@ impl<'a> Sim<'a> {
                     .coherence
                     .acquire_for_read(acc.region.buffer, acc.region.span, space)
                 {
-                    let dt = transfer_cost(self.platform, tr.from, tr.to, tr.bytes);
+                    // Degraded cost prices the wire as it stands when the
+                    // transfer is issued; the nominal cost keeps the
+                    // watchdog baseline degradation-free.
+                    let ddt =
+                        self.degraded_transfer_cost(tr.from, tr.to, tr.bytes, self.now + busy);
+                    let ndt = transfer_cost(self.platform, tr.from, tr.to, tr.bytes);
                     // A faulty link re-issues the transfer at full cost;
                     // after max_attempts failed tries it goes through
                     // regardless (the retry storm has been paid for).
@@ -1084,10 +1217,10 @@ impl<'a> Sim<'a> {
                             }
                             f.counters.transfer_faults += 1;
                             f.counters.transfer_retries += 1;
-                            f.counters.time_lost += dt;
-                            f.booked_loss[t.0] += dt;
-                            cost.fault += dt;
-                            self.counters.record_transfer(tr.bytes, dt);
+                            f.counters.time_lost += ddt;
+                            f.booked_loss[t.0] += ddt;
+                            cost.fault += ddt;
+                            self.counters.record_transfer(tr.bytes, ddt);
                             route_event(
                                 &mut *self.obs,
                                 &TraceEvent::TransferRetry {
@@ -1095,10 +1228,10 @@ impl<'a> Sim<'a> {
                                     to: tr.to,
                                     bytes: tr.bytes,
                                     start: self.now + busy,
-                                    end: self.now + busy + dt,
+                                    end: self.now + busy + ddt,
                                 },
                             );
-                            busy += dt;
+                            busy += ddt;
                             attempts += 1;
                         }
                     }
@@ -1109,13 +1242,18 @@ impl<'a> Sim<'a> {
                             to: tr.to,
                             bytes: tr.bytes,
                             start: self.now + busy,
-                            end: self.now + busy + dt,
+                            end: self.now + busy + ddt,
                         },
                     );
-                    busy += dt;
-                    nominal += dt;
-                    cost.transfer += dt;
-                    self.counters.record_transfer(tr.bytes, dt);
+                    busy += ddt;
+                    nominal += ndt;
+                    // The slowdown beyond the nominal wire is link blame;
+                    // the nominal part stays transfer blame. `extra` is
+                    // zero whenever the link is at (or above) spec.
+                    let extra = ddt.saturating_sub(ndt);
+                    cost.transfer += ddt - extra;
+                    cost.link += extra;
+                    self.counters.record_transfer(tr.bytes, ddt);
                 }
             }
         }
@@ -1131,7 +1269,7 @@ impl<'a> Sim<'a> {
             loop {
                 let at = self.now + busy;
                 let this_exec = f.schedule.throttled_exec(dev, at, base_exec);
-                let p = f.schedule.task_fault_prob(dev, at);
+                let p = f.task_fault_prob(dev, at);
                 let failed = p > 0.0 && f.rng.next_f64() < p;
                 if !failed {
                     exec = this_exec;
@@ -1153,6 +1291,9 @@ impl<'a> Sim<'a> {
                         at: self.now + busy,
                     },
                 );
+                // A member fault may raise sibling fault probability for a
+                // window (correlated fault domains).
+                trigger_correlated(f, &mut *self.obs, dev, self.now + busy);
                 if attempt >= max {
                     let has_failover_target = !f.failed_over[t.0]
                         && self
@@ -1260,6 +1401,7 @@ impl<'a> Sim<'a> {
         b.scheduling += cost.sched;
         b.adaptation += cost.adapt;
         b.transfer += cost.transfer;
+        b.link_degraded += cost.link;
         b.fault_loss += cost.fault;
         b.compute += cost.exec;
     }
@@ -1415,6 +1557,9 @@ impl<'a> Sim<'a> {
             }
             f.dead[dev.0] = true;
             f.counters.device_dropouts += 1;
+            // A dropout is the strongest member fault a domain can see;
+            // surviving siblings get the correlated window.
+            trigger_correlated(f, &mut *self.obs, dev, self.now);
         }
         self.free_slots[dev.0] = 0;
         self.death_at[dev.0] = Some(self.now);
@@ -2160,6 +2305,20 @@ impl<'a> Sim<'a> {
                 },
             );
         }
+        // De-escalation: an escalated run watches for calm barriers and
+        // hands the remaining epochs back to the static plan once the
+        // disturbance has passed (the reversible side of the Table I
+        // SP-* → DP-Perf escalation).
+        if self
+            .adapt
+            .as_ref()
+            .is_some_and(|a| a.escalated.is_some() && a.config.reinstate_after > 0)
+        {
+            self.try_reinstate(skew);
+        }
+        if let Some(a) = self.adapt.as_mut() {
+            a.last_barrier_at = self.now;
+        }
         // Act only while there are future epochs to correct.
         let a = self.adapt.as_ref().unwrap();
         let triggered = a.consecutive_imbalanced >= a.config.hysteresis
@@ -2348,6 +2507,7 @@ impl<'a> Sim<'a> {
     fn escalate(&mut self) {
         let a = self.adapt.as_mut().unwrap();
         a.escalated = Some(PerfScheduler::seeded(self.platform, a.obs.clone()));
+        a.calm_barriers = 0; // a fresh escalation starts a fresh calm count
         a.report.escalated = true;
         a.report.escalated_at_epoch = Some(self.cur_epoch);
         route_event(
@@ -2359,11 +2519,223 @@ impl<'a> Sim<'a> {
         );
     }
 
+    /// Disturbance-aware de-escalation (ROADMAP: "plan reinstatement").
+    /// Each barrier the escalated run closes with skew at or below the
+    /// balance target and *no open fault window* — scheduled or
+    /// synthesized by a correlated trigger — bumps a calm counter;
+    /// anything else resets it. After `reinstate_after` consecutive calm
+    /// barriers the remaining epochs are handed back to the static plan,
+    /// re-solved at the observed whole-device rates exactly as
+    /// [`Sim::repartition`] would. A no-regression guard keeps DP-Perf
+    /// when the slot-quantised model predicts the static split would run
+    /// the next epoch slower than the dynamic scheduler just ran the
+    /// closing one.
+    fn try_reinstate(&mut self, skew: f64) {
+        let now = self.now;
+        let disturbed = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.schedule.disturbance_open(now) || f.synth_window_open(now));
+        let plan = self.adapt.as_ref().unwrap().plan;
+        let gpu_dead = match plan {
+            Some(p) => self.faults.as_ref().is_some_and(|f| f.dead[p.gpu.0]),
+            None => true,
+        };
+        let calm = {
+            let a = self.adapt.as_ref().unwrap();
+            skew <= a.config.balance_target
+                && !disturbed
+                && !gpu_dead
+                && self.cur_epoch + 1 < self.epochs.len()
+        };
+        let ready = {
+            let a = self.adapt.as_mut().unwrap();
+            if !calm {
+                a.calm_barriers = 0;
+                return;
+            }
+            a.calm_barriers += 1;
+            a.calm_barriers >= a.config.reinstate_after
+        };
+        if !ready {
+            return;
+        }
+        let plan = plan.expect("calm implies a live plan");
+        if plan.problem.items == 0 {
+            return;
+        }
+        // Observed whole-device rates of the closing epoch (same model as
+        // `repartition`). DP-Perf may have starved a side entirely this
+        // epoch; fall back to the run's cumulative observations so a
+        // one-sided dynamic placement can still be un-escalated.
+        let (obs_cpu, obs_gpu) = {
+            let a = self.adapt.as_ref().unwrap();
+            let rate = |dev: DeviceId| -> Option<f64> {
+                let slots = self.platform.device(dev).spec.kind.slots() as f64;
+                let busy = a.epoch_busy[dev.0].as_secs_f64();
+                let items = a.epoch_items[dev.0] as f64;
+                if busy > 0.0 && items > 0.0 {
+                    return Some(items * slots / busy);
+                }
+                let (mut items, mut secs) = (0.0f64, 0.0f64);
+                for ((_, d), o) in a.obs.iter() {
+                    if *d == dev {
+                        items += o.items;
+                        secs += o.secs;
+                    }
+                }
+                (secs > 0.0 && items > 0.0).then_some(items * slots / secs)
+            };
+            (rate(DeviceId(0)), rate(plan.gpu))
+        };
+        // A device with no observations at all would make the static
+        // plan blind: keep the dynamic scheduler and keep waiting.
+        let (Some(obs_cpu), Some(obs_gpu)) = (obs_cpu, obs_gpu) else {
+            return;
+        };
+        let corrected =
+            glinda::resolve_with_observations(&plan.problem, &plan.solution, obs_cpu, obs_gpu);
+        let cpu_slots = self.platform.device(DeviceId(0)).spec.kind.slots();
+        let gpu_slots = self.platform.device(plan.gpu).spec.kind.slots();
+        let lpt = |times: &[f64], slots: usize| -> f64 {
+            let mut load = vec![0.0f64; slots.max(1)];
+            for &t in times {
+                let m = load
+                    .iter_mut()
+                    .min_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal))
+                    .unwrap();
+                *m += t;
+            }
+            load.into_iter().fold(0.0, f64::max)
+        };
+        let t_cpu = |items: u64| items as f64 * cpu_slots as f64 / obs_cpu;
+        let t_gpu = |items: u64| items as f64 * gpu_slots as f64 / obs_gpu;
+        let dynamic_wall = {
+            let a = self.adapt.as_ref().unwrap();
+            now.saturating_sub(a.last_barrier_at).as_secs_f64()
+        };
+        let epochs = &self.epochs;
+        let tasks = &self.tasks;
+        let a = self.adapt.as_mut().unwrap();
+        let mut guard_checked = false;
+        let mut moves: Vec<(TaskId, DeviceId)> = Vec::new();
+        for epoch in epochs.iter().skip(self.cur_epoch + 1) {
+            let mut chunks: Vec<(TaskId, u64, DeviceId)> = Vec::new();
+            for &t in epoch {
+                let Some(cur) = a.override_of[t.0].or(tasks[t.0].pinned) else {
+                    continue;
+                };
+                chunks.push((t, tasks[t.0].items, cur));
+            }
+            if chunks.is_empty() {
+                continue;
+            }
+            let mut order: Vec<usize> = (0..chunks.len()).collect();
+            order.sort_by_key(|&i| (std::cmp::Reverse(chunks[i].1), chunks[i].0));
+            let mut best_j = 0usize;
+            let mut best_wall = f64::INFINITY;
+            for j in 0..=order.len() {
+                let gpu_times: Vec<f64> = order[..j].iter().map(|&i| t_gpu(chunks[i].1)).collect();
+                let cpu_times: Vec<f64> = order[j..].iter().map(|&i| t_cpu(chunks[i].1)).collect();
+                let wall = lpt(&gpu_times, gpu_slots).max(lpt(&cpu_times, cpu_slots));
+                let better = match wall.partial_cmp(&best_wall) {
+                    Some(std::cmp::Ordering::Less) => true,
+                    Some(std::cmp::Ordering::Equal) => a.rng.next_f64() < 0.5,
+                    _ => false,
+                };
+                if better {
+                    best_wall = wall;
+                    best_j = j;
+                }
+            }
+            if !guard_checked {
+                guard_checked = true;
+                // No-regression guard, against the *measured* dynamic
+                // wall of the epoch that just closed.
+                if best_wall > dynamic_wall {
+                    a.calm_barriers = 0;
+                    return;
+                }
+            }
+            let mut assign_gpu = vec![false; chunks.len()];
+            for &i in &order[..best_j] {
+                assign_gpu[i] = true;
+            }
+            for (i, &(t, _, cur)) in chunks.iter().enumerate() {
+                let dest = if assign_gpu[i] { plan.gpu } else { DeviceId(0) };
+                if dest != cur {
+                    moves.push((t, dest));
+                }
+            }
+        }
+        for &(t, dest) in &moves {
+            a.override_of[t.0] = Some(dest);
+        }
+        if let Some(p) = a.plan.as_mut() {
+            // The reinstated split becomes the next re-solve's warm start.
+            p.solution = corrected;
+        }
+        a.escalated = None;
+        a.calm_barriers = 0;
+        a.consecutive_imbalanced = 0;
+        a.resolves_since_balance = 0;
+        a.report.reinstated = true;
+        a.report.reinstated_at_epoch = Some(self.cur_epoch);
+        route_event(
+            &mut *self.obs,
+            &TraceEvent::StrategyReinstated {
+                epoch: self.cur_epoch,
+                at: now,
+            },
+        );
+    }
+
     fn on_epoch_flushed(&mut self) {
         self.cur_epoch += 1;
         if self.cur_epoch < self.epochs.len() {
             self.activate_epoch();
         }
+    }
+
+    /// [`transfer_cost`] priced on the links *as they stand at `at`*: each
+    /// host↔accelerator hop is scaled by the accelerator's open
+    /// [`FaultEvent::LinkDegrade`] windows (`FaultSchedule::link_factors`).
+    /// With no degradation anywhere in the schedule this takes the nominal
+    /// path and is bit-identical to [`transfer_cost`].
+    fn degraded_transfer_cost(
+        &self,
+        from: MemSpaceId,
+        to: MemSpaceId,
+        bytes: u64,
+        at: SimTime,
+    ) -> SimTime {
+        let Some(f) = self
+            .faults
+            .as_ref()
+            .filter(|f| f.schedule.has_link_degrade())
+        else {
+            return transfer_cost(self.platform, from, to, bytes);
+        };
+        if from == to {
+            return SimTime::ZERO;
+        }
+        let hop = |a: MemSpaceId, b: MemSpaceId, at: SimTime| -> SimTime {
+            let accel = if a.is_host() { b } else { a };
+            let (bw, lat) =
+                self.space_dev[accel.0].map_or((1.0, 1.0), |dev| f.schedule.link_factors(dev, at));
+            let l = self
+                .platform
+                .link(a, b)
+                .expect("distinct memory spaces are linked");
+            l.transfer_time_scaled(bytes, bw, lat)
+        };
+        // Device-to-device moves route through the host (two hops); the
+        // second hop is priced at the time the first one lands.
+        if !from.is_host() && !to.is_host() {
+            let first = hop(from, MemSpaceId::HOST, at);
+            return first + hop(MemSpaceId::HOST, to, at + first);
+        }
+        hop(from, to, at)
     }
 
     /// Flush device data home at a taskwait / end of program.
@@ -2383,8 +2755,6 @@ impl<'a> Sim<'a> {
         let mut flush_start = self.now;
         let mut flush_end = self.now;
         for tr in transfers {
-            let dt = transfer_cost(self.platform, tr.from, tr.to, tr.bytes);
-            self.counters.record_transfer(tr.bytes, dt);
             let start_at = self
                 .platform
                 .devices
@@ -2393,8 +2763,12 @@ impl<'a> Sim<'a> {
                 .map(|d| self.dev_last_done[d.id.0])
                 .max()
                 .unwrap_or(self.now);
-            let cursor = cursors.entry(tr.from.0).or_insert(start_at);
-            let t0 = *cursor;
+            let t0 = *cursors.entry(tr.from.0).or_insert(start_at);
+            // Checkpoint write-backs ride the same wire as reads: an open
+            // LinkDegrade window stretches the flush.
+            let dt = self.degraded_transfer_cost(tr.from, tr.to, tr.bytes, t0);
+            self.counters.record_transfer(tr.bytes, dt);
+            let cursor = cursors.get_mut(&tr.from.0).expect("cursor just inserted");
             *cursor = t0 + dt;
             flush_start = flush_start.min(t0);
             flush_end = flush_end.max(*cursor);

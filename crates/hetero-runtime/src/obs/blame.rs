@@ -7,8 +7,9 @@
 //!
 //! * [`TimeBreakdown`] / [`DeviceBreakdown`] — a per-device decomposition of
 //!   `makespan × slots` (the device's *capacity* over the run) into compute,
-//!   transfer, scheduling, adaptation, fault loss, hedge waste, rollback,
-//!   verification, dead time and idle time. The executor maintains this
+//!   transfer, link degradation, scheduling, adaptation, fault loss, hedge
+//!   waste, rollback, verification, dead time and idle time. The executor
+//!   maintains this
 //!   alongside its ordinary counters, with the same reversal discipline
 //!   (dropout kills, hedge losses and epoch rollbacks *recategorize* time
 //!   rather than drop it), so the components always sum to capacity.
@@ -26,8 +27,8 @@ use serde::{Deserialize, Serialize};
 /// makespan. The identity maintained by the executor is
 ///
 /// ```text
-/// compute + transfer + scheduling + adaptation + fault_loss + hedge_waste
-///   + rollback + verify + dead + idle  ==  makespan × slots
+/// compute + transfer + link_degraded + scheduling + adaptation + fault_loss
+///   + hedge_waste + rollback + verify + dead + idle  ==  makespan × slots
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeviceBreakdown {
@@ -35,8 +36,13 @@ pub struct DeviceBreakdown {
     pub slots: u64,
     /// Useful kernel execution (committed work, net of reversals).
     pub compute: SimTime,
-    /// Slot time spent waiting on coherence transfers for bound tasks.
+    /// Slot time spent waiting on coherence transfers for bound tasks,
+    /// priced at the *nominal* wire.
     pub transfer: SimTime,
+    /// The slowdown beyond the nominal wire caused by open `LinkDegrade`
+    /// windows: degraded minus nominal transfer cost of successful
+    /// transfers (retry storms on a degraded link stay `fault_loss`).
+    pub link_degraded: SimTime,
     /// Dynamic scheduling overhead charged to this device's slots.
     pub scheduling: SimTime,
     /// Adaptation overhead: decisions charged to tasks bound by an
@@ -71,6 +77,7 @@ impl DeviceBreakdown {
     pub fn active(&self) -> SimTime {
         self.compute
             + self.transfer
+            + self.link_degraded
             + self.scheduling
             + self.adaptation
             + self.fault_loss
@@ -87,10 +94,11 @@ impl DeviceBreakdown {
 
     /// The component names and values, in canonical order (excluding
     /// `slots`). Useful for generic rendering and metric export.
-    pub fn components(&self) -> [(&'static str, SimTime); 10] {
+    pub fn components(&self) -> [(&'static str, SimTime); 11] {
         [
             ("compute", self.compute),
             ("transfer", self.transfer),
+            ("link_degraded", self.link_degraded),
             ("scheduling", self.scheduling),
             ("adaptation", self.adaptation),
             ("fault_loss", self.fault_loss),

@@ -355,6 +355,7 @@ impl MetricsObserver {
             TraceEvent::CorruptionDetected { .. } => "corruption_detected",
             TraceEvent::CircuitOpen { .. } => "circuit_open",
             TraceEvent::CircuitClose { .. } => "circuit_close",
+            TraceEvent::CorrelatedFaultTriggered { .. } => "correlated",
             _ => "other",
         }
     }
@@ -364,6 +365,7 @@ impl MetricsObserver {
             TraceEvent::ImbalanceDetected { .. } => "imbalance_detected",
             TraceEvent::Repartitioned { .. } => "repartitioned",
             TraceEvent::StrategyEscalated { .. } => "escalated",
+            TraceEvent::StrategyReinstated { .. } => "reinstated",
             _ => "other",
         }
     }

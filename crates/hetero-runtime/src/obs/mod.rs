@@ -141,10 +141,12 @@ pub fn route_event(obs: &mut dyn Observer, ev: &TraceEvent) {
         | TraceEvent::HedgeWon { .. }
         | TraceEvent::CorruptionDetected { .. }
         | TraceEvent::CircuitOpen { .. }
-        | TraceEvent::CircuitClose { .. } => obs.on_fault(ev),
+        | TraceEvent::CircuitClose { .. }
+        | TraceEvent::CorrelatedFaultTriggered { .. } => obs.on_fault(ev),
         TraceEvent::ImbalanceDetected { .. }
         | TraceEvent::Repartitioned { .. }
-        | TraceEvent::StrategyEscalated { .. } => obs.on_adapt_action(ev),
+        | TraceEvent::StrategyEscalated { .. }
+        | TraceEvent::StrategyReinstated { .. } => obs.on_adapt_action(ev),
     }
 }
 

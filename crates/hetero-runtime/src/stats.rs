@@ -4,7 +4,7 @@ use crate::adapt::AdaptReport;
 use crate::health::HealthReport;
 use crate::obs::TimeBreakdown;
 use crate::program::KernelId;
-use hetero_platform::{DeviceId, FaultCounters, PlatformCounters, SimTime};
+use hetero_platform::{DeviceId, FaultCounters, FaultEvent, PlatformCounters, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Per-kernel placement statistics (Figure 10 reports per-kernel ratios for
@@ -46,6 +46,11 @@ pub struct RunReport {
     pub device_is_gpu: Vec<bool>,
     /// What the fault machinery did (all zeros for a healthy run).
     pub faults: FaultCounters,
+    /// Fault events synthesized *during* the run by correlated fault
+    /// domains (empty without domains). Appending these to the input
+    /// schedule's events — `FaultTrace::replay_schedule` does exactly
+    /// that — replays the run byte-identically.
+    pub synthesized_faults: Vec<FaultEvent>,
     /// What the gray-failure machinery did (empty/default when health
     /// monitoring is disabled and no corruption was injected).
     pub health: HealthReport,
@@ -161,6 +166,7 @@ mod tests {
             }],
             device_is_gpu: vec![false, true],
             faults: FaultCounters::default(),
+            synthesized_faults: Vec::new(),
             health: HealthReport::default(),
             adapt: AdaptReport::default(),
             breakdown: TimeBreakdown::default(),

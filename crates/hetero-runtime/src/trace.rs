@@ -176,6 +176,30 @@ pub enum TraceEvent {
         /// When the escalation happened.
         at: SimTime,
     },
+    /// A fault in one member of a fault domain raised a sibling's fault
+    /// probability for a window (correlated trigger, synthesized during
+    /// the run and recorded in `RunReport::synthesized_faults`).
+    CorrelatedFaultTriggered {
+        /// Index of the triggering domain in `FaultSchedule::domains`.
+        domain: usize,
+        /// The member whose fault triggered the correlation.
+        source: DeviceId,
+        /// The sibling whose fault probability was raised.
+        sibling: DeviceId,
+        /// End of the raised-probability window.
+        until: SimTime,
+        /// When the trigger fired.
+        at: SimTime,
+    },
+    /// An escalated run returned to its (re-solved) static plan after
+    /// consecutive calm barriers with no open fault window (DP-Perf →
+    /// SP-* de-escalation).
+    StrategyReinstated {
+        /// Epoch whose barrier reinstated the static plan.
+        epoch: usize,
+        /// When the reinstatement happened.
+        at: SimTime,
+    },
 }
 
 impl TraceEvent {
@@ -202,7 +226,9 @@ impl TraceEvent {
             | TraceEvent::CircuitClose { .. }
             | TraceEvent::ImbalanceDetected { .. }
             | TraceEvent::Repartitioned { .. }
-            | TraceEvent::StrategyEscalated { .. } => None,
+            | TraceEvent::StrategyEscalated { .. }
+            | TraceEvent::CorrelatedFaultTriggered { .. }
+            | TraceEvent::StrategyReinstated { .. } => None,
         }
     }
 
@@ -225,7 +251,9 @@ impl TraceEvent {
             | TraceEvent::CircuitClose { at, .. }
             | TraceEvent::ImbalanceDetected { at, .. }
             | TraceEvent::Repartitioned { at, .. }
-            | TraceEvent::StrategyEscalated { at, .. } => *at,
+            | TraceEvent::StrategyEscalated { at, .. }
+            | TraceEvent::CorrelatedFaultTriggered { at, .. }
+            | TraceEvent::StrategyReinstated { at, .. } => *at,
         }
     }
 }
@@ -582,6 +610,37 @@ impl Trace {
                 TraceEvent::StrategyEscalated { epoch, at } => {
                     events.push(Ev {
                         name: format!("ESCALATE epoch {epoch} -> DP-Perf"),
+                        ph: "X",
+                        ts: at.as_micros_f64(),
+                        dur: 0.0,
+                        pid: platform.devices.len(),
+                        tid: 63,
+                        args: serde_json::Value::Null,
+                    });
+                }
+                TraceEvent::CorrelatedFaultTriggered {
+                    domain,
+                    source,
+                    sibling,
+                    until,
+                    at,
+                } => {
+                    events.push(Ev {
+                        name: format!(
+                            "CORRELATED domain {domain} dev{}->dev{}",
+                            source.0, sibling.0
+                        ),
+                        ph: "X",
+                        ts: at.as_micros_f64(),
+                        dur: 0.0,
+                        pid: sibling.0,
+                        tid: 63,
+                        args: serde_json::json!({ "until_us": until.as_micros_f64() }),
+                    });
+                }
+                TraceEvent::StrategyReinstated { epoch, at } => {
+                    events.push(Ev {
+                        name: format!("REINSTATE epoch {epoch} -> static plan"),
                         ph: "X",
                         ts: at.as_micros_f64(),
                         dur: 0.0,

@@ -7,7 +7,7 @@ use hetero_match::matchmaker::{
     Analyzer, AppDescriptor, ExecutionConfig, ExecutionFlow, Planner, Strategy,
 };
 use hetero_match::platform::{
-    DeviceId, FaultCounters, FaultSchedule, Platform, RetryPolicy, SimTime,
+    DeviceId, FaultCounters, FaultSchedule, FaultTrace, Platform, RetryPolicy, SimTime,
 };
 use hetero_match::runtime::{
     simulate_faulty, simulate_resilient, simulate_traced, AdaptConfig, AdaptReport, BreakerConfig,
@@ -101,7 +101,7 @@ fn trace_roundtrips_and_chrome_export_parses() {
 
 #[test]
 fn fault_schedule_and_retry_policy_roundtrip() {
-    // A schedule exercising all seven event kinds.
+    // A schedule exercising every event kind and a correlated domain.
     let schedule = FaultSchedule::new(42)
         .with_profile_perturb(
             DeviceId(1),
@@ -131,7 +131,23 @@ fn fault_schedule_and_retry_policy_roundtrip() {
             0.4,
             SimTime::from_millis(1),
             SimTime::from_millis(6),
-        );
+        )
+        .with_link_degrade(
+            DeviceId(1),
+            0.25,
+            2.0,
+            SimTime::from_millis(2),
+            SimTime::from_millis(7),
+        )
+        .with_domain(
+            "rail-a",
+            vec![DeviceId(1), DeviceId(2)],
+            0.5,
+            0.3,
+            SimTime::from_millis(2),
+        )
+        .with_domain_dropout(0, SimTime::from_millis(8))
+        .with_domain_throttle(0, SimTime::from_millis(4), SimTime::from_millis(6), 2.0);
     schedule.validate().unwrap();
 
     let json = serde_json::to_string(&schedule).unwrap();
@@ -152,6 +168,14 @@ fn fault_schedule_and_retry_policy_roundtrip() {
         schedule.profile_factor(DeviceId(1), SimTime::from_millis(5))
     );
     assert_eq!(back.dropouts(), schedule.dropouts());
+    assert_eq!(
+        back.link_factors(DeviceId(1), SimTime::from_millis(3)),
+        schedule.link_factors(DeviceId(1), SimTime::from_millis(3))
+    );
+    assert_eq!(
+        back.link_factors(DeviceId(1), SimTime::from_millis(3)),
+        (0.25, 2.0)
+    );
     assert_eq!(back.rng().next_u64(), schedule.rng().next_u64());
 
     let policy = RetryPolicy {
@@ -163,6 +187,57 @@ fn fault_schedule_and_retry_policy_roundtrip() {
     let pb: RetryPolicy = serde_json::from_str(&pj).unwrap();
     assert_eq!(pb, policy);
     assert_eq!(pb.backoff_for(3), policy.backoff_for(3));
+}
+
+#[test]
+fn fault_trace_roundtrips_and_replays() {
+    let platform = Platform::icpp15();
+    let analyzer = Analyzer::new(&platform);
+    let desc = synth::single_kernel(
+        "trace",
+        1 << 16,
+        4096.0,
+        ExecutionFlow::Loop { iterations: 3 },
+        true,
+    );
+    // A single-pass strategy: DP-Perf's warm-up pass would synthesize its
+    // own trigger windows, which a baked replay schedule cannot reproduce.
+    let config = ExecutionConfig::Strategy(Strategy::SpSingle);
+    let policy = RetryPolicy::default();
+    let schedule = FaultSchedule::new(7)
+        .with_task_faults(
+            Some(DeviceId(1)),
+            0.3,
+            SimTime::ZERO,
+            SimTime::from_millis(20),
+        )
+        .with_domain(
+            "switch",
+            vec![DeviceId(0), DeviceId(1)],
+            0.9,
+            0.5,
+            SimTime::from_millis(2),
+        );
+    let (report, trace) = analyzer.record_fault_trace(&desc, config, &schedule, policy);
+    assert!(report.faults.correlated_triggers > 0);
+    assert_eq!(
+        trace.synthesized.len() as u64,
+        report.faults.correlated_triggers
+    );
+
+    // The trace round-trips structurally and byte-identically.
+    let json = trace.to_json();
+    let back = FaultTrace::from_json(&json).unwrap();
+    assert_eq!(back, trace);
+    assert_eq!(back.to_json(), json);
+
+    // Replaying the parsed trace reproduces the recorded run without any
+    // live conditional triggering.
+    let replay = analyzer.simulate_faulty(&desc, config, &back.replay_schedule(), policy);
+    assert_eq!(replay.makespan, report.makespan);
+    assert_eq!(replay.breakdown, report.breakdown);
+    assert_eq!(replay.faults.task_faults, report.faults.task_faults);
+    assert_eq!(replay.faults.correlated_triggers, 0);
 }
 
 #[test]
@@ -236,6 +311,7 @@ fn adapt_config_and_report_roundtrip() {
             max_resolves: 3,
             repartition: true,
             escalation: false,
+            reinstate_after: 3,
         },
     ] {
         config.validate().unwrap();
