@@ -11,6 +11,7 @@
 //! matchmake timeline app.json           # ASCII utilisation timeline of the best strategy
 //! matchmake tune     app.json           # auto-tune the dynamic task size
 //! matchmake platforms                   # list built-in platform presets
+//! matchmake fuzz                        # random scenarios vs the invariant oracle bank
 //!
 //! options:
 //!   --platform icpp15|icpp15-phi        # preset (default icpp15)
@@ -30,7 +31,20 @@
 //!                                       # selected strategy's effective FaultTrace —
 //!                                       # input events plus synthesized triggers — to
 //!                                       # <path>; requires --fault-trace
+//!
+//! fuzz options:
+//!   --iters <n>                         # scenarios to fuzz (default 100)
+//!   --seed <s>                          # campaign base seed, decimal or 0x-hex
+//!                                       # (default 0)
+//!   --shrink                            # minimize each failure to a small reproducer
+//!   --corpus <dir>                      # persist (shrunk) failures as JSON into <dir>
+//!   --self-check                        # plant a deliberate invariant break and verify
+//!                                       # the harness catches, shrinks and archives it
 //! ```
+//!
+//! `fuzz` prints a deterministic campaign summary (no timestamps, ordered
+//! maps only) — CI runs the same campaign twice and diffs the output — and
+//! exits non-zero if any oracle was violated.
 
 use hetero_platform::{FaultTrace, Platform, RetryPolicy};
 use hetero_runtime::{
@@ -43,15 +57,25 @@ use matchmaker::{
 use std::env;
 use std::fs;
 use std::path::Path;
-use std::process::exit;
+use std::process::{self, exit};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: matchmake <template|analyze|compare|timeline|tune|platforms> [app.json] \
+        "usage: matchmake <template|analyze|compare|timeline|tune|platforms|fuzz> [app.json] \
          [--platform icpp15|icpp15-phi] [--refined] [--width <n>] [--metrics <path>] \
-         [--breakdown] [--profile <path>] [--fault-trace <path>] [--fault-trace-out <path>]"
+         [--breakdown] [--profile <path>] [--fault-trace <path>] [--fault-trace-out <path>] \
+         [--iters <n>] [--seed <s>] [--shrink] [--corpus <dir>] [--self-check]"
     );
     exit(2);
+}
+
+/// Parse a campaign seed: decimal, or hex with an `0x` prefix.
+fn parse_seed(text: &str) -> Option<u64> {
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
 }
 
 fn platform_by_name(name: &str) -> Platform {
@@ -151,9 +175,31 @@ fn main() {
     let mut profile_path: Option<String> = None;
     let mut fault_trace_path: Option<String> = None;
     let mut fault_trace_out: Option<String> = None;
+    let mut iters: u64 = 100;
+    let mut seed: u64 = 0;
+    let mut shrink = false;
+    let mut corpus_dir: Option<String> = None;
+    let mut self_check = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--iters" => {
+                iters = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| parse_seed(v))
+                    .unwrap_or_else(|| usage());
+            }
+            "--shrink" => shrink = true,
+            "--corpus" => {
+                corpus_dir = Some(it.next().cloned().unwrap_or_else(|| usage()));
+            }
+            "--self-check" => self_check = true,
             "--platform" => {
                 platform_name = it.next().cloned().unwrap_or_else(|| usage());
             }
@@ -277,6 +323,14 @@ fn main() {
                     trace.replay_schedule()
                 }
             });
+            // Reject a schedule that names devices the chosen platform does
+            // not have with a typed error instead of a mid-simulation panic.
+            if let Some(schedule) = &fault_schedule {
+                if let Err(e) = schedule.validate_for(&platform) {
+                    eprintln!("fault trace: schedule invalid for platform '{platform_name}': {e}");
+                    exit(1);
+                }
+            }
             let analysis = analyzer.analyze(&desc);
             let names: Vec<&str> = platform
                 .devices
@@ -413,6 +467,75 @@ fn main() {
                 "sensitivity: worst/best = {:.2}x (the paper's §V observation)",
                 result.sensitivity()
             );
+        }
+        "fuzz" => {
+            use matchmaker::{fuzz_campaign, FuzzConfig, InjectedBreak, OracleKind};
+            use std::path::PathBuf;
+            if self_check {
+                // Plant a deliberate invariant break (drop the largest blame
+                // component) and require the harness to catch it, shrink it
+                // to a small reproducer, and archive it — the end-to-end
+                // proof that the fuzzer would notice a real executor bug.
+                let dir = corpus_dir.clone().map(PathBuf::from).unwrap_or_else(|| {
+                    env::temp_dir().join(format!("matchmake-fuzz-self-check-{}", process::id()))
+                });
+                let cfg = FuzzConfig {
+                    iters: iters.min(10),
+                    base_seed: seed,
+                    shrink: true,
+                    corpus: Some(dir.clone()),
+                    inject: InjectedBreak {
+                        skip_blame_component: true,
+                        break_double_run: false,
+                    },
+                    max_failures: 1,
+                };
+                let report = fuzz_campaign(&cfg);
+                print!("{}", report.summary());
+                let Some(f) = report.failures.first() else {
+                    eprintln!("self-check FAILED: planted blame break was not caught");
+                    exit(1);
+                };
+                let ok = f.oracle == OracleKind::BlameIdentity
+                    && f.kernels <= 5
+                    && f.tasks <= 5
+                    && f.devices <= 2
+                    && f.corpus_file
+                        .as_ref()
+                        .is_some_and(|name| dir.join(name).is_file());
+                if !ok {
+                    eprintln!(
+                        "self-check FAILED: expected a shrunk (<=5 tasks, <=2 devices) \
+                         blame-identity reproducer in {}, got {f:?}",
+                        dir.display()
+                    );
+                    exit(1);
+                }
+                println!(
+                    "self-check: planted break caught, shrunk to {} task(s) / {} device(s), \
+                     archived as {}",
+                    f.tasks,
+                    f.devices,
+                    dir.join(f.corpus_file.as_deref().unwrap()).display()
+                );
+                if corpus_dir.is_none() {
+                    let _ = fs::remove_dir_all(&dir);
+                }
+                return;
+            }
+            let cfg = FuzzConfig {
+                iters,
+                base_seed: seed,
+                shrink,
+                corpus: corpus_dir.map(PathBuf::from),
+                inject: InjectedBreak::NONE,
+                max_failures: 5,
+            };
+            let report = fuzz_campaign(&cfg);
+            print!("{}", report.summary());
+            if !report.failures.is_empty() {
+                exit(1);
+            }
         }
         _ => usage(),
     }

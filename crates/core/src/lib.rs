@@ -48,6 +48,7 @@ pub mod class;
 pub mod convert;
 pub mod dag;
 pub mod descriptor;
+pub mod fuzz;
 pub mod plan;
 pub mod profile;
 pub mod ranking;
@@ -62,7 +63,12 @@ pub use dag::{analyze_dag, refine_class, DagProfile};
 pub use descriptor::{
     AccessPattern, AppDescriptor, BufferSpec, ExecutionFlow, KernelSpec, SyncPolicy,
 };
+pub use fuzz::{
+    fuzz_campaign, load_corpus, run_oracles, run_seed, save_corpus_entry, shrink, CorpusEntry,
+    FuzzConfig, FuzzFailure, FuzzOutcome, FuzzReport, InjectedBreak, Scenario,
+};
 pub use hetero_runtime::PlanError;
+pub use hetero_runtime::{OracleKind, OracleViolation};
 pub use plan::{KernelModel, KernelSplit, Plan, Planner};
 pub use profile::{ProfileStore, RateProfile};
 pub use ranking::{best_strategy, escalation_target, rank_of, ranking, SyncMode};

@@ -124,12 +124,16 @@ impl<'a> Analyzer<'a> {
                 )
             }
             ExecutionConfig::Strategy(Strategy::DpPerf) => {
+                // The warm-up learns rates under the base schedule with
+                // correlated triggering disabled, so the learned rates are
+                // replayable (see `hetero_runtime::warmup_schedule`).
+                let warm_schedule = hetero_runtime::warmup_schedule(schedule);
                 let mut warm = PerfScheduler::new(platform);
                 let _ = simulate_resilient(
                     &plan.program,
                     platform,
                     &mut warm,
-                    schedule,
+                    &warm_schedule,
                     policy,
                     health,
                 );
@@ -253,12 +257,15 @@ impl<'a> Analyzer<'a> {
                 )
             }
             ExecutionConfig::Strategy(Strategy::DpPerf) => {
+                // Warm-up under the replayable form of the schedule, as in
+                // `simulate_resilient_observed` above.
+                let warm_schedule = hetero_runtime::warmup_schedule(schedule);
                 let mut warm = PerfScheduler::new(platform);
                 let _ = simulate_resilient(
                     &plan.program,
                     platform,
                     &mut warm,
-                    schedule,
+                    &warm_schedule,
                     policy,
                     health,
                 );

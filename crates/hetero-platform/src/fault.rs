@@ -329,6 +329,19 @@ pub enum FaultError {
         /// What is wrong with it.
         reason: &'static str,
     },
+    /// An event (or domain membership) naming a device id the platform does
+    /// not have. Only reported by [`FaultSchedule::validate_for`] — plain
+    /// [`FaultSchedule::validate`] has no platform to check against.
+    UnknownDevice {
+        /// Index into [`FaultSchedule::events`], or the offending domain's
+        /// index when `in_domain` is set.
+        event: usize,
+        /// The out-of-range device id.
+        dev: DeviceId,
+        /// `true` when `event` indexes [`FaultSchedule::domains`] instead
+        /// of [`FaultSchedule::events`].
+        in_domain: bool,
+    },
 }
 
 impl std::fmt::Display for FaultError {
@@ -373,6 +386,14 @@ impl std::fmt::Display for FaultError {
             FaultError::BadDomain { domain, reason } => {
                 write!(f, "domain {domain}: {reason}")
             }
+            FaultError::UnknownDevice {
+                event,
+                dev,
+                in_domain,
+            } => {
+                let kind = if *in_domain { "domain" } else { "event" };
+                write!(f, "{kind} {event}: unknown device {dev}")
+            }
         }
     }
 }
@@ -390,6 +411,16 @@ pub struct FaultSchedule {
     /// and consulted for conditional sibling triggering (empty for
     /// uncorrelated schedules — the pre-domain behaviour).
     pub domains: Vec<FaultDomain>,
+    /// Index into `events` from which entries are *replayed synthesized*
+    /// windows ([`FaultTrace::replay_schedule`] appends them after the
+    /// base events). In the recorded run a window opened by correlated
+    /// triggering can never affect a task whose attempts were already
+    /// computed when its dispatch was processed, so on replay these
+    /// entries apply only to tasks dispatched at or after the window's
+    /// `from` — see [`FaultSchedule::task_fault_prob_dispatched`].
+    /// `None` for ordinary schedules: every event applies purely by
+    /// attempt time.
+    pub synthesized_after: Option<usize>,
 }
 
 impl FaultSchedule {
@@ -399,6 +430,7 @@ impl FaultSchedule {
             seed,
             events: Vec::new(),
             domains: Vec::new(),
+            synthesized_after: None,
         }
     }
 
@@ -623,8 +655,48 @@ impl FaultSchedule {
     /// [`FaultTrace::replay_schedule`] (which appends the synthesized
     /// events to the event list) with no extras.
     pub fn task_fault_prob_with(&self, dev: DeviceId, now: SimTime, extra: &[FaultEvent]) -> f64 {
+        self.task_fault_prob_dispatched(dev, now, SimTime::MAX, extra)
+    }
+
+    /// [`FaultSchedule::task_fault_prob_with`] for an attempt of a task
+    /// dispatched at `dispatched`: events at or past `synthesized_after`
+    /// are skipped unless they had already opened (`from <= dispatched`)
+    /// when the task was dispatched. This reproduces the causality of the
+    /// recorded run — the executor computes a task's attempt outcomes at
+    /// dispatch time, so a sibling window synthesized later cannot reach
+    /// them — and is a no-op when `synthesized_after` is `None`.
+    pub fn task_fault_prob_dispatched(
+        &self,
+        dev: DeviceId,
+        now: SimTime,
+        dispatched: SimTime,
+        extra: &[FaultEvent],
+    ) -> f64 {
+        let gated_from = self
+            .synthesized_after
+            .unwrap_or(usize::MAX)
+            .min(self.events.len());
         let mut survive = 1.0;
-        for ev in self.events.iter().chain(extra) {
+        for (i, ev) in self.events.iter().chain(extra).enumerate() {
+            // Synthesized windows — baked-in (`events[synthesized_after..]`)
+            // or live (`extra`) — apply only to tasks dispatched *strictly
+            // after* they opened, so a live run and its replay agree on
+            // exactly which attempts each window can reach. Strictness
+            // matters at a shared instant: a correlated dropout can
+            // synthesize windows and re-dispatch killed work at the same
+            // timestamp, and which windows exist mid-instant depends on
+            // event processing order the replay cannot reconstruct.
+            if i >= gated_from {
+                let opened_by_dispatch = match ev {
+                    FaultEvent::TaskFaults { from, .. } | FaultEvent::Flaky { from, .. } => {
+                        *from < dispatched
+                    }
+                    _ => true,
+                };
+                if !opened_by_dispatch {
+                    continue;
+                }
+            }
             let (prob, hit) = match ev {
                 FaultEvent::TaskFaults {
                     dev: d,
@@ -982,6 +1054,48 @@ impl FaultSchedule {
         }
         Ok(())
     }
+
+    /// [`FaultSchedule::validate`] plus a platform-aware check: every
+    /// device id named by an event or a domain membership must exist on
+    /// `platform`. A schedule written for a 3-device platform silently
+    /// no-ops (or panics deep in the executor) on a 2-device one; this
+    /// catches the mismatch up front with a typed
+    /// [`FaultError::UnknownDevice`].
+    pub fn validate_for(&self, platform: &crate::Platform) -> Result<(), FaultError> {
+        self.validate()?;
+        let n = platform.devices.len();
+        let check = |event: usize, dev: DeviceId, in_domain: bool| {
+            if dev.0 >= n {
+                Err(FaultError::UnknownDevice {
+                    event,
+                    dev,
+                    in_domain,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        for (i, d) in self.domains.iter().enumerate() {
+            for &m in &d.members {
+                check(i, m, true)?;
+            }
+        }
+        for (i, ev) in self.events.iter().enumerate() {
+            match ev {
+                FaultEvent::TaskFaults { dev: Some(dev), .. }
+                | FaultEvent::DeviceDropout { dev, .. }
+                | FaultEvent::ThrottleRamp { dev, .. }
+                | FaultEvent::SilentCorruption { dev, .. }
+                | FaultEvent::Flaky { dev, .. }
+                | FaultEvent::ProfilePerturb { dev, .. }
+                | FaultEvent::LinkDegrade { dev, .. } => check(i, *dev, false)?,
+                FaultEvent::TaskFaults { dev: None, .. }
+                | FaultEvent::TransferFaults { .. }
+                | FaultEvent::DomainOutage { .. } => {}
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A recorded disturbance: the [`FaultSchedule`] a run executed under plus
@@ -1035,6 +1149,11 @@ impl FaultTrace {
     /// reproduces the recorded run's fault behaviour exactly.
     pub fn replay_schedule(&self) -> FaultSchedule {
         let mut schedule = self.schedule.clone();
+        // Synthesized windows are appended *after* the base events and the
+        // boundary recorded, so replay gates them on task dispatch time:
+        // in the recorded run a window opened mid-flight could not touch a
+        // task whose attempts were already computed at dispatch.
+        schedule.synthesized_after = Some(schedule.events.len());
         schedule.events.extend(self.synthesized.iter().cloned());
         for d in &mut schedule.domains {
             d.trigger_prob = 0.0;
@@ -1582,5 +1701,123 @@ mod tests {
         let back = FaultTrace::from_json(&json).unwrap();
         assert_eq!(back, trace);
         assert_eq!(back.to_json(), json);
+    }
+
+    // ---- dedicated validate() error-case coverage -----------------------
+
+    #[test]
+    fn validate_rejects_zero_length_and_inverted_windows() {
+        // Zero-length: from == until.
+        let t = SimTime::from_millis(3);
+        let zero = FaultSchedule::new(0).with_transfer_faults(0.1, t, t);
+        assert_eq!(
+            zero.validate(),
+            Err(FaultError::BadWindow {
+                event: 0,
+                from: t,
+                until: t
+            })
+        );
+        // Inverted: from > until.
+        let inv = FaultSchedule::new(0).with_throttle(
+            DeviceId(1),
+            SimTime::from_millis(5),
+            SimTime::from_millis(1),
+            2.0,
+            2.0,
+        );
+        assert!(matches!(
+            inv.validate(),
+            Err(FaultError::BadWindow { event: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_accepts_overlapping_windows() {
+        // Overlap is legal by design: windows compose as independent
+        // failure sources (see `overlapping_windows_compose_independently`).
+        let s = FaultSchedule::new(0)
+            .with_task_faults(
+                Some(DeviceId(1)),
+                0.2,
+                SimTime::ZERO,
+                SimTime::from_millis(5),
+            )
+            .with_task_faults(
+                Some(DeviceId(1)),
+                0.3,
+                SimTime::from_millis(2),
+                SimTime::from_millis(8),
+            );
+        assert_eq!(s.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_unit_probabilities() {
+        for prob in [-0.1, 1.5, f64::NAN] {
+            let s = FaultSchedule::new(0).with_task_faults(None, prob, SimTime::ZERO, SimTime::MAX);
+            let Err(FaultError::BadProbability { event: 0, prob: p }) = s.validate() else {
+                panic!("probability {prob} must be rejected");
+            };
+            // NaN != NaN, so compare via bits.
+            assert_eq!(p.to_bits(), prob.to_bits());
+        }
+    }
+
+    #[test]
+    fn validate_for_rejects_out_of_range_device_ids() {
+        let platform = crate::Platform::test_small(); // 2 devices: 0, 1
+        let ghost = DeviceId(7);
+
+        // Every event shape naming a device is checked.
+        let cases: Vec<FaultSchedule> = vec![
+            FaultSchedule::new(0).with_task_faults(Some(ghost), 0.1, SimTime::ZERO, SimTime::MAX),
+            FaultSchedule::new(0).with_dropout(ghost, SimTime::ZERO),
+            FaultSchedule::new(0).with_throttle(ghost, SimTime::ZERO, SimTime::MAX, 2.0, 2.0),
+            FaultSchedule::new(0).with_silent_corruption(ghost, 0.1, SimTime::ZERO, SimTime::MAX),
+            FaultSchedule::new(0).with_flaky(ghost, 0.1, SimTime::ZERO, SimTime::MAX),
+            FaultSchedule::new(0).with_profile_perturb(ghost, 0.5, SimTime::ZERO, SimTime::MAX),
+            FaultSchedule::new(0).with_link_degrade(ghost, 0.5, 2.0, SimTime::ZERO, SimTime::MAX),
+        ];
+        for s in cases {
+            // Plain validate has no platform, so it cannot object…
+            assert_eq!(s.validate(), Ok(()));
+            // …but the platform-aware check does, with the typed error.
+            assert_eq!(
+                s.validate_for(&platform),
+                Err(FaultError::UnknownDevice {
+                    event: 0,
+                    dev: ghost,
+                    in_domain: false
+                })
+            );
+        }
+
+        // Domain membership is checked too, flagged as a domain index.
+        let s = FaultSchedule::new(0).with_domain(
+            "ghost-rail",
+            vec![DeviceId(1), ghost],
+            0.5,
+            0.5,
+            SimTime::from_millis(1),
+        );
+        assert_eq!(s.validate(), Ok(()));
+        assert_eq!(
+            s.validate_for(&platform),
+            Err(FaultError::UnknownDevice {
+                event: 0,
+                dev: ghost,
+                in_domain: true
+            })
+        );
+
+        // An in-range schedule passes both.
+        let ok = FaultSchedule::new(0).with_task_faults(
+            Some(DeviceId(1)),
+            0.1,
+            SimTime::ZERO,
+            SimTime::MAX,
+        );
+        assert_eq!(ok.validate_for(&platform), Ok(()));
     }
 }

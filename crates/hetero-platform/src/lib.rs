@@ -41,6 +41,7 @@ pub mod counters;
 pub mod device;
 pub mod event;
 pub mod fault;
+pub mod fuzz;
 pub mod link;
 pub mod platform;
 pub mod time;

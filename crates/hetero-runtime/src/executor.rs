@@ -96,19 +96,24 @@ use std::collections::{BTreeMap, VecDeque};
 /// Stream-splitting constant for the health RNG: verification sampling
 /// draws from its own SplitMix64 stream so enabling it never perturbs
 /// fault sampling.
-const HEALTH_STREAM: u64 = 0x5EED_C0DE_D00D_FEED;
+///
+/// Public (with [`ADAPT_STREAM`] and [`CORRELATED_STREAM`]) so the fuzzing
+/// harness can pin the values with a golden-seed test: changing any of
+/// these constants silently re-rolls every recorded fault trace and fuzz
+/// corpus entry, so a refactor must not be able to shift them unnoticed.
+pub const HEALTH_STREAM: u64 = 0x5EED_C0DE_D00D_FEED;
 
 /// Stream-splitting constant for the adaptation RNG: the controller's
 /// tie-breaks draw from their own SplitMix64 stream so enabling
 /// adaptation never perturbs fault or verification sampling.
-const ADAPT_STREAM: u64 = 0xADA7_ADA7_ADA7_ADA7;
+pub const ADAPT_STREAM: u64 = 0xADA7_ADA7_ADA7_ADA7;
 
 /// Stream-splitting constant for the correlated-trigger RNG: conditional
 /// sibling draws come from their own SplitMix64 stream so a schedule with
 /// fault domains replays the *base* fault sampling of the same schedule
 /// without domains byte-identically. The stream is only allocated when
 /// [`FaultSchedule::has_correlation`] is true.
-const CORRELATED_STREAM: u64 = 0x00C0_DEFA_17D0_5EED;
+pub const CORRELATED_STREAM: u64 = 0x00C0_DEFA_17D0_5EED;
 
 enum Ev {
     TaskDone {
@@ -424,11 +429,15 @@ struct FaultCtx<'a> {
 }
 
 impl FaultCtx<'_> {
-    /// Task-fault probability for `dev` at `at`, composing the schedule's
-    /// windows with the sibling windows synthesized so far (same ordered
-    /// product a replayed [`hetero_platform::FaultTrace`] computes).
-    fn task_fault_prob(&self, dev: DeviceId, at: SimTime) -> f64 {
-        self.schedule.task_fault_prob_with(dev, at, &self.synth)
+    /// Task-fault probability for `dev` at `at`, for an attempt of a task
+    /// dispatched at `dispatched`: composes the schedule's windows with the
+    /// sibling windows synthesized so far (same ordered product a replayed
+    /// [`hetero_platform::FaultTrace`] computes). The dispatch time lets a
+    /// replay schedule gate its baked-in synthesized windows to exactly
+    /// the tasks the recorded run's live windows could reach.
+    fn task_fault_prob(&self, dev: DeviceId, at: SimTime, dispatched: SimTime) -> f64 {
+        self.schedule
+            .task_fault_prob_dispatched(dev, at, dispatched, &self.synth)
     }
 
     /// `true` while any synthesized sibling window is open at `now`.
@@ -1263,13 +1272,17 @@ impl<'a> Sim<'a> {
         nominal += base_exec;
         let mut exec = base_exec;
         let mut aborted = false;
+        // Attempt outcomes are computed here, at dispatch time: replayed
+        // synthesized windows that opened later cannot apply (see
+        // `FaultSchedule::task_fault_prob_dispatched`).
+        let dispatched = self.now;
         if let Some(f) = &mut self.faults {
             let max = f.policy.max_attempts.max(1);
             let mut attempt: u32 = 1;
             loop {
                 let at = self.now + busy;
                 let this_exec = f.schedule.throttled_exec(dev, at, base_exec);
-                let p = f.task_fault_prob(dev, at);
+                let p = f.task_fault_prob(dev, at, dispatched);
                 let failed = p > 0.0 && f.rng.next_f64() < p;
                 if !failed {
                     exec = this_exec;
@@ -1638,17 +1651,27 @@ impl<'a> Sim<'a> {
             .collect();
         for &t in &killed {
             let task = self.tasks[t.0];
-            let (was_recorded, lost) = {
+            let (was_recorded, lost, overbooked) = {
                 let f = self.faults.as_mut().unwrap();
                 f.gen[t.0] += 1;
                 f.in_flight[t.0] = false;
                 // The dispatch's failed attempts, backoff and transfer
                 // retries were already booked at dispatch; charge only the
-                // rest of the discarded span.
+                // rest of the discarded span. Attempts sampled at dispatch
+                // may sit logically *after* the death — that portion was
+                // never burned (the dead tail covers it), so it comes back.
                 let span = self.now.saturating_sub(f.started_at[t.0]);
-                (f.recorded[t.0], span.saturating_sub(f.booked_loss[t.0]))
+                let booked = f.booked_loss[t.0];
+                (
+                    f.recorded[t.0],
+                    span.saturating_sub(booked),
+                    booked.saturating_sub(span),
+                )
             };
-            self.faults.as_mut().unwrap().counters.time_lost += lost;
+            {
+                let tl = &mut self.faults.as_mut().unwrap().counters.time_lost;
+                *tl = (*tl + lost).saturating_sub(overbooked);
+            }
             let c = &mut self.counters.devices[dev.0];
             c.busy = c.busy.saturating_sub(self.busy_of[t.0]);
             if was_recorded {
@@ -1659,10 +1682,11 @@ impl<'a> Sim<'a> {
                 ks.tasks_per_device[dev.0] -= 1;
             }
             // Blame mirror: the dispatch's categorized charges come back;
-            // what the slot really burned before the death (net of fault
-            // time already booked) is fault loss.
+            // the slot's net fault charge becomes exactly the span it
+            // really burned before the death.
             self.unblame(t, dev);
-            self.blame[dev.0].fault_loss += lost;
+            let fl = &mut self.blame[dev.0].fault_loss;
+            *fl = (*fl + lost).saturating_sub(overbooked);
         }
 
         // 3. Uncommitted completions of the open epoch that ran here must
@@ -2409,22 +2433,70 @@ impl<'a> Sim<'a> {
             }
             load.into_iter().fold(0.0, f64::max)
         };
-        let t_cpu = |items: u64| items as f64 * cpu_slots as f64 / obs_cpu;
-        let t_gpu = |items: u64| items as f64 * gpu_slots as f64 / obs_gpu;
+        // Chunk time on a side: the observed-rate extrapolation captures
+        // how the device is *actually* running (throttle windows, flaky
+        // retries), but it under-prices small fragments — a rate observed
+        // on big chunks amortizes launch overhead a fragment pays in
+        // full. Floor it with the device model's own per-chunk prediction
+        // (which prices the launch exactly).
+        let t_cpu = |t: TaskId, items: u64| -> f64 {
+            let task = self.tasks[t.0];
+            let profile = &self.program.kernels[task.kernel.0].profile;
+            let floor = self
+                .platform
+                .device(DeviceId(0))
+                .exec_time_weighted(profile, items, task.cost_scale)
+                .as_secs_f64();
+            (items as f64 * cpu_slots as f64 / obs_cpu).max(floor)
+        };
+        let t_gpu = |t: TaskId, items: u64| -> f64 {
+            let task = self.tasks[t.0];
+            let profile = &self.program.kernels[task.kernel.0].profile;
+            let floor = self
+                .platform
+                .device(plan.gpu)
+                .exec_time_weighted(profile, items, task.cost_scale)
+                .as_secs_f64();
+            (items as f64 * gpu_slots as f64 / obs_gpu).max(floor)
+        };
+        // A migrated chunk re-reads its inputs across the link before it
+        // can start; the candidate walls must price that hop, or a slow
+        // link turns a predicted win into a real loss — the regression
+        // the guard exists to prevent.
+        let program = self.program;
+        let cpu_space = self.platform.device(DeviceId(0)).mem_space;
+        let gpu_space = self.platform.device(plan.gpu).mem_space;
+        let read_bytes = |t: TaskId| -> u64 {
+            self.tasks[t.0]
+                .accesses
+                .iter()
+                .filter(|acc| acc.mode.reads())
+                .map(|acc| acc.region.span.len() * program.buffers[acc.region.buffer.0].item_bytes)
+                .sum()
+        };
+        let move_secs = |t: TaskId, cur: DeviceId| -> f64 {
+            let (from, to) = if cur == plan.gpu {
+                (gpu_space, cpu_space)
+            } else {
+                (cpu_space, gpu_space)
+            };
+            transfer_cost(self.platform, from, to, read_bytes(t)).as_secs_f64()
+        };
         let mut moved_items = 0u64;
         let mut changed = false;
         let epochs = &self.epochs;
         let tasks = &self.tasks;
         let a = self.adapt.as_mut().unwrap();
         for epoch in epochs.iter().skip(self.cur_epoch + 1) {
-            // The epoch's statically placed chunks and their current homes.
-            let mut chunks: Vec<(TaskId, u64, DeviceId)> = Vec::new();
+            // The epoch's statically placed chunks and their current homes
+            // (plus what moving each one across the link would cost).
+            let mut chunks: Vec<(TaskId, u64, DeviceId, f64)> = Vec::new();
             let mut total = 0u64;
             for &t in epoch {
                 let Some(cur) = a.override_of[t.0].or(tasks[t.0].pinned) else {
                     continue;
                 };
-                chunks.push((t, tasks[t.0].items, cur));
+                chunks.push((t, tasks[t.0].items, cur, move_secs(t, cur)));
                 total += tasks[t.0].items;
             }
             if chunks.len() < 2 || total == 0 {
@@ -2440,8 +2512,20 @@ impl<'a> Sim<'a> {
             let mut best_j = 0usize;
             let mut best_wall = f64::INFINITY;
             for j in 0..=order.len() {
-                let gpu_times: Vec<f64> = order[..j].iter().map(|&i| t_gpu(chunks[i].1)).collect();
-                let cpu_times: Vec<f64> = order[j..].iter().map(|&i| t_cpu(chunks[i].1)).collect();
+                let gpu_times: Vec<f64> = order[..j]
+                    .iter()
+                    .map(|&i| {
+                        let (t, items, cur, mv) = chunks[i];
+                        t_gpu(t, items) + if cur == plan.gpu { 0.0 } else { mv }
+                    })
+                    .collect();
+                let cpu_times: Vec<f64> = order[j..]
+                    .iter()
+                    .map(|&i| {
+                        let (t, items, cur, mv) = chunks[i];
+                        t_cpu(t, items) + if cur == plan.gpu { mv } else { 0.0 }
+                    })
+                    .collect();
                 let wall = lpt(&gpu_times, gpu_slots).max(lpt(&cpu_times, cpu_slots));
                 let better = match wall.partial_cmp(&best_wall) {
                     Some(std::cmp::Ordering::Less) => true,
@@ -2457,13 +2541,13 @@ impl<'a> Sim<'a> {
             // predicts the new assignment strictly beats the current one.
             let cur_gpu_times: Vec<f64> = chunks
                 .iter()
-                .filter(|&&(_, _, cur)| cur == plan.gpu)
-                .map(|&(_, items, _)| t_gpu(items))
+                .filter(|&&(_, _, cur, _)| cur == plan.gpu)
+                .map(|&(t, items, _, _)| t_gpu(t, items))
                 .collect();
             let cur_cpu_times: Vec<f64> = chunks
                 .iter()
-                .filter(|&&(_, _, cur)| cur != plan.gpu)
-                .map(|&(_, items, _)| t_cpu(items))
+                .filter(|&&(_, _, cur, _)| cur != plan.gpu)
+                .map(|&(t, items, _, _)| t_cpu(t, items))
                 .collect();
             let cur_wall = lpt(&cur_gpu_times, gpu_slots).max(lpt(&cur_cpu_times, cpu_slots));
             if best_wall >= cur_wall {
@@ -2473,7 +2557,7 @@ impl<'a> Sim<'a> {
             for &i in &order[..best_j] {
                 assign_gpu[i] = true;
             }
-            for (i, &(t, items, cur)) in chunks.iter().enumerate() {
+            for (i, &(t, items, cur, _)) in chunks.iter().enumerate() {
                 let dest = if assign_gpu[i] { plan.gpu } else { DeviceId(0) };
                 if dest != cur {
                     a.override_of[t.0] = Some(dest);

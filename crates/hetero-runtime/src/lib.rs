@@ -48,6 +48,7 @@ pub mod adapt;
 pub mod coherence;
 pub mod data;
 pub mod executor;
+pub mod fuzz;
 pub mod graph;
 pub mod health;
 pub mod interval;
@@ -66,6 +67,8 @@ pub use executor::{
     simulate_faulty, simulate_faulty_observed, simulate_faulty_traced, simulate_observed,
     simulate_resilient, simulate_resilient_observed, simulate_resilient_traced, simulate_traced,
 };
+pub use executor::{ADAPT_STREAM, CORRELATED_STREAM, HEALTH_STREAM};
+pub use fuzz::{check_blame_identity, check_identical, report_digest, OracleKind, OracleViolation};
 pub use graph::TaskGraph;
 pub use health::{
     BreakerConfig, BreakerState, HealthConfig, HealthReport, QuarantineSpan, VerificationPolicy,
@@ -117,18 +120,42 @@ pub fn simulate_dp_perf_warmed_observed(
     simulate_observed(program, platform, &mut measured, obs)
 }
 
+/// The schedule the DP-Perf warm-up pass runs under: the base events with
+/// correlated triggering disabled and any replayed synthesized windows
+/// stripped. The warm-up exists only to learn rates, and its synthesized
+/// windows are not part of the recorded [`hetero_platform::FaultTrace`]
+/// (only the measured run's are) — letting it trigger live would make the
+/// learned rates, and therefore the whole run, impossible to replay. With
+/// this form the warm-up is a pure function of the base schedule, so a
+/// recorded run and its replay learn identical rates.
+pub fn warmup_schedule(
+    schedule: &hetero_platform::FaultSchedule,
+) -> hetero_platform::FaultSchedule {
+    let mut w = schedule.clone();
+    if let Some(n) = w.synthesized_after.take() {
+        w.events.truncate(n);
+    }
+    for d in &mut w.domains {
+        d.trigger_prob = 0.0;
+    }
+    w
+}
+
 /// [`simulate_dp_perf_warmed`] under a fault schedule: both the warm-up and
 /// the measured run execute under `schedule`, so the learned rates reflect
 /// the platform *as it misbehaves* — this is what lets DP-Perf adapt its
-/// partitioning to a throttled or flaky device.
+/// partitioning to a throttled or flaky device. The warm-up runs with
+/// correlated triggering disabled (see [`warmup_schedule`]); only the
+/// measured run propagates domain faults.
 pub fn simulate_dp_perf_warmed_faulty(
     program: &Program,
     platform: &hetero_platform::Platform,
     schedule: &hetero_platform::FaultSchedule,
     policy: hetero_platform::RetryPolicy,
 ) -> RunReport {
+    let warm_schedule = warmup_schedule(schedule);
     let mut warm = PerfScheduler::new(platform);
-    let _ = simulate_faulty(program, platform, &mut warm, schedule, policy);
+    let _ = simulate_faulty(program, platform, &mut warm, &warm_schedule, policy);
     let mut measured = PerfScheduler::seeded(platform, warm.rates().clone());
     simulate_faulty(program, platform, &mut measured, schedule, policy)
 }
@@ -144,8 +171,9 @@ pub fn simulate_dp_perf_warmed_resilient(
     policy: hetero_platform::RetryPolicy,
     health: &HealthConfig,
 ) -> RunReport {
+    let warm_schedule = warmup_schedule(schedule);
     let mut warm = PerfScheduler::new(platform);
-    let _ = simulate_resilient(program, platform, &mut warm, schedule, policy, health);
+    let _ = simulate_resilient(program, platform, &mut warm, &warm_schedule, policy, health);
     let mut measured = PerfScheduler::seeded(platform, warm.rates().clone());
     simulate_resilient(program, platform, &mut measured, schedule, policy, health)
 }
@@ -164,8 +192,9 @@ pub fn simulate_dp_perf_warmed_adaptive(
     health: &HealthConfig,
     adapt: &AdaptConfig,
 ) -> RunReport {
+    let warm_schedule = warmup_schedule(schedule);
     let mut warm = PerfScheduler::new(platform);
-    let _ = simulate_resilient(program, platform, &mut warm, schedule, policy, health);
+    let _ = simulate_resilient(program, platform, &mut warm, &warm_schedule, policy, health);
     let mut measured = PerfScheduler::seeded(platform, warm.rates().clone());
     simulate_adaptive(
         program,

@@ -1,0 +1,142 @@
+//! Regression replay of the checked-in fuzz corpus under
+//! `tests/fuzz_corpus/`: every archived scenario must stay clean under the
+//! full oracle bank, deterministically. Past shrunk reproducers land here
+//! so the bugs they exposed can never silently return.
+
+use std::path::PathBuf;
+
+use hetero_match::matchmaker::{
+    load_corpus, run_oracles, save_corpus_entry, CorpusEntry, InjectedBreak, Scenario,
+};
+use hetero_match::platform::FaultEvent;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fuzz_corpus")
+}
+
+#[test]
+fn checked_in_corpus_replays_clean() {
+    let corpus = load_corpus(&corpus_dir());
+    assert!(
+        corpus.len() >= 3,
+        "expected at least 3 seed scenarios in tests/fuzz_corpus/, found {}",
+        corpus.len()
+    );
+    for (path, entry) in &corpus {
+        assert!(
+            entry.scenario.is_valid(),
+            "{} holds an invalid scenario",
+            path.display()
+        );
+        let violations = run_oracles(&entry.scenario, &InjectedBreak::NONE);
+        assert!(
+            violations.is_empty(),
+            "{} regressed: {violations:?}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn corpus_replay_is_deterministic() {
+    for (path, entry) in load_corpus(&corpus_dir()) {
+        let a = format!("{:?}", run_oracles(&entry.scenario, &InjectedBreak::NONE));
+        let b = format!("{:?}", run_oracles(&entry.scenario, &InjectedBreak::NONE));
+        assert_eq!(a, b, "{} replay differs between runs", path.display());
+    }
+}
+
+/// The headline seed scenario from the ISSUE: a correlated-domain outage
+/// plus a link-bandwidth degrade on a >=3-device platform.
+#[test]
+fn corpus_has_correlated_outage_with_link_degrade() {
+    let corpus = load_corpus(&corpus_dir());
+    let hit = corpus.iter().find(|(path, _)| {
+        path.file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.contains("correlated-outage-link-degrade"))
+    });
+    let (_, entry) = hit.expect("seed-correlated-outage-link-degrade fixture missing");
+    let s = &entry.scenario;
+    assert!(s.platform.device_count() >= 3, "wants a 3+-device platform");
+    assert!(
+        !s.schedule.domains.is_empty(),
+        "wants a correlated fault domain"
+    );
+    assert!(
+        s.schedule
+            .events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::LinkDegrade { .. })),
+        "wants a LinkDegrade event"
+    );
+}
+
+/// Regenerate the seed corpus. Deterministic: scans generated seeds from 0
+/// upward and archives the first scenario matching each fixture's shape.
+/// Run with `cargo test -q --test fuzz_corpus -- --ignored regenerate`.
+#[test]
+#[ignore = "writes tests/fuzz_corpus/; run manually to refresh the seed fixtures"]
+fn regenerate_seed_corpus() {
+    type Wants = fn(&Scenario) -> bool;
+    let dir = corpus_dir();
+    let fixtures: &[(&str, &str, Wants)] = &[
+        (
+            "seed-correlated-outage-link-degrade.json",
+            "correlated fault domain armed alongside a link-bandwidth degrade \
+             on a 3+-device platform; exercises sibling dropout synthesis and \
+             degraded-transfer accounting together",
+            |s| {
+                s.platform.device_count() >= 3
+                    && !s.schedule.domains.is_empty()
+                    && s.schedule
+                        .events
+                        .iter()
+                        .any(|e| matches!(e, FaultEvent::LinkDegrade { .. }))
+            },
+        ),
+        (
+            "seed-flaky-device-retry.json",
+            "a flaky device with per-dispatch fault windows; exercises retry \
+             accounting and the blame identity under repeated task faults",
+            |s| {
+                s.schedule
+                    .events
+                    .iter()
+                    .any(|e| matches!(e, FaultEvent::Flaky { .. } | FaultEvent::TaskFaults { .. }))
+            },
+        ),
+        (
+            "seed-profile-misprediction.json",
+            "a whole-run profile perturbation under a partitioning strategy; \
+             exercises the adaptive and de-escalation no-regression oracles",
+            |s| {
+                s.schedule
+                    .events
+                    .iter()
+                    .any(|e| matches!(e, FaultEvent::ProfilePerturb { .. }))
+                    && matches!(
+                        s.config,
+                        hetero_match::matchmaker::ExecutionConfig::Strategy(_)
+                    )
+            },
+        ),
+    ];
+    for (name, description, wants) in fixtures {
+        let scenario = (0u64..100_000)
+            .map(Scenario::generate)
+            .find(|s| s.is_valid() && wants(s))
+            .unwrap_or_else(|| panic!("no seed in 0..100000 matches {name}"));
+        assert!(
+            run_oracles(&scenario, &InjectedBreak::NONE).is_empty(),
+            "{name}: candidate scenario must replay clean"
+        );
+        let entry = CorpusEntry {
+            description: (*description).to_string(),
+            oracle: None,
+            scenario,
+        };
+        let path = save_corpus_entry(&dir, name, &entry).unwrap();
+        eprintln!("wrote {}", path.display());
+    }
+}
