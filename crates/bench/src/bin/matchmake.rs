@@ -31,6 +31,11 @@
 //!                                       # selected strategy's effective FaultTrace —
 //!                                       # input events plus synthesized triggers — to
 //!                                       # <path>; requires --fault-trace
+//!   --replan                            # compare: enable degraded-mode plan repair
+//!                                       # (survivor re-planning on device death and
+//!                                       # quarantine); adds a replans column and exits
+//!                                       # non-zero on a typed ReplanError; requires
+//!                                       # --fault-trace
 //!
 //! fuzz options:
 //!   --iters <n>                         # scenarios to fuzz (default 100)
@@ -48,11 +53,11 @@
 
 use hetero_platform::{FaultTrace, Platform, RetryPolicy};
 use hetero_runtime::{
-    HealthConfig, MetricsObserver, MetricsRegistry, MultiObserver, TraceObserver,
+    AdaptConfig, HealthConfig, MetricsObserver, MetricsRegistry, MultiObserver, TraceObserver,
     DEFAULT_GANTT_WIDTH,
 };
 use matchmaker::{
-    tune_task_size, Analyzer, AppDescriptor, ExecutionConfig, ProfileStore, Strategy,
+    tune_task_size, Analyzer, AppDescriptor, ExecutionConfig, ProfileStore, ReplanConfig, Strategy,
 };
 use std::env;
 use std::fs;
@@ -64,7 +69,7 @@ fn usage() -> ! {
         "usage: matchmake <template|analyze|compare|timeline|tune|platforms|fuzz> [app.json] \
          [--platform icpp15|icpp15-phi] [--refined] [--width <n>] [--metrics <path>] \
          [--breakdown] [--profile <path>] [--fault-trace <path>] [--fault-trace-out <path>] \
-         [--iters <n>] [--seed <s>] [--shrink] [--corpus <dir>] [--self-check]"
+         [--replan] [--iters <n>] [--seed <s>] [--shrink] [--corpus <dir>] [--self-check]"
     );
     exit(2);
 }
@@ -175,6 +180,7 @@ fn main() {
     let mut profile_path: Option<String> = None;
     let mut fault_trace_path: Option<String> = None;
     let mut fault_trace_out: Option<String> = None;
+    let mut replan = false;
     let mut iters: u64 = 100;
     let mut seed: u64 = 0;
     let mut shrink = false;
@@ -223,6 +229,7 @@ fn main() {
             "--fault-trace-out" => {
                 fault_trace_out = Some(it.next().cloned().unwrap_or_else(|| usage()));
             }
+            "--replan" => replan = true,
             _ if command.is_none() => command = Some(a.clone()),
             _ if file.is_none() => file = Some(a.clone()),
             _ => usage(),
@@ -304,6 +311,10 @@ fn main() {
                 eprintln!("--fault-trace-out requires --fault-trace (the schedule to run)");
                 exit(2);
             }
+            if replan && fault_trace_path.is_none() {
+                eprintln!("--replan requires --fault-trace (repair reacts to its faults)");
+                exit(2);
+            }
             // With `--fault-trace` alone the trace is *replayed*: synthesized
             // events are baked in as plain windows and conditional triggering
             // is disabled, so repeated invocations are byte-identical. With
@@ -340,10 +351,17 @@ fn main() {
             let mut registry = MetricsRegistry::new();
             let mut blames: Vec<(String, String)> = Vec::new();
             let mut best_synth = Vec::new();
-            println!(
-                "{:<14} {:>12} {:>11} {:>12} {:>10}",
-                "config", "time", "GPU share", "transferred", "decisions"
-            );
+            if replan {
+                println!(
+                    "{:<14} {:>12} {:>11} {:>12} {:>10} {:>8}",
+                    "config", "time", "GPU share", "transferred", "decisions", "replans"
+                );
+            } else {
+                println!(
+                    "{:<14} {:>12} {:>11} {:>12} {:>10}",
+                    "config", "time", "GPU share", "transferred", "decisions"
+                );
+            }
             for config in [ExecutionConfig::OnlyGpu, ExecutionConfig::OnlyCpu]
                 .into_iter()
                 .chain(
@@ -354,7 +372,40 @@ fn main() {
                 )
             {
                 let label = config.to_string();
-                let report = if let Some(schedule) = &fault_schedule {
+                let report = if let (true, Some(schedule)) = (replan, &fault_schedule) {
+                    // Degraded-mode plan repair: a typed `ReplanError` from
+                    // any configuration aborts the comparison non-zero —
+                    // silent fallback would misrepresent the repaired times.
+                    let result = if metrics_path.is_some() {
+                        let mut mobs = MetricsObserver::new(&platform, &label);
+                        let result = analyzer.simulate_repairing_observed(
+                            &desc,
+                            config,
+                            schedule,
+                            RetryPolicy::default(),
+                            &HealthConfig::disabled(),
+                            &AdaptConfig::disabled(),
+                            &ReplanConfig::enabled_default(),
+                            &mut mobs,
+                        );
+                        registry.merge(mobs.registry());
+                        result
+                    } else {
+                        analyzer.simulate_repairing(
+                            &desc,
+                            config,
+                            schedule,
+                            RetryPolicy::default(),
+                            &HealthConfig::disabled(),
+                            &AdaptConfig::disabled(),
+                            &ReplanConfig::enabled_default(),
+                        )
+                    };
+                    result.unwrap_or_else(|e| {
+                        eprintln!("replan: {label}: {e}");
+                        exit(1);
+                    })
+                } else if let Some(schedule) = &fault_schedule {
                     if metrics_path.is_some() {
                         let mut mobs = MetricsObserver::new(&platform, &label);
                         let report = analyzer.simulate_resilient_observed(
@@ -381,14 +432,26 @@ fn main() {
                 if config == ExecutionConfig::Strategy(analysis.best) {
                     best_synth = report.synthesized_faults.clone();
                 }
-                println!(
-                    "{:<14} {:>12} {:>10.1}% {:>9.2} GB {:>10}",
-                    label,
-                    report.makespan.to_string(),
-                    100.0 * report.gpu_item_share(),
-                    report.counters.transfers.bytes as f64 / 1e9,
-                    report.counters.sched_decisions
-                );
+                if replan {
+                    println!(
+                        "{:<14} {:>12} {:>10.1}% {:>9.2} GB {:>10} {:>8}",
+                        label,
+                        report.makespan.to_string(),
+                        100.0 * report.gpu_item_share(),
+                        report.counters.transfers.bytes as f64 / 1e9,
+                        report.counters.sched_decisions,
+                        report.adapt.replans + report.adapt.readmissions
+                    );
+                } else {
+                    println!(
+                        "{:<14} {:>12} {:>10.1}% {:>9.2} GB {:>10}",
+                        label,
+                        report.makespan.to_string(),
+                        100.0 * report.gpu_item_share(),
+                        report.counters.transfers.bytes as f64 / 1e9,
+                        report.counters.sched_decisions
+                    );
+                }
                 if breakdown {
                     blames.push((label, report.breakdown.render(&names)));
                 }

@@ -28,7 +28,8 @@ use hetero_platform::{
 };
 use hetero_runtime::{
     check_blame_identity, check_identical, run_native, AccessMode, AdaptConfig, BufferId,
-    ExecOrder, HealthConfig, HostBuffers, KernelFn, OracleKind, OracleViolation, TimeBreakdown,
+    ExecOrder, HealthConfig, HostBuffers, KernelFn, OracleKind, OracleViolation, ReplanConfig,
+    TimeBreakdown,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -361,6 +362,7 @@ fn zero_largest_component(bd: &mut TimeBreakdown) -> bool {
         "link_degraded" => b.link_degraded = SimTime::ZERO,
         "scheduling" => b.scheduling = SimTime::ZERO,
         "adaptation" => b.adaptation = SimTime::ZERO,
+        "replan" => b.replan = SimTime::ZERO,
         "fault_loss" => b.fault_loss = SimTime::ZERO,
         "hedge_waste" => b.hedge_waste = SimTime::ZERO,
         "rollback" => b.rollback = SimTime::ZERO,
@@ -613,6 +615,58 @@ pub fn run_oracles_counted(
                         deescalated.makespan, stayed.makespan
                     ),
                 ));
+            }
+        }
+    }
+
+    // (e) Plan repair never loses to naive host failover, on the
+    // permanent-dropout slice of the schedule (the envelope PR 7 proves
+    // the guard for: repair applies a rebinding only when the model
+    // predicts it strictly beats the chunk-by-chunk failover of the same
+    // wave) and only for static hybrid strategies — dynamic chunks are
+    // re-placed by the scheduler and repair leaves them alone.
+    let dropouts: Vec<FaultEvent> = scenario
+        .schedule
+        .events
+        .iter()
+        .filter(|e| matches!(e, FaultEvent::DeviceDropout { .. }))
+        .cloned()
+        .collect();
+    if !dropouts.is_empty() && is_static_hybrid(config) {
+        let dschedule = FaultSchedule {
+            seed: scenario.schedule.seed,
+            events: dropouts,
+            domains: Vec::new(),
+            synthesized_after: None,
+        };
+        let health = HealthConfig::disabled();
+        count(OracleKind::RepairNeverLoses, &mut checks);
+        let naive = analyzer.simulate_resilient(desc, config, &dschedule, policy, &health);
+        // Adaptation stays off so the only delta between the runs is the
+        // repair subsystem itself.
+        // The repair subsystem giving up (budget exhausted, nothing to
+        // re-plan onto) is the documented fall-back to naive failover, not
+        // a regression — the guarantee covers applied repairs (the `Ok`s).
+        if let Ok(repaired) = analyzer.simulate_repairing(
+            desc,
+            config,
+            &dschedule,
+            policy,
+            &health,
+            &AdaptConfig::disabled(),
+            &ReplanConfig::enabled_default(),
+        ) {
+            if repaired.makespan.as_secs_f64() > naive.makespan.as_secs_f64() * (1.0 + 1e-9) {
+                violations.push(OracleViolation::new(
+                    OracleKind::RepairNeverLoses,
+                    format!(
+                        "repaired {} > naive failover {}",
+                        repaired.makespan, naive.makespan
+                    ),
+                ));
+            }
+            if let Err(v) = check_blame_identity(&repaired) {
+                violations.push(v);
             }
         }
     }

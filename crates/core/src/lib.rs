@@ -69,7 +69,8 @@ pub use fuzz::{
 };
 pub use hetero_runtime::PlanError;
 pub use hetero_runtime::{OracleKind, OracleViolation};
-pub use plan::{KernelModel, KernelSplit, Plan, Planner};
+pub use hetero_runtime::{ReplanConfig, ReplanError};
+pub use plan::{KernelModel, KernelSplit, Plan, Planner, SurvivorPlan};
 pub use profile::{ProfileStore, RateProfile};
 pub use ranking::{best_strategy, escalation_target, rank_of, ranking, SyncMode};
 pub use robustness::DegradationEntry;

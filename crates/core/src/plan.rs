@@ -34,7 +34,8 @@ use glinda::{
 };
 use hetero_platform::{DeviceId, DeviceKind, MemSpaceId, Platform};
 use hetero_runtime::{
-    split_even, Access, AdaptPlan, KernelId, PlanError, Program, ProgramBuilder, Region,
+    split_even, Access, AdaptPlan, KernelId, MultiAdaptPlan, PlanError, Program, ProgramBuilder,
+    Region, ReplanError,
 };
 use serde::{Deserialize, Serialize};
 
@@ -123,6 +124,23 @@ pub struct KernelModel {
     pub gpu_rate: f64,
     /// Transfer model for one offload of this kernel.
     pub transfer: TransferModel,
+}
+
+/// The outcome of [`Planner::replan_surviving`]: how to run the rest of
+/// the application on the devices that are still alive.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SurvivorPlan {
+    /// The execution configuration for the survivors — the original
+    /// strategy, or its downgrade ([`ExecutionConfig::OnlyCpu`] when only
+    /// the host survives or no surviving accelerator amortises its
+    /// transfers).
+    pub config: ExecutionConfig,
+    /// Surviving accelerators, in platform order (empty on an Only-CPU
+    /// downgrade).
+    pub accels: Vec<DeviceId>,
+    /// The re-solved N-way split over `accels` (`None` when downgraded to
+    /// Only-CPU with no accelerator left to solve for).
+    pub multi: Option<MultiSolution>,
 }
 
 impl<'a> Planner<'a> {
@@ -357,6 +375,21 @@ impl<'a> Planner<'a> {
         profile: &hetero_platform::KernelProfile,
         transfer: TransferModel,
     ) -> MultiSolution {
+        solve_multi(&self.multi_problem(items, cpu_rate, profile, transfer))
+    }
+
+    /// The N-way partitioning problem over *all* platform accelerators:
+    /// each accelerator profiled directly against the roofline, the shared
+    /// transfer model per side, per-link bandwidths. This is the problem
+    /// the static N-way decision solves and the one the adaptive
+    /// controller and plan repair re-solve against observed rates.
+    fn multi_problem(
+        &self,
+        items: u64,
+        cpu_rate: f64,
+        profile: &hetero_platform::KernelProfile,
+        transfer: TransferModel,
+    ) -> MultiDeviceProblem {
         let accelerators = self
             .platform
             .accelerators()
@@ -374,11 +407,11 @@ impl<'a> Planner<'a> {
                 }
             })
             .collect();
-        solve_multi(&MultiDeviceProblem {
+        MultiDeviceProblem {
             items,
             cpu_rate,
             accelerators,
-        })
+        }
     }
 
     /// Glinda decision for the fused kernel sequence (SP-Unified): one
@@ -398,43 +431,51 @@ impl<'a> Planner<'a> {
             cpu_tpi += 1.0 / m.cpu_rate;
         }
         cpu_tpi *= iters;
-        let kernel_refs: Vec<&KernelSpec> = desc.kernels.iter().collect();
-        let transfer = self.transfer_model(desc, &kernel_refs);
         if self.platform.accelerators().count() > 1 {
-            // Fuse per-item times into a synthetic profile-equivalent rate
-            // per accelerator via the first kernel's profile scaled by the
-            // fused/individual ratio; simpler and adequate: waterfill on
-            // fused rates computed per device.
-            let accelerators = self
-                .platform
-                .accelerators()
-                .map(|dev| {
-                    let mut tpi = 0.0;
-                    for k in &desc.kernels {
-                        let probe =
-                            default_probe_items(domain, dev.spec.kind.partition_granularity());
-                        tpi += 1.0 / estimate_device_rate(dev, &k.profile, probe);
-                    }
-                    tpi *= desc.iterations() as f64;
-                    let link = self
-                        .platform
-                        .link(MemSpaceId::HOST, dev.mem_space)
-                        .expect("accelerator has a host link");
-                    AcceleratorSide {
-                        rate: 1.0 / tpi,
-                        transfer,
-                        link_bandwidth: link.bandwidth_gbs * 1e9,
-                        granularity: dev.spec.kind.partition_granularity(),
-                    }
-                })
-                .collect();
-            return KernelSplit::Multi(solve_multi(&MultiDeviceProblem {
-                items: domain,
-                cpu_rate: 1.0 / cpu_tpi,
-                accelerators,
-            }));
+            return KernelSplit::Multi(solve_multi(
+                &self.unified_multi_problem(desc, 1.0 / cpu_tpi),
+            ));
         }
         KernelSplit::Single(decide(&self.unified_problem(desc), &self.decision))
+    }
+
+    /// The N-way problem for the fused kernel sequence: per-item times of
+    /// every kernel summed per accelerator (the device runs the whole
+    /// sequence on its segment), one transfer round-trip.
+    fn unified_multi_problem(&self, desc: &AppDescriptor, cpu_rate: f64) -> MultiDeviceProblem {
+        let domain = desc.kernels[0].domain;
+        let kernel_refs: Vec<&KernelSpec> = desc.kernels.iter().collect();
+        let transfer = self.transfer_model(desc, &kernel_refs);
+        // Fuse per-item times into a synthetic profile-equivalent rate per
+        // accelerator; simpler and adequate: waterfill on fused rates
+        // computed per device.
+        let accelerators = self
+            .platform
+            .accelerators()
+            .map(|dev| {
+                let mut tpi = 0.0;
+                for k in &desc.kernels {
+                    let probe = default_probe_items(domain, dev.spec.kind.partition_granularity());
+                    tpi += 1.0 / estimate_device_rate(dev, &k.profile, probe);
+                }
+                tpi *= desc.iterations() as f64;
+                let link = self
+                    .platform
+                    .link(MemSpaceId::HOST, dev.mem_space)
+                    .expect("accelerator has a host link");
+                AcceleratorSide {
+                    rate: 1.0 / tpi,
+                    transfer,
+                    link_bandwidth: link.bandwidth_gbs * 1e9,
+                    granularity: dev.spec.kind.partition_granularity(),
+                }
+            })
+            .collect();
+        MultiDeviceProblem {
+            items: domain,
+            cpu_rate,
+            accelerators,
+        }
     }
 
     /// The fused-sequence partitioning problem SP-Unified solves on a
@@ -476,26 +517,41 @@ impl<'a> Planner<'a> {
     /// Returns `None` when the run has nothing the controller could
     /// re-solve: dynamic strategies and single-device baselines, non-hybrid
     /// decisions (Only-CPU/Only-GPU fallbacks of the decision step),
-    /// multi-accelerator platforms (the two-way re-solve doesn't apply),
     /// imbalanced weighted kernels (split by work, not count), and
     /// SP-Varied over several kernels (per-kernel re-solving is future
     /// work).
+    ///
+    /// On a multi-accelerator platform the plan additionally carries the
+    /// N-way [`MultiAdaptPlan`] — the waterfilling problem and split over
+    /// *all* accelerators — so barrier re-solves and degraded-mode plan
+    /// repair can redo the N-way split from observed rates (the two-way
+    /// `problem`/`solution` pair is kept against the first accelerator for
+    /// reporting continuity).
     pub fn adapt_plan(&self, desc: &AppDescriptor, config: ExecutionConfig) -> Option<AdaptPlan> {
-        if self.platform.accelerators().count() > 1 {
-            return None;
-        }
-        let problem = match config {
+        let (problem, multi_problem) = match config {
             ExecutionConfig::Strategy(Strategy::SpSingle | Strategy::SpVaried) => {
                 if desc.kernels.len() != 1 || desc.kernels[0].weights.is_some() {
                     return None;
                 }
-                self.kernel_problem(desc, 0)
+                let model = self.kernel_model(desc, 0, true);
+                let multi = (self.platform.accelerators().count() > 1).then(|| {
+                    self.multi_problem(
+                        desc.kernels[0].domain,
+                        model.cpu_rate,
+                        &desc.kernels[0].profile,
+                        model.transfer,
+                    )
+                });
+                (self.kernel_problem(desc, 0), multi)
             }
             ExecutionConfig::Strategy(Strategy::SpUnified) => {
                 if desc.kernels.iter().any(|k| k.weights.is_some()) {
                     return None;
                 }
-                self.unified_problem(desc)
+                let problem = self.unified_problem(desc);
+                let multi = (self.platform.accelerators().count() > 1)
+                    .then(|| self.unified_multi_problem(desc, problem.cpu_rate));
+                (problem, multi)
             }
             _ => return None,
         };
@@ -504,9 +560,147 @@ impl<'a> Planner<'a> {
                 problem,
                 solution,
                 gpu: self.gpu().id,
+                multi: multi_problem.map(|problem| {
+                    let solution = solve_multi(&problem);
+                    MultiAdaptPlan {
+                        problem,
+                        solution,
+                        accels: self.platform.accelerators().map(|d| d.id).collect(),
+                    }
+                }),
             }),
             _ => None,
         }
+    }
+
+    /// Re-solve the static plan for `config` over a *surviving* device
+    /// subset — the planner half of degraded-mode plan repair (DESIGN.md
+    /// §8.6). `survivors` is the set of devices still accepting work (the
+    /// executor passes everything not permanently dead or
+    /// breaker-quarantined); `observed_cpu_rate` / `observed_accel_rates`
+    /// (the latter indexed in platform accelerator order) carry live
+    /// whole-device throughput observations that override the profiled
+    /// model where present.
+    ///
+    /// The result downgrades the strategy when the device set demands it:
+    /// with no surviving accelerator the plan collapses to
+    /// [`ExecutionConfig::OnlyCpu`] (everything on the host), otherwise the
+    /// N-way waterfilling problem is restricted to the surviving
+    /// accelerators and re-solved. Errors are typed: an empty survivor set
+    /// is [`ReplanError::NoSurvivingAccelerator`]; a configuration with no
+    /// static plan to re-solve (dynamic strategies, single-device
+    /// baselines, weighted kernels) or unusable observed rates is
+    /// [`ReplanError::SolverInfeasible`].
+    pub fn replan_surviving(
+        &self,
+        desc: &AppDescriptor,
+        config: ExecutionConfig,
+        survivors: &[DeviceId],
+        observed_cpu_rate: Option<f64>,
+        observed_accel_rates: &[Option<f64>],
+    ) -> Result<SurvivorPlan, ReplanError> {
+        if survivors.is_empty() {
+            return Err(ReplanError::NoSurvivingAccelerator);
+        }
+        let host = self.platform.cpu().id;
+        if !survivors.contains(&host) {
+            // The simulator's host is immortal (it is the failover target
+            // of last resort); a survivor set without it is unplannable.
+            return Err(ReplanError::SolverInfeasible {
+                detail: "host CPU is not among the survivors".into(),
+            });
+        }
+        let accels: Vec<DeviceId> = self
+            .platform
+            .accelerators()
+            .map(|d| d.id)
+            .filter(|d| survivors.contains(d))
+            .collect();
+        if accels.is_empty() {
+            // Only the host survives: SP-* degrades to the Only-CPU
+            // baseline — there is nothing left to partition against.
+            return Ok(SurvivorPlan {
+                config: ExecutionConfig::OnlyCpu,
+                accels,
+                multi: None,
+            });
+        }
+        let full = match config {
+            ExecutionConfig::Strategy(Strategy::SpSingle | Strategy::SpVaried) => {
+                if desc.kernels.len() != 1 || desc.kernels[0].weights.is_some() {
+                    return Err(ReplanError::SolverInfeasible {
+                        detail: "per-kernel or weighted plans have no single split to re-solve"
+                            .into(),
+                    });
+                }
+                let model = self.kernel_model(desc, 0, true);
+                self.multi_problem(
+                    desc.kernels[0].domain,
+                    model.cpu_rate,
+                    &desc.kernels[0].profile,
+                    model.transfer,
+                )
+            }
+            ExecutionConfig::Strategy(Strategy::SpUnified) => {
+                if desc.kernels.iter().any(|k| k.weights.is_some()) {
+                    return Err(ReplanError::SolverInfeasible {
+                        detail: "weighted kernels split by work, not count".into(),
+                    });
+                }
+                self.unified_multi_problem(desc, self.unified_problem(desc).cpu_rate)
+            }
+            _ => {
+                return Err(ReplanError::SolverInfeasible {
+                    detail: format!("{config} has no static plan to re-solve"),
+                })
+            }
+        };
+        // Restrict the problem to the surviving accelerators, overriding
+        // profiled rates with live observations where available.
+        let all_accels: Vec<DeviceId> = self.platform.accelerators().map(|d| d.id).collect();
+        let mut sides = Vec::with_capacity(accels.len());
+        for (i, dev) in all_accels.iter().enumerate() {
+            if !accels.contains(dev) {
+                continue;
+            }
+            let mut side = full.accelerators[i];
+            if let Some(rate) = observed_accel_rates.get(i).copied().flatten() {
+                if !(rate.is_finite() && rate > 0.0) {
+                    return Err(ReplanError::SolverInfeasible {
+                        detail: format!("observed rate for dev{} is unusable ({rate})", dev.0),
+                    });
+                }
+                side.rate = rate;
+            }
+            sides.push(side);
+        }
+        let mut cpu_rate = full.cpu_rate;
+        if let Some(rate) = observed_cpu_rate {
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err(ReplanError::SolverInfeasible {
+                    detail: format!("observed host rate is unusable ({rate})"),
+                });
+            }
+            cpu_rate = rate;
+        }
+        let solution = solve_multi(&MultiDeviceProblem {
+            items: full.items,
+            cpu_rate,
+            accelerators: sides,
+        });
+        // The waterfilling solver may drop every accelerator (none of them
+        // amortises its transfers any more): that, too, is an Only-CPU
+        // downgrade rather than a split.
+        let config = if solution.accel_items.iter().all(|&x| x == 0) {
+            ExecutionConfig::OnlyCpu
+        } else {
+            config
+        };
+        Ok(SurvivorPlan {
+            config,
+            accels,
+            multi: Some(solution),
+        })
     }
 
     /// Plan a program for the given execution configuration; panics on

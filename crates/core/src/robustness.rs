@@ -16,7 +16,7 @@ use crate::descriptor::AppDescriptor;
 use crate::plan::Planner;
 use crate::strategy::ExecutionConfig;
 use hetero_platform::{FaultSchedule, FaultTrace, RetryPolicy, SimTime};
-use hetero_runtime::{AdaptConfig, HealthConfig, RunReport};
+use hetero_runtime::{AdaptConfig, HealthConfig, ReplanConfig, ReplanError, RunReport};
 
 /// One configuration's healthy/faulty pair from [`Analyzer::rank_by_degradation`].
 #[derive(Clone, Debug)]
@@ -293,6 +293,126 @@ impl<'a> Analyzer<'a> {
                 planner.adapt_plan(desc, config),
                 obs,
             ),
+        }
+    }
+
+    /// [`Analyzer::simulate_adaptive`] with degraded-mode plan repair
+    /// armed: when a device dies past its retry budget or the circuit
+    /// breaker quarantines it, the executor re-solves the surviving device
+    /// set (N-way via the planner's [`hetero_runtime::MultiAdaptPlan`] on
+    /// multi-accelerator platforms) and rebinds the queued chunks
+    /// wave-aware, instead of leaning on naive chunk-by-chunk host
+    /// failover. See DESIGN.md §8.6.
+    ///
+    /// Returns [`ReplanError`] when the repair subsystem had to give up:
+    /// no surviving device, re-solve infeasible, or the
+    /// [`ReplanConfig::max_replans`] budget exhausted mid-run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn simulate_repairing(
+        &self,
+        desc: &AppDescriptor,
+        config: ExecutionConfig,
+        schedule: &FaultSchedule,
+        policy: RetryPolicy,
+        health: &HealthConfig,
+        adapt: &AdaptConfig,
+        replan: &ReplanConfig,
+    ) -> Result<RunReport, ReplanError> {
+        self.simulate_repairing_observed(
+            desc,
+            config,
+            schedule,
+            policy,
+            health,
+            adapt,
+            replan,
+            &mut hetero_runtime::NullObserver,
+        )
+    }
+
+    /// [`Analyzer::simulate_repairing`] with a pluggable
+    /// [`hetero_runtime::Observer`] — the way to capture
+    /// [`hetero_runtime::TraceEvent::PlanRepaired`] /
+    /// [`hetero_runtime::TraceEvent::DeviceReadmitted`] streams from the
+    /// planner-in-the-loop pipeline. DP-Perf's warm-up pass runs
+    /// unobserved, as in [`Analyzer::simulate_resilient_observed`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn simulate_repairing_observed(
+        &self,
+        desc: &AppDescriptor,
+        config: ExecutionConfig,
+        schedule: &FaultSchedule,
+        policy: RetryPolicy,
+        health: &HealthConfig,
+        adapt: &AdaptConfig,
+        replan: &ReplanConfig,
+        obs: &mut dyn hetero_runtime::Observer,
+    ) -> Result<RunReport, ReplanError> {
+        use crate::strategy::Strategy;
+        use hetero_runtime::{
+            simulate_repairing_observed, simulate_resilient, DepScheduler, PerfScheduler,
+            PinnedScheduler,
+        };
+        let planner = self.misprediction_planner(schedule);
+        let plan = planner.plan(desc, config);
+        let platform = planner.platform;
+        let report = match config {
+            ExecutionConfig::Strategy(Strategy::DpDep) => {
+                let mut s = DepScheduler::new(platform);
+                simulate_repairing_observed(
+                    &plan.program,
+                    platform,
+                    &mut s,
+                    schedule,
+                    policy,
+                    health,
+                    adapt,
+                    None,
+                    replan,
+                    obs,
+                )
+            }
+            ExecutionConfig::Strategy(Strategy::DpPerf) => {
+                let warm_schedule = hetero_runtime::warmup_schedule(schedule);
+                let mut warm = PerfScheduler::new(platform);
+                let _ = simulate_resilient(
+                    &plan.program,
+                    platform,
+                    &mut warm,
+                    &warm_schedule,
+                    policy,
+                    health,
+                );
+                let mut measured = PerfScheduler::seeded(platform, warm.rates().clone());
+                simulate_repairing_observed(
+                    &plan.program,
+                    platform,
+                    &mut measured,
+                    schedule,
+                    policy,
+                    health,
+                    adapt,
+                    None,
+                    replan,
+                    obs,
+                )
+            }
+            _ => simulate_repairing_observed(
+                &plan.program,
+                platform,
+                &mut PinnedScheduler,
+                schedule,
+                policy,
+                health,
+                adapt,
+                planner.adapt_plan(desc, config),
+                replan,
+                obs,
+            ),
+        };
+        match report.adapt.replan_error.clone() {
+            Some(e) => Err(e),
+            None => Ok(report),
         }
     }
 

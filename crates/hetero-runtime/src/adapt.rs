@@ -41,9 +41,10 @@
 //!
 //! [`ProfilePerturb`]: hetero_platform::FaultEvent::ProfilePerturb
 
-use glinda::{PartitionProblem, PartitionSolution};
+use glinda::{MultiDeviceProblem, MultiSolution, PartitionProblem, PartitionSolution};
 use hetero_platform::DeviceId;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Configuration for the adaptive repartitioning controller. The disabled
 /// configuration ([`AdaptConfig::disabled`]) makes `simulate_adaptive`
@@ -148,16 +149,137 @@ impl Default for AdaptConfig {
 /// Produced by the planner (`matchmaker::Planner::adapt_plan`) for static
 /// hybrid strategies; dynamic strategies have nothing to re-solve and run
 /// without one.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct AdaptPlan {
     /// The partitioning problem the planner solved (planner-visible rates,
     /// possibly mispredicted).
     pub problem: PartitionProblem,
     /// The split the plan was emitted from.
     pub solution: PartitionSolution,
-    /// The accelerator the split's GPU share is pinned to.
+    /// The accelerator the split's GPU share is pinned to (the primary
+    /// accelerator on multi-accelerator platforms).
     pub gpu: DeviceId,
+    /// The N-way extension on multi-accelerator platforms: the
+    /// `solve_multi` problem/split behind the plan, so the controller and
+    /// the plan-repair subsystem can re-solve the full device set against
+    /// observed rates. `None` on single-accelerator platforms.
+    pub multi: Option<MultiAdaptPlan>,
 }
+
+/// The N-way (`glinda::multi::solve_multi`) decision behind a
+/// multi-accelerator static plan. Carried inside [`AdaptPlan`] so that
+/// barrier repartitioning and degraded-mode plan repair can re-solve the
+/// whole surviving device set with observed rates instead of the two-way
+/// CPU/GPU projection.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MultiAdaptPlan {
+    /// The N-way problem the planner solved (planner-visible rates).
+    pub problem: MultiDeviceProblem,
+    /// The split the plan was emitted from.
+    pub solution: MultiSolution,
+    /// The accelerators, in `problem.accelerators` order.
+    pub accels: Vec<DeviceId>,
+}
+
+/// Configuration of the degraded-mode plan-repair subsystem: survivor
+/// re-planning when a device permanently dies (dropout past the retry
+/// budget) or is quarantined by the circuit breaker, plus the symmetric
+/// healing re-plan when a quarantined device recloses. The disabled
+/// configuration keeps every executor path byte-identical to the
+/// repair-less runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReplanConfig {
+    /// Master switch: `false` disables every repair hook.
+    pub enabled: bool,
+    /// Upper bound on applied survivor re-plans (death + quarantine) per
+    /// run; the attempt past the budget records
+    /// [`ReplanError::BudgetExhausted`].
+    pub max_replans: u32,
+    /// Re-plan symmetrically when a quarantined device recloses
+    /// (HalfOpen→Closed), readmitting it into the split.
+    pub heal_on_reclose: bool,
+}
+
+impl ReplanConfig {
+    /// Everything off: byte-identical to the repair-less executor.
+    pub fn disabled() -> Self {
+        ReplanConfig {
+            enabled: false,
+            max_replans: 0,
+            heal_on_reclose: false,
+        }
+    }
+
+    /// Repair on with defaults: up to 4 survivor re-plans per run and
+    /// healing readmission on breaker reclose.
+    pub fn enabled_default() -> Self {
+        ReplanConfig {
+            enabled: true,
+            max_replans: 4,
+            heal_on_reclose: true,
+        }
+    }
+
+    /// `true` when the repair subsystem is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Check internal consistency: an enabled config needs a budget.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.enabled && self.max_replans == 0 {
+            return Err("enabled replan config needs max_replans >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ReplanConfig {
+    fn default() -> Self {
+        ReplanConfig::disabled()
+    }
+}
+
+/// Why a survivor re-plan could not be produced. Recorded in
+/// [`AdaptReport::replan_error`] by the executor (which then degrades to
+/// chunk-by-chunk host failover) and propagated as a hard error by
+/// `Analyzer::simulate_repairing_observed` and `matchmake compare
+/// --replan`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplanError {
+    /// Every device — host included — is dead or quarantined; there is no
+    /// survivor set to re-solve over.
+    NoSurvivingAccelerator,
+    /// The survivor re-solve could not produce a split (degenerate rates
+    /// or an infeasible problem).
+    SolverInfeasible {
+        /// What made the solve infeasible.
+        detail: String,
+    },
+    /// [`ReplanConfig::max_replans`] applied repairs were already spent.
+    BudgetExhausted {
+        /// The configured budget that was exhausted.
+        max_replans: u32,
+    },
+}
+
+impl fmt::Display for ReplanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplanError::NoSurvivingAccelerator => {
+                write!(f, "no surviving device to re-plan onto")
+            }
+            ReplanError::SolverInfeasible { detail } => {
+                write!(f, "survivor re-solve infeasible: {detail}")
+            }
+            ReplanError::BudgetExhausted { max_replans } => {
+                write!(f, "replan budget exhausted ({max_replans} allowed)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplanError {}
 
 /// What the adaptive controller observed and did during one run (all
 /// zeros for a balanced run or with adaptation disabled). Reported
@@ -186,6 +308,13 @@ pub struct AdaptReport {
     pub max_skew: f64,
     /// Skew of the last epoch that had ≥ 2 participating devices.
     pub final_skew: f64,
+    /// Survivor re-plans applied after a device death or quarantine.
+    pub replans: u64,
+    /// Healing re-plans that readmitted a reclosed device.
+    pub readmissions: u64,
+    /// Why the last repair attempt failed, if any did; the executor falls
+    /// back to chunk-by-chunk host failover after recording this.
+    pub replan_error: Option<ReplanError>,
 }
 
 #[cfg(test)]
@@ -243,6 +372,44 @@ mod tests {
         assert!(!r.reinstated);
         assert_eq!(r.reinstated_at_epoch, None);
         assert_eq!(r.max_skew, 0.0);
+    }
+
+    #[test]
+    fn replan_config_defaults_and_validation() {
+        let off = ReplanConfig::disabled();
+        assert!(!off.enabled());
+        assert!(off.validate().is_ok());
+        assert_eq!(off, ReplanConfig::default());
+
+        let on = ReplanConfig::enabled_default();
+        assert!(on.enabled());
+        assert!(on.heal_on_reclose);
+        assert!(on.validate().is_ok());
+
+        let mut bad = ReplanConfig::enabled_default();
+        bad.max_replans = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn replan_error_displays_are_descriptive() {
+        assert!(ReplanError::NoSurvivingAccelerator
+            .to_string()
+            .contains("no surviving"));
+        let e = ReplanError::SolverInfeasible {
+            detail: "zero observed rate".into(),
+        };
+        assert!(e.to_string().contains("zero observed rate"));
+        let e = ReplanError::BudgetExhausted { max_replans: 4 };
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn report_replan_fields_default_to_zero() {
+        let r = AdaptReport::default();
+        assert_eq!(r.replans, 0);
+        assert_eq!(r.readmissions, 0);
+        assert_eq!(r.replan_error, None);
     }
 
     #[test]

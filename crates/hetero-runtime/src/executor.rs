@@ -76,7 +76,7 @@
 //! observation window — the detector is a heuristic over committed work,
 //! not an audit trail.
 
-use crate::adapt::{AdaptConfig, AdaptPlan, AdaptReport};
+use crate::adapt::{AdaptConfig, AdaptPlan, AdaptReport, ReplanConfig, ReplanError};
 use crate::coherence::CoherenceDir;
 use crate::graph::TaskGraph;
 use crate::health::{BreakerState, HealthConfig, HealthReport, QuarantineSpan, VerificationPolicy};
@@ -87,6 +87,7 @@ use crate::program::{KernelId, Program, TaskDesc, TaskId};
 use crate::scheduler::{BindCtx, PerfScheduler, RateObservation, Scheduler};
 use crate::stats::{KernelStats, RunReport};
 use crate::trace::{Trace, TraceEvent};
+use glinda::{MultiDeviceProblem, MultiSolution};
 use hetero_platform::{
     DeviceId, EventQueue, FaultCounters, FaultEvent, FaultRng, FaultSchedule, MemSpaceId, Platform,
     PlatformCounters, RetryPolicy, SimTime,
@@ -114,6 +115,21 @@ pub const ADAPT_STREAM: u64 = 0xADA7_ADA7_ADA7_ADA7;
 /// without domains byte-identically. The stream is only allocated when
 /// [`FaultSchedule::has_correlation`] is true.
 pub const CORRELATED_STREAM: u64 = 0x00C0_DEFA_17D0_5EED;
+
+/// Stream-splitting constant for the plan-repair RNG: survivor re-plan
+/// tie-breaks draw from their own SplitMix64 stream so enabling repair
+/// never perturbs fault, health, or adaptation sampling and identical
+/// seeds replay byte-identically.
+pub const REPLAN_STREAM: u64 = 0x9EBA_1A2C_D00D_5EED;
+
+/// Safety margin of the N-way rebind guard: a survivor re-plan (or barrier
+/// rebalance) applies an epoch's moves only when the modeled wall beats the
+/// naive chunk-by-chunk failover wall by at least this fraction. The model
+/// is a per-epoch LPT relaxation — it prices execution at observed rates
+/// plus host round-trip and migration transfers, but cannot see link
+/// serialization or queue interleaving — so marginal predicted wins are
+/// not acted on.
+const NWAY_GUARD_MARGIN: f64 = 0.10;
 
 enum Ev {
     TaskDone {
@@ -167,7 +183,7 @@ pub fn simulate_observed(
     scheduler: &mut dyn Scheduler,
     obs: &mut dyn Observer,
 ) -> RunReport {
-    Sim::new(program, platform, scheduler, obs, None, None, None).run()
+    Sim::new(program, platform, scheduler, obs, None, None, None, None).run()
 }
 
 /// [`simulate`], additionally recording an execution [`Trace`].
@@ -216,6 +232,7 @@ pub fn simulate_faulty_observed(
         scheduler,
         obs,
         Some((schedule, policy)),
+        None,
         None,
         None,
     )
@@ -279,6 +296,7 @@ pub fn simulate_resilient_observed(
         obs,
         Some((schedule, policy)),
         Some(*health),
+        None,
         None,
     )
     .run()
@@ -356,6 +374,7 @@ pub fn simulate_adaptive_observed(
         Some((schedule, policy)),
         Some(*health),
         Some((*adapt, plan)),
+        None,
     )
     .run()
 }
@@ -377,6 +396,92 @@ pub fn simulate_adaptive_traced(
     let mut obs = TraceObserver::new();
     let report = simulate_adaptive_observed(
         program, platform, scheduler, schedule, policy, health, adapt, plan, &mut obs,
+    );
+    (report, obs.into_trace())
+}
+
+/// [`simulate_adaptive`] with the degraded-mode plan-repair subsystem
+/// configured by `replan` (see [`ReplanConfig`]): when a device dies past
+/// its retry budget or the circuit breaker quarantines it, the executor
+/// re-solves every not-yet-checkpointed epoch over the surviving device
+/// set at observed rates and rebinds the queued chunks wave-aware, with
+/// migrations priced by the nominal link; when a breaker recloses, a
+/// symmetric *healing* re-plan readmits the device. Both run behind the
+/// controller's strict no-regression guard and are bounded by
+/// [`ReplanConfig::max_replans`]. With [`ReplanConfig::disabled`] this is
+/// exactly [`simulate_adaptive`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_repairing(
+    program: &Program,
+    platform: &Platform,
+    scheduler: &mut dyn Scheduler,
+    schedule: &FaultSchedule,
+    policy: RetryPolicy,
+    health: &HealthConfig,
+    adapt: &AdaptConfig,
+    plan: Option<AdaptPlan>,
+    replan: &ReplanConfig,
+) -> RunReport {
+    simulate_repairing_observed(
+        program,
+        platform,
+        scheduler,
+        schedule,
+        policy,
+        health,
+        adapt,
+        plan,
+        replan,
+        &mut NullObserver,
+    )
+}
+
+/// [`simulate_repairing`] with a pluggable [`Observer`] (see
+/// [`crate::obs`]).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_repairing_observed(
+    program: &Program,
+    platform: &Platform,
+    scheduler: &mut dyn Scheduler,
+    schedule: &FaultSchedule,
+    policy: RetryPolicy,
+    health: &HealthConfig,
+    adapt: &AdaptConfig,
+    plan: Option<AdaptPlan>,
+    replan: &ReplanConfig,
+    obs: &mut dyn Observer,
+) -> RunReport {
+    Sim::new(
+        program,
+        platform,
+        scheduler,
+        obs,
+        Some((schedule, policy)),
+        Some(*health),
+        Some((*adapt, plan)),
+        Some(*replan),
+    )
+    .run()
+}
+
+/// [`simulate_repairing`], additionally recording an execution [`Trace`]
+/// with the repair events ([`TraceEvent::PlanRepaired`],
+/// [`TraceEvent::DeviceReadmitted`]).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_repairing_traced(
+    program: &Program,
+    platform: &Platform,
+    scheduler: &mut dyn Scheduler,
+    schedule: &FaultSchedule,
+    policy: RetryPolicy,
+    health: &HealthConfig,
+    adapt: &AdaptConfig,
+    plan: Option<AdaptPlan>,
+    replan: &ReplanConfig,
+) -> (RunReport, Trace) {
+    let mut obs = TraceObserver::new();
+    let report = simulate_repairing_observed(
+        program, platform, scheduler, schedule, policy, health, adapt, plan, replan, &mut obs,
     );
     (report, obs.into_trace())
 }
@@ -563,6 +668,27 @@ struct AdaptCtx {
     last_barrier_at: SimTime,
 }
 
+/// Mutable plan-repair state, present only when an enabled
+/// [`ReplanConfig`] was supplied (see [`simulate_repairing`]).
+struct ReplanCtx {
+    config: ReplanConfig,
+    /// Tie-break stream, independent of the fault/health/adapt streams.
+    rng: FaultRng,
+    /// Survivor re-plans applied after a death or quarantine.
+    replans: u64,
+    /// Healing re-plans applied after a breaker reclose.
+    readmissions: u64,
+    /// Why the last repair attempt failed, if any did.
+    error: Option<ReplanError>,
+    /// Per task: survivor re-plan override re-pinning a pending chunk.
+    override_of: Vec<Option<DeviceId>>,
+    /// Per device: cumulative committed items, for observed-rate re-solves.
+    obs_items: Vec<f64>,
+    /// Per device: cumulative committed slot-busy seconds (pairs with
+    /// `obs_items`; whole-device rate = items × slots / busy).
+    obs_secs: Vec<f64>,
+}
+
 /// The available device with the most slots (ties → lowest id), excluding
 /// `exclude`; `blocked` marks devices no binding may target (dead, or
 /// quarantined by the circuit breaker). The host (device 0, never dead and
@@ -594,6 +720,9 @@ struct TaskCost {
     /// Extra wire time a successful transfer paid on a degraded link over
     /// its nominal cost (reversed with `transfer` on reversal).
     link: SimTime,
+    /// Binding overhead charged because a survivor re-plan re-pinned this
+    /// chunk (the plan-repair analogue of `sched`/`adapt`).
+    replan: SimTime,
 }
 
 struct Sim<'a> {
@@ -641,9 +770,20 @@ struct Sim<'a> {
     faults: Option<FaultCtx<'a>>,
     health: Option<HealthCtx>,
     adapt: Option<AdaptCtx>,
+    replan: Option<ReplanCtx>,
+    /// Per device: cumulative *actual* exec seconds of committed chunks
+    /// (throttle windows included), paired with [`Sim::cal_model`].
+    cal_exec: Vec<f64>,
+    /// Per device: the model-predicted exec seconds of those same chunks.
+    /// The ratio `cal_exec / cal_model` calibrates the device model for
+    /// rebalancing cost estimates — unlike a raw items-per-second
+    /// extrapolation it is immune to launch-overhead and kernel-mix skew,
+    /// while still capturing sustained throttling.
+    cal_model: Vec<f64>,
 }
 
 impl<'a> Sim<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         program: &'a Program,
         platform: &'a Platform,
@@ -652,6 +792,7 @@ impl<'a> Sim<'a> {
         faults: Option<(&'a FaultSchedule, RetryPolicy)>,
         health: Option<HealthConfig>,
         adapt: Option<(AdaptConfig, Option<AdaptPlan>)>,
+        replan: Option<ReplanConfig>,
     ) -> Self {
         let graph = TaskGraph::build(program);
         let tasks: Vec<&TaskDesc> = program.tasks().into_iter().map(|(_, t)| t).collect();
@@ -741,6 +882,25 @@ impl<'a> Sim<'a> {
                 calm_barriers: 0,
                 last_barrier_at: SimTime::ZERO,
             });
+        let replan = replan
+            .inspect(|config| {
+                config
+                    .validate()
+                    .unwrap_or_else(|e| panic!("invalid replan config: {e}"));
+            })
+            .filter(ReplanConfig::enabled)
+            .map(|config| ReplanCtx {
+                config,
+                rng: FaultRng::new(
+                    faults.as_ref().map(|f| f.schedule.seed).unwrap_or(0) ^ REPLAN_STREAM,
+                ),
+                replans: 0,
+                readmissions: 0,
+                error: None,
+                override_of: vec![None; n],
+                obs_items: vec![0.0; ndev],
+                obs_secs: vec![0.0; ndev],
+            });
         Sim {
             remaining_preds: graph.preds.iter().map(Vec::len).collect(),
             graph,
@@ -784,6 +944,9 @@ impl<'a> Sim<'a> {
             faults,
             health,
             adapt,
+            replan,
+            cal_exec: vec![0.0; ndev],
+            cal_model: vec![0.0; ndev],
         }
     }
 
@@ -799,6 +962,7 @@ impl<'a> Sim<'a> {
         b.transfer = b.transfer.saturating_sub(c.transfer);
         b.link_degraded = b.link_degraded.saturating_sub(c.link);
         b.compute = b.compute.saturating_sub(c.exec);
+        b.replan = b.replan.saturating_sub(c.replan);
     }
 
     fn run(mut self) -> RunReport {
@@ -883,6 +1047,14 @@ impl<'a> Sim<'a> {
             health.corruptions_injected = f.corruptions_injected;
             health.corrupt_committed = f.corrupt.iter().filter(|&&c| c).count() as u64;
         }
+        // A breaker still open (or a device that died while quarantined) at
+        // run end leaves its span open-ended; close it at the makespan so
+        // the blame table and the exported quarantine seconds agree.
+        for span in health.quarantine.iter_mut() {
+            if span.until.is_none() {
+                span.until = Some(self.now);
+            }
+        }
         // Close the blame books: per device, capacity = makespan × slots;
         // dead time covers the post-dropout tail, idle is the remainder —
         // so every device's components sum exactly to its capacity.
@@ -915,7 +1087,15 @@ impl<'a> Sim<'a> {
                 .unwrap_or_default(),
             faults: self.faults.map(|f| f.counters).unwrap_or_default(),
             health,
-            adapt: self.adapt.map(|a| a.report).unwrap_or_default(),
+            adapt: {
+                let mut adapt = self.adapt.map(|a| a.report).unwrap_or_default();
+                if let Some(r) = self.replan {
+                    adapt.replans = r.replans;
+                    adapt.readmissions = r.readmissions;
+                    adapt.replan_error = r.error;
+                }
+                adapt
+            },
             breakdown: TimeBreakdown {
                 makespan,
                 per_device,
@@ -1049,6 +1229,11 @@ impl<'a> Sim<'a> {
                 a.report.escalated_tasks += 1;
             }
             a.escalated.as_mut().unwrap().bind(&ctx)
+        } else if let Some(d) = self.replan.as_ref().and_then(|r| r.override_of[t.0]) {
+            // A survivor re-plan's re-pin takes precedence over the
+            // repartition override: repair runs later and already folded
+            // the adaptation state into its decision.
+            d
         } else if let Some(d) = self.adapt.as_ref().and_then(|a| a.override_of[t.0]) {
             d
         } else {
@@ -1200,6 +1385,20 @@ impl<'a> Sim<'a> {
             } else {
                 cost.sched += self.platform.sched_overhead;
             }
+        }
+        // Chunks re-pinned by a survivor re-plan pay the same per-decision
+        // overhead, booked to the `replan` blame component.
+        let by_replan = !by_escalated
+            && !dynamic_bound
+            && self
+                .replan
+                .as_ref()
+                .is_some_and(|r| r.override_of[t.0].is_some());
+        if by_replan {
+            busy += self.platform.sched_overhead;
+            nominal += self.platform.sched_overhead;
+            self.counters.record_sched(self.platform.sched_overhead);
+            cost.replan += self.platform.sched_overhead;
         }
 
         for acc in &task.accesses {
@@ -1394,6 +1593,14 @@ impl<'a> Sim<'a> {
             o.items += task.items as f64;
             o.secs += exec.as_secs_f64();
         }
+        // Plan repair keeps its own whole-device rate books, so survivor
+        // re-solves see observed throughput even with adaptation disabled.
+        if let Some(r) = &mut self.replan {
+            r.obs_items[dev.0] += task.items as f64;
+            r.obs_secs[dev.0] += busy.as_secs_f64();
+        }
+        self.cal_exec[dev.0] += exec.as_secs_f64();
+        self.cal_model[dev.0] += base_exec.as_secs_f64();
         route_event(
             &mut *self.obs,
             &TraceEvent::Task {
@@ -1417,6 +1624,7 @@ impl<'a> Sim<'a> {
         b.link_degraded += cost.link;
         b.fault_loss += cost.fault;
         b.compute += cost.exec;
+        b.replan += cost.replan;
     }
 
     fn on_task_done(&mut self, t: TaskId, dev: DeviceId) {
@@ -1761,6 +1969,12 @@ impl<'a> Sim<'a> {
             a.epoch_items.fill(0);
         }
 
+        // Survivor re-planning: re-solve the remaining epochs over the
+        // live device set (and rebind other devices' queues) before the
+        // dead device's own work is re-bound below, so step 5's
+        // `make_ready` already sees the repaired overrides.
+        self.plan_repair(dev, false);
+
         // 5. Re-bind everything that is still dependency-free, in TaskId
         // order (deterministic). Tasks whose dependences the re-arm put
         // back wait for their producers to re-complete.
@@ -1861,6 +2075,17 @@ impl<'a> Sim<'a> {
                     &mut *self.obs,
                     &TraceEvent::CircuitClose { dev, at: self.now },
                 );
+                // Healing re-plan: the readmitted device is a survivor
+                // again; re-solve and migrate work back onto it (mirrors
+                // PR 5's disturbance-aware de-escalation).
+                if self
+                    .replan
+                    .as_ref()
+                    .is_some_and(|r| r.config.heal_on_reclose)
+                    && self.plan_repair(dev, true)
+                {
+                    self.dispatch_all();
+                }
             }
             Action::Reopen(cooldown) => {
                 {
@@ -1896,6 +2121,10 @@ impl<'a> Sim<'a> {
         );
         self.queue
             .push(self.now + cooldown, Ev::CircuitProbe { dev });
+        // Survivor re-planning before the naive drain: a successful repair
+        // rebinds every queue (including `dev`'s) under the new overrides,
+        // leaving the drain below nothing to redirect.
+        self.plan_repair(dev, false);
         self.drain_and_rebind(dev);
     }
 
@@ -2379,9 +2608,20 @@ impl<'a> Sim<'a> {
     /// critical path. A no-regression guard keeps an epoch's old placement
     /// when the model predicts no improvement.
     fn repartition(&mut self) {
+        // A plan carrying an N-way split re-balances over the *full* live
+        // device set (the multi-accelerator adaptation path).
+        if self
+            .adapt
+            .as_ref()
+            .and_then(|a| a.plan.as_ref())
+            .is_some_and(|p| p.multi.is_some())
+        {
+            self.repartition_multi();
+            return;
+        }
         let (plan, obs_cpu, obs_gpu) = {
             let a = self.adapt.as_ref().unwrap();
-            let plan = a.plan.expect("repartition requires a plan");
+            let plan = a.plan.clone().expect("repartition requires a plan");
             // Effective whole-device throughput: items per second of wall
             // time, busy spread over the device's slots, transfers and
             // overheads folded in. The two-way Glinda model sees the host
@@ -2392,7 +2632,8 @@ impl<'a> Sim<'a> {
                 let items = a.epoch_items[dev.0] as f64;
                 (busy > 0.0 && items > 0.0).then_some(items * slots / busy)
             };
-            (plan, rate(DeviceId(0)), rate(plan.gpu))
+            let gpu = plan.gpu;
+            (plan, rate(DeviceId(0)), rate(gpu))
         };
         // One side idle this epoch (or its device dead): nothing observed
         // to correct with — leave the plan alone.
@@ -2402,14 +2643,8 @@ impl<'a> Sim<'a> {
         if self.faults.as_ref().is_some_and(|f| f.dead[plan.gpu.0]) {
             return;
         }
-        let prior = self
-            .adapt
-            .as_ref()
-            .unwrap()
-            .plan
-            .expect("checked above")
-            .solution;
-        let corrected = glinda::resolve_with_observations(&plan.problem, &prior, obs_cpu, obs_gpu);
+        let corrected =
+            glinda::resolve_with_observations(&plan.problem, &plan.solution, obs_cpu, obs_gpu);
         if plan.problem.items == 0 {
             return;
         }
@@ -2585,6 +2820,463 @@ impl<'a> Sim<'a> {
         }
     }
 
+    /// The N-way sibling of [`Sim::repartition`]: re-solve the plan's
+    /// stored multi-device split at the observed whole-device rates over
+    /// the live device set, then re-pin the remaining epochs' statically
+    /// placed chunks wave-aware with migrations priced by the nominal
+    /// link. The same strict no-regression guard applies — the baseline is
+    /// the current assignment — so a multi-accelerator plan can never be
+    /// made worse by adaptation than by leaving it alone.
+    fn repartition_multi(&mut self) {
+        let unavail = self.unavailable();
+        let targets: Vec<DeviceId> = self
+            .platform
+            .devices
+            .iter()
+            .filter(|d| !unavail[d.id.0])
+            .map(|d| d.id)
+            .collect();
+        if targets.len() < 2 {
+            return;
+        }
+        self.resolve_surviving_multi(&targets);
+        let (moves, moved_items) = self.nway_rebalance(&targets, &unavail, false);
+        if moves.is_empty() {
+            return;
+        }
+        let a = self.adapt.as_mut().unwrap();
+        for &(t, d) in &moves {
+            a.override_of[t.0] = Some(d);
+        }
+        a.report.repartitions += 1;
+        a.report.items_moved += moved_items;
+        let (gpu_items, cpu_items) = a
+            .plan
+            .as_ref()
+            .and_then(|p| p.multi.as_ref())
+            .map(|m| (m.solution.accel_items.iter().sum(), m.solution.cpu_items))
+            .unwrap_or((0, 0));
+        route_event(
+            &mut *self.obs,
+            &TraceEvent::Repartitioned {
+                epoch: self.cur_epoch,
+                gpu_items,
+                cpu_items,
+                at: self.now,
+            },
+        );
+    }
+
+    /// Re-solve the plan's stored N-way split over the *surviving*
+    /// accelerator subset at the observed whole-device rates
+    /// ([`glinda::resolve_multi_with_observations`]), writing the
+    /// corrected shares back as the plan's warm start. Dropped (dead or
+    /// quarantined) accelerators get a zero share; a readmitted one is a
+    /// survivor again and earns its share back. Chunk-level binding is
+    /// separate (see [`Sim::nway_rebalance`]) — this keeps the *plan*
+    /// honest so later re-solves and reports start from the degraded
+    /// split, closing the multi-accelerator `adapt_plan` gap.
+    fn resolve_surviving_multi(&mut self, targets: &[DeviceId]) {
+        let Some(multi) = self
+            .adapt
+            .as_ref()
+            .and_then(|a| a.plan.as_ref())
+            .and_then(|p| p.multi.clone())
+        else {
+            return;
+        };
+        let rate = self.whole_device_rates();
+        let Some(obs_cpu) = rate[0] else {
+            return; // nothing observed on the host yet — keep the plan
+        };
+        let surviving: Vec<usize> = multi
+            .accels
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| targets.contains(d))
+            .map(|(i, _)| i)
+            .collect();
+        if surviving.is_empty() {
+            return; // host-only: the N-way plan has nothing left to split
+        }
+        let sub = MultiDeviceProblem {
+            items: multi.problem.items,
+            cpu_rate: multi.problem.cpu_rate,
+            accelerators: surviving
+                .iter()
+                .map(|&i| multi.problem.accelerators[i])
+                .collect(),
+        };
+        // The prior split restricted to the survivors (the dead devices'
+        // items fall back to the CPU side for the warm-start comparison).
+        let mut prior_accel: Vec<u64> = surviving
+            .iter()
+            .map(|&i| multi.solution.accel_items.get(i).copied().unwrap_or(0))
+            .collect();
+        let mut assigned: u64 = 0;
+        for n in prior_accel.iter_mut() {
+            *n = (*n).min(sub.items - assigned);
+            assigned += *n;
+        }
+        let prior = MultiSolution {
+            cpu_items: sub.items - assigned,
+            predicted_time: sub.predicted_time(sub.items - assigned, &prior_accel),
+            accel_items: prior_accel,
+        };
+        let obs_accels: Vec<Option<f64>> =
+            surviving.iter().map(|&i| rate[multi.accels[i].0]).collect();
+        let corrected = glinda::resolve_multi_with_observations(&sub, &prior, obs_cpu, &obs_accels);
+        if let Some(m) = self
+            .adapt
+            .as_mut()
+            .and_then(|a| a.plan.as_mut())
+            .and_then(|p| p.multi.as_mut())
+        {
+            m.solution.accel_items = vec![0; m.accels.len()];
+            for (k, &i) in surviving.iter().enumerate() {
+                m.solution.accel_items[i] = corrected.accel_items[k];
+            }
+            m.solution.cpu_items = corrected.cpu_items;
+            m.solution.predicted_time = corrected.predicted_time;
+        }
+    }
+
+    /// Observed whole-device throughputs (items/s across all slots):
+    /// plan-repair's cumulative books when present, else the adaptation
+    /// controller's cumulative observations, else `None` (model only).
+    fn whole_device_rates(&self) -> Vec<Option<f64>> {
+        (0..self.platform.devices.len())
+            .map(|d| {
+                let slots = self.platform.devices[d].spec.kind.slots() as f64;
+                if let Some(r) = &self.replan {
+                    if r.obs_secs[d] > 0.0 && r.obs_items[d] > 0.0 {
+                        return Some(r.obs_items[d] * slots / r.obs_secs[d]);
+                    }
+                }
+                if let Some(a) = &self.adapt {
+                    let (mut items, mut secs) = (0.0f64, 0.0f64);
+                    for ((_, dd), o) in a.obs.iter() {
+                        if dd.0 == d {
+                            items += o.items;
+                            secs += o.secs;
+                        }
+                    }
+                    if secs > 0.0 && items > 0.0 {
+                        return Some(items * slots / secs);
+                    }
+                }
+                None
+            })
+            .collect()
+    }
+
+    /// Wave-aware N-way re-pin of the not-yet-checkpointed epochs' static
+    /// chunks over `targets`: chunks (longest first) go to whichever
+    /// survivor's least-loaded slot finishes them earliest, with each
+    /// chunk's time the device model scaled by the device's observed ÷
+    /// predicted calibration ratio (never below the model — see
+    /// [`Sim::cal_model`]) and a migration away from its current home
+    /// priced by the nominal link ([`transfer_cost`]). Each epoch is guarded
+    /// independently against the *naive* assignment — every chunk stays
+    /// home unless its home is unavailable, in which case it redirects to
+    /// [`fallback_device`] (exactly what chunk-by-chunk host failover
+    /// would do) — and applies only when the model predicts a strictly
+    /// smaller wall. Returns the winning moves and their item total; an
+    /// exact tie between candidate devices is broken by a coin from the
+    /// replan stream (`use_replan_stream`) or the adaptation stream.
+    fn nway_rebalance(
+        &mut self,
+        targets: &[DeviceId],
+        unavail: &[bool],
+        use_replan_stream: bool,
+    ) -> (Vec<(TaskId, DeviceId)>, u64) {
+        struct Chunk {
+            t: TaskId,
+            items: u64,
+            cur: DeviceId,
+            /// Per target: exec time + migration from the current home.
+            cost: Vec<f64>,
+            /// Target index the naive host-failover baseline would pick.
+            naive: usize,
+        }
+        // Per-device slowdown of committed work vs the model's prediction.
+        // A raw items-per-second extrapolation is *not* usable here: rates
+        // observed on launch-overhead-dominated or cheaper-kernel chunks
+        // wildly misprice large chunks, and an inflated naive baseline
+        // makes a regressive rebind look like a win. The time-over-time
+        // ratio cancels launch overhead and kernel mix exactly, and still
+        // sees sustained throttling.
+        let scale: Vec<f64> = (0..self.platform.devices.len())
+            .map(|d| {
+                if self.cal_model[d] > 0.0 && self.cal_exec[d] > 0.0 {
+                    (self.cal_exec[d] / self.cal_model[d]).max(1.0)
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        let fallback = fallback_device(self.platform, unavail, None);
+        let fb_idx = targets.iter().position(|&d| d == fallback).unwrap_or(0);
+        let slots_of: Vec<usize> = targets
+            .iter()
+            .map(|&d| self.platform.device(d).spec.kind.slots())
+            .collect();
+        let mut per_epoch: Vec<Vec<Chunk>> = Vec::new();
+        for epoch in self.epochs.iter().skip(self.cur_epoch) {
+            let mut chunks: Vec<Chunk> = Vec::new();
+            for &t in epoch {
+                if self.completed[t.0] || self.faults.as_ref().is_some_and(|f| f.in_flight[t.0]) {
+                    continue;
+                }
+                let cur = self.placements[t.0]
+                    .or_else(|| self.replan.as_ref().and_then(|r| r.override_of[t.0]))
+                    .or_else(|| self.adapt.as_ref().and_then(|a| a.override_of[t.0]))
+                    .or(self.tasks[t.0].pinned);
+                let Some(cur) = cur else {
+                    continue; // dynamically bound: the scheduler re-places it
+                };
+                let task = self.tasks[t.0];
+                let profile = &self.program.kernels[task.kernel.0].profile;
+                let (mut read_bytes, mut write_bytes) = (0u64, 0u64);
+                for acc in task.accesses.iter() {
+                    let bytes = acc.region.span.len()
+                        * self.program.buffers[acc.region.buffer.0].item_bytes;
+                    if acc.mode.reads() {
+                        read_bytes += bytes;
+                    }
+                    if acc.mode.writes() {
+                        write_bytes += bytes;
+                    }
+                }
+                let cur_space = self.platform.device(cur).mem_space;
+                let cost: Vec<f64> = targets
+                    .iter()
+                    .map(|&d| {
+                        let device = self.platform.device(d);
+                        let exec = device
+                            .exec_time_weighted(profile, task.items, task.cost_scale)
+                            .as_secs_f64()
+                            * scale[d.0];
+                        // Epoch data is write-back coherent: an accelerator
+                        // placement fetches the chunk's reads from the host
+                        // side and flushes its writes back, so every
+                        // non-host target is priced for the round trip —
+                        // the chunk's current home included (after the
+                        // epoch flush, staying put re-fetches like everyone
+                        // else).
+                        let space = device.mem_space;
+                        let round_trip = if space == MemSpaceId::HOST {
+                            0.0
+                        } else {
+                            transfer_cost(self.platform, MemSpaceId::HOST, space, read_bytes)
+                                .as_secs_f64()
+                                + transfer_cost(self.platform, space, MemSpaceId::HOST, write_bytes)
+                                    .as_secs_f64()
+                        };
+                        // Migrating away from the current home additionally
+                        // moves whatever is resident there right now.
+                        let mv = if d == cur {
+                            0.0
+                        } else {
+                            transfer_cost(self.platform, cur_space, space, read_bytes).as_secs_f64()
+                        };
+                        exec + round_trip + mv
+                    })
+                    .collect();
+                let naive = if unavail[cur.0] {
+                    fb_idx
+                } else {
+                    targets.iter().position(|&d| d == cur).unwrap_or(fb_idx)
+                };
+                chunks.push(Chunk {
+                    t,
+                    items: task.items,
+                    cur,
+                    cost,
+                    naive,
+                });
+            }
+            per_epoch.push(chunks);
+        }
+        let rng = if use_replan_stream {
+            &mut self.replan.as_mut().unwrap().rng
+        } else {
+            &mut self.adapt.as_mut().unwrap().rng
+        };
+        let lpt_push = |load: &mut [f64], t: f64| {
+            let m = load
+                .iter_mut()
+                .min_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal))
+                .unwrap();
+            *m += t;
+        };
+        let mut moves: Vec<(TaskId, DeviceId)> = Vec::new();
+        let mut moved_items = 0u64;
+        for chunks in &per_epoch {
+            if chunks.is_empty() {
+                continue;
+            }
+            let mut order: Vec<usize> = (0..chunks.len()).collect();
+            order.sort_by_key(|&i| (std::cmp::Reverse(chunks[i].items), chunks[i].t));
+            // The naive baseline dispatches the same longest-first waves.
+            let mut naive_loads: Vec<Vec<f64>> =
+                slots_of.iter().map(|&s| vec![0.0; s.max(1)]).collect();
+            for &i in &order {
+                let c = &chunks[i];
+                lpt_push(&mut naive_loads[c.naive], c.cost[c.naive]);
+            }
+            let naive_wall = naive_loads
+                .iter()
+                .flat_map(|l| l.iter())
+                .fold(0.0f64, |m, &v| m.max(v));
+            // Repaired assignment: earliest predicted finish wins.
+            let mut loads: Vec<Vec<f64>> = slots_of.iter().map(|&s| vec![0.0; s.max(1)]).collect();
+            let mut dest = vec![0usize; chunks.len()];
+            for &i in &order {
+                let c = &chunks[i];
+                let mut best: Option<(f64, usize)> = None;
+                for (k, load) in loads.iter().enumerate() {
+                    let slack = load.iter().fold(f64::INFINITY, |m, &v| m.min(v));
+                    let fin = slack + c.cost[k];
+                    let better = match best {
+                        None => true,
+                        Some((bf, _)) => match fin.partial_cmp(&bf) {
+                            Some(std::cmp::Ordering::Less) => true,
+                            Some(std::cmp::Ordering::Equal) => rng.next_f64() < 0.5,
+                            _ => false,
+                        },
+                    };
+                    if better {
+                        best = Some((fin, k));
+                    }
+                }
+                let (_, k) = best.expect("at least one surviving target");
+                lpt_push(&mut loads[k], c.cost[k]);
+                dest[i] = k;
+            }
+            let wall = loads
+                .iter()
+                .flat_map(|l| l.iter())
+                .fold(0.0f64, |m, &v| m.max(v));
+            // Per-epoch no-regression guard: repair must beat the naive
+            // failover at the model's own predictions *with margin* —
+            // the model is a per-epoch LPT relaxation that cannot see
+            // link serialization, queue interleaving or the scheduling
+            // overhead a rebound chunk pays, so a marginal predicted win
+            // is not worth the risk of a real loss.
+            if wall >= naive_wall * (1.0 - NWAY_GUARD_MARGIN) {
+                continue;
+            }
+            for (i, c) in chunks.iter().enumerate() {
+                let d = targets[dest[i]];
+                if d != c.cur {
+                    moves.push((c.t, d));
+                    moved_items += c.items;
+                }
+            }
+        }
+        (moves, moved_items)
+    }
+
+    /// Degraded-mode plan repair (see [`simulate_repairing`]): re-solve
+    /// the not-yet-checkpointed epochs over the surviving device set and
+    /// rebind the queued chunks. `heal` marks a healing re-plan after a
+    /// breaker reclose (the readmitted `dev` is a survivor again);
+    /// otherwise `dev` just died or was quarantined. Returns whether a
+    /// repair was applied. Bounded by [`ReplanConfig::max_replans`];
+    /// failures are recorded once in [`AdaptReport::replan_error`] and the
+    /// executor falls back to chunk-by-chunk host failover.
+    fn plan_repair(&mut self, dev: DeviceId, heal: bool) -> bool {
+        let Some(r) = self.replan.as_ref() else {
+            return false;
+        };
+        let max = r.config.max_replans;
+        if r.replans + r.readmissions >= u64::from(max) {
+            let r = self.replan.as_mut().unwrap();
+            if r.error.is_none() {
+                r.error = Some(ReplanError::BudgetExhausted { max_replans: max });
+            }
+            return false;
+        }
+        let unavail = self.unavailable();
+        let targets: Vec<DeviceId> = self
+            .platform
+            .devices
+            .iter()
+            .filter(|d| !unavail[d.id.0])
+            .map(|d| d.id)
+            .collect();
+        if targets.is_empty() {
+            let r = self.replan.as_mut().unwrap();
+            if r.error.is_none() {
+                r.error = Some(ReplanError::NoSurvivingAccelerator);
+            }
+            return false;
+        }
+        // Keep the stored N-way plan honest about the degraded platform.
+        self.resolve_surviving_multi(&targets);
+        let (moves, _moved_items) = self.nway_rebalance(&targets, &unavail, true);
+        if moves.is_empty() {
+            // No-regression guard: the naive failover was predicted no
+            // worse, so the standing bindings (and the guard's fallback
+            // redirects) stay.
+            return false;
+        }
+        {
+            let r = self.replan.as_mut().unwrap();
+            for &(t, d) in &moves {
+                r.override_of[t.0] = Some(d);
+            }
+            if heal {
+                r.readmissions += 1;
+            } else {
+                r.replans += 1;
+            }
+        }
+        // Mirror the moves into the repartition override map so a later
+        // barrier re-solve starts from the applied assignment.
+        if let Some(a) = self.adapt.as_mut() {
+            for &(t, d) in &moves {
+                a.override_of[t.0] = Some(d);
+            }
+        }
+        self.rebind_queued();
+        let moved = moves.len() as u64;
+        let ev = if heal {
+            TraceEvent::DeviceReadmitted {
+                dev,
+                moved,
+                at: self.now,
+            }
+        } else {
+            TraceEvent::PlanRepaired {
+                dev,
+                moved,
+                at: self.now,
+            }
+        };
+        route_event(&mut *self.obs, &ev);
+        true
+    }
+
+    /// Drain every device queue and re-bind the drained chunks in TaskId
+    /// order so freshly written repair overrides take effect immediately.
+    /// In-flight work is untouched — a migration never cancels running
+    /// work, it only re-homes work that has not started.
+    fn rebind_queued(&mut self) {
+        let mut requeue: Vec<TaskId> = Vec::new();
+        for q in &mut self.dev_queues {
+            requeue.extend(q.drain(..));
+        }
+        requeue.sort_unstable();
+        for &t in &requeue {
+            self.placements[t.0] = None;
+        }
+        for t in requeue {
+            self.make_ready(t);
+        }
+    }
+
     /// Hand the rest of the run to an internal DP-Perf scheduler seeded
     /// with the run's own per-(kernel, device) observations — the Table I
     /// static → dynamic sibling escalation (SP-* → DP-Perf).
@@ -2620,8 +3312,8 @@ impl<'a> Sim<'a> {
             .faults
             .as_ref()
             .is_some_and(|f| f.schedule.disturbance_open(now) || f.synth_window_open(now));
-        let plan = self.adapt.as_ref().unwrap().plan;
-        let gpu_dead = match plan {
+        let plan = self.adapt.as_ref().unwrap().plan.clone();
+        let gpu_dead = match &plan {
             Some(p) => self.faults.as_ref().is_some_and(|f| f.dead[p.gpu.0]),
             None => true,
         };

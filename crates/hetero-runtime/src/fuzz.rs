@@ -42,6 +42,10 @@ pub enum OracleKind {
     /// in, conditional triggering disabled) reproduces the run
     /// byte-identically.
     ReplayDeterminism,
+    /// On a permanent mid-run device dropout, enabling degraded-mode plan
+    /// repair (survivor re-planning) never yields a worse makespan than
+    /// the naive chunk-by-chunk host failover of the same run.
+    RepairNeverLoses,
 }
 
 impl OracleKind {
@@ -54,6 +58,7 @@ impl OracleKind {
             OracleKind::DeescalationNeverLoses => "deescalation-never-loses",
             OracleKind::DoubleRunDeterminism => "double-run-determinism",
             OracleKind::ReplayDeterminism => "replay-determinism",
+            OracleKind::RepairNeverLoses => "repair-never-loses",
         }
     }
 }
@@ -158,7 +163,7 @@ pub fn check_identical(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::executor::{ADAPT_STREAM, CORRELATED_STREAM, HEALTH_STREAM};
+    use crate::executor::{ADAPT_STREAM, CORRELATED_STREAM, HEALTH_STREAM, REPLAN_STREAM};
     use hetero_platform::FaultRng;
 
     /// The golden-seed pin for the dedicated RNG stream constants. These
@@ -172,6 +177,7 @@ mod tests {
         assert_eq!(HEALTH_STREAM, 0x5EED_C0DE_D00D_FEED);
         assert_eq!(ADAPT_STREAM, 0xADA7_ADA7_ADA7_ADA7);
         assert_eq!(CORRELATED_STREAM, 0x00C0_DEFA_17D0_5EED);
+        assert_eq!(REPLAN_STREAM, 0x9EBA_1A2C_D00D_5EED);
 
         // And the first draws of each derived stream for the golden seed 42
         // (the executor seeds each stream as `schedule.seed ^ CONST`).
@@ -179,12 +185,21 @@ mod tests {
         assert_eq!(first(HEALTH_STREAM), 0xc969_5ae0_ce0b_0516);
         assert_eq!(first(ADAPT_STREAM), 0x9024_cc17_4f75_f328);
         assert_eq!(first(CORRELATED_STREAM), 0x520f_8a72_3679_28dd);
+        assert_eq!(first(REPLAN_STREAM), 0xd729_1413_2a59_e353);
 
         // The streams must stay pairwise distinct — equal constants would
         // collapse two streams into one and correlate their sampling.
-        assert_ne!(HEALTH_STREAM, ADAPT_STREAM);
-        assert_ne!(HEALTH_STREAM, CORRELATED_STREAM);
-        assert_ne!(ADAPT_STREAM, CORRELATED_STREAM);
+        let streams = [
+            HEALTH_STREAM,
+            ADAPT_STREAM,
+            CORRELATED_STREAM,
+            REPLAN_STREAM,
+        ];
+        for (i, a) in streams.iter().enumerate() {
+            for b in &streams[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
     }
 
     #[test]

@@ -59,15 +59,16 @@ pub mod scheduler;
 pub mod stats;
 pub mod trace;
 
-pub use adapt::{AdaptConfig, AdaptPlan, AdaptReport};
+pub use adapt::{AdaptConfig, AdaptPlan, AdaptReport, MultiAdaptPlan, ReplanConfig, ReplanError};
 pub use coherence::{CoherenceDir, Transfer};
 pub use data::{Access, AccessMode, BufferDesc, BufferId, Region};
 pub use executor::{
     simulate, simulate_adaptive, simulate_adaptive_observed, simulate_adaptive_traced,
     simulate_faulty, simulate_faulty_observed, simulate_faulty_traced, simulate_observed,
-    simulate_resilient, simulate_resilient_observed, simulate_resilient_traced, simulate_traced,
+    simulate_repairing, simulate_repairing_observed, simulate_repairing_traced, simulate_resilient,
+    simulate_resilient_observed, simulate_resilient_traced, simulate_traced,
 };
-pub use executor::{ADAPT_STREAM, CORRELATED_STREAM, HEALTH_STREAM};
+pub use executor::{ADAPT_STREAM, CORRELATED_STREAM, HEALTH_STREAM, REPLAN_STREAM};
 pub use fuzz::{check_blame_identity, check_identical, report_digest, OracleKind, OracleViolation};
 pub use graph::TaskGraph;
 pub use health::{

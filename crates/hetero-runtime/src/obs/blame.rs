@@ -27,8 +27,9 @@ use serde::{Deserialize, Serialize};
 /// makespan. The identity maintained by the executor is
 ///
 /// ```text
-/// compute + transfer + link_degraded + scheduling + adaptation + fault_loss
-///   + hedge_waste + rollback + verify + dead + idle  ==  makespan × slots
+/// compute + transfer + link_degraded + scheduling + adaptation + replan
+///   + fault_loss + hedge_waste + rollback + verify + dead + idle
+///   ==  makespan × slots
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeviceBreakdown {
@@ -48,6 +49,10 @@ pub struct DeviceBreakdown {
     /// Adaptation overhead: decisions charged to tasks bound by an
     /// escalated (fallback) scheduler.
     pub adaptation: SimTime,
+    /// Plan-repair overhead: binding decisions charged to chunks rebound
+    /// by a survivor re-plan (device death, quarantine, or healing
+    /// readmission).
+    pub replan: SimTime,
     /// Time lost to faults: failed attempts, retry backoff, transfer
     /// retries, and work discarded by device dropout.
     pub fault_loss: SimTime,
@@ -80,6 +85,7 @@ impl DeviceBreakdown {
             + self.link_degraded
             + self.scheduling
             + self.adaptation
+            + self.replan
             + self.fault_loss
             + self.hedge_waste
             + self.rollback
@@ -94,13 +100,14 @@ impl DeviceBreakdown {
 
     /// The component names and values, in canonical order (excluding
     /// `slots`). Useful for generic rendering and metric export.
-    pub fn components(&self) -> [(&'static str, SimTime); 11] {
+    pub fn components(&self) -> [(&'static str, SimTime); 12] {
         [
             ("compute", self.compute),
             ("transfer", self.transfer),
             ("link_degraded", self.link_degraded),
             ("scheduling", self.scheduling),
             ("adaptation", self.adaptation),
+            ("replan", self.replan),
             ("fault_loss", self.fault_loss),
             ("hedge_waste", self.hedge_waste),
             ("rollback", self.rollback),

@@ -366,6 +366,8 @@ impl MetricsObserver {
             TraceEvent::Repartitioned { .. } => "repartitioned",
             TraceEvent::StrategyEscalated { .. } => "escalated",
             TraceEvent::StrategyReinstated { .. } => "reinstated",
+            TraceEvent::PlanRepaired { .. } => "plan_repaired",
+            TraceEvent::DeviceReadmitted { .. } => "device_readmitted",
             _ => "other",
         }
     }
@@ -549,6 +551,28 @@ impl Observer for MetricsObserver {
                 );
             }
         }
+        // Quarantined time per device. The executor closes open-ended spans
+        // at run end, but tolerate `until: None` (treat as "until makespan")
+        // so a hand-built report still exports consistently.
+        let mut quarantined: Vec<SimTime> = vec![SimTime::ZERO; self.dev_names.len()];
+        for span in &report.health.quarantine {
+            if let Some(q) = quarantined.get_mut(span.dev.0) {
+                let until = span.until.unwrap_or(report.makespan);
+                *q += until.saturating_sub(span.from);
+            }
+        }
+        for (d, q) in quarantined.iter().enumerate() {
+            if q.is_zero() {
+                continue;
+            }
+            let device = self.dev_names[d].clone();
+            self.registry.gauge_set(
+                "hm_quarantine_seconds",
+                "Total time a device spent quarantined by the circuit breaker.",
+                &[("device", device.as_str()), ("strategy", strategy.as_str())],
+                q.as_secs_f64(),
+            );
+        }
         let retries = report.faults.task_retries + report.faults.transfer_retries;
         for (name, help, v) in [
             (
@@ -570,6 +594,16 @@ impl Observer for MetricsObserver {
                 "hm_repartitions_total",
                 "Barrier repartitions applied by the adaptive controller.",
                 report.adapt.repartitions,
+            ),
+            (
+                "hm_replans_total",
+                "Survivor re-plans applied after device death or quarantine.",
+                report.adapt.replans,
+            ),
+            (
+                "hm_readmissions_total",
+                "Healing re-plans that readmitted a reclosed device.",
+                report.adapt.readmissions,
             ),
         ] {
             self.registry

@@ -98,7 +98,7 @@ pub trait Observer {
     fn on_fault(&mut self, _ev: &TraceEvent) {}
 
     /// An adaptation event: imbalance detection, repartitioning, strategy
-    /// escalation.
+    /// escalation, or a plan repair/readmission.
     fn on_adapt_action(&mut self, _ev: &TraceEvent) {}
 
     /// The run finished; `report` is the final [`RunReport`] (with
@@ -146,7 +146,9 @@ pub fn route_event(obs: &mut dyn Observer, ev: &TraceEvent) {
         TraceEvent::ImbalanceDetected { .. }
         | TraceEvent::Repartitioned { .. }
         | TraceEvent::StrategyEscalated { .. }
-        | TraceEvent::StrategyReinstated { .. } => obs.on_adapt_action(ev),
+        | TraceEvent::StrategyReinstated { .. }
+        | TraceEvent::PlanRepaired { .. }
+        | TraceEvent::DeviceReadmitted { .. } => obs.on_adapt_action(ev),
     }
 }
 

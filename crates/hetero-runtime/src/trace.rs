@@ -200,6 +200,27 @@ pub enum TraceEvent {
         /// When the reinstatement happened.
         at: SimTime,
     },
+    /// The plan-repair subsystem re-solved the remaining epochs over the
+    /// surviving device set after a device death or quarantine and
+    /// rebound the queued chunks.
+    PlanRepaired {
+        /// The device whose death or quarantine triggered the repair.
+        dev: DeviceId,
+        /// Queued chunks whose binding changed.
+        moved: u64,
+        /// When the repair was applied.
+        at: SimTime,
+    },
+    /// A healing re-plan readmitted a reclosed (HalfOpen→Closed) device
+    /// into the surviving split.
+    DeviceReadmitted {
+        /// The readmitted device.
+        dev: DeviceId,
+        /// Queued chunks whose binding changed.
+        moved: u64,
+        /// When the healing re-plan was applied.
+        at: SimTime,
+    },
 }
 
 impl TraceEvent {
@@ -228,7 +249,9 @@ impl TraceEvent {
             | TraceEvent::Repartitioned { .. }
             | TraceEvent::StrategyEscalated { .. }
             | TraceEvent::CorrelatedFaultTriggered { .. }
-            | TraceEvent::StrategyReinstated { .. } => None,
+            | TraceEvent::StrategyReinstated { .. }
+            | TraceEvent::PlanRepaired { .. }
+            | TraceEvent::DeviceReadmitted { .. } => None,
         }
     }
 
@@ -253,7 +276,9 @@ impl TraceEvent {
             | TraceEvent::Repartitioned { at, .. }
             | TraceEvent::StrategyEscalated { at, .. }
             | TraceEvent::CorrelatedFaultTriggered { at, .. }
-            | TraceEvent::StrategyReinstated { at, .. } => *at,
+            | TraceEvent::StrategyReinstated { at, .. }
+            | TraceEvent::PlanRepaired { at, .. }
+            | TraceEvent::DeviceReadmitted { at, .. } => *at,
         }
     }
 }
@@ -647,6 +672,28 @@ impl Trace {
                         pid: platform.devices.len(),
                         tid: 63,
                         args: serde_json::Value::Null,
+                    });
+                }
+                TraceEvent::PlanRepaired { dev, moved, at } => {
+                    events.push(Ev {
+                        name: format!("PLAN REPAIR after dev{} ({moved} moved)", dev.0),
+                        ph: "X",
+                        ts: at.as_micros_f64(),
+                        dur: 0.0,
+                        pid: platform.devices.len(),
+                        tid: 63,
+                        args: serde_json::json!({ "moved": moved }),
+                    });
+                }
+                TraceEvent::DeviceReadmitted { dev, moved, at } => {
+                    events.push(Ev {
+                        name: format!("READMIT dev{} ({moved} moved)", dev.0),
+                        ph: "X",
+                        ts: at.as_micros_f64(),
+                        dur: 0.0,
+                        pid: dev.0,
+                        tid: 63,
+                        args: serde_json::json!({ "moved": moved }),
                     });
                 }
             }

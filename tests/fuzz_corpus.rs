@@ -18,8 +18,8 @@ fn corpus_dir() -> PathBuf {
 fn checked_in_corpus_replays_clean() {
     let corpus = load_corpus(&corpus_dir());
     assert!(
-        corpus.len() >= 3,
-        "expected at least 3 seed scenarios in tests/fuzz_corpus/, found {}",
+        corpus.len() >= 4,
+        "expected at least 4 seed scenarios in tests/fuzz_corpus/, found {}",
         corpus.len()
     );
     for (path, entry) in &corpus {
@@ -72,6 +72,36 @@ fn corpus_has_correlated_outage_with_link_degrade() {
     );
 }
 
+/// The degraded-mode plan-repair seed from the ISSUE: a mid-run permanent
+/// device death on a >=3-device platform under a static hybrid strategy —
+/// the envelope of the repair-never-loses oracle.
+#[test]
+fn corpus_has_permanent_death_replan() {
+    let corpus = load_corpus(&corpus_dir());
+    let hit = corpus.iter().find(|(path, _)| {
+        path.file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.contains("permanent-death-replan"))
+    });
+    let (_, entry) = hit.expect("seed-permanent-death-replan fixture missing");
+    let s = &entry.scenario;
+    assert!(s.platform.device_count() >= 3, "wants a 3+-device platform");
+    assert!(
+        s.schedule.events.iter().any(|e| matches!(
+            e,
+            FaultEvent::DeviceDropout { dev, at } if dev.0 >= 1 && at.as_nanos() > 0
+        )),
+        "wants a mid-run accelerator dropout"
+    );
+    assert!(
+        matches!(
+            s.config,
+            hetero_match::matchmaker::ExecutionConfig::Strategy(st) if st.is_static()
+        ),
+        "wants a static hybrid strategy so the repair oracle arms"
+    );
+}
+
 /// Regenerate the seed corpus. Deterministic: scans generated seeds from 0
 /// upward and archives the first scenario matching each fixture's shape.
 /// Run with `cargo test -q --test fuzz_corpus -- --ignored regenerate`.
@@ -118,6 +148,27 @@ fn regenerate_seed_corpus() {
                     && matches!(
                         s.config,
                         hetero_match::matchmaker::ExecutionConfig::Strategy(_)
+                    )
+            },
+        ),
+        (
+            "seed-permanent-death-replan.json",
+            "a mid-run permanent accelerator death on a 3+-device platform \
+             under a static hybrid strategy; exercises survivor re-planning \
+             and the repair-never-loses oracle",
+            |s| {
+                s.platform.device_count() >= 3
+                    && s.schedule.events.iter().any(|e| {
+                        matches!(
+                            e,
+                            FaultEvent::DeviceDropout { dev, at }
+                                if dev.0 >= 1 && at.as_nanos() > 0
+                        )
+                    })
+                    && matches!(
+                        s.config,
+                        hetero_match::matchmaker::ExecutionConfig::Strategy(st)
+                            if st.is_static()
                     )
             },
         ),

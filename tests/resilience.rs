@@ -776,3 +776,220 @@ proptest! {
         );
     }
 }
+
+/// A device that dies *while quarantined* must not confuse the breaker:
+/// the circuit stays open (no reclose, no healing readmission), the run
+/// still completes every item on the survivors, and the open quarantine
+/// span is closed at the makespan.
+#[test]
+fn death_while_quarantined_keeps_circuit_open() {
+    use hetero_match::runtime::{simulate_repairing, AdaptConfig, ReplanConfig};
+    let platform = Platform::test_small();
+    let per_task = 1000u64;
+    // Same shape as the breaker-reclose test: epoch 1 trips the breaker
+    // with three consecutive retry exhaustions on the flaky GPU; epoch 2
+    // arrives while the device is quarantined.
+    let mut b = Program::builder();
+    let x = b.buffer("x", 28 * per_task, 4);
+    let k = b.kernel("k", balanced_profile(2500.0));
+    let mut next = 0u64;
+    let region = |next: &mut u64| {
+        let r = Region::new(x, *next * per_task, (*next + 1) * per_task);
+        *next += 1;
+        r
+    };
+    for _ in 0..8 {
+        b.submit_pinned(
+            k,
+            per_task,
+            vec![Access::read_write(region(&mut next))],
+            DeviceId(1),
+        );
+    }
+    for _ in 0..16 {
+        b.submit_pinned(
+            k,
+            per_task,
+            vec![Access::read_write(region(&mut next))],
+            DeviceId(0),
+        );
+    }
+    b.taskwait();
+    for _ in 0..4 {
+        b.submit_pinned(
+            k,
+            per_task,
+            vec![Access::read_write(region(&mut next))],
+            DeviceId(1),
+        );
+    }
+    let program = b.build();
+
+    // Flaky for the first millisecond — two ~330us retry storms trip the
+    // breaker around 660us — then the quarantined device dies outright at
+    // 800us. The cool-down is far longer than the run: without the dropout
+    // the circuit would stay half-open-pending; with it there is nothing
+    // left to probe.
+    let schedule = FaultSchedule::new(61)
+        .with_flaky(DeviceId(1), 1.0, SimTime::ZERO, SimTime::from_millis(1))
+        .with_dropout(DeviceId(1), SimTime::from_micros(800));
+    let health = HealthConfig {
+        breaker: Some(BreakerConfig {
+            trip_after: 2,
+            cooldown: SimTime::from_millis(50),
+        }),
+        ..HealthConfig::disabled()
+    };
+    let report = simulate_repairing(
+        &program,
+        &platform,
+        &mut PinnedScheduler,
+        &schedule,
+        RetryPolicy::default(),
+        &health,
+        &AdaptConfig::disabled(),
+        None,
+        &ReplanConfig::enabled_default(),
+    );
+
+    assert_eq!(total_items(&report), 28 * per_task);
+    assert_eq!(report.health.circuit_opens, 1, "{:?}", report.health);
+    assert_eq!(
+        report.health.circuit_closes, 0,
+        "death during quarantine must not reclose the circuit: {:?}",
+        report.health
+    );
+    assert_eq!(
+        report.adapt.readmissions, 0,
+        "no healing re-plan may readmit a dead device: {:?}",
+        report.adapt
+    );
+    assert_eq!(report.health.quarantine.len(), 1);
+    let span = &report.health.quarantine[0];
+    assert_eq!(span.dev, DeviceId(1));
+    assert!(
+        span.from <= SimTime::from_micros(800),
+        "the breaker tripped before the dropout: {span:?}"
+    );
+    assert_eq!(
+        span.until,
+        Some(report.makespan),
+        "an open quarantine closes at run end: {span:?}"
+    );
+    assert_eq!(
+        report.counters.devices[1].items, 0,
+        "nothing may commit on the dead quarantined device"
+    );
+
+    // Identical schedule, identical replay.
+    let again = simulate_repairing(
+        &program,
+        &platform,
+        &mut PinnedScheduler,
+        &schedule,
+        RetryPolicy::default(),
+        &health,
+        &AdaptConfig::disabled(),
+        None,
+        &ReplanConfig::enabled_default(),
+    );
+    assert_eq!(again.makespan, report.makespan);
+    assert_eq!(again.health, report.health);
+    assert_eq!(again.adapt, report.adapt);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// With plan repair active, no task is ever dispatched to a dead
+    /// device, and dispatches to a quarantined (Open-breaker) device are
+    /// at most the breaker's own half-open probes — across random
+    /// dropout-plus-flaky schedules on the three-device preset.
+    #[test]
+    fn repair_never_dispatches_to_dead_or_quarantined(
+        seed in 0u64..10_000,
+        drop_us in 20u64..400,
+        flaky_prob in 0.0f64..=1.0,
+        drop_dev in 1usize..=2,
+    ) {
+        use hetero_match::runtime::{simulate_repairing_traced, AdaptConfig, ReplanConfig};
+        let platform = Platform::icpp15_with_phi();
+        let desc = compute_app(1 << 16);
+        let planner = Planner::new(&platform);
+        let config = ExecutionConfig::Strategy(Strategy::SpSingle);
+        let plan = planner.plan(&desc, config);
+        let flaky_dev = if drop_dev == 1 { 2 } else { 1 };
+        let schedule = FaultSchedule::new(seed)
+            .with_dropout(DeviceId(drop_dev), SimTime::from_micros(drop_us))
+            .with_flaky(
+                DeviceId(flaky_dev),
+                flaky_prob,
+                SimTime::ZERO,
+                SimTime::from_micros(300),
+            );
+        let health = HealthConfig {
+            breaker: Some(BreakerConfig {
+                trip_after: 2,
+                cooldown: SimTime::from_micros(100),
+            }),
+            ..HealthConfig::disabled()
+        };
+        let (report, trace) = simulate_repairing_traced(
+            &plan.program,
+            &platform,
+            &mut PinnedScheduler,
+            &schedule,
+            RetryPolicy::default(),
+            &health,
+            &AdaptConfig::disabled(),
+            planner.adapt_plan(&desc, config),
+            &ReplanConfig::enabled_default(),
+        );
+        let ndev = platform.devices.len();
+        let mut death: Vec<Option<SimTime>> = vec![None; ndev];
+        let mut open_at: Vec<Option<SimTime>> = vec![None; ndev];
+        let mut windows: Vec<(usize, SimTime, SimTime)> = Vec::new();
+        let mut dispatches: Vec<(usize, SimTime)> = Vec::new();
+        for ev in &trace.events {
+            match ev {
+                TraceEvent::DeviceDropout { dev, at } => death[dev.0] = Some(*at),
+                TraceEvent::CircuitOpen { dev, at } => open_at[dev.0] = Some(*at),
+                TraceEvent::CircuitClose { dev, at } => {
+                    if let Some(from) = open_at[dev.0].take() {
+                        windows.push((dev.0, from, *at));
+                    }
+                }
+                TraceEvent::Task { dev, start, .. } => dispatches.push((dev.0, *start)),
+                _ => {}
+            }
+        }
+        for (d, from) in open_at.iter().enumerate() {
+            if let Some(from) = from {
+                windows.push((d, *from, SimTime::MAX));
+            }
+        }
+        for &(d, start) in &dispatches {
+            if let Some(at) = death[d] {
+                prop_assert!(
+                    start <= at,
+                    "task dispatched to device {d} at {start} after its death at {at}"
+                );
+            }
+        }
+        let quarantined_dispatches = dispatches
+            .iter()
+            .filter(|&&(d, start)| {
+                windows
+                    .iter()
+                    .any(|&(wd, from, until)| wd == d && from < start && start < until)
+            })
+            .count() as u64;
+        prop_assert!(
+            quarantined_dispatches <= report.health.probes,
+            "{quarantined_dispatches} dispatches inside quarantine windows, \
+             but only {} half-open probes",
+            report.health.probes
+        );
+        prop_assert_eq!(total_items(&report), 1 << 16);
+    }
+}

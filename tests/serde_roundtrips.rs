@@ -355,6 +355,92 @@ fn adapt_config_and_report_roundtrip() {
 }
 
 #[test]
+fn replan_types_and_repairing_report_roundtrip() {
+    use hetero_match::matchmaker::SurvivorPlan;
+    use hetero_match::runtime::{AdaptPlan, ReplanConfig, ReplanError, TraceEvent};
+
+    for config in [
+        ReplanConfig::disabled(),
+        ReplanConfig::enabled_default(),
+        ReplanConfig {
+            enabled: true,
+            max_replans: 2,
+            heal_on_reclose: false,
+        },
+    ] {
+        let json = serde_json::to_string(&config).unwrap();
+        let back: ReplanConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, config);
+        assert_eq!(back.enabled(), config.enabled());
+    }
+
+    for error in [
+        ReplanError::NoSurvivingAccelerator,
+        ReplanError::SolverInfeasible {
+            detail: "no static plan".into(),
+        },
+        ReplanError::BudgetExhausted { max_replans: 4 },
+    ] {
+        let json = serde_json::to_string(&error).unwrap();
+        let back: ReplanError = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, error);
+        assert_eq!(back.to_string(), error.to_string());
+    }
+
+    // A survivor plan and a multi-accelerator adapt plan, produced by the
+    // real planner on the 3-device preset, survive round trips.
+    let platform = Platform::icpp15_with_phi();
+    let planner = Planner::new(&platform);
+    let desc = blackscholes::descriptor(1 << 18);
+    let config = ExecutionConfig::Strategy(Strategy::SpSingle);
+    let survivors: Vec<DeviceId> = platform.devices.iter().map(|d| d.id).collect();
+    let plan = planner
+        .replan_surviving(&desc, config, &survivors, None, &[None, None])
+        .unwrap();
+    let json = serde_json::to_string(&plan).unwrap();
+    let back: SurvivorPlan = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, plan);
+
+    let adapt = planner.adapt_plan(&desc, config).unwrap();
+    assert!(adapt.multi.is_some(), "3-device platform must plan N-way");
+    let aj = serde_json::to_string(&adapt).unwrap();
+    let ab: AdaptPlan = serde_json::from_str(&aj).unwrap();
+    assert_eq!(ab, adapt);
+
+    // A repairing run's report — replan counters populated — and its
+    // trace events survive round trips.
+    let analyzer = Analyzer::new(&platform);
+    let schedule = FaultSchedule::new(7).with_dropout(DeviceId(1), SimTime::from_micros(100));
+    let mut obs = hetero_match::runtime::TraceObserver::new();
+    let report = analyzer
+        .simulate_repairing_observed(
+            &desc,
+            config,
+            &schedule,
+            RetryPolicy::default(),
+            &HealthConfig::disabled(),
+            &AdaptConfig::disabled(),
+            &ReplanConfig::enabled_default(),
+            &mut obs,
+        )
+        .unwrap();
+    assert!(report.adapt.replans >= 1, "the dropout must trigger repair");
+    let rj = serde_json::to_string(&report).unwrap();
+    let rb: RunReport = serde_json::from_str(&rj).unwrap();
+    assert_eq!(rb.makespan, report.makespan);
+    assert_eq!(rb.adapt, report.adapt);
+
+    let trace = obs.into_trace();
+    assert!(trace
+        .events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::PlanRepaired { .. })));
+    let tj = serde_json::to_string(&trace).unwrap();
+    let tb: Trace = serde_json::from_str(&tj).unwrap();
+    assert_eq!(tb.events, trace.events);
+}
+
+#[test]
 fn resilient_report_health_roundtrips() {
     let platform = Platform::test_small();
     let planner = Planner::new(&platform);
