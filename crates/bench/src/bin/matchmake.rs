@@ -12,6 +12,8 @@
 //! matchmake tune     app.json           # auto-tune the dynamic task size
 //! matchmake platforms                   # list built-in platform presets
 //! matchmake fuzz                        # random scenarios vs the invariant oracle bank
+//! matchmake run      app.json           # journaled run of the selected strategy
+//! matchmake resume   run.journal        # crash recovery: finish a killed journaled run
 //!
 //! options:
 //!   --platform icpp15|icpp15-phi        # preset (default icpp15)
@@ -37,6 +39,22 @@
 //!                                       # non-zero on a typed ReplanError; requires
 //!                                       # --fault-trace
 //!
+//! run/resume options:
+//!   --journal <path>                    # run: write the write-ahead journal here
+//!                                       # (required); a killed run leaves the
+//!                                       # committed prefix for `matchmake resume`
+//!   --crash-after <n>                   # run: deterministic kill point — abort after
+//!                                       # the n-th journal record commits (exit 3)
+//!   --torn                              # run: leave a half-written line after the
+//!                                       # kill point (resume must discard it)
+//!   --kill-at <ms>                      # run: kill at simulated time <ms> instead of
+//!                                       # a record count
+//!   --fault-trace <path>                # run: execute under the trace's replay
+//!                                       # schedule (recorded into the journal header)
+//!   --metrics <path>                    # run/resume: write the run's metrics; a
+//!                                       # resumed run's export is byte-identical to
+//!                                       # the uninterrupted one
+//!
 //! fuzz options:
 //!   --iters <n>                         # scenarios to fuzz (default 100)
 //!   --seed <s>                          # campaign base seed, decimal or 0x-hex
@@ -51,13 +69,14 @@
 //! maps only) — CI runs the same campaign twice and diffs the output — and
 //! exits non-zero if any oracle was violated.
 
-use hetero_platform::{FaultTrace, Platform, RetryPolicy};
+use hetero_platform::{FaultTrace, KillSchedule, Platform, RetryPolicy, SimTime};
 use hetero_runtime::{
     AdaptConfig, HealthConfig, MetricsObserver, MetricsRegistry, MultiObserver, TraceObserver,
     DEFAULT_GANTT_WIDTH,
 };
 use matchmaker::{
-    tune_task_size, Analyzer, AppDescriptor, ExecutionConfig, ProfileStore, ReplanConfig, Strategy,
+    tune_task_size, Analyzer, AppDescriptor, ExecutionConfig, JournalError, JournalSink,
+    ProfileStore, ReplanConfig, RunJournal, RunSpec, Strategy,
 };
 use std::env;
 use std::fs;
@@ -66,10 +85,12 @@ use std::process::{self, exit};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: matchmake <template|analyze|compare|timeline|tune|platforms|fuzz> [app.json] \
+        "usage: matchmake <template|analyze|compare|timeline|tune|platforms|fuzz|run|resume> \
+         [app.json|run.journal] \
          [--platform icpp15|icpp15-phi] [--refined] [--width <n>] [--metrics <path>] \
          [--breakdown] [--profile <path>] [--fault-trace <path>] [--fault-trace-out <path>] \
-         [--replan] [--iters <n>] [--seed <s>] [--shrink] [--corpus <dir>] [--self-check]"
+         [--replan] [--iters <n>] [--seed <s>] [--shrink] [--corpus <dir>] [--self-check] \
+         [--journal <path>] [--crash-after <n>] [--torn] [--kill-at <ms>]"
     );
     exit(2);
 }
@@ -134,6 +155,19 @@ fn write_metrics(path: &str, registry: &MetricsRegistry) {
     }
 }
 
+/// One-line run summary, printed identically by `run` and `resume` so CI
+/// can diff a crash–resume pair against the uninterrupted run verbatim.
+fn report_line(config: ExecutionConfig, report: &hetero_runtime::RunReport) -> String {
+    format!(
+        "report: {} {} {:.1}% GPU {:.3} GB transferred {} fault(s)",
+        config,
+        report.makespan,
+        100.0 * report.gpu_item_share(),
+        report.counters.transfers.bytes as f64 / 1e9,
+        report.faults.task_faults
+    )
+}
+
 fn load_fault_trace(path: &str) -> FaultTrace {
     let text = fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read fault trace {path}: {e}");
@@ -186,6 +220,10 @@ fn main() {
     let mut shrink = false;
     let mut corpus_dir: Option<String> = None;
     let mut self_check = false;
+    let mut journal_path: Option<String> = None;
+    let mut crash_after: Option<u64> = None;
+    let mut torn = false;
+    let mut kill_at_ms: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -230,6 +268,24 @@ fn main() {
                 fault_trace_out = Some(it.next().cloned().unwrap_or_else(|| usage()));
             }
             "--replan" => replan = true,
+            "--journal" => {
+                journal_path = Some(it.next().cloned().unwrap_or_else(|| usage()));
+            }
+            "--crash-after" => {
+                crash_after = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--torn" => torn = true,
+            "--kill-at" => {
+                kill_at_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             _ if command.is_none() => command = Some(a.clone()),
             _ if file.is_none() => file = Some(a.clone()),
             _ => usage(),
@@ -549,7 +605,7 @@ fn main() {
                     corpus: Some(dir.clone()),
                     inject: InjectedBreak {
                         skip_blame_component: true,
-                        break_double_run: false,
+                        ..InjectedBreak::NONE
                     },
                     max_failures: 1,
                 };
@@ -598,6 +654,121 @@ fn main() {
             print!("{}", report.summary());
             if !report.failures.is_empty() {
                 exit(1);
+            }
+        }
+        "run" => {
+            let desc = load_descriptor(file.as_deref().unwrap_or_else(|| usage()));
+            let platform = platform_by_name(&platform_name);
+            let mut analyzer = Analyzer::new(&platform);
+            if let Some(p) = &profile_path {
+                install_profiles(&mut analyzer, &desc, p);
+            }
+            let Some(journal_path) = &journal_path else {
+                eprintln!("run requires --journal <path> (where to write the run journal)");
+                exit(2);
+            };
+            let analysis = analyzer.analyze(&desc);
+            let config = ExecutionConfig::Strategy(analysis.best);
+            let spec = match fault_trace_path.as_deref() {
+                Some(p) => RunSpec::faulty(load_fault_trace(p).replay_schedule()),
+                None => RunSpec::plain(),
+            };
+            let mut kill = match (crash_after, kill_at_ms) {
+                (Some(_), Some(_)) => {
+                    eprintln!("--crash-after and --kill-at are mutually exclusive");
+                    exit(2);
+                }
+                (Some(n), None) => Some(KillSchedule::after_records(n)),
+                (None, Some(ms)) => Some(KillSchedule::at_time(SimTime::from_secs_f64(ms / 1e3))),
+                (None, None) => None,
+            };
+            if torn {
+                match kill.take() {
+                    Some(k) => kill = Some(k.torn()),
+                    None => {
+                        eprintln!("--torn requires --crash-after or --kill-at");
+                        exit(2);
+                    }
+                }
+            }
+            let mut sink = match kill {
+                Some(k) => JournalSink::record_with_kill(k),
+                None => JournalSink::record(),
+            };
+            let result = if let Some(mp) = &metrics_path {
+                let mut mobs = MetricsObserver::new(&platform, "journaled");
+                let r = analyzer
+                    .simulate_journaled_observed(&desc, config, &spec, &mut sink, &mut mobs);
+                if r.is_ok() {
+                    write_metrics(mp, mobs.registry());
+                }
+                r
+            } else {
+                analyzer.simulate_journaled(&desc, config, &spec, &mut sink)
+            };
+            // The journal is written either way: a killed run leaves the
+            // committed prefix for `matchmake resume` to finish.
+            if let Err(e) = fs::write(journal_path, sink.text()) {
+                eprintln!("cannot write journal {journal_path}: {e}");
+                exit(1);
+            }
+            match result {
+                Ok(report) => {
+                    eprintln!("journal: {} record(s) -> {journal_path}", sink.records());
+                    println!("{}", report_line(config, &report));
+                }
+                Err(e @ JournalError::Killed { .. }) => {
+                    eprintln!("run killed ({e}); partial journal -> {journal_path}");
+                    exit(3);
+                }
+                Err(e) => {
+                    eprintln!("run failed: {e}");
+                    exit(1);
+                }
+            }
+        }
+        "resume" => {
+            let path = file.as_deref().unwrap_or_else(|| usage());
+            let platform = platform_by_name(&platform_name);
+            let analyzer = Analyzer::new(&platform);
+            let text = fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read journal {path}: {e}");
+                exit(1);
+            });
+            // The header names the config; surfacing it keeps the report
+            // line identical to the original `matchmake run` output.
+            let config = RunJournal::load(&text).ok().and_then(|j| {
+                let stored = j.header.inputs.get("config")?.clone();
+                serde_json::from_str::<ExecutionConfig>(&stored).ok()
+            });
+            let result = if let Some(mp) = &metrics_path {
+                let mut mobs = MetricsObserver::new(&platform, "journaled");
+                let r = analyzer.resume_observed(&text, &mut mobs);
+                if r.is_ok() {
+                    write_metrics(mp, mobs.registry());
+                }
+                r
+            } else {
+                analyzer.resume(&text)
+            };
+            match result {
+                Ok((report, full_text)) => {
+                    if let Err(e) = fs::write(path, &full_text) {
+                        eprintln!("cannot write completed journal {path}: {e}");
+                        exit(1);
+                    }
+                    eprintln!("resume: completed journal regenerated -> {path}");
+                    match config {
+                        Some(config) => println!("{}", report_line(config, &report)),
+                        None => {
+                            println!("report: {} {}", report.makespan, report.faults.task_faults)
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("resume failed: {path}: {e}");
+                    exit(1);
+                }
             }
         }
         _ => usage(),

@@ -327,6 +327,9 @@ pub struct InjectedBreak {
     /// Perturb the second run's makespan before the double-run comparison —
     /// simulates hidden nondeterminism.
     pub break_double_run: bool,
+    /// Perturb the first resumed report's makespan before the crash–resume
+    /// comparison — simulates a resume that reconstructs the wrong state.
+    pub break_resume: bool,
 }
 
 impl InjectedBreak {
@@ -334,6 +337,7 @@ impl InjectedBreak {
     pub const NONE: InjectedBreak = InjectedBreak {
         skip_blame_component: false,
         break_double_run: false,
+        break_resume: false,
     };
 }
 
@@ -668,6 +672,146 @@ pub fn run_oracles_counted(
             if let Err(v) = check_blame_identity(&repaired) {
                 violations.push(v);
             }
+        }
+    }
+
+    // (f) Crash–resume equivalence: a journaled run must be byte-identical
+    // to its unjournaled twin, and for every kill point — after each
+    // committed record (the last one additionally torn) plus one mid-run
+    // time kill — crash + resume must reproduce the uninterrupted run's
+    // report *and* regenerate the identical journal text. Checked on the
+    // faulty path always, and on the repairing path when the schedule
+    // carries a permanent dropout (crash × plan-repair).
+    {
+        use crate::journal::RunSpec;
+        use hetero_platform::KillSchedule;
+        use hetero_runtime::{JournalError, JournalSink, RunReport};
+
+        let check_crash = |spec: &RunSpec,
+                           what: &str,
+                           twin: Option<&RunReport>,
+                           violations: &mut Vec<OracleViolation>,
+                           checks: &mut BTreeMap<&'static str, u64>| {
+            *checks
+                .entry(OracleKind::CrashResumeEquivalence.name())
+                .or_insert(0) += 1;
+            let mut full = JournalSink::record();
+            let reference = match analyzer.simulate_journaled(desc, config, spec, &mut full) {
+                Ok(r) => r,
+                Err(e) => {
+                    violations.push(OracleViolation::new(
+                        OracleKind::CrashResumeEquivalence,
+                        format!("{what}: uninterrupted journaled run failed: {e}"),
+                    ));
+                    return;
+                }
+            };
+            if let Some(twin) = twin {
+                if let Err(v) = check_identical(
+                    OracleKind::CrashResumeEquivalence,
+                    &format!("{what}: journaled vs unjournaled"),
+                    twin,
+                    &reference,
+                ) {
+                    violations.push(v);
+                    return;
+                }
+            }
+            let full_text = full.text();
+            let records = full.records();
+            let mut kills: Vec<(String, KillSchedule)> = (0..records)
+                .map(|k| {
+                    (
+                        format!("killed after {k} records"),
+                        KillSchedule::after_records(k),
+                    )
+                })
+                .collect();
+            if records > 0 {
+                kills.push((
+                    format!("killed torn after {} records", records - 1),
+                    KillSchedule::after_records(records - 1).torn(),
+                ));
+            }
+            kills.push((
+                "killed mid-run".into(),
+                KillSchedule::at_time(reference.makespan / 2),
+            ));
+            for (i, (label, kill)) in kills.into_iter().enumerate() {
+                let mut sink = JournalSink::record_with_kill(kill);
+                match analyzer.simulate_journaled(desc, config, spec, &mut sink) {
+                    Err(JournalError::Killed { .. }) => {}
+                    // A kill point past the end of the run never fires; the
+                    // complete journal must still resume cleanly below.
+                    Ok(_) => {}
+                    Err(e) => {
+                        violations.push(OracleViolation::new(
+                            OracleKind::CrashResumeEquivalence,
+                            format!("{what} ({label}): journaled run failed: {e}"),
+                        ));
+                        continue;
+                    }
+                }
+                match analyzer.resume(&sink.text()) {
+                    Err(e) => violations.push(OracleViolation::new(
+                        OracleKind::CrashResumeEquivalence,
+                        format!("{what} ({label}): resume failed: {e}"),
+                    )),
+                    Ok((mut resumed, resumed_text)) => {
+                        if inject.break_resume && i == 0 {
+                            resumed.makespan += SimTime::from_nanos(1);
+                        }
+                        if let Err(v) = check_identical(
+                            OracleKind::CrashResumeEquivalence,
+                            &format!("{what} ({label})"),
+                            &reference,
+                            &resumed,
+                        ) {
+                            violations.push(v);
+                        } else if resumed_text != full_text {
+                            violations.push(OracleViolation::new(
+                                OracleKind::CrashResumeEquivalence,
+                                format!("{what} ({label}): regenerated journal text diverges"),
+                            ));
+                        }
+                    }
+                }
+            }
+        };
+
+        check_crash(
+            &RunSpec::faulty(scenario.schedule.clone()),
+            "faulty",
+            Some(&faulty),
+            &mut violations,
+            &mut checks,
+        );
+        let dropouts: Vec<FaultEvent> = scenario
+            .schedule
+            .events
+            .iter()
+            .filter(|e| matches!(e, FaultEvent::DeviceDropout { .. }))
+            .cloned()
+            .collect();
+        if !dropouts.is_empty() && is_static_hybrid(config) {
+            let dschedule = FaultSchedule {
+                seed: scenario.schedule.seed,
+                events: dropouts,
+                domains: Vec::new(),
+                synthesized_after: None,
+            };
+            check_crash(
+                &RunSpec::repairing(
+                    dschedule,
+                    HealthConfig::disabled(),
+                    AdaptConfig::disabled(),
+                    ReplanConfig::enabled_default(),
+                ),
+                "repairing",
+                None,
+                &mut violations,
+                &mut checks,
+            );
         }
     }
 

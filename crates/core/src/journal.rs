@@ -1,0 +1,607 @@
+//! Crash-consistent analyzer runs: journaled execution and resume.
+//!
+//! The executor-level journal (`hetero_runtime::journal`) records *one*
+//! run; this module makes a whole analyzer invocation durable. A
+//! [`RunSpec`] names which executor path the run takes and carries every
+//! configuration knob beyond the descriptor/config pair;
+//! [`Analyzer::simulate_journaled`] serializes the descriptor, platform,
+//! execution config, and spec into the journal header and executes the
+//! run with a `JournalSink` committing one record per epoch. A later
+//! [`Analyzer::resume`] reconstructs the entire run *from the journal
+//! alone* — descriptor, config, and spec are parsed back out of the
+//! header (the platform is byte-validated against the resuming analyzer's
+//! own), the prefix is re-executed under byte-exact redo-replay
+//! validation, and the run continues past the crash point to a final
+//! report byte-identical to the uninterrupted run. See DESIGN.md §8.7.
+
+use crate::analyzer::Analyzer;
+use crate::descriptor::AppDescriptor;
+use crate::strategy::{ExecutionConfig, Strategy};
+use hetero_platform::{FaultSchedule, RetryPolicy};
+use hetero_runtime::{
+    simulate_journaled_observed, AdaptConfig, DepScheduler, HealthConfig, JournalError,
+    JournalHeader, JournalSink, Observer, PerfScheduler, PinnedScheduler, ReplanConfig, RunJournal,
+    RunReport,
+};
+use serde::{Deserialize, Serialize};
+
+/// Which executor path a journaled run takes — the journal-header analog
+/// of choosing between `Analyzer::simulate`, `simulate_faulty`,
+/// `simulate_resilient`, `simulate_adaptive`, and `simulate_repairing`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunMode {
+    /// Fault-free execution (`Analyzer::simulate`).
+    Plain,
+    /// Fault injection with retries, mitigation off
+    /// (`Analyzer::simulate_faulty`).
+    Faulty,
+    /// Faults plus the gray-failure health subsystem
+    /// (`Analyzer::simulate_resilient`).
+    Resilient,
+    /// Faults, health, and the adaptive-repartitioning controller
+    /// (`Analyzer::simulate_adaptive`).
+    Adaptive,
+    /// The full stack including degraded-mode plan repair
+    /// (`Analyzer::simulate_repairing`).
+    Repairing,
+}
+
+/// Everything beyond the descriptor and execution config that shapes a
+/// journaled run. Serialized whole into the journal header, so resume
+/// re-creates the exact executor configuration without any side channel.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// The executor path.
+    pub mode: RunMode,
+    /// The fault schedule (required for every mode but [`RunMode::Plain`]).
+    pub schedule: Option<FaultSchedule>,
+    /// Retry/failover budgets for the faulty paths.
+    pub policy: RetryPolicy,
+    /// Gray-failure mitigation ([`RunMode::Resilient`] and up; the faulty
+    /// mode runs with it disabled regardless).
+    pub health: HealthConfig,
+    /// The adaptation controller ([`RunMode::Adaptive`] and up).
+    pub adapt: AdaptConfig,
+    /// Degraded-mode plan repair ([`RunMode::Repairing`] only).
+    pub replan: ReplanConfig,
+}
+
+impl RunSpec {
+    /// A fault-free run.
+    pub fn plain() -> Self {
+        RunSpec {
+            mode: RunMode::Plain,
+            schedule: None,
+            policy: RetryPolicy::default(),
+            health: HealthConfig::disabled(),
+            adapt: AdaptConfig::disabled(),
+            replan: ReplanConfig::disabled(),
+        }
+    }
+
+    /// A faulty run under `schedule` with default retry budgets.
+    pub fn faulty(schedule: FaultSchedule) -> Self {
+        RunSpec {
+            mode: RunMode::Faulty,
+            schedule: Some(schedule),
+            ..RunSpec::plain()
+        }
+    }
+
+    /// A resilient run: `schedule` plus `health`.
+    pub fn resilient(schedule: FaultSchedule, health: HealthConfig) -> Self {
+        RunSpec {
+            mode: RunMode::Resilient,
+            schedule: Some(schedule),
+            health,
+            ..RunSpec::plain()
+        }
+    }
+
+    /// An adaptive run: `schedule`, `health`, and the controller `adapt`.
+    pub fn adaptive(schedule: FaultSchedule, health: HealthConfig, adapt: AdaptConfig) -> Self {
+        RunSpec {
+            mode: RunMode::Adaptive,
+            schedule: Some(schedule),
+            health,
+            adapt,
+            ..RunSpec::plain()
+        }
+    }
+
+    /// A repairing run: the full stack.
+    pub fn repairing(
+        schedule: FaultSchedule,
+        health: HealthConfig,
+        adapt: AdaptConfig,
+        replan: ReplanConfig,
+    ) -> Self {
+        RunSpec {
+            mode: RunMode::Repairing,
+            schedule: Some(schedule),
+            health,
+            adapt,
+            replan,
+            ..RunSpec::plain()
+        }
+    }
+
+    /// The schedule, or a typed error for a mode that requires one.
+    fn require_schedule(&self) -> Result<&FaultSchedule, JournalError> {
+        self.schedule
+            .as_ref()
+            .ok_or_else(|| JournalError::HeaderMismatch {
+                field: format!("run mode {:?} requires a fault schedule", self.mode),
+            })
+    }
+}
+
+fn json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("journal inputs always serialize")
+}
+
+fn parse_input<T: serde::Deserialize>(
+    header: &JournalHeader,
+    key: &str,
+) -> Result<T, JournalError> {
+    let raw = header.require_input(key)?;
+    serde_json::from_str(raw).map_err(|e| JournalError::BadParse {
+        line: 1,
+        error: format!("header input `{key}`: {e}"),
+    })
+}
+
+impl<'a> Analyzer<'a> {
+    /// [`Analyzer::simulate`] and its faulty/resilient/adaptive/repairing
+    /// siblings, selected by `spec.mode`, with `sink` committing one
+    /// journal record per epoch flush. The sink is opened here: the header
+    /// (descriptor, platform, config, and spec serialized as named inputs)
+    /// is written before the first event executes, making the journal
+    /// self-contained. Returns [`JournalError::Killed`] when the sink's
+    /// kill schedule fires — the journal text accumulated in the sink is
+    /// valid and resumable — and never fails for an unkilled record-mode
+    /// run. A repairing run that gave up reports through
+    /// `RunReport::adapt.replan_error`, exactly like
+    /// `Analyzer::simulate_repairing_observed`'s error channel.
+    pub fn simulate_journaled(
+        &self,
+        desc: &AppDescriptor,
+        config: ExecutionConfig,
+        spec: &RunSpec,
+        sink: &mut JournalSink,
+    ) -> Result<RunReport, JournalError> {
+        self.simulate_journaled_observed(
+            desc,
+            config,
+            spec,
+            sink,
+            &mut hetero_runtime::NullObserver,
+        )
+    }
+
+    /// [`Analyzer::simulate_journaled`] with a pluggable [`Observer`]
+    /// (DP-Perf's warm-up pass runs unobserved *and* unjournaled — it is
+    /// a pure function of the schedule, so resume regenerates it).
+    pub fn simulate_journaled_observed(
+        &self,
+        desc: &AppDescriptor,
+        config: ExecutionConfig,
+        spec: &RunSpec,
+        sink: &mut JournalSink,
+        obs: &mut dyn Observer,
+    ) -> Result<RunReport, JournalError> {
+        sink.begin(&self.journal_header(desc, config, spec))?;
+        self.dispatch_journaled(desc, config, spec, sink, obs)
+    }
+
+    /// Resume a run from loaded journal `text`: validate and parse the
+    /// journal, reconstruct the descriptor/config/spec from its header,
+    /// byte-validate the platform against this analyzer's, then re-execute
+    /// under redo-replay validation and run to completion. Returns the
+    /// final report plus the *complete* journal text — byte-identical to
+    /// what the uninterrupted run would have written, ready to be stored
+    /// in place of the truncated file.
+    pub fn resume(&self, text: &str) -> Result<(RunReport, String), JournalError> {
+        self.resume_observed(text, &mut hetero_runtime::NullObserver)
+    }
+
+    /// [`Analyzer::resume`] with a pluggable [`Observer`]. The observer
+    /// sees the whole run from `t = 0` (redo-replay re-executes the
+    /// prefix), so traces and metrics exports match the uninterrupted run
+    /// byte-for-byte.
+    pub fn resume_observed(
+        &self,
+        text: &str,
+        obs: &mut dyn Observer,
+    ) -> Result<(RunReport, String), JournalError> {
+        let journal = RunJournal::load(text)?;
+        let desc: AppDescriptor = parse_input(&journal.header, "descriptor")?;
+        let config: ExecutionConfig = parse_input(&journal.header, "config")?;
+        let spec: RunSpec = parse_input(&journal.header, "run")?;
+        let stored_platform = journal.header.require_input("platform")?;
+        if stored_platform != json(self.planner().platform) {
+            return Err(JournalError::HeaderMismatch {
+                field: "platform (the journal was recorded on a different platform)".into(),
+            });
+        }
+        let mut sink = JournalSink::resume(&journal);
+        sink.begin(&self.journal_header(&desc, config, &spec))?;
+        let report = self.dispatch_journaled(&desc, config, &spec, &mut sink, obs)?;
+        Ok((report, sink.text()))
+    }
+
+    /// The journal header for one run: seed, stream constants, and the
+    /// four input documents resume needs.
+    fn journal_header(
+        &self,
+        desc: &AppDescriptor,
+        config: ExecutionConfig,
+        spec: &RunSpec,
+    ) -> JournalHeader {
+        JournalHeader::new(spec.schedule.as_ref().map(|s| s.seed))
+            .with_input("descriptor", json(desc))
+            .with_input("platform", json(self.planner().platform))
+            .with_input("config", json(&config))
+            .with_input("run", json(spec))
+    }
+
+    /// The journaled mirror of the analyzer's five simulate dispatches:
+    /// same planner, same scheduler construction, same warm-up handling,
+    /// byte-identical event sequences — with the sink observing epoch
+    /// commits.
+    fn dispatch_journaled(
+        &self,
+        desc: &AppDescriptor,
+        config: ExecutionConfig,
+        spec: &RunSpec,
+        sink: &mut JournalSink,
+        obs: &mut dyn Observer,
+    ) -> Result<RunReport, JournalError> {
+        match spec.mode {
+            RunMode::Plain => self.journaled_plain(desc, config, sink, obs),
+            RunMode::Faulty | RunMode::Resilient => {
+                let schedule = spec.require_schedule()?.clone();
+                let health = if spec.mode == RunMode::Faulty {
+                    HealthConfig::disabled()
+                } else {
+                    spec.health
+                };
+                self.journaled_resilient(desc, config, &schedule, spec.policy, health, sink, obs)
+            }
+            RunMode::Adaptive | RunMode::Repairing => {
+                let schedule = spec.require_schedule()?.clone();
+                let replan = (spec.mode == RunMode::Repairing).then_some(spec.replan);
+                self.journaled_adaptive(desc, config, &schedule, spec, replan, sink, obs)
+            }
+        }
+    }
+
+    /// Journaled [`Analyzer::simulate_observed`].
+    fn journaled_plain(
+        &self,
+        desc: &AppDescriptor,
+        config: ExecutionConfig,
+        sink: &mut JournalSink,
+        obs: &mut dyn Observer,
+    ) -> Result<RunReport, JournalError> {
+        let plan = self.plan(desc, config);
+        let platform = self.planner().platform;
+        match config {
+            ExecutionConfig::Strategy(Strategy::DpDep) => {
+                let mut s = DepScheduler::new(platform);
+                simulate_journaled_observed(
+                    &plan.program,
+                    platform,
+                    &mut s,
+                    None,
+                    None,
+                    None,
+                    None,
+                    sink,
+                    obs,
+                )
+            }
+            ExecutionConfig::Strategy(Strategy::DpPerf) => {
+                // The warm-up pass is a pure function of the program and
+                // platform; it stays unjournaled and unobserved, exactly
+                // as it stays out of the report (resume regenerates it).
+                let mut warm = PerfScheduler::new(platform);
+                let _ = hetero_runtime::simulate(&plan.program, platform, &mut warm);
+                let mut measured = PerfScheduler::seeded(platform, warm.rates().clone());
+                simulate_journaled_observed(
+                    &plan.program,
+                    platform,
+                    &mut measured,
+                    None,
+                    None,
+                    None,
+                    None,
+                    sink,
+                    obs,
+                )
+            }
+            _ => simulate_journaled_observed(
+                &plan.program,
+                platform,
+                &mut PinnedScheduler,
+                None,
+                None,
+                None,
+                None,
+                sink,
+                obs,
+            ),
+        }
+    }
+
+    /// Journaled [`Analyzer::simulate_resilient_observed`] (the faulty
+    /// mode is this with health disabled).
+    #[allow(clippy::too_many_arguments)]
+    fn journaled_resilient(
+        &self,
+        desc: &AppDescriptor,
+        config: ExecutionConfig,
+        schedule: &FaultSchedule,
+        policy: RetryPolicy,
+        health: HealthConfig,
+        sink: &mut JournalSink,
+        obs: &mut dyn Observer,
+    ) -> Result<RunReport, JournalError> {
+        let plan = self.plan(desc, config);
+        let platform = self.planner().platform;
+        match config {
+            ExecutionConfig::Strategy(Strategy::DpDep) => {
+                let mut s = DepScheduler::new(platform);
+                simulate_journaled_observed(
+                    &plan.program,
+                    platform,
+                    &mut s,
+                    Some((schedule, policy)),
+                    Some(health),
+                    None,
+                    None,
+                    sink,
+                    obs,
+                )
+            }
+            ExecutionConfig::Strategy(Strategy::DpPerf) => {
+                let warm_schedule = hetero_runtime::warmup_schedule(schedule);
+                let mut warm = PerfScheduler::new(platform);
+                let _ = hetero_runtime::simulate_resilient(
+                    &plan.program,
+                    platform,
+                    &mut warm,
+                    &warm_schedule,
+                    policy,
+                    &health,
+                );
+                let mut measured = PerfScheduler::seeded(platform, warm.rates().clone());
+                simulate_journaled_observed(
+                    &plan.program,
+                    platform,
+                    &mut measured,
+                    Some((schedule, policy)),
+                    Some(health),
+                    None,
+                    None,
+                    sink,
+                    obs,
+                )
+            }
+            _ => simulate_journaled_observed(
+                &plan.program,
+                platform,
+                &mut PinnedScheduler,
+                Some((schedule, policy)),
+                Some(health),
+                None,
+                None,
+                sink,
+                obs,
+            ),
+        }
+    }
+
+    /// Journaled [`Analyzer::simulate_adaptive_observed`] /
+    /// [`Analyzer::simulate_repairing_observed`] (`replan` present on the
+    /// repairing path).
+    #[allow(clippy::too_many_arguments)]
+    fn journaled_adaptive(
+        &self,
+        desc: &AppDescriptor,
+        config: ExecutionConfig,
+        schedule: &FaultSchedule,
+        spec: &RunSpec,
+        replan: Option<ReplanConfig>,
+        sink: &mut JournalSink,
+        obs: &mut dyn Observer,
+    ) -> Result<RunReport, JournalError> {
+        let planner = self.misprediction_planner(schedule);
+        let plan = planner.plan(desc, config);
+        let platform = planner.platform;
+        let policy = spec.policy;
+        let health = spec.health;
+        let adapt = spec.adapt;
+        match config {
+            ExecutionConfig::Strategy(Strategy::DpDep) => {
+                let mut s = DepScheduler::new(platform);
+                simulate_journaled_observed(
+                    &plan.program,
+                    platform,
+                    &mut s,
+                    Some((schedule, policy)),
+                    Some(health),
+                    Some((adapt, None)),
+                    replan,
+                    sink,
+                    obs,
+                )
+            }
+            ExecutionConfig::Strategy(Strategy::DpPerf) => {
+                let warm_schedule = hetero_runtime::warmup_schedule(schedule);
+                let mut warm = PerfScheduler::new(platform);
+                let _ = hetero_runtime::simulate_resilient(
+                    &plan.program,
+                    platform,
+                    &mut warm,
+                    &warm_schedule,
+                    policy,
+                    &health,
+                );
+                let mut measured = PerfScheduler::seeded(platform, warm.rates().clone());
+                simulate_journaled_observed(
+                    &plan.program,
+                    platform,
+                    &mut measured,
+                    Some((schedule, policy)),
+                    Some(health),
+                    Some((adapt, None)),
+                    replan,
+                    sink,
+                    obs,
+                )
+            }
+            _ => simulate_journaled_observed(
+                &plan.program,
+                platform,
+                &mut PinnedScheduler,
+                Some((schedule, policy)),
+                Some(health),
+                Some((adapt, planner.adapt_plan(desc, config))),
+                replan,
+                sink,
+                obs,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::tests_support::toy_descriptor;
+    use crate::descriptor::ExecutionFlow;
+    use hetero_platform::{DeviceId, KillSchedule, Platform, SimTime};
+    use hetero_runtime::{check_identical, OracleKind};
+
+    fn desc() -> AppDescriptor {
+        let mut d = toy_descriptor(2, ExecutionFlow::Sequence);
+        d.buffers[0].items = 1 << 18;
+        for k in &mut d.kernels {
+            k.domain = 1 << 18;
+        }
+        d.sync.between_kernels = true;
+        d
+    }
+
+    #[test]
+    fn journaled_run_matches_unjournaled_and_round_trips() {
+        let platform = Platform::test_small();
+        let analyzer = Analyzer::new(&platform);
+        let config = ExecutionConfig::Strategy(Strategy::SpVaried);
+        let baseline = analyzer.simulate(&desc(), config);
+        let mut sink = JournalSink::record();
+        let report = analyzer
+            .simulate_journaled(&desc(), config, &RunSpec::plain(), &mut sink)
+            .unwrap();
+        check_identical(
+            OracleKind::CrashResumeEquivalence,
+            "journaled vs unjournaled",
+            &baseline,
+            &report,
+        )
+        .unwrap();
+        // The journal is self-contained: a fresh analyzer resumes the
+        // *complete* journal (a no-crash resume re-validates every record)
+        // and regenerates identical text.
+        let text = sink.text();
+        let (resumed, resumed_text) = analyzer.resume(&text).unwrap();
+        check_identical(
+            OracleKind::CrashResumeEquivalence,
+            "resume of a complete journal",
+            &report,
+            &resumed,
+        )
+        .unwrap();
+        assert_eq!(text, resumed_text);
+    }
+
+    #[test]
+    fn kill_and_resume_reproduce_the_uninterrupted_run() {
+        let platform = Platform::test_small();
+        let analyzer = Analyzer::new(&platform);
+        let config = ExecutionConfig::Strategy(Strategy::SpVaried);
+        let schedule = FaultSchedule::new(11).with_flaky(
+            DeviceId(1),
+            0.2,
+            SimTime::ZERO,
+            SimTime::from_millis(50),
+        );
+        let spec = RunSpec::faulty(schedule);
+        let mut full = JournalSink::record();
+        let report = analyzer
+            .simulate_journaled(&desc(), config, &spec, &mut full)
+            .unwrap();
+        let full_text = full.text();
+        let records = full.records();
+        assert!(records >= 2, "toy run should span several epochs");
+        for k in 0..records {
+            let mut sink = JournalSink::record_with_kill(KillSchedule::after_records(k));
+            let err = analyzer
+                .simulate_journaled(&desc(), config, &spec, &mut sink)
+                .unwrap_err();
+            assert!(matches!(err, JournalError::Killed { records, .. } if records == k));
+            let (resumed, resumed_text) = analyzer.resume(&sink.text()).unwrap();
+            check_identical(
+                OracleKind::CrashResumeEquivalence,
+                &format!("kill point {k}"),
+                &report,
+                &resumed,
+            )
+            .unwrap();
+            assert_eq!(full_text, resumed_text, "kill point {k}: journal differs");
+        }
+    }
+
+    #[test]
+    fn resume_rejects_a_different_platform() {
+        let platform = Platform::test_small();
+        let analyzer = Analyzer::new(&platform);
+        let config = ExecutionConfig::Strategy(Strategy::SpUnified);
+        let mut sink = JournalSink::record();
+        analyzer
+            .simulate_journaled(&desc(), config, &RunSpec::plain(), &mut sink)
+            .unwrap();
+        let other = Platform::icpp15();
+        let resumer = Analyzer::new(&other);
+        let err = resumer.resume(&sink.text()).unwrap_err();
+        assert!(
+            matches!(err, JournalError::HeaderMismatch { field } if field.contains("platform"))
+        );
+    }
+
+    #[test]
+    fn spec_constructors_pick_the_right_mode() {
+        let s = FaultSchedule::new(1);
+        assert_eq!(RunSpec::plain().mode, RunMode::Plain);
+        assert_eq!(RunSpec::faulty(s.clone()).mode, RunMode::Faulty);
+        assert_eq!(
+            RunSpec::resilient(s.clone(), HealthConfig::disabled()).mode,
+            RunMode::Resilient
+        );
+        assert_eq!(
+            RunSpec::adaptive(s.clone(), HealthConfig::disabled(), AdaptConfig::disabled()).mode,
+            RunMode::Adaptive
+        );
+        let spec = RunSpec::repairing(
+            s,
+            HealthConfig::disabled(),
+            AdaptConfig::disabled(),
+            ReplanConfig::enabled_default(),
+        );
+        assert_eq!(spec.mode, RunMode::Repairing);
+        // The spec round-trips through its header encoding.
+        let back: RunSpec = serde_json::from_str(&json(&spec)).unwrap();
+        assert_eq!(back, spec);
+    }
+}

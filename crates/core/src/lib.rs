@@ -49,6 +49,7 @@ pub mod convert;
 pub mod dag;
 pub mod descriptor;
 pub mod fuzz;
+pub mod journal;
 pub mod plan;
 pub mod profile;
 pub mod ranking;
@@ -68,8 +69,10 @@ pub use fuzz::{
     FuzzConfig, FuzzFailure, FuzzOutcome, FuzzReport, InjectedBreak, Scenario,
 };
 pub use hetero_runtime::PlanError;
+pub use hetero_runtime::{JournalError, JournalSink, RunJournal};
 pub use hetero_runtime::{OracleKind, OracleViolation};
 pub use hetero_runtime::{ReplanConfig, ReplanError};
+pub use journal::{RunMode, RunSpec};
 pub use plan::{KernelModel, KernelSplit, Plan, Planner, SurvivorPlan};
 pub use profile::{ProfileStore, RateProfile};
 pub use ranking::{best_strategy, escalation_target, rank_of, ranking, SyncMode};

@@ -34,8 +34,8 @@ use glinda::{
 };
 use hetero_platform::{DeviceId, DeviceKind, MemSpaceId, Platform};
 use hetero_runtime::{
-    split_even, Access, AdaptPlan, KernelId, MultiAdaptPlan, PlanError, Program, ProgramBuilder,
-    Region, ReplanError,
+    split_even, Access, AdaptPlan, KernelAdaptPlan, KernelId, MultiAdaptPlan, PlanError, Program,
+    ProgramBuilder, Region, ReplanError,
 };
 use serde::{Deserialize, Serialize};
 
@@ -528,6 +528,13 @@ impl<'a> Planner<'a> {
     /// `problem`/`solution` pair is kept against the first accelerator for
     /// reporting continuity).
     pub fn adapt_plan(&self, desc: &AppDescriptor, config: ExecutionConfig) -> Option<AdaptPlan> {
+        // SP-Varied over several kernels carries one problem/split *per
+        // kernel* instead of the SP-Single projection (each SP-Varied
+        // epoch runs exactly one kernel, so barrier re-solves can use
+        // that kernel's own problem against its own observed rates).
+        if config == ExecutionConfig::Strategy(Strategy::SpVaried) && desc.kernels.len() > 1 {
+            return self.varied_adapt_plan(desc);
+        }
         let (problem, multi_problem) = match config {
             ExecutionConfig::Strategy(Strategy::SpSingle | Strategy::SpVaried) => {
                 if desc.kernels.len() != 1 || desc.kernels[0].weights.is_some() {
@@ -568,9 +575,44 @@ impl<'a> Planner<'a> {
                         accels: self.platform.accelerators().map(|d| d.id).collect(),
                     }
                 }),
+                per_kernel: None,
             }),
             _ => None,
         }
+    }
+
+    /// The per-kernel [`AdaptPlan`] behind a multi-kernel SP-Varied run:
+    /// one [`KernelAdaptPlan`] per kernel whose decision came out hybrid
+    /// (single-device kernels have no split to correct and carry no
+    /// entry). The top-level problem/solution pair is the first hybrid
+    /// kernel's, kept for reporting continuity; weighted kernels and
+    /// multi-accelerator platforms still yield no plan (the N-way ×
+    /// per-kernel combination is future work).
+    fn varied_adapt_plan(&self, desc: &AppDescriptor) -> Option<AdaptPlan> {
+        if desc.kernels.iter().any(|k| k.weights.is_some())
+            || self.platform.accelerators().count() > 1
+        {
+            return None;
+        }
+        let mut per_kernel = Vec::new();
+        for k in 0..desc.kernels.len() {
+            let problem = self.kernel_problem(desc, k);
+            if let HardwareConfig::Hybrid(solution) = decide(&problem, &self.decision) {
+                per_kernel.push(KernelAdaptPlan {
+                    kernel: k,
+                    problem,
+                    solution,
+                });
+            }
+        }
+        let first = per_kernel.first()?;
+        Some(AdaptPlan {
+            problem: first.problem,
+            solution: first.solution,
+            gpu: self.gpu().id,
+            multi: None,
+            per_kernel: Some(per_kernel),
+        })
     }
 
     /// Re-solve the static plan for `config` over a *surviving* device

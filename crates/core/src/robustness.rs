@@ -421,7 +421,7 @@ impl<'a> Analyzer<'a> {
     /// [`FaultSchedule::profile_factor`] at time zero (planning precedes
     /// the run). With no `ProfilePerturb` events this is the analyzer's
     /// own planner, unchanged.
-    fn misprediction_planner(&self, schedule: &FaultSchedule) -> Planner<'a> {
+    pub(crate) fn misprediction_planner(&self, schedule: &FaultSchedule) -> Planner<'a> {
         let p = self.planner();
         let cpu = schedule.profile_factor(p.platform.cpu().id, SimTime::ZERO);
         let gpu = p

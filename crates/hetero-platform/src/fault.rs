@@ -71,6 +71,85 @@ impl FaultRng {
         // 53 mantissa bits of the raw output.
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
+
+    /// The generator's current position. `from_cursor(cursor())` rebuilds a
+    /// generator whose future draws are identical — the hook the run
+    /// journal uses to checkpoint every RNG stream at an epoch boundary.
+    pub fn cursor(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuild a generator at a previously saved [`FaultRng::cursor`].
+    pub fn from_cursor(cursor: u64) -> Self {
+        FaultRng { state: cursor }
+    }
+}
+
+/// FNV-1a over `bytes`, 64-bit. The integrity hash both the run journal
+/// and the versioned [`FaultTrace`] header machinery use: tiny, stable,
+/// dependency-free, and byte-exact across platforms.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Version check shared by every durable format in the workspace: `Ok` iff
+/// `found == expected`, the mismatch pair otherwise. Callers wrap the
+/// `Err` payload in their own typed error (`FaultError::TraceVersion`,
+/// `JournalError::VersionMismatch`).
+pub fn validate_version(found: u32, expected: u32) -> Result<(), (u32, u32)> {
+    if found == expected {
+        Ok(())
+    } else {
+        Err((found, expected))
+    }
+}
+
+/// Deterministic coordinator-death injection: abort a journaled run after
+/// the k-th journal record is committed, or at the first event processed at
+/// simulated time ≥ `at_time`. Models `kill -9` on the coordinating
+/// process mid-run — the crash half of the crash-resume-equivalence
+/// oracle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KillSchedule {
+    /// Die once this many journal records (header excluded) have been
+    /// committed. `Some(0)` dies right after the header.
+    pub after_records: Option<u64>,
+    /// Die at the first simulation event processed at `now >= at_time`.
+    pub at_time: Option<SimTime>,
+    /// Tear the write that the kill interrupts: the journal line that
+    /// would have committed at the kill point is left half-written
+    /// (truncated, no trailing newline), exercising the torn-line
+    /// tolerance of recovery.
+    pub torn: bool,
+}
+
+impl KillSchedule {
+    /// Kill after `n` committed journal records.
+    pub fn after_records(n: u64) -> Self {
+        KillSchedule {
+            after_records: Some(n),
+            ..KillSchedule::default()
+        }
+    }
+
+    /// Kill at the first event at simulated time ≥ `t`.
+    pub fn at_time(t: SimTime) -> Self {
+        KillSchedule {
+            at_time: Some(t),
+            ..KillSchedule::default()
+        }
+    }
+
+    /// Same kill point, but the interrupted journal write is torn.
+    pub fn torn(mut self) -> Self {
+        self.torn = true;
+        self
+    }
 }
 
 /// One timed platform fault. Windows are half-open: an event is active at
@@ -342,6 +421,21 @@ pub enum FaultError {
         /// of [`FaultSchedule::events`].
         in_domain: bool,
     },
+    /// A [`FaultTrace`] JSON document that does not parse (truncated,
+    /// corrupted, or not a trace at all).
+    TraceParse {
+        /// The underlying parse error, rendered.
+        error: String,
+    },
+    /// A [`FaultTrace`] written by a different format version. Files
+    /// predating the version header deserialize as version 0 and are
+    /// rejected here instead of being silently misread.
+    TraceVersion {
+        /// The version the file declares (0 when absent).
+        found: u32,
+        /// The version this build writes ([`TRACE_VERSION`]).
+        expected: u32,
+    },
 }
 
 impl std::fmt::Display for FaultError {
@@ -393,6 +487,15 @@ impl std::fmt::Display for FaultError {
             } => {
                 let kind = if *in_domain { "domain" } else { "event" };
                 write!(f, "{kind} {event}: unknown device {dev}")
+            }
+            FaultError::TraceParse { error } => {
+                write!(f, "trace does not parse: {error}")
+            }
+            FaultError::TraceVersion { found, expected } => {
+                write!(
+                    f,
+                    "trace format version {found} (this build reads version {expected})"
+                )
             }
         }
     }
@@ -1112,19 +1215,48 @@ impl FaultSchedule {
 /// composition is commutative, and conditional draws come from a separate
 /// RNG stream, so moving a window from "synthesized during the run" to
 /// "scheduled up front" changes nothing the base fault sampling sees.)
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct FaultTrace {
+    /// Format version stamp ([`TRACE_VERSION`]). Defaulted to 0 when
+    /// absent (see the hand-written `Deserialize`) so a pre-version file
+    /// is rejected with a typed [`FaultError::TraceVersion`] instead of
+    /// being silently misread.
+    pub version: u32,
     /// The schedule the recorded run executed under.
     pub schedule: FaultSchedule,
     /// Events synthesized during the run, in trigger order.
     pub synthesized: Vec<FaultEvent>,
 }
 
+// Hand-written (the vendored serde derive has no `#[serde(default)]`): a
+// missing `version` key reads as 0 so versionless legacy files surface as
+// a typed version mismatch rather than a missing-field parse error.
+impl Deserialize for FaultTrace {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::de::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::de::Error::custom("expected map for FaultTrace"))?;
+        let version = match serde::de::entry(m, "version") {
+            Some(v) => <u32 as Deserialize>::from_value(v)?,
+            None => 0,
+        };
+        Ok(FaultTrace {
+            version,
+            schedule: serde::de::field(m, "schedule", "FaultTrace")?,
+            synthesized: serde::de::field(m, "synthesized", "FaultTrace")?,
+        })
+    }
+}
+
+/// The [`FaultTrace`] JSON format version this build writes and reads.
+pub const TRACE_VERSION: u32 = 1;
+
 impl FaultTrace {
     /// Pair a schedule with the events a run synthesized under it (see
     /// `RunReport::synthesized_faults`).
     pub fn new(schedule: FaultSchedule, synthesized: Vec<FaultEvent>) -> Self {
         FaultTrace {
+            version: TRACE_VERSION,
             schedule,
             synthesized,
         }
@@ -1137,9 +1269,20 @@ impl FaultTrace {
     }
 
     /// Parse a trace previously written by [`FaultTrace::to_json`].
-    pub fn from_json(text: &str) -> Result<Self, String> {
-        let trace: FaultTrace = serde_json::from_str(text).map_err(|e| e.to_string())?;
-        trace.schedule.validate().map_err(|e| e.to_string())?;
+    ///
+    /// Typed rejection instead of a panic or a silent misparse: a document
+    /// that does not parse (truncated, corrupted) is
+    /// [`FaultError::TraceParse`]; a version other than [`TRACE_VERSION`]
+    /// (including files predating the version header, which default to 0)
+    /// is [`FaultError::TraceVersion`]; a trace whose schedule fails
+    /// validation reports the schedule's own [`FaultError`].
+    pub fn from_json(text: &str) -> Result<Self, FaultError> {
+        let trace: FaultTrace = serde_json::from_str(text).map_err(|e| FaultError::TraceParse {
+            error: e.to_string(),
+        })?;
+        validate_version(trace.version, TRACE_VERSION)
+            .map_err(|(found, expected)| FaultError::TraceVersion { found, expected })?;
+        trace.schedule.validate()?;
         Ok(trace)
     }
 
@@ -1819,5 +1962,88 @@ mod tests {
             SimTime::MAX,
         );
         assert_eq!(ok.validate_for(&platform), Ok(()));
+    }
+
+    #[test]
+    fn rng_cursor_round_trips() {
+        let mut a = FaultRng::new(0xDEAD_BEEF);
+        a.next_u64();
+        a.next_f64();
+        let mut b = FaultRng::from_cursor(a.cursor());
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_eq!(a.next_f64(), b.next_f64());
+        assert_eq!(a.cursor(), b.cursor());
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn trace_load_rejects_corrupt_and_mismatched_inputs() {
+        let trace = FaultTrace::new(
+            FaultSchedule::new(7).with_dropout(DeviceId(1), SimTime::from_millis(1)),
+            Vec::new(),
+        );
+        let json = trace.to_json();
+
+        // The happy path round-trips, version included.
+        let back = FaultTrace::from_json(&json).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.version, TRACE_VERSION);
+
+        // Truncation: cut mid-document.
+        let truncated = &json[..json.len() / 2];
+        assert!(matches!(
+            FaultTrace::from_json(truncated),
+            Err(FaultError::TraceParse { .. })
+        ));
+
+        // Corruption: flip a structural byte.
+        let corrupted = json.replacen("\"schedule\"", "\"schedul!\"", 1);
+        assert!(matches!(
+            FaultTrace::from_json(&corrupted),
+            Err(FaultError::TraceParse { .. })
+        ));
+
+        // A pre-version file deserializes as version 0 and is rejected as a
+        // version mismatch, not misread.
+        let unversioned = json.replacen("  \"version\": 1,\n", "", 1);
+        assert_ne!(unversioned, json, "version stamp must be present to strip");
+        assert_eq!(
+            FaultTrace::from_json(&unversioned),
+            Err(FaultError::TraceVersion {
+                found: 0,
+                expected: TRACE_VERSION
+            })
+        );
+
+        // A future version is rejected the same way.
+        let future = json.replacen("\"version\": 1", "\"version\": 99", 1);
+        assert_eq!(
+            FaultTrace::from_json(&future),
+            Err(FaultError::TraceVersion {
+                found: 99,
+                expected: TRACE_VERSION
+            })
+        );
+
+        // A parsing trace whose schedule is invalid reports the schedule's
+        // own typed error.
+        let mut bad = trace.clone();
+        bad.schedule.events.push(FaultEvent::TaskFaults {
+            dev: None,
+            prob: 2.0,
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
+        });
+        assert!(matches!(
+            FaultTrace::from_json(&bad.to_json()),
+            Err(FaultError::BadProbability { .. })
+        ));
     }
 }

@@ -51,8 +51,8 @@ pub use counters::{DeviceCounters, PlatformCounters, TransferCounters};
 pub use device::{Device, DeviceId, DeviceKind, DeviceSpec};
 pub use event::EventQueue;
 pub use fault::{
-    FaultCounters, FaultDomain, FaultError, FaultEvent, FaultRng, FaultSchedule, FaultTrace,
-    RetryPolicy,
+    fnv1a_64, validate_version, FaultCounters, FaultDomain, FaultError, FaultEvent, FaultRng,
+    FaultSchedule, FaultTrace, KillSchedule, RetryPolicy, TRACE_VERSION,
 };
 pub use link::LinkSpec;
 pub use platform::{MemSpaceId, Platform, PlatformBuilder};

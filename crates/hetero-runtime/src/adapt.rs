@@ -164,6 +164,27 @@ pub struct AdaptPlan {
     /// the plan-repair subsystem can re-solve the full device set against
     /// observed rates. `None` on single-accelerator platforms.
     pub multi: Option<MultiAdaptPlan>,
+    /// The per-kernel decisions behind an SP-Varied plan: one
+    /// problem/split per kernel, in submission order. SP-Varied separates
+    /// kernels with taskwaits, so every epoch runs exactly one kernel —
+    /// carried here so barrier re-solves can use *that kernel's* problem
+    /// against *that kernel's* observed rates instead of the SP-Single
+    /// approximation (whole-application aggregate rates). `None` for
+    /// single-kernel plans and non-Varied strategies.
+    pub per_kernel: Option<Vec<KernelAdaptPlan>>,
+}
+
+/// One kernel's partitioning decision inside an SP-Varied plan, carried
+/// in [`AdaptPlan::per_kernel`] so barrier repartitioning can re-solve
+/// each kernel's own problem against its own observed rates.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KernelAdaptPlan {
+    /// Index of the kernel in the program's kernel table.
+    pub kernel: usize,
+    /// The partitioning problem the planner solved for this kernel.
+    pub problem: PartitionProblem,
+    /// The split this kernel's chunks were emitted from.
+    pub solution: PartitionSolution,
 }
 
 /// The N-way (`glinda::multi::solve_multi`) decision behind a

@@ -80,6 +80,7 @@ use crate::adapt::{AdaptConfig, AdaptPlan, AdaptReport, ReplanConfig, ReplanErro
 use crate::coherence::CoherenceDir;
 use crate::graph::TaskGraph;
 use crate::health::{BreakerState, HealthConfig, HealthReport, QuarantineSpan, VerificationPolicy};
+use crate::journal::{EpochRecord, JournalError, JournalSink, RngCursors};
 use crate::obs::{
     route_event, DeviceBreakdown, NullObserver, Observer, TimeBreakdown, TraceObserver,
 };
@@ -183,7 +184,10 @@ pub fn simulate_observed(
     scheduler: &mut dyn Scheduler,
     obs: &mut dyn Observer,
 ) -> RunReport {
-    Sim::new(program, platform, scheduler, obs, None, None, None, None).run()
+    Sim::new(
+        program, platform, scheduler, obs, None, None, None, None, None,
+    )
+    .run()
 }
 
 /// [`simulate`], additionally recording an execution [`Trace`].
@@ -232,6 +236,7 @@ pub fn simulate_faulty_observed(
         scheduler,
         obs,
         Some((schedule, policy)),
+        None,
         None,
         None,
         None,
@@ -296,6 +301,7 @@ pub fn simulate_resilient_observed(
         obs,
         Some((schedule, policy)),
         Some(*health),
+        None,
         None,
         None,
     )
@@ -374,6 +380,7 @@ pub fn simulate_adaptive_observed(
         Some((schedule, policy)),
         Some(*health),
         Some((*adapt, plan)),
+        None,
         None,
     )
     .run()
@@ -460,6 +467,7 @@ pub fn simulate_repairing_observed(
         Some(*health),
         Some((*adapt, plan)),
         Some(*replan),
+        None,
     )
     .run()
 }
@@ -484,6 +492,42 @@ pub fn simulate_repairing_traced(
         program, platform, scheduler, schedule, policy, health, adapt, plan, replan, &mut obs,
     );
     (report, obs.into_trace())
+}
+
+/// The journaled executor entry: any of the five simulate paths (pass
+/// `None` for the layers the run does not use, exactly as the un-journaled
+/// wrappers do), with a [`JournalSink`] committing one [`EpochRecord`] per
+/// epoch flush. The sink must have been opened with
+/// [`JournalSink::begin`]. Returns [`JournalError::Killed`] when the
+/// sink's [`hetero_platform::KillSchedule`] fires (the journal text
+/// written so far is valid and resumable), and
+/// [`JournalError::DivergentReplay`] when a resumed run fails the
+/// byte-exact redo-replay validation. A journaled run is byte-identical
+/// to its un-journaled twin: the sink observes commits, it never steers.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_journaled_observed(
+    program: &Program,
+    platform: &Platform,
+    scheduler: &mut dyn Scheduler,
+    faults: Option<(&FaultSchedule, RetryPolicy)>,
+    health: Option<HealthConfig>,
+    adapt: Option<(AdaptConfig, Option<AdaptPlan>)>,
+    replan: Option<ReplanConfig>,
+    journal: &mut JournalSink,
+    obs: &mut dyn Observer,
+) -> Result<RunReport, JournalError> {
+    Sim::new(
+        program,
+        platform,
+        scheduler,
+        obs,
+        faults,
+        health,
+        adapt,
+        replan,
+        Some(journal),
+    )
+    .run_result()
 }
 
 /// Mutable fault-injection state, present only on the faulty path.
@@ -771,6 +815,12 @@ struct Sim<'a> {
     health: Option<HealthCtx>,
     adapt: Option<AdaptCtx>,
     replan: Option<ReplanCtx>,
+    /// The write-ahead run journal, when this run is journaled (see
+    /// [`crate::journal`]): one record per committed epoch flush.
+    journal: Option<&'a mut JournalSink>,
+    /// A journal failure (kill, divergent replay) raised mid-event; the
+    /// run loop surfaces it as the run's `Err` after the event returns.
+    journal_err: Option<JournalError>,
     /// Per device: cumulative *actual* exec seconds of committed chunks
     /// (throttle windows included), paired with [`Sim::cal_model`].
     cal_exec: Vec<f64>,
@@ -793,6 +843,7 @@ impl<'a> Sim<'a> {
         health: Option<HealthConfig>,
         adapt: Option<(AdaptConfig, Option<AdaptPlan>)>,
         replan: Option<ReplanConfig>,
+        journal: Option<&'a mut JournalSink>,
     ) -> Self {
         let graph = TaskGraph::build(program);
         let tasks: Vec<&TaskDesc> = program.tasks().into_iter().map(|(_, t)| t).collect();
@@ -945,6 +996,8 @@ impl<'a> Sim<'a> {
             health,
             adapt,
             replan,
+            journal,
+            journal_err: None,
             cal_exec: vec![0.0; ndev],
             cal_model: vec![0.0; ndev],
         }
@@ -965,9 +1018,14 @@ impl<'a> Sim<'a> {
         b.replan = b.replan.saturating_sub(c.replan);
     }
 
-    fn run(mut self) -> RunReport {
+    fn run(self) -> RunReport {
+        self.run_result()
+            .unwrap_or_else(|e| panic!("unjournaled run cannot fail: {e}"))
+    }
+
+    fn run_result(mut self) -> Result<RunReport, JournalError> {
         if self.epochs.is_empty() || self.tasks.is_empty() {
-            return self.finish();
+            return Ok(self.finish());
         }
         // Dropouts are scheduled up front: their events carry the lowest
         // sequence numbers, so at a time tie the failure wins — a task
@@ -980,6 +1038,14 @@ impl<'a> Sim<'a> {
         }
         self.activate_epoch();
         while let Some((t, ev)) = self.queue.pop() {
+            // Injected coordinator death at simulated time: the process
+            // dies before processing any event at or past the instant.
+            if let Some(kill_at) = self.journal.as_deref().and_then(JournalSink::time_kill_at) {
+                if t >= kill_at {
+                    let records = self.journal.as_deref().map_or(0, JournalSink::records);
+                    return Err(JournalError::Killed { records, at: t });
+                }
+            }
             match ev {
                 Ev::TaskDone { task, dev, gen } => {
                     if self.stale(task, gen) {
@@ -1032,12 +1098,17 @@ impl<'a> Sim<'a> {
                     self.on_circuit_probe(dev);
                 }
             }
+            // A journal failure (injected record-kill, divergent replay)
+            // terminates the run at the event that raised it.
+            if let Some(e) = self.journal_err.take() {
+                return Err(e);
+            }
         }
         assert!(
             self.completed.iter().all(|&c| c),
             "deadlock: not all tasks completed (cyclic program or lost event)"
         );
-        self.finish()
+        Ok(self.finish())
     }
 
     fn finish(self) -> RunReport {
@@ -2608,6 +2679,18 @@ impl<'a> Sim<'a> {
     /// critical path. A no-regression guard keeps an epoch's old placement
     /// when the model predicts no improvement.
     fn repartition(&mut self) {
+        // A plan carrying per-kernel splits (multi-kernel SP-Varied)
+        // re-solves each remaining epoch against its own kernel's problem
+        // and observed rates instead of the SP-Single projection.
+        if self
+            .adapt
+            .as_ref()
+            .and_then(|a| a.plan.as_ref())
+            .is_some_and(|p| p.per_kernel.is_some())
+        {
+            self.repartition_varied();
+            return;
+        }
         // A plan carrying an N-way split re-balances over the *full* live
         // device set (the multi-accelerator adaptation path).
         if self
@@ -2814,6 +2897,220 @@ impl<'a> Sim<'a> {
                     epoch: self.cur_epoch,
                     gpu_items: corrected.gpu_items,
                     cpu_items: corrected.cpu_items,
+                    at: self.now,
+                },
+            );
+        }
+    }
+
+    /// The SP-Varied sibling of [`Sim::repartition`]: SP-Varied separates
+    /// kernels with taskwaits, so each remaining epoch's statically placed
+    /// chunks all belong to one kernel — the controller re-solves *that
+    /// kernel's* stored problem against *that kernel's* cumulative
+    /// observed rates. The SP-Single approximation (kernel 0's problem,
+    /// whole-application aggregate rates) mis-repins as soon as kernels
+    /// have opposite device affinities: the aggregate rate says "the GPU
+    /// is slow" even when only one kernel is, and every epoch — including
+    /// the GPU-friendly ones — gets dragged toward the CPU. Chunk binding,
+    /// migration pricing, and the no-regression guard are identical to
+    /// [`Sim::repartition`], applied per epoch.
+    fn repartition_varied(&mut self) {
+        let (plan, mut kernels) = {
+            let a = self.adapt.as_ref().unwrap();
+            let plan = a.plan.clone().expect("repartition requires a plan");
+            let kernels = plan
+                .per_kernel
+                .clone()
+                .expect("varied repartition carries per-kernel plans");
+            (plan, kernels)
+        };
+        if self.faults.as_ref().is_some_and(|f| f.dead[plan.gpu.0]) {
+            return;
+        }
+        let cpu_slots = self.platform.device(DeviceId(0)).spec.kind.slots();
+        let gpu_slots = self.platform.device(plan.gpu).spec.kind.slots();
+        let lpt = |times: &[f64], slots: usize| -> f64 {
+            let mut load = vec![0.0f64; slots.max(1)];
+            for &t in times {
+                let m = load
+                    .iter_mut()
+                    .min_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal))
+                    .unwrap();
+                *m += t;
+            }
+            load.into_iter().fold(0.0, f64::max)
+        };
+        let platform = self.platform;
+        let program = self.program;
+        let cpu_space = self.platform.device(DeviceId(0)).mem_space;
+        let gpu_space = self.platform.device(plan.gpu).mem_space;
+        let read_bytes = |t: TaskId| -> u64 {
+            self.tasks[t.0]
+                .accesses
+                .iter()
+                .filter(|acc| acc.mode.reads())
+                .map(|acc| acc.region.span.len() * program.buffers[acc.region.buffer.0].item_bytes)
+                .sum()
+        };
+        let move_secs = |t: TaskId, cur: DeviceId| -> f64 {
+            let (from, to) = if cur == plan.gpu {
+                (gpu_space, cpu_space)
+            } else {
+                (cpu_space, gpu_space)
+            };
+            transfer_cost(self.platform, from, to, read_bytes(t)).as_secs_f64()
+        };
+        let mut moved_items = 0u64;
+        let mut changed = false;
+        let epochs = &self.epochs;
+        let tasks = &self.tasks;
+        let a = self.adapt.as_mut().unwrap();
+        for epoch in epochs.iter().skip(self.cur_epoch + 1) {
+            let mut chunks: Vec<(TaskId, u64, DeviceId, f64)> = Vec::new();
+            let mut total = 0u64;
+            for &t in epoch {
+                let Some(cur) = a.override_of[t.0].or(tasks[t.0].pinned) else {
+                    continue;
+                };
+                chunks.push((t, tasks[t.0].items, cur, move_secs(t, cur)));
+                total += tasks[t.0].items;
+            }
+            if chunks.len() < 2 || total == 0 {
+                continue;
+            }
+            // One kernel per SP-Varied epoch; a mixed epoch has no single
+            // per-kernel problem to re-solve, so it is left alone. A
+            // kernel without a stored entry (its decision was Only-CPU or
+            // Only-GPU) has no split to correct either.
+            let kid = tasks[chunks[0].0 .0].kernel;
+            if chunks.iter().any(|&(t, _, _, _)| tasks[t.0].kernel != kid) {
+                continue;
+            }
+            let Some(ki) = kernels.iter().position(|kp| kp.kernel == kid.0) else {
+                continue;
+            };
+            if kernels[ki].problem.items == 0 {
+                continue;
+            }
+            // This kernel's own observed whole-device throughputs, from
+            // the run's cumulative (kernel, device) rate table: items ×
+            // slots / slot-busy seconds. A side this kernel has never run
+            // on gives the model nothing to correct with.
+            let (obs_cpu, obs_gpu) = {
+                let rate = |dev: DeviceId| -> Option<f64> {
+                    let o = a.obs.get(&(kid, dev))?;
+                    let slots = platform.device(dev).spec.kind.slots() as f64;
+                    (o.secs > 0.0 && o.items > 0.0).then(|| o.items * slots / o.secs)
+                };
+                (rate(DeviceId(0)), rate(plan.gpu))
+            };
+            let (Some(obs_cpu), Some(obs_gpu)) = (obs_cpu, obs_gpu) else {
+                continue;
+            };
+            let corrected = glinda::resolve_with_observations(
+                &kernels[ki].problem,
+                &kernels[ki].solution,
+                obs_cpu,
+                obs_gpu,
+            );
+            let t_cpu = |t: TaskId, items: u64| -> f64 {
+                let task = tasks[t.0];
+                let profile = &program.kernels[task.kernel.0].profile;
+                let floor = platform
+                    .device(DeviceId(0))
+                    .exec_time_weighted(profile, items, task.cost_scale)
+                    .as_secs_f64();
+                (items as f64 * cpu_slots as f64 / obs_cpu).max(floor)
+            };
+            let t_gpu = |t: TaskId, items: u64| -> f64 {
+                let task = tasks[t.0];
+                let profile = &program.kernels[task.kernel.0].profile;
+                let floor = platform
+                    .device(plan.gpu)
+                    .exec_time_weighted(profile, items, task.cost_scale)
+                    .as_secs_f64();
+                (items as f64 * gpu_slots as f64 / obs_gpu).max(floor)
+            };
+            let mut order: Vec<usize> = (0..chunks.len()).collect();
+            order.sort_by_key(|&i| (std::cmp::Reverse(chunks[i].1), chunks[i].0));
+            let mut best_j = 0usize;
+            let mut best_wall = f64::INFINITY;
+            for j in 0..=order.len() {
+                let gpu_times: Vec<f64> = order[..j]
+                    .iter()
+                    .map(|&i| {
+                        let (t, items, cur, mv) = chunks[i];
+                        t_gpu(t, items) + if cur == plan.gpu { 0.0 } else { mv }
+                    })
+                    .collect();
+                let cpu_times: Vec<f64> = order[j..]
+                    .iter()
+                    .map(|&i| {
+                        let (t, items, cur, mv) = chunks[i];
+                        t_cpu(t, items) + if cur == plan.gpu { mv } else { 0.0 }
+                    })
+                    .collect();
+                let wall = lpt(&gpu_times, gpu_slots).max(lpt(&cpu_times, cpu_slots));
+                let better = match wall.partial_cmp(&best_wall) {
+                    Some(std::cmp::Ordering::Less) => true,
+                    Some(std::cmp::Ordering::Equal) => a.rng.next_f64() < 0.5,
+                    _ => false,
+                };
+                if better {
+                    best_wall = wall;
+                    best_j = j;
+                }
+            }
+            let cur_gpu_times: Vec<f64> = chunks
+                .iter()
+                .filter(|&&(_, _, cur, _)| cur == plan.gpu)
+                .map(|&(t, items, _, _)| t_gpu(t, items))
+                .collect();
+            let cur_cpu_times: Vec<f64> = chunks
+                .iter()
+                .filter(|&&(_, _, cur, _)| cur != plan.gpu)
+                .map(|&(t, items, _, _)| t_cpu(t, items))
+                .collect();
+            let cur_wall = lpt(&cur_gpu_times, gpu_slots).max(lpt(&cur_cpu_times, cpu_slots));
+            if best_wall >= cur_wall {
+                continue;
+            }
+            let mut assign_gpu = vec![false; chunks.len()];
+            for &i in &order[..best_j] {
+                assign_gpu[i] = true;
+            }
+            let mut epoch_changed = false;
+            for (i, &(t, items, cur, _)) in chunks.iter().enumerate() {
+                let dest = if assign_gpu[i] { plan.gpu } else { DeviceId(0) };
+                if dest != cur {
+                    a.override_of[t.0] = Some(dest);
+                    moved_items += items;
+                    epoch_changed = true;
+                }
+            }
+            if epoch_changed {
+                changed = true;
+                // This kernel's applied split warm-starts its next
+                // re-solve (later epochs of the same kernel in this very
+                // sweep included).
+                kernels[ki].solution = corrected;
+            }
+        }
+        if changed {
+            a.report.repartitions += 1;
+            a.report.items_moved += moved_items;
+            let (gpu_items, cpu_items) = kernels.iter().fold((0, 0), |(g, c), kp| {
+                (g + kp.solution.gpu_items, c + kp.solution.cpu_items)
+            });
+            if let Some(p) = a.plan.as_mut() {
+                p.per_kernel = Some(kernels);
+            }
+            route_event(
+                &mut *self.obs,
+                &TraceEvent::Repartitioned {
+                    epoch: self.cur_epoch,
+                    gpu_items,
+                    cpu_items,
                     at: self.now,
                 },
             );
@@ -3467,10 +3764,65 @@ impl<'a> Sim<'a> {
     }
 
     fn on_epoch_flushed(&mut self) {
+        // The flush event is the journal's commit point: it fires only
+        // after SDC verification passed (a rollback re-runs the epoch
+        // *before* the flush starts), so records are final and epoch
+        // indices strictly increase.
+        if self.journal.is_some() {
+            if let Err(e) = self.journal_commit() {
+                self.journal_err = Some(e);
+                return;
+            }
+        }
         self.cur_epoch += 1;
         if self.cur_epoch < self.epochs.len() {
             self.activate_epoch();
         }
+    }
+
+    /// Build and commit this epoch's [`EpochRecord`]. On a resumed run the
+    /// sink byte-compares the record against the journal's stored line
+    /// instead of appending — the validated-redo-replay check that makes
+    /// the saved RNG cursors and counters load-bearing.
+    fn journal_commit(&mut self) -> Result<(), JournalError> {
+        let epoch = self.cur_epoch;
+        let placements: Vec<(usize, usize)> = self.epochs[epoch]
+            .iter()
+            .map(|t| {
+                let dev = self.placements[t.0].expect("flushed epoch tasks are placed");
+                (t.0, dev.0)
+            })
+            .collect();
+        let record = EpochRecord {
+            epoch,
+            at: self.now,
+            completed: self.completed.iter().filter(|&&c| c).count() as u64,
+            placements,
+            rng: RngCursors {
+                fault: self.faults.as_ref().map(|f| f.rng.cursor()),
+                correlated: self
+                    .faults
+                    .as_ref()
+                    .and_then(|f| f.corr_rng.as_ref())
+                    .map(FaultRng::cursor),
+                health: self.health.as_ref().map(|h| h.rng.cursor()),
+                adapt: self.adapt.as_ref().map(|a| a.rng.cursor()),
+                replan: self.replan.as_ref().map(|r| r.rng.cursor()),
+            },
+            faults: self
+                .faults
+                .as_ref()
+                .map(|f| f.counters.clone())
+                .unwrap_or_default(),
+            blame: self.blame.clone(),
+            counters: self.counters.clone(),
+        };
+        let journal = self
+            .journal
+            .as_mut()
+            .expect("journal_commit runs only with a sink");
+        journal.append_epoch(&record)?;
+        Ok(())
     }
 
     /// [`transfer_cost`] priced on the links *as they stand at `at`*: each

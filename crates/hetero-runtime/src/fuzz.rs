@@ -46,6 +46,11 @@ pub enum OracleKind {
     /// repair (survivor re-planning) never yields a worse makespan than
     /// the naive chunk-by-chunk host failover of the same run.
     RepairNeverLoses,
+    /// For every kill point of a journaled run (after each committed
+    /// record, torn or clean, and mid-epoch at simulated time t), crash +
+    /// resume-from-journal produces a final report, journal text, and
+    /// metrics export byte-identical to the uninterrupted run.
+    CrashResumeEquivalence,
 }
 
 impl OracleKind {
@@ -59,6 +64,7 @@ impl OracleKind {
             OracleKind::DoubleRunDeterminism => "double-run-determinism",
             OracleKind::ReplayDeterminism => "replay-determinism",
             OracleKind::RepairNeverLoses => "repair-never-loses",
+            OracleKind::CrashResumeEquivalence => "crash-resume-equivalence",
         }
     }
 }

@@ -52,6 +52,7 @@ pub mod fuzz;
 pub mod graph;
 pub mod health;
 pub mod interval;
+pub mod journal;
 pub mod native;
 pub mod obs;
 pub mod program;
@@ -59,7 +60,9 @@ pub mod scheduler;
 pub mod stats;
 pub mod trace;
 
-pub use adapt::{AdaptConfig, AdaptPlan, AdaptReport, MultiAdaptPlan, ReplanConfig, ReplanError};
+pub use adapt::{
+    AdaptConfig, AdaptPlan, AdaptReport, KernelAdaptPlan, MultiAdaptPlan, ReplanConfig, ReplanError,
+};
 pub use coherence::{CoherenceDir, Transfer};
 pub use data::{Access, AccessMode, BufferDesc, BufferId, Region};
 pub use executor::{
@@ -68,7 +71,9 @@ pub use executor::{
     simulate_repairing, simulate_repairing_observed, simulate_repairing_traced, simulate_resilient,
     simulate_resilient_observed, simulate_resilient_traced, simulate_traced,
 };
-pub use executor::{ADAPT_STREAM, CORRELATED_STREAM, HEALTH_STREAM, REPLAN_STREAM};
+pub use executor::{
+    simulate_journaled_observed, ADAPT_STREAM, CORRELATED_STREAM, HEALTH_STREAM, REPLAN_STREAM,
+};
 pub use fuzz::{check_blame_identity, check_identical, report_digest, OracleKind, OracleViolation};
 pub use graph::TaskGraph;
 pub use health::{
@@ -76,6 +81,10 @@ pub use health::{
     WatchdogConfig,
 };
 pub use interval::{Interval, IntervalMap, IntervalSet};
+pub use journal::{
+    EpochDelta, EpochRecord, JournalError, JournalHeader, JournalSink, RngCursors, RunJournal,
+    StreamConstants, JOURNAL_VERSION,
+};
 pub use native::{run_native, run_native_parallel, ExecOrder, HostBuffers, KernelFn};
 pub use obs::{
     CriticalPath, DeviceBreakdown, LogHistogram, MetricsObserver, MetricsRegistry, MultiObserver,

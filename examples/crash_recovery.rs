@@ -1,0 +1,171 @@
+//! Crash-consistent execution: the write-ahead run journal, injected
+//! coordinator death, and resume-from-journal recovery.
+//!
+//! PRs 1–7 made device faults survivable, but every mechanism lived in
+//! the coordinating process's memory — kill the coordinator and the run
+//! is gone. This example walks the durable recovery subsystem
+//! (DESIGN.md §8.7):
+//!
+//! 1. a **journaled faulty run** — a versioned header plus one
+//!    integrity-hashed record per committed epoch checkpoint; journaling
+//!    is a pure observer, so the report is byte-identical to the
+//!    unjournaled twin;
+//! 2. **injected coordinator death** (`KillSchedule`): killed after the
+//!    3rd committed record, mid-write — the surviving journal ends in a
+//!    torn half-line;
+//! 3. **resume**: validated deterministic redo-replay finishes the run;
+//!    report and completed journal are byte-identical to the
+//!    uninterrupted run, at *every* kill point;
+//! 4. **typed validation**: mid-file corruption and alien versions are
+//!    rejected; only the torn final line is tolerated (and discarded).
+//!
+//! ```sh
+//! cargo run --release --example crash_recovery
+//! ```
+
+use hetero_match::apps::stream;
+use hetero_match::matchmaker::{
+    Analyzer, ExecutionConfig, JournalError, JournalSink, RunJournal, RunSpec, Strategy,
+};
+use hetero_match::platform::{
+    DeviceId, FaultSchedule, KillSchedule, Platform, RetryPolicy, SimTime,
+};
+
+fn main() {
+    // STREAM with synchronisation: one committed journal record per loop
+    // barrier, under a flaky-GPU window so recovery crosses retry state.
+    let platform = Platform::icpp15();
+    let analyzer = Analyzer::new(&platform);
+    let desc = stream::descriptor(1 << 20, Some(6), true);
+    let config = ExecutionConfig::Strategy(Strategy::SpUnified);
+    let schedule = FaultSchedule::new(17).with_flaky(
+        DeviceId(1),
+        0.4,
+        SimTime::ZERO,
+        SimTime::from_millis(12),
+    );
+    let spec = RunSpec::faulty(schedule.clone());
+
+    // --- 1. The journaled run is a pure observation ----------------------
+    let mut sink = JournalSink::record();
+    let report = analyzer
+        .simulate_journaled(&desc, config, &spec, &mut sink)
+        .expect("no kill schedule, so the run completes");
+    let twin = analyzer.simulate_faulty(&desc, config, &schedule, RetryPolicy::default());
+    let full = sink.text();
+    let records = sink.records();
+    println!("1. STREAM (SP-Unified) under a flaky GPU, journaled:");
+    println!(
+        "   makespan {}  faults {}  -> {} record(s), {} journal bytes",
+        report.makespan,
+        report.faults.task_faults,
+        records,
+        full.len()
+    );
+    assert_eq!(
+        serde_json::to_string(&report).unwrap(),
+        serde_json::to_string(&twin).unwrap(),
+        "journaling must not perturb the run"
+    );
+    println!("   report byte-identical to the unjournaled twin ✓");
+
+    // --- 2. Coordinator death, mid-write ---------------------------------
+    let mut dying = JournalSink::record_with_kill(KillSchedule::after_records(3).torn());
+    let err = analyzer
+        .simulate_journaled(&desc, config, &spec, &mut dying)
+        .expect_err("the kill schedule fires");
+    let partial = dying.text();
+    println!("\n2. injected death: {err}");
+    println!(
+        "   surviving journal: {} committed line(s) + a torn half-line ({} bytes)",
+        partial.lines().count() - usize::from(!partial.ends_with('\n')),
+        partial.len()
+    );
+    assert!(matches!(err, JournalError::Killed { records: 3, .. }));
+    assert!(!partial.ends_with('\n'), "the interrupted write is torn");
+    let loaded = RunJournal::load(&partial).expect("torn final line is tolerated");
+    assert!(loaded.torn_discarded);
+    assert_eq!(loaded.record_count(), 3);
+
+    // --- 3. Resume: validated redo-replay --------------------------------
+    let (resumed, completed) = analyzer.resume(&partial).expect("resume completes the run");
+    println!("\n3. resumed: makespan {}", resumed.makespan);
+    assert_eq!(
+        serde_json::to_string(&resumed).unwrap(),
+        serde_json::to_string(&report).unwrap(),
+        "resume must reproduce the uninterrupted report"
+    );
+    assert_eq!(completed, full, "and regenerate the identical journal");
+    println!("   report and completed journal byte-identical to the uninterrupted run ✓");
+
+    // Not just at that one point: every record prefix resumes identically.
+    for k in 0..records {
+        let mut s = JournalSink::record_with_kill(KillSchedule::after_records(k));
+        let _ = analyzer.simulate_journaled(&desc, config, &spec, &mut s);
+        let (r, c) = analyzer.resume(&s.text()).expect("every prefix resumes");
+        assert_eq!(r.makespan, report.makespan);
+        assert_eq!(c, full);
+    }
+    // And mid-epoch: death at simulated times between barriers.
+    let mut s = JournalSink::record_with_kill(KillSchedule::at_time(SimTime::from_nanos(
+        report.makespan.as_nanos() / 2,
+    )));
+    let _ = analyzer.simulate_journaled(&desc, config, &spec, &mut s);
+    let (r, c) = analyzer.resume(&s.text()).expect("mid-epoch death resumes");
+    assert_eq!(r.makespan, report.makespan);
+    assert_eq!(c, full);
+    println!("   all {records} record prefixes and a mid-epoch death: identical ✓");
+
+    // --- 4. Validation is typed, never silent ----------------------------
+    println!("\n4. corrupt journals are rejected with typed errors:");
+    let mut lines: Vec<&str> = full.lines().collect();
+    let tampered_line = lines[2].replace(|c: char| c.is_ascii_digit(), "9");
+    lines[2] = &tampered_line;
+    let tampered = lines.join("\n") + "\n";
+    let corrupt = RunJournal::load(&tampered).expect_err("mid-file tampering is caught");
+    println!("   tampered record      : {corrupt}");
+    assert!(matches!(corrupt, JournalError::CorruptLine { line: 3 }));
+
+    // Tampering the version in place also breaks the header's hash, which
+    // already rejects the file; re-framing the line with a fresh hash
+    // isolates the version check itself.
+    let header_body = full
+        .lines()
+        .next()
+        .and_then(|l| l.strip_prefix("{\"h\":\""))
+        .and_then(|l| l.split_once("\",\"body\":"))
+        .map(|(_, rest)| rest.strip_suffix('}').unwrap())
+        .expect("header line is enveloped");
+    let alien_body = header_body.replacen("\"version\":1", "\"version\":999", 1);
+    let alien_line = format!(
+        "{{\"h\":\"{:016x}\",\"body\":{alien_body}}}",
+        hetero_match::platform::fnv1a_64(alien_body.as_bytes())
+    );
+    let alien = full.replacen(full.lines().next().unwrap(), &alien_line, 1);
+    let alien_err = match RunJournal::load(&alien) {
+        Err(e) => e,
+        Ok(_) => panic!("an alien version must not load"),
+    };
+    println!("   alien header         : {alien_err}");
+    assert!(matches!(
+        alien_err,
+        JournalError::VersionMismatch { found: 999, .. }
+    ));
+
+    let truncated: String = full.lines().take(2).collect::<Vec<_>>().join("\n");
+    let short = RunJournal::load(&(truncated + "\n")).expect("a shorter valid prefix loads");
+    let (r, _) = analyzer
+        .resume(&short_text(&short, &full))
+        .expect("and resumes");
+    assert_eq!(r.makespan, report.makespan);
+    println!("   shorter valid prefix : loads and resumes to the same run ✓");
+}
+
+/// The first `journal.record_count() + 1` committed lines of `full`.
+fn short_text(journal: &RunJournal, full: &str) -> String {
+    full.lines()
+        .take(journal.record_count() + 1)
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}

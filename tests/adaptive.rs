@@ -11,9 +11,16 @@
 //! point must be byte-identical to the resilient executor.
 
 use hetero_match::apps::synth;
-use hetero_match::matchmaker::{Analyzer, AppDescriptor, ExecutionConfig, ExecutionFlow, Strategy};
-use hetero_match::platform::{DeviceId, FaultSchedule, Platform, RetryPolicy, SimTime};
-use hetero_match::runtime::{AdaptConfig, HealthConfig};
+use hetero_match::matchmaker::{
+    AccessPattern, Analyzer, AppDescriptor, BufferSpec, ExecutionConfig, ExecutionFlow, KernelSpec,
+    Planner, Strategy, SyncPolicy,
+};
+use hetero_match::platform::{
+    DeviceId, Efficiency, FaultSchedule, KernelProfile, Platform, Precision, RetryPolicy, SimTime,
+};
+use hetero_match::runtime::{
+    simulate_adaptive, AccessMode, AdaptConfig, AdaptPlan, HealthConfig, PinnedScheduler,
+};
 use proptest::prelude::*;
 
 /// SK-Loop: 8 iterations of a compute-heavy kernel with a taskwait between
@@ -258,6 +265,146 @@ fn degradation_ranking_with_adaptation_is_deterministic_and_complete() {
         assert_eq!(a.config, b.config);
         assert_eq!(a.faulty.makespan, b.faulty.makespan);
     }
+}
+
+/// MK-Loop with two kernels of *opposite* device affinity over the same
+/// buffer: `gpu_leaning` is compute-dense and efficient on the GPU,
+/// `cpu_leaning` runs its best on the host. SP-Varied gives each kernel
+/// its own split; what the adaptation controller must preserve.
+fn opposed_affinity_app() -> AppDescriptor {
+    let n = 1u64 << 20;
+    let profile = |cpu: f64, gpu: f64| KernelProfile {
+        flops_per_item: 65536.0,
+        bytes_per_item: 8.0,
+        fixed_flops: 0.0,
+        fixed_bytes: 0.0,
+        precision: Precision::Single,
+        cpu_efficiency: Efficiency {
+            compute: cpu,
+            bandwidth: 0.6,
+        },
+        gpu_efficiency: Efficiency {
+            compute: gpu,
+            bandwidth: 0.7,
+        },
+    };
+    AppDescriptor {
+        name: "opposed".into(),
+        buffers: vec![BufferSpec {
+            name: "data".into(),
+            items: n,
+            item_bytes: 8,
+        }],
+        kernels: vec![
+            KernelSpec {
+                name: "gpu_leaning".into(),
+                profile: profile(0.15, 0.45),
+                domain: n,
+                accesses: vec![AccessPattern::part(0, AccessMode::InOut)],
+                weights: None,
+            },
+            KernelSpec {
+                name: "cpu_leaning".into(),
+                profile: profile(0.60, 0.02),
+                domain: n,
+                accesses: vec![AccessPattern::part(0, AccessMode::InOut)],
+                weights: None,
+            },
+        ],
+        flow: ExecutionFlow::Loop { iterations: 4 },
+        sync: SyncPolicy::FULL,
+    }
+}
+
+/// PR 8 satellite regression: SP-Varied adaptation must re-solve *each
+/// kernel's own* problem against that kernel's observed rates. The old
+/// SP-Single projection (kernel 0's problem, whole-device aggregate
+/// rates) mis-repins when kernels have opposite affinities — the blended
+/// CPU rate, inflated by `cpu_leaning`'s throughput, drags the
+/// GPU-friendly epochs toward the host. Both paths face the same
+/// mispredicted profile; the per-kernel re-solve must strictly beat the
+/// projection.
+#[test]
+fn sp_varied_adaptation_resolves_each_kernel_not_the_sp_single_projection() {
+    let platform = Platform::icpp15();
+    let desc = opposed_affinity_app();
+    let config = ExecutionConfig::Strategy(Strategy::SpVaried);
+    // The planner profiled a perturbed platform: its GPU estimate is half
+    // the true rate, so every kernel's static split under-offloads.
+    let mut planner = Planner::new(&platform);
+    planner.profile_skew = (1.0, 0.5);
+    let plan = planner.plan(&desc, config);
+    let adapt_plan = planner
+        .adapt_plan(&desc, config)
+        .expect("SP-Varied on a hybrid app yields an adapt plan");
+    let per_kernel = adapt_plan
+        .per_kernel
+        .as_ref()
+        .expect("multi-kernel SP-Varied plan must carry per-kernel splits");
+    assert_eq!(per_kernel.len(), 2);
+    assert_ne!(
+        per_kernel[0].solution.gpu_items, per_kernel[1].solution.gpu_items,
+        "opposite affinities must produce different splits"
+    );
+
+    // Execution itself is fault-free: the error lives in the profile.
+    let schedule = FaultSchedule::new(3);
+    let policy = RetryPolicy::default();
+    let health = HealthConfig::disabled();
+    let adapt = AdaptConfig {
+        escalation: false,
+        ..AdaptConfig::enabled_default()
+    };
+    let run = |cfg: &AdaptConfig, ap: Option<AdaptPlan>| {
+        simulate_adaptive(
+            &plan.program,
+            &platform,
+            &mut PinnedScheduler,
+            &schedule,
+            policy,
+            &health,
+            cfg,
+            ap,
+        )
+    };
+
+    let mis = run(&AdaptConfig::disabled(), None);
+    // The old approximation: strip the per-kernel splits, leaving kernel
+    // 0's problem and the aggregate-rate re-solve.
+    let projected = run(
+        &adapt,
+        Some(AdaptPlan {
+            per_kernel: None,
+            ..adapt_plan.clone()
+        }),
+    );
+    let varied = run(&adapt, Some(adapt_plan.clone()));
+
+    assert!(
+        varied.adapt.repartitions >= 1,
+        "per-kernel re-solve must fire: {:?}",
+        varied.adapt
+    );
+    assert!(
+        varied.makespan < mis.makespan,
+        "per-kernel adaptation must recover misprediction (varied {:?} vs mispredicted {:?})",
+        varied.makespan,
+        mis.makespan
+    );
+    assert!(
+        varied.makespan < projected.makespan,
+        "per-kernel re-solve must beat the SP-Single projection \
+         (varied {:?} vs projected {:?})",
+        varied.makespan,
+        projected.makespan
+    );
+
+    // Byte-determinism of the new path: same seed, same run.
+    let again = run(&adapt, Some(adapt_plan.clone()));
+    assert_eq!(
+        serde_json::to_string(&varied).unwrap(),
+        serde_json::to_string(&again).unwrap()
+    );
 }
 
 proptest! {

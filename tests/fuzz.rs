@@ -45,6 +45,7 @@ fn small_campaign_is_clean_and_summary_deterministic() {
     assert!(a.checks.contains_key("blame-identity"));
     assert!(a.checks.contains_key("double-run-determinism"));
     assert!(a.checks.contains_key("replay-determinism"));
+    assert!(a.checks.contains_key("crash-resume-equivalence"));
 }
 
 #[test]
@@ -112,6 +113,23 @@ fn planted_nondeterminism_is_caught() {
     );
 }
 
+#[test]
+fn planted_resume_divergence_is_caught() {
+    let inject = InjectedBreak {
+        break_resume: true,
+        ..InjectedBreak::NONE
+    };
+    let outcome = run_seed(5, &inject);
+    assert!(
+        outcome
+            .violations
+            .iter()
+            .any(|v| v.oracle == OracleKind::CrashResumeEquivalence),
+        "planted resume break must be caught: {:?}",
+        outcome.violations
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -126,6 +144,7 @@ proptest! {
         let inject = InjectedBreak {
             skip_blame_component: break_blame,
             break_double_run: !break_blame,
+            ..InjectedBreak::NONE
         };
         let scenario = Scenario::generate(seed);
         let target = if break_blame {

@@ -102,6 +102,43 @@ fn corpus_has_permanent_death_replan() {
     );
 }
 
+/// The crash–resume seed from the ISSUE: a mid-run permanent dropout plus
+/// transient faults under a static hybrid strategy, so the corpus replay
+/// sweeps every kill point of a journaled run that crosses a plan repair.
+#[test]
+fn corpus_has_crash_replan_resume() {
+    let corpus = load_corpus(&corpus_dir());
+    let hit = corpus.iter().find(|(path, _)| {
+        path.file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.contains("crash-replan-resume"))
+    });
+    let (_, entry) = hit.expect("seed-crash-replan-resume fixture missing");
+    let s = &entry.scenario;
+    assert!(
+        s.schedule.events.iter().any(|e| matches!(
+            e,
+            FaultEvent::DeviceDropout { dev, at } if dev.0 >= 1 && at.as_nanos() > 0
+        )),
+        "wants a mid-run accelerator dropout so plan repair fires"
+    );
+    assert!(
+        s.schedule
+            .events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::Flaky { .. } | FaultEvent::TaskFaults { .. })),
+        "wants transient fault windows so the crash sweep crosses retries"
+    );
+    assert!(
+        matches!(
+            s.config,
+            hetero_match::matchmaker::ExecutionConfig::Strategy(st) if st.is_static()
+        ),
+        "wants a static hybrid strategy so the repairing arm of the \
+         crash-resume-equivalence oracle arms"
+    );
+}
+
 /// Regenerate the seed corpus. Deterministic: scans generated seeds from 0
 /// upward and archives the first scenario matching each fixture's shape.
 /// Run with `cargo test -q --test fuzz_corpus -- --ignored regenerate`.
@@ -165,6 +202,28 @@ fn regenerate_seed_corpus() {
                                 if dev.0 >= 1 && at.as_nanos() > 0
                         )
                     })
+                    && matches!(
+                        s.config,
+                        hetero_match::matchmaker::ExecutionConfig::Strategy(st)
+                            if st.is_static()
+                    )
+            },
+        ),
+        (
+            "seed-crash-replan-resume.json",
+            "a mid-run permanent accelerator death alongside transient fault \
+             windows under a static hybrid strategy; exercises every-kill-point \
+             crash + resume-from-journal equivalence across degraded-mode plan \
+             repair (the crash-resume-equivalence oracle's repairing arm)",
+            |s| {
+                s.schedule
+                    .events
+                    .iter()
+                    .any(|e| matches!(e, FaultEvent::DeviceDropout { dev, at } if dev.0 >= 1 && at.as_nanos() > 0))
+                    && s.schedule
+                        .events
+                        .iter()
+                        .any(|e| matches!(e, FaultEvent::Flaky { .. } | FaultEvent::TaskFaults { .. }))
                     && matches!(
                         s.config,
                         hetero_match::matchmaker::ExecutionConfig::Strategy(st)
