@@ -14,6 +14,9 @@
 //! matchmake fuzz                        # random scenarios vs the invariant oracle bank
 //! matchmake run      app.json           # journaled run of the selected strategy
 //! matchmake resume   run.journal        # crash recovery: finish a killed journaled run
+//! matchmake flame    app.json           # causal span profile: folded stacks on stdout
+//! matchmake diff     a.json b.json      # per-series regression verdicts between two
+//!                                       # metrics/report/bench exports
 //!
 //! options:
 //!   --platform icpp15|icpp15-phi        # preset (default icpp15)
@@ -54,6 +57,23 @@
 //!   --metrics <path>                    # run/resume: write the run's metrics; a
 //!                                       # resumed run's export is byte-identical to
 //!                                       # the uninterrupted one
+//!   --metrics-stream <path>             # run/resume: write one delta-encoded
+//!                                       # EpochSnapshot JSON line per committed
+//!                                       # taskwait barrier (plus a run-end line);
+//!                                       # folding the deltas reproduces --metrics
+//!                                       # byte-for-byte, crash+resume included
+//!
+//! flame options:
+//!   --fault-trace <path>                # profile the run under the trace's replay
+//!                                       # schedule instead of the fault-free run
+//!   --chrome <path>                     # also write a Chrome trace with causal flow
+//!                                       # arrows (failover/hedge/repartition/replan
+//!                                       # markers -> the task slots they caused)
+//!
+//! diff options:
+//!   --tolerance <pct>                   # relative tolerance before a moved series
+//!                                       # counts as improved/regressed (default 0)
+//!   --report-only                       # print the verdict table but always exit 0
 //!
 //! fuzz options:
 //!   --iters <n>                         # scenarios to fuzz (default 100)
@@ -71,8 +91,8 @@
 
 use hetero_platform::{FaultTrace, KillSchedule, Platform, RetryPolicy, SimTime};
 use hetero_runtime::{
-    AdaptConfig, HealthConfig, MetricsObserver, MetricsRegistry, MultiObserver, TraceObserver,
-    DEFAULT_GANTT_WIDTH,
+    AdaptConfig, HealthConfig, MetricsObserver, MetricsRegistry, MultiObserver, RunDiff,
+    SnapshotObserver, SpanTree, TraceObserver, DEFAULT_GANTT_WIDTH,
 };
 use matchmaker::{
     tune_task_size, Analyzer, AppDescriptor, ExecutionConfig, JournalError, JournalSink,
@@ -85,12 +105,13 @@ use std::process::{self, exit};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: matchmake <template|analyze|compare|timeline|tune|platforms|fuzz|run|resume> \
-         [app.json|run.journal] \
+        "usage: matchmake <template|analyze|compare|timeline|tune|platforms|fuzz|run|resume|\
+         flame|diff> [app.json|run.journal] [b.json] \
          [--platform icpp15|icpp15-phi] [--refined] [--width <n>] [--metrics <path>] \
-         [--breakdown] [--profile <path>] [--fault-trace <path>] [--fault-trace-out <path>] \
-         [--replan] [--iters <n>] [--seed <s>] [--shrink] [--corpus <dir>] [--self-check] \
-         [--journal <path>] [--crash-after <n>] [--torn] [--kill-at <ms>]"
+         [--metrics-stream <path>] [--breakdown] [--profile <path>] [--fault-trace <path>] \
+         [--fault-trace-out <path>] [--replan] [--iters <n>] [--seed <s>] [--shrink] \
+         [--corpus <dir>] [--self-check] [--journal <path>] [--crash-after <n>] [--torn] \
+         [--kill-at <ms>] [--chrome <path>] [--tolerance <pct>] [--report-only]"
     );
     exit(2);
 }
@@ -224,6 +245,11 @@ fn main() {
     let mut crash_after: Option<u64> = None;
     let mut torn = false;
     let mut kill_at_ms: Option<f64> = None;
+    let mut metrics_stream_path: Option<String> = None;
+    let mut chrome_out: Option<String> = None;
+    let mut tolerance: f64 = 0.0;
+    let mut report_only = false;
+    let mut file2 = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -286,8 +312,22 @@ fn main() {
                         .unwrap_or_else(|| usage()),
                 );
             }
+            "--metrics-stream" => {
+                metrics_stream_path = Some(it.next().cloned().unwrap_or_else(|| usage()));
+            }
+            "--chrome" => {
+                chrome_out = Some(it.next().cloned().unwrap_or_else(|| usage()));
+            }
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--report-only" => report_only = true,
             _ if command.is_none() => command = Some(a.clone()),
             _ if file.is_none() => file = Some(a.clone()),
+            _ if file2.is_none() => file2 = Some(a.clone()),
             _ => usage(),
         }
     }
@@ -695,12 +735,23 @@ fn main() {
                 Some(k) => JournalSink::record_with_kill(k),
                 None => JournalSink::record(),
             };
-            let result = if let Some(mp) = &metrics_path {
-                let mut mobs = MetricsObserver::new(&platform, "journaled");
+            let result = if metrics_path.is_some() || metrics_stream_path.is_some() {
+                // The SnapshotObserver wraps the plain MetricsObserver, so
+                // `--metrics` output stays byte-identical with or without
+                // `--metrics-stream`.
+                let mut snap = SnapshotObserver::new(&platform, "journaled");
                 let r = analyzer
-                    .simulate_journaled_observed(&desc, config, &spec, &mut sink, &mut mobs);
+                    .simulate_journaled_observed(&desc, config, &spec, &mut sink, &mut snap);
                 if r.is_ok() {
-                    write_metrics(mp, mobs.registry());
+                    if let Some(mp) = &metrics_path {
+                        write_metrics(mp, snap.registry());
+                    }
+                    if let Some(sp) = &metrics_stream_path {
+                        if let Err(e) = fs::write(sp, snap.stream()) {
+                            eprintln!("cannot write metrics stream {sp}: {e}");
+                            exit(1);
+                        }
+                    }
                 }
                 r
             } else {
@@ -727,6 +778,79 @@ fn main() {
                 }
             }
         }
+        "flame" => {
+            let desc = load_descriptor(file.as_deref().unwrap_or_else(|| usage()));
+            let platform = platform_by_name(&platform_name);
+            let mut analyzer = Analyzer::new(&platform);
+            if let Some(p) = &profile_path {
+                install_profiles(&mut analyzer, &desc, p);
+            }
+            let analysis = analyzer.analyze(&desc);
+            let config = ExecutionConfig::Strategy(analysis.best);
+            let mut tobs = TraceObserver::new();
+            let report = match fault_trace_path.as_deref() {
+                Some(p) => {
+                    let spec = RunSpec::faulty(load_fault_trace(p).replay_schedule());
+                    let mut sink = JournalSink::record();
+                    analyzer
+                        .simulate_journaled_observed(&desc, config, &spec, &mut sink, &mut tobs)
+                        .unwrap_or_else(|e| {
+                            eprintln!("flame run failed: {e}");
+                            exit(1);
+                        })
+                }
+                None => analyzer.simulate_observed(&desc, config, &mut tobs),
+            };
+            let tree = SpanTree::from_trace(tobs.trace(), &platform);
+            if let Some(cp) = &chrome_out {
+                let json = SpanTree::to_chrome_json_with_flows(tobs.trace(), &platform);
+                if let Err(e) = fs::write(cp, json) {
+                    eprintln!("cannot write chrome trace {cp}: {e}");
+                    exit(1);
+                }
+                eprintln!("chrome trace with causal flow arrows -> {cp}");
+            }
+            eprintln!(
+                "{} under {} — {}; span tiling per device (task/dead/idle slot-time):",
+                analysis.app, analysis.best, report.makespan
+            );
+            for (d, s) in tree.device_span_seconds().iter().enumerate() {
+                eprintln!(
+                    "  {:<26} task {:.3}s  dead {:.3}s  idle {:.3}s",
+                    platform.devices[d].spec.name,
+                    s.task.as_secs_f64(),
+                    s.dead.as_secs_f64(),
+                    s.idle.as_secs_f64()
+                );
+            }
+            // Folded stacks on stdout: pipe into speedscope / flamegraph.pl.
+            print!("{}", tree.to_folded());
+        }
+        "diff" => {
+            let a_path = file.as_deref().unwrap_or_else(|| usage());
+            let b_path = file2.as_deref().unwrap_or_else(|| usage());
+            let read = |p: &str| {
+                fs::read_to_string(p).unwrap_or_else(|e| {
+                    eprintln!("cannot read {p}: {e}");
+                    exit(1);
+                })
+            };
+            let diff =
+                RunDiff::between(&read(a_path), &read(b_path), tolerance).unwrap_or_else(|e| {
+                    eprintln!("diff failed: {e}");
+                    exit(1);
+                });
+            print!("{}", diff.render());
+            if diff.has_regressions() {
+                if report_only {
+                    eprintln!(
+                        "regressions found ({a_path} -> {b_path}); --report-only, not failing"
+                    );
+                } else {
+                    exit(1);
+                }
+            }
+        }
         "resume" => {
             let path = file.as_deref().unwrap_or_else(|| usage());
             let platform = platform_by_name(&platform_name);
@@ -741,11 +865,21 @@ fn main() {
                 let stored = j.header.inputs.get("config")?.clone();
                 serde_json::from_str::<ExecutionConfig>(&stored).ok()
             });
-            let result = if let Some(mp) = &metrics_path {
-                let mut mobs = MetricsObserver::new(&platform, "journaled");
-                let r = analyzer.resume_observed(&text, &mut mobs);
+            let result = if metrics_path.is_some() || metrics_stream_path.is_some() {
+                // Resume redo-replays from t = 0, so the regenerated stream
+                // is byte-identical to the uninterrupted run's.
+                let mut snap = SnapshotObserver::new(&platform, "journaled");
+                let r = analyzer.resume_observed(&text, &mut snap);
                 if r.is_ok() {
-                    write_metrics(mp, mobs.registry());
+                    if let Some(mp) = &metrics_path {
+                        write_metrics(mp, snap.registry());
+                    }
+                    if let Some(sp) = &metrics_stream_path {
+                        if let Err(e) = fs::write(sp, snap.stream()) {
+                            eprintln!("cannot write metrics stream {sp}: {e}");
+                            exit(1);
+                        }
+                    }
                 }
                 r
             } else {

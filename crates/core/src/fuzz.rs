@@ -330,6 +330,10 @@ pub struct InjectedBreak {
     /// Perturb the first resumed report's makespan before the crash–resume
     /// comparison — simulates a resume that reconstructs the wrong state.
     pub break_resume: bool,
+    /// Drop the final run-end snapshot line before folding the metrics
+    /// stream — simulates an observer that loses a delta, so the folded
+    /// registry misses the run-end-only series.
+    pub break_stream_fold: bool,
 }
 
 impl InjectedBreak {
@@ -338,6 +342,7 @@ impl InjectedBreak {
         skip_blame_component: false,
         break_double_run: false,
         break_resume: false,
+        break_stream_fold: false,
     };
 }
 
@@ -809,6 +814,112 @@ pub fn run_oracles_counted(
                 ),
                 "repairing",
                 None,
+                &mut violations,
+                &mut checks,
+            );
+        }
+    }
+
+    // (g) Stream-fold equivalence: folding the per-epoch `EpochSnapshot`
+    // delta stream emitted by a `SnapshotObserver` reproduces the
+    // end-of-run `MetricsRegistry` JSON byte-for-byte, on every execution
+    // path this scenario can exercise (plain, faulty, resilient always;
+    // adaptive and repairing for static hybrid configs, where the
+    // controller and re-planner apply).
+    {
+        use crate::journal::RunSpec;
+        use hetero_runtime::fold_stream;
+
+        let mut first_stream_check = true;
+        let mut check_stream =
+            |spec: &RunSpec,
+             what: &str,
+             violations: &mut Vec<OracleViolation>,
+             checks: &mut BTreeMap<&'static str, u64>| {
+                *checks
+                    .entry(OracleKind::StreamFoldEquivalence.name())
+                    .or_insert(0) += 1;
+                let break_here = inject.break_stream_fold && first_stream_check;
+                first_stream_check = false;
+                match analyzer.simulate_streamed(desc, config, spec) {
+                    Err(e) => violations.push(OracleViolation::new(
+                        OracleKind::StreamFoldEquivalence,
+                        format!("{what}: streamed run failed: {e}"),
+                    )),
+                    Ok((_, obs)) => {
+                        let mut stream = obs.stream();
+                        if break_here {
+                            // Lose the final (run-end) delta line.
+                            let cut = stream
+                                .trim_end_matches('\n')
+                                .rfind('\n')
+                                .map(|i| i + 1)
+                                .unwrap_or(0);
+                            stream.truncate(cut);
+                        }
+                        match fold_stream(&stream) {
+                            Err(e) => violations.push(OracleViolation::new(
+                                OracleKind::StreamFoldEquivalence,
+                                format!("{what}: stream does not fold: {e}"),
+                            )),
+                            Ok(folded) => {
+                                let (fa, fb) = (folded.to_json(), obs.registry().to_json());
+                                if fa != fb {
+                                    let at = fa
+                                        .bytes()
+                                        .zip(fb.bytes())
+                                        .position(|(x, y)| x != y)
+                                        .unwrap_or_else(|| fa.len().min(fb.len()));
+                                    let lo = at.saturating_sub(40);
+                                    violations.push(OracleViolation::new(
+                                        OracleKind::StreamFoldEquivalence,
+                                        format!(
+                                            "{what}: folded stream diverges from the end-of-run \
+                                         registry at byte {at}: fold ..{:?}.. vs registry \
+                                         ..{:?}..",
+                                            &fa[lo..fa.len().min(at + 40)],
+                                            &fb[lo..fb.len().min(at + 40)],
+                                        ),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+
+        check_stream(&RunSpec::plain(), "plain", &mut violations, &mut checks);
+        check_stream(
+            &RunSpec::faulty(scenario.schedule.clone()),
+            "faulty",
+            &mut violations,
+            &mut checks,
+        );
+        check_stream(
+            &RunSpec::resilient(scenario.schedule.clone(), HealthConfig::monitored()),
+            "resilient",
+            &mut violations,
+            &mut checks,
+        );
+        if is_static_hybrid(config) {
+            check_stream(
+                &RunSpec::adaptive(
+                    scenario.schedule.clone(),
+                    HealthConfig::monitored(),
+                    AdaptConfig::enabled_default(),
+                ),
+                "adaptive",
+                &mut violations,
+                &mut checks,
+            );
+            check_stream(
+                &RunSpec::repairing(
+                    scenario.schedule.clone(),
+                    HealthConfig::monitored(),
+                    AdaptConfig::disabled(),
+                    ReplanConfig::enabled_default(),
+                ),
+                "repairing",
                 &mut violations,
                 &mut checks,
             );
@@ -1323,6 +1434,25 @@ mod tests {
                 .iter()
                 .any(|v| v.oracle == OracleKind::BlameIdentity),
             "planted blame break must be caught: {:?}",
+            outcome.violations
+        );
+        // And without the injection the same seed is clean.
+        assert!(Analyzer::fuzz_one(3).violations.is_empty());
+    }
+
+    #[test]
+    fn injected_stream_fold_break_is_caught() {
+        let inject = InjectedBreak {
+            break_stream_fold: true,
+            ..InjectedBreak::NONE
+        };
+        let outcome = run_seed(3, &inject);
+        assert!(
+            outcome
+                .violations
+                .iter()
+                .any(|v| v.oracle == OracleKind::StreamFoldEquivalence),
+            "planted stream-fold break must be caught: {:?}",
             outcome.violations
         );
         // And without the injection the same seed is clean.

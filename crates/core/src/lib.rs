@@ -55,6 +55,7 @@ pub mod profile;
 pub mod ranking;
 pub mod robustness;
 pub mod strategy;
+pub mod stream;
 
 pub use analyzer::{Analysis, Analyzer};
 pub use autotune::{tune_task_size, AutotuneResult};
@@ -78,3 +79,4 @@ pub use profile::{ProfileStore, RateProfile};
 pub use ranking::{best_strategy, escalation_target, rank_of, ranking, SyncMode};
 pub use robustness::DegradationEntry;
 pub use strategy::{ExecutionConfig, Strategy};
+pub use stream::STREAM_STRATEGY_LABEL;

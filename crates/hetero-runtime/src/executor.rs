@@ -1624,7 +1624,10 @@ impl<'a> Sim<'a> {
 
         if aborted {
             // Nothing was produced: no writes land, no work is recorded —
-            // the slot was simply held for the wasted attempts.
+            // the slot was simply held for the wasted attempts. The trace
+            // still needs the occupancy (span trees tile capacity against
+            // the blame books), so the span goes out as a held slot
+            // rather than a task.
             self.counters.devices[dev.0].busy += busy;
             self.busy_of[t.0] = busy;
             if let Some(f) = &mut self.faults {
@@ -1632,6 +1635,16 @@ impl<'a> Sim<'a> {
             }
             self.cost_of[t.0] = cost;
             self.apply_blame(dev, cost);
+            route_event(
+                &mut *self.obs,
+                &TraceEvent::SlotHeld {
+                    task: t,
+                    kernel: task.kernel,
+                    dev,
+                    start: self.now,
+                    end: self.now + busy,
+                },
+            );
             return (busy, nominal, true);
         }
 

@@ -51,6 +51,11 @@ pub enum OracleKind {
     /// resume-from-journal produces a final report, journal text, and
     /// metrics export byte-identical to the uninterrupted run.
     CrashResumeEquivalence,
+    /// Folding every `EpochSnapshot` delta emitted by a streaming
+    /// `SnapshotObserver` reproduces the end-of-run `MetricsRegistry`
+    /// JSON byte-for-byte, across plain/faulty/resilient/adaptive/
+    /// repairing execution paths.
+    StreamFoldEquivalence,
 }
 
 impl OracleKind {
@@ -65,6 +70,7 @@ impl OracleKind {
             OracleKind::ReplayDeterminism => "replay-determinism",
             OracleKind::RepairNeverLoses => "repair-never-loses",
             OracleKind::CrashResumeEquivalence => "crash-resume-equivalence",
+            OracleKind::StreamFoldEquivalence => "stream-fold-equivalence",
         }
     }
 }

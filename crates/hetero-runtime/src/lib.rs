@@ -87,9 +87,10 @@ pub use journal::{
 };
 pub use native::{run_native, run_native_parallel, ExecOrder, HostBuffers, KernelFn};
 pub use obs::{
-    CriticalPath, DeviceBreakdown, LogHistogram, MetricsObserver, MetricsRegistry, MultiObserver,
-    NullObserver, Observer, PathKind, PathSegment, Series, SeriesValue, TimeBreakdown,
-    TraceObserver,
+    apply_snapshot, fold_stream, CriticalPath, DeviceBreakdown, DiffEntry, DiffVerdict,
+    EpochSnapshot, LogHistogram, MetricsObserver, MetricsRegistry, MultiObserver, NullObserver,
+    Observer, OpenState, PathKind, PathSegment, RunDiff, Series, SeriesValue, SnapshotObserver,
+    Span, SpanKind, SpanTree, TimeBreakdown, TraceObserver,
 };
 pub use program::{
     split_even, KernelDesc, KernelId, Op, PlanError, Program, ProgramBuilder, TaskDesc, TaskId,

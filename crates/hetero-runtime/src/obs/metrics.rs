@@ -30,7 +30,13 @@ pub const HISTOGRAM_BASE_NANOS: u64 = 1_000;
 /// A log2-bucketed latency histogram over virtual time. Bucket `i` counts
 /// observations `≤ HISTOGRAM_BASE_NANOS << i`; larger observations go to the
 /// overflow bucket (rendered as `+Inf`).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written: the JSON form carries the four stored
+/// fields plus a computed `quantiles` object (`p50`/`p95`/`p99`, in
+/// seconds). Deserialization reads only the stored fields — quantiles are
+/// derived, so a value survives a JSON round-trip unchanged and two equal
+/// histograms always serialize to identical bytes.
+#[derive(Clone, Debug, PartialEq)]
 pub struct LogHistogram {
     /// Per-bucket (non-cumulative) observation counts.
     pub buckets: Vec<u64>,
@@ -82,6 +88,59 @@ impl LogHistogram {
     pub fn bound_secs(i: usize) -> f64 {
         (HISTOGRAM_BASE_NANOS << i) as f64 / 1e9
     }
+
+    /// The quantile-`q` estimate, in seconds: the upper bound of the bucket
+    /// containing the `⌈q·count⌉`-th observation (log-bucketed histograms
+    /// resolve to bucket boundaries, the conservative upper estimate).
+    /// Observations in the overflow bucket report the first bound past the
+    /// largest finite one; an empty histogram reports `0`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= rank {
+                return Self::bound_secs(i);
+            }
+        }
+        Self::bound_secs(HISTOGRAM_BUCKETS)
+    }
+}
+
+impl Serialize for LogHistogram {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("buckets".into(), self.buckets.to_value()),
+            ("overflow".into(), self.overflow.to_value()),
+            ("count".into(), self.count.to_value()),
+            ("sum_nanos".into(), self.sum_nanos.to_value()),
+            (
+                "quantiles".into(),
+                serde::Value::Map(vec![
+                    ("p50".into(), self.quantile(0.50).to_value()),
+                    ("p95".into(), self.quantile(0.95).to_value()),
+                    ("p99".into(), self.quantile(0.99).to_value()),
+                ]),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for LogHistogram {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom(format!("expected LogHistogram map, got {v:?}")))?;
+        Ok(LogHistogram {
+            buckets: serde::de::field(m, "buckets", "LogHistogram")?,
+            overflow: serde::de::field(m, "overflow", "LogHistogram")?,
+            count: serde::de::field(m, "count", "LogHistogram")?,
+            sum_nanos: serde::de::field(m, "sum_nanos", "LogHistogram")?,
+        })
+    }
 }
 
 /// The value of one series.
@@ -106,6 +165,15 @@ pub struct Series {
     pub labels: Vec<(String, String)>,
     /// The series value.
     pub value: SeriesValue,
+}
+
+impl Series {
+    /// The rendered registry identity of this series:
+    /// `name{label="value",...}` with labels sorted by key (the key the
+    /// registry stores it under, and the id streaming deltas carry).
+    pub fn id(&self) -> String {
+        series_id(&self.name, &self.labels)
+    }
 }
 
 /// A registry of labeled series with deterministic iteration and export.
@@ -626,6 +694,63 @@ mod tests {
         assert_eq!(h.buckets[0], 1);
         assert_eq!(h.buckets[2], 1);
         assert_eq!(h.overflow, 1);
+    }
+
+    #[test]
+    fn quantiles_pin_bucket_boundaries() {
+        // Empty histogram: every quantile is zero.
+        let h = LogHistogram::default();
+        assert_eq!(h.quantile(0.5), 0.0);
+        // Exact-boundary observations land in the bucket they bound:
+        // `ns <= base << i` is inclusive, so 1µs is bucket 0 and 2µs bucket 1.
+        let mut h = LogHistogram::default();
+        h.observe(SimTime::from_micros(1));
+        assert_eq!(h.buckets[0], 1);
+        h.observe(SimTime::from_micros(2));
+        assert_eq!(h.buckets[1], 1);
+        // 50 obs in bucket 0, 45 in bucket 2, 5 in overflow: p50 resolves to
+        // bucket 0's bound, p95 to bucket 2's, and p99 (rank 99 > largest
+        // finite cumulative count 97) to the first bound past the table.
+        let mut h = LogHistogram::default();
+        for _ in 0..50 {
+            h.observe(SimTime::from_nanos(500));
+        }
+        for _ in 0..45 {
+            h.observe(SimTime::from_micros(3));
+        }
+        for _ in 0..5 {
+            h.observe(SimTime::from_secs_f64(100.0));
+        }
+        assert_eq!(h.count, 100);
+        assert_eq!(h.quantile(0.50), LogHistogram::bound_secs(0));
+        assert_eq!(h.quantile(0.95), LogHistogram::bound_secs(2));
+        assert_eq!(
+            h.quantile(0.99),
+            LogHistogram::bound_secs(HISTOGRAM_BUCKETS)
+        );
+        // A quantile beyond 1.0 clamps to the last observation's bucket.
+        assert_eq!(h.quantile(1.0), LogHistogram::bound_secs(HISTOGRAM_BUCKETS));
+    }
+
+    #[test]
+    fn histogram_json_carries_quantiles_and_round_trips() {
+        let mut r = MetricsRegistry::new();
+        for _ in 0..20 {
+            r.observe("hm_lat", "lat", &[], SimTime::from_micros(2));
+        }
+        let json = r.to_json();
+        assert!(
+            json.contains("\"quantiles\""),
+            "computed quantiles exported"
+        );
+        assert!(json.contains("\"p50\""));
+        assert!(json.contains("\"p95\""));
+        assert!(json.contains("\"p99\""));
+        // Quantiles are derived, not stored: the registry round-trips to an
+        // equal value and re-serializes to identical bytes.
+        let back: MetricsRegistry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.to_json(), json);
     }
 
     #[test]

@@ -14,6 +14,16 @@
 //! * [`MetricsObserver`] — feeds a [`MetricsRegistry`] of typed counters,
 //!   gauges and log-bucketed histograms labeled by device/kernel/strategy.
 //! * [`MultiObserver`] — fans one event stream out to several sinks.
+//! * [`SnapshotObserver`] — live observability: emits one delta-encoded
+//!   [`EpochSnapshot`] JSON line per committed taskwait barrier, with the
+//!   invariant that [`fold_stream`] reconstructs the final registry
+//!   byte-for-byte (fuzz oracle 9, `stream-fold-equivalence`).
+//!
+//! Post-hoc analyses over a collected [`Trace`]: [`SpanTree`] lifts the
+//! flat event stream into a causal run → epoch → wave → task hierarchy
+//! (folded stacks for speedscope, Chrome-trace flow arrows,
+//! `hm_span_seconds` tiling); [`RunDiff`] compares two metrics/report
+//! exports into a typed per-series verdict table (`matchmake diff`).
 //!
 //! Observers are strictly *observational*: no hook can influence virtual
 //! time, placement, or any other simulation outcome. Determinism of the
@@ -25,10 +35,16 @@
 //! as `RunReport::breakdown`.
 
 pub mod blame;
+pub mod diff;
 pub mod metrics;
+pub mod snapshot;
+pub mod span;
 
 pub use blame::{CriticalPath, DeviceBreakdown, PathKind, PathSegment, TimeBreakdown};
+pub use diff::{DiffEntry, DiffVerdict, RunDiff};
 pub use metrics::{LogHistogram, MetricsObserver, MetricsRegistry, Series, SeriesValue};
+pub use snapshot::{apply_snapshot, fold_stream, EpochSnapshot, OpenState, SnapshotObserver};
+pub use span::{Span, SpanKind, SpanTree};
 
 use crate::program::{KernelId, TaskId};
 use crate::stats::RunReport;
@@ -133,6 +149,10 @@ pub fn route_event(obs: &mut dyn Observer, ev: &TraceEvent) {
             end,
         } => obs.on_transfer(*from, *to, *bytes, *start, *end),
         TraceEvent::Flush { epoch, start, end } => obs.on_epoch_end(*epoch, *start, *end),
+        // A held slot is pure occupancy geometry: the per-attempt faults
+        // already went through `on_fault`, so the span only reaches
+        // `on_event` (trace recording and span trees), never the metrics.
+        TraceEvent::SlotHeld { .. } => {}
         TraceEvent::TransferRetry { .. }
         | TraceEvent::TaskFault { .. }
         | TraceEvent::DeviceDropout { .. }

@@ -99,6 +99,22 @@ pub enum TraceEvent {
         /// When the move happened.
         at: SimTime,
     },
+    /// Retry exhaustion held a device slot over `[start, end)`: the
+    /// dispatch burned its failed attempts and backoffs, produced nothing,
+    /// and the task failed over elsewhere — the span is pure occupancy
+    /// (blamed as fault loss), not useful execution.
+    SlotHeld {
+        /// The instance whose failed attempts held the slot.
+        task: TaskId,
+        /// Kernel the instance belongs to.
+        kernel: KernelId,
+        /// Device whose slot was held.
+        dev: DeviceId,
+        /// When the doomed dispatch began.
+        start: SimTime,
+        /// When the slot was released (the failover instant).
+        end: SimTime,
+    },
     /// The watchdog judged an attempt a straggler and launched a hedged
     /// duplicate on another device (first finisher wins).
     HedgeLaunched {
@@ -236,7 +252,8 @@ impl TraceEvent {
             TraceEvent::Task { start, end, .. }
             | TraceEvent::Transfer { start, end, .. }
             | TraceEvent::Flush { start, end, .. }
-            | TraceEvent::TransferRetry { start, end, .. } => Some((*start, *end)),
+            | TraceEvent::TransferRetry { start, end, .. }
+            | TraceEvent::SlotHeld { start, end, .. } => Some((*start, *end)),
             TraceEvent::TaskFault { .. }
             | TraceEvent::DeviceDropout { .. }
             | TraceEvent::Failover { .. }
@@ -263,7 +280,8 @@ impl TraceEvent {
             TraceEvent::Task { end, .. }
             | TraceEvent::Transfer { end, .. }
             | TraceEvent::Flush { end, .. }
-            | TraceEvent::TransferRetry { end, .. } => *end,
+            | TraceEvent::TransferRetry { end, .. }
+            | TraceEvent::SlotHeld { end, .. } => *end,
             TraceEvent::TaskFault { at, .. }
             | TraceEvent::DeviceDropout { at, .. }
             | TraceEvent::Failover { at, .. }
@@ -440,6 +458,37 @@ impl Trace {
                         pid: dev.0,
                         tid: lane,
                         args: serde_json::json!({ "items": items }),
+                    });
+                }
+                TraceEvent::SlotHeld {
+                    task,
+                    kernel,
+                    dev,
+                    start,
+                    end,
+                } => {
+                    cum_busy[dev.0] += *end - *start;
+                    let lane = {
+                        let ls = &mut lanes[dev.0];
+                        match ls.iter().position(|&free| free <= *start) {
+                            Some(i) => {
+                                ls[i] = *end;
+                                i
+                            }
+                            None => {
+                                ls.push(*end);
+                                ls.len() - 1
+                            }
+                        }
+                    };
+                    events.push(Ev {
+                        name: format!("task{} HELD (k{})", task.0, kernel.0),
+                        ph: "X",
+                        ts: start.as_micros_f64(),
+                        dur: (*end - *start).as_micros_f64(),
+                        pid: dev.0,
+                        tid: lane,
+                        args: serde_json::Value::Null,
                     });
                 }
                 TraceEvent::Transfer {

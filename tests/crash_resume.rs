@@ -3,7 +3,8 @@
 //! a torn trailing line, and mid-epoch at simulated times between
 //! barriers — crashing and resuming from the journal must reproduce the
 //! uninterrupted run byte-for-byte: the final `RunReport`, the regenerated
-//! journal text, the execution trace, and the metrics export. Covered on
+//! journal text, the execution trace, the metrics export, and (PR 9) the
+//! per-epoch `EpochSnapshot` metrics stream. Covered on
 //! the plain, faulty, adaptive, and repairing executor paths, plus a
 //! proptest over random fault seeds.
 
@@ -16,7 +17,7 @@ use hetero_match::platform::{
     DeviceId, FaultSchedule, KillSchedule, Platform, RetryPolicy, SimTime,
 };
 use hetero_match::runtime::{AdaptConfig, HealthConfig, ReplanConfig};
-use hetero_match::runtime::{MetricsObserver, MultiObserver, TraceObserver};
+use hetero_match::runtime::{MetricsObserver, MultiObserver, SnapshotObserver, TraceObserver};
 use proptest::prelude::*;
 
 /// SK-Loop over several taskwait barriers: enough epochs for the kill
@@ -46,8 +47,12 @@ fn sweep(
     let mut sink = JournalSink::record();
     let mut tobs = TraceObserver::new();
     let mut mobs = MetricsObserver::new(platform, "crash-resume");
+    let mut snap = SnapshotObserver::new(platform, "crash-resume");
     let report = {
-        let mut multi = MultiObserver::new().with(&mut tobs).with(&mut mobs);
+        let mut multi = MultiObserver::new()
+            .with(&mut tobs)
+            .with(&mut mobs)
+            .with(&mut snap);
         analyzer
             .simulate_journaled_observed(desc, config, spec, &mut sink, &mut multi)
             .unwrap()
@@ -63,6 +68,7 @@ fn sweep(
     let full_text = sink.text();
     let full_trace = serde_json::to_string(tobs.trace()).unwrap();
     let full_metrics = mobs.registry().to_json();
+    let full_stream = snap.stream();
     let records = sink.records();
     assert!(
         records >= 2,
@@ -93,8 +99,12 @@ fn sweep(
         }
         let mut tobs = TraceObserver::new();
         let mut mobs = MetricsObserver::new(platform, "crash-resume");
+        let mut snap = SnapshotObserver::new(platform, "crash-resume");
         let (resumed, resumed_text) = {
-            let mut multi = MultiObserver::new().with(&mut tobs).with(&mut mobs);
+            let mut multi = MultiObserver::new()
+                .with(&mut tobs)
+                .with(&mut mobs)
+                .with(&mut snap);
             analyzer
                 .resume_observed(&sink.text(), &mut multi)
                 .unwrap_or_else(|e| panic!("kill point {i}: resume failed: {e}"))
@@ -117,6 +127,11 @@ fn sweep(
             mobs.registry().to_json(),
             full_metrics,
             "kill point {i}: resumed metrics export diverges"
+        );
+        assert_eq!(
+            snap.stream(),
+            full_stream,
+            "kill point {i}: resumed metrics stream diverges"
         );
     }
 }

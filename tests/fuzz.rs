@@ -130,6 +130,23 @@ fn planted_resume_divergence_is_caught() {
     );
 }
 
+#[test]
+fn planted_stream_fold_break_is_caught() {
+    let inject = InjectedBreak {
+        break_stream_fold: true,
+        ..InjectedBreak::NONE
+    };
+    let outcome = run_seed(5, &inject);
+    assert!(
+        outcome
+            .violations
+            .iter()
+            .any(|v| v.oracle == OracleKind::StreamFoldEquivalence),
+        "planted stream-fold break must be caught: {:?}",
+        outcome.violations
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

@@ -1,16 +1,19 @@
 //! The observability layer end to end: blame attribution balances its books
 //! on every strategy/app pair of the repro corpus, observers never perturb
-//! the simulation, exports are byte-deterministic, and kernel-rate profiles
-//! survive persistence.
+//! the simulation, exports are byte-deterministic, kernel-rate profiles
+//! survive persistence, causal span trees tile device capacity against the
+//! blame identity, and streamed metrics deltas fold back to the end-of-run
+//! registry on every execution path.
 
 use hetero_match::apps::{paper_apps, synth};
 use hetero_match::matchmaker::{
-    Analyzer, ExecutionConfig, ExecutionFlow, Planner, ProfileStore, Strategy,
+    Analyzer, ExecutionConfig, ExecutionFlow, JournalSink, Planner, ProfileStore, RunSpec, Strategy,
 };
 use hetero_match::platform::{DeviceId, FaultSchedule, Platform, RetryPolicy, SimTime};
 use hetero_match::runtime::{
-    simulate, simulate_observed, simulate_traced, CriticalPath, HealthConfig, MetricsObserver,
-    MetricsRegistry, MultiObserver, NullObserver, PinnedScheduler, TimeBreakdown, TraceObserver,
+    fold_stream, simulate, simulate_observed, simulate_traced, AdaptConfig, CriticalPath,
+    HealthConfig, MetricsObserver, MetricsRegistry, MultiObserver, NullObserver, PinnedScheduler,
+    ReplanConfig, SpanTree, TimeBreakdown, TraceObserver,
 };
 use proptest::prelude::*;
 
@@ -195,6 +198,155 @@ fn profiles_persist_and_reproduce_plans() {
     assert_eq!(a.counters, b.counters);
 }
 
+/// Acceptance criterion (PR 9): the causal span tree's per-kind durations
+/// exactly tile `makespan × slots` against the blame identity — `task`
+/// slot time equals the sum of the active blame components, and `dead` and
+/// `idle` match the blame books — for every app/config pair of the repro
+/// corpus.
+#[test]
+fn span_tree_tiles_capacity_against_blame_for_whole_corpus() {
+    let platform = Platform::icpp15();
+    let analyzer = Analyzer::new(&platform);
+    for desc in paper_apps() {
+        for (config, _) in analyzer.compare_all(&desc) {
+            let mut tobs = TraceObserver::new();
+            let report = analyzer.simulate_observed(&desc, config, &mut tobs);
+            let tree = SpanTree::from_trace(tobs.trace(), &platform);
+            assert_eq!(tree.end, report.makespan, "{} under {config}", desc.name);
+            for (d, s) in tree.device_span_seconds().iter().enumerate() {
+                let b = &report.breakdown.per_device[d];
+                assert_eq!(
+                    s.task + s.dead + s.idle,
+                    report.makespan * b.slots,
+                    "{} under {config}, device {d}: span kinds must tile capacity",
+                    desc.name
+                );
+                assert_eq!(
+                    s.task,
+                    b.active(),
+                    "{} under {config}, device {d}: task spans must equal active blame",
+                    desc.name
+                );
+                assert_eq!(s.dead, b.dead, "{} under {config}, device {d}", desc.name);
+                assert_eq!(s.idle, b.idle, "{} under {config}, device {d}", desc.name);
+            }
+        }
+    }
+}
+
+/// Span tiling also survives faults: a dropout leaves its post-death
+/// capacity in `dead`, retries stretch task slots, and the three span
+/// kinds still tile `makespan × slots` exactly as the blame books do.
+#[test]
+fn span_tree_tiles_capacity_under_faults() {
+    let platform = Platform::icpp15_with_phi();
+    let analyzer = Analyzer::new(&platform);
+    let desc = synth::single_kernel(
+        "span-faulty",
+        1 << 18,
+        4096.0,
+        ExecutionFlow::Loop { iterations: 4 },
+        true,
+    );
+    let config = ExecutionConfig::Strategy(Strategy::SpSingle);
+    let schedule = FaultSchedule::new(7)
+        .with_flaky(DeviceId(2), 0.2, SimTime::ZERO, SimTime::from_millis(1))
+        .with_dropout(DeviceId(1), SimTime::from_micros(400));
+    let mut tobs = TraceObserver::new();
+    let mut sink = JournalSink::record();
+    let report = analyzer
+        .simulate_journaled_observed(
+            &desc,
+            config,
+            &RunSpec::faulty(schedule),
+            &mut sink,
+            &mut tobs,
+        )
+        .unwrap();
+    assert!(report.faults.task_faults > 0 || report.faults.device_dropouts > 0);
+    let tree = SpanTree::from_trace(tobs.trace(), &platform);
+    for (d, s) in tree.device_span_seconds().iter().enumerate() {
+        let b = &report.breakdown.per_device[d];
+        assert_eq!(
+            s.task + s.dead + s.idle,
+            report.makespan * b.slots,
+            "device {d}: span kinds must tile capacity under faults"
+        );
+        assert_eq!(s.task, b.active(), "device {d}");
+        assert_eq!(s.dead, b.dead, "device {d}");
+        assert_eq!(s.idle, b.idle, "device {d}");
+    }
+    // The dropout shows up as a causal child of its epoch.
+    let folded = tree.to_folded();
+    assert!(!folded.is_empty());
+}
+
+/// Acceptance criterion (PR 9): folding the streamed `EpochSnapshot`
+/// deltas reproduces the end-of-run registry byte-for-byte on all five
+/// journaled execution paths.
+#[test]
+fn stream_fold_equivalence_across_all_run_modes() {
+    let platform = Platform::icpp15_with_phi();
+    let analyzer = Analyzer::new(&platform);
+    let desc = synth::single_kernel(
+        "stream-modes",
+        1 << 18,
+        4096.0,
+        ExecutionFlow::Loop { iterations: 4 },
+        true,
+    );
+    let config = ExecutionConfig::Strategy(Strategy::SpSingle);
+    let schedule = || {
+        FaultSchedule::new(29)
+            .with_flaky(DeviceId(2), 0.2, SimTime::ZERO, SimTime::from_millis(1))
+            .with_dropout(DeviceId(1), SimTime::from_micros(400))
+    };
+    let specs = [
+        ("plain", RunSpec::plain()),
+        ("faulty", RunSpec::faulty(schedule())),
+        (
+            "resilient",
+            RunSpec::resilient(schedule(), HealthConfig::monitored()),
+        ),
+        (
+            "adaptive",
+            RunSpec::adaptive(
+                schedule(),
+                HealthConfig::monitored(),
+                AdaptConfig::enabled_default(),
+            ),
+        ),
+        (
+            "repairing",
+            RunSpec::repairing(
+                schedule(),
+                HealthConfig::disabled(),
+                AdaptConfig::disabled(),
+                ReplanConfig::enabled_default(),
+            ),
+        ),
+    ];
+    for (what, spec) in specs {
+        let (_, obs) = analyzer
+            .simulate_streamed(&desc, config, &spec)
+            .unwrap_or_else(|e| panic!("{what}: streamed run failed: {e}"));
+        assert!(
+            obs.lines().len() >= 2,
+            "{what}: expected per-epoch lines plus the run-end line"
+        );
+        let folded = fold_stream(&obs.stream())
+            .unwrap_or_else(|e| panic!("{what}: stream does not fold: {e}"));
+        assert_eq!(
+            folded.to_json(),
+            obs.registry().to_json(),
+            "{what}: folded stream must reproduce the registry byte-for-byte"
+        );
+        // The stream itself is byte-deterministic across replays.
+        let (_, again) = analyzer.simulate_streamed(&desc, config, &spec).unwrap();
+        assert_eq!(obs.stream(), again.stream(), "{what}: stream must replay");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -235,5 +387,56 @@ proptest! {
             &HealthConfig::disabled(),
         );
         prop_assert!(faulty.breakdown.identity_holds());
+    }
+
+    /// Property: span-kind durations tile `makespan × slots` against the
+    /// blame identity for any repro-corpus app under any suitable
+    /// strategy, fault-free or seeded-faulty.
+    #[test]
+    fn span_tiling_matches_blame_identity(
+        app_idx in 0usize..64,
+        strategy in prop_oneof![
+            Just(Strategy::SpSingle),
+            Just(Strategy::DpDep),
+            Just(Strategy::DpPerf),
+        ],
+        fault_prob in prop_oneof![Just(0.0f64), 0.05f64..0.2],
+        seed in 0u64..1024,
+    ) {
+        let platform = Platform::icpp15();
+        let analyzer = Analyzer::new(&platform);
+        let corpus = paper_apps();
+        let desc = &corpus[app_idx % corpus.len()];
+        let config = ExecutionConfig::Strategy(strategy);
+        if analyzer.planner().try_plan(desc, config).is_err() {
+            // Not every strategy suits every corpus app (e.g. SP-Single
+            // targets single-kernel applications) — nothing to check.
+            return Ok(());
+        }
+        let mut tobs = TraceObserver::new();
+        let report = if fault_prob == 0.0 {
+            analyzer.simulate_observed(desc, config, &mut tobs)
+        } else {
+            let schedule = FaultSchedule::new(seed)
+                .with_task_faults(None, fault_prob, SimTime::ZERO, SimTime::MAX);
+            let mut sink = JournalSink::record();
+            analyzer
+                .simulate_journaled_observed(
+                    desc,
+                    config,
+                    &RunSpec::faulty(schedule),
+                    &mut sink,
+                    &mut tobs,
+                )
+                .unwrap()
+        };
+        let tree = SpanTree::from_trace(tobs.trace(), &platform);
+        for (d, s) in tree.device_span_seconds().iter().enumerate() {
+            let b = &report.breakdown.per_device[d];
+            prop_assert_eq!(s.task + s.dead + s.idle, report.makespan * b.slots);
+            prop_assert_eq!(s.task, b.active());
+            prop_assert_eq!(s.dead, b.dead);
+            prop_assert_eq!(s.idle, b.idle);
+        }
     }
 }
