@@ -17,6 +17,10 @@
 //! matchmake flame    app.json           # causal span profile: folded stacks on stdout
 //! matchmake diff     a.json b.json      # per-series regression verdicts between two
 //!                                       # metrics/report/bench exports
+//! matchmake serve                       # planning service: framed requests on stdin,
+//!                                       # one response per request on stdout
+//! matchmake load                        # seeded load generator against the in-process
+//!                                       # service; prints the deterministic summary
 //!
 //! options:
 //!   --platform icpp15|icpp15-phi        # preset (default icpp15)
@@ -62,6 +66,20 @@
 //!                                       # taskwait barrier (plus a run-end line);
 //!                                       # folding the deltas reproduces --metrics
 //!                                       # byte-for-byte, crash+resume included
+//!   --salvage                           # resume: recover the longest valid record
+//!                                       # prefix of a mid-file-corrupted journal
+//!                                       # (strict resume refuses it) and report the
+//!                                       # cut line and reason on stderr
+//!
+//! load options:
+//!   --requests <n>                      # requests to generate (default 1000)
+//!   --seed <s>                          # load/chaos seed, decimal or 0x-hex
+//!   --chaos                             # run under the canonical 10x burst chaos
+//!                                       # schedule (slow-loris, malformed JSON,
+//!                                       # oversized bodies, a stalled worker)
+//!   --metrics <path>                    # write the service's hm_service_* registry
+//!   --bench-out <path>                  # write latency quantiles + throughput as a
+//!                                       # BENCH-file JSON (perf trajectory shape)
 //!
 //! flame options:
 //!   --fault-trace <path>                # profile the run under the trace's replay
@@ -95,8 +113,9 @@ use hetero_runtime::{
     SnapshotObserver, SpanTree, TraceObserver, DEFAULT_GANTT_WIDTH,
 };
 use matchmaker::{
-    tune_task_size, Analyzer, AppDescriptor, ExecutionConfig, JournalError, JournalSink,
-    ProfileStore, ReplanConfig, RunJournal, RunSpec, Strategy,
+    encode_response, run_load, tune_task_size, Analyzer, AppDescriptor, Arrival, ChaosSchedule,
+    ExecutionConfig, JournalError, JournalSink, LoadConfig, PlanService, ProfileStore,
+    ReplanConfig, RunJournal, RunSpec, ServiceConfig, Strategy,
 };
 use std::env;
 use std::fs;
@@ -106,12 +125,13 @@ use std::process::{self, exit};
 fn usage() -> ! {
     eprintln!(
         "usage: matchmake <template|analyze|compare|timeline|tune|platforms|fuzz|run|resume|\
-         flame|diff> [app.json|run.journal] [b.json] \
+         flame|diff|serve|load> [app.json|run.journal] [b.json] \
          [--platform icpp15|icpp15-phi] [--refined] [--width <n>] [--metrics <path>] \
          [--metrics-stream <path>] [--breakdown] [--profile <path>] [--fault-trace <path>] \
          [--fault-trace-out <path>] [--replan] [--iters <n>] [--seed <s>] [--shrink] \
          [--corpus <dir>] [--self-check] [--journal <path>] [--crash-after <n>] [--torn] \
-         [--kill-at <ms>] [--chrome <path>] [--tolerance <pct>] [--report-only]"
+         [--kill-at <ms>] [--chrome <path>] [--tolerance <pct>] [--report-only] [--salvage] \
+         [--requests <n>] [--chaos] [--bench-out <path>]"
     );
     exit(2);
 }
@@ -249,6 +269,10 @@ fn main() {
     let mut chrome_out: Option<String> = None;
     let mut tolerance: f64 = 0.0;
     let mut report_only = false;
+    let mut salvage = false;
+    let mut requests: u64 = 1000;
+    let mut chaos = false;
+    let mut bench_out: Option<String> = None;
     let mut file2 = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -325,6 +349,17 @@ fn main() {
                     .unwrap_or_else(|| usage());
             }
             "--report-only" => report_only = true,
+            "--salvage" => salvage = true,
+            "--requests" => {
+                requests = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--chaos" => chaos = true,
+            "--bench-out" => {
+                bench_out = Some(it.next().cloned().unwrap_or_else(|| usage()));
+            }
             _ if command.is_none() => command = Some(a.clone()),
             _ if file.is_none() => file = Some(a.clone()),
             _ if file2.is_none() => file2 = Some(a.clone()),
@@ -860,16 +895,32 @@ fn main() {
                 exit(1);
             });
             // The header names the config; surfacing it keeps the report
-            // line identical to the original `matchmake run` output.
-            let config = RunJournal::load(&text).ok().and_then(|j| {
+            // line identical to the original `matchmake run` output. In
+            // salvage mode the strict loader may refuse the journal the
+            // salvaged resume recovers, so peek through the salvager.
+            let config = if salvage {
+                RunJournal::load_salvaged(&text).ok().map(|(j, _)| j)
+            } else {
+                RunJournal::load(&text).ok()
+            }
+            .and_then(|j| {
                 let stored = j.header.inputs.get("config")?.clone();
                 serde_json::from_str::<ExecutionConfig>(&stored).ok()
             });
+            let resume_with = |obs: &mut dyn hetero_runtime::Observer| {
+                if salvage {
+                    analyzer.resume_salvaged(&text, obs)
+                } else {
+                    analyzer
+                        .resume_observed(&text, obs)
+                        .map(|(r, t)| (r, t, None))
+                }
+            };
             let result = if metrics_path.is_some() || metrics_stream_path.is_some() {
                 // Resume redo-replays from t = 0, so the regenerated stream
                 // is byte-identical to the uninterrupted run's.
                 let mut snap = SnapshotObserver::new(&platform, "journaled");
-                let r = analyzer.resume_observed(&text, &mut snap);
+                let r = resume_with(&mut snap);
                 if r.is_ok() {
                     if let Some(mp) = &metrics_path {
                         write_metrics(mp, snap.registry());
@@ -883,10 +934,13 @@ fn main() {
                 }
                 r
             } else {
-                analyzer.resume(&text)
+                resume_with(&mut hetero_runtime::NullObserver)
             };
             match result {
-                Ok((report, full_text)) => {
+                Ok((report, full_text, salvaged)) => {
+                    if let Some(s) = &salvaged {
+                        eprintln!("resume: {s}");
+                    }
                     if let Err(e) = fs::write(path, &full_text) {
                         eprintln!("cannot write completed journal {path}: {e}");
                         exit(1);
@@ -905,6 +959,131 @@ fn main() {
                 }
             }
         }
+        "serve" => {
+            // One-shot in-process service: read HTTP/1.1-framed requests
+            // from stdin to EOF, answer each on stdout. Arrivals are
+            // spaced one virtual microsecond apart, so the whole exchange
+            // is a pure function of the input bytes.
+            let platform = platform_by_name(&platform_name);
+            let mut input = Vec::new();
+            use std::io::Read as _;
+            if let Err(e) = std::io::stdin().read_to_end(&mut input) {
+                eprintln!("cannot read stdin: {e}");
+                exit(1);
+            }
+            let arrivals: Vec<Arrival> = split_frames(&input)
+                .into_iter()
+                .enumerate()
+                .map(|(i, bytes)| Arrival {
+                    at: SimTime::from_micros(i as u64 + 1),
+                    client: "stdin".into(),
+                    bytes,
+                })
+                .collect();
+            let mut service = PlanService::new(
+                &platform,
+                ServiceConfig::default(),
+                ChaosSchedule::calm(seed),
+            );
+            for outcome in service.run(&arrivals) {
+                println!("{}", encode_response(&outcome.result));
+            }
+            if let Some(mp) = &metrics_path {
+                write_metrics(mp, service.registry());
+            }
+        }
+        "load" => {
+            let platform = platform_by_name(&platform_name);
+            let load_cfg = LoadConfig {
+                requests,
+                seed,
+                ..LoadConfig::default()
+            };
+            // The chaos windows cover the healthy-gap span of the load; the
+            // burst compresses arrivals inside the middle half of it.
+            let span = SimTime::from_micros(requests.saturating_mul(load_cfg.mean_gap_us));
+            let schedule = if chaos {
+                ChaosSchedule::burst(seed, 10, span)
+            } else {
+                ChaosSchedule::calm(seed)
+            };
+            let out = run_load(&platform, &ServiceConfig::default(), &load_cfg, &schedule);
+            print!("{}", out.summary);
+            if let Some(mp) = &metrics_path {
+                write_metrics(mp, &out.registry);
+            }
+            if let Some(bp) = &bench_out {
+                if let Err(e) = fs::write(bp, load_bench_json(&out)) {
+                    eprintln!("cannot write bench file {bp}: {e}");
+                    exit(1);
+                }
+            }
+        }
         _ => usage(),
     }
+}
+
+/// Split a raw byte stream into HTTP/1.1 request frames: each frame is a
+/// header block (terminated by `\r\n\r\n`) plus `content-length` body
+/// bytes. A stream whose tail has no terminator or no parseable length is
+/// passed through as one final frame — the codec answers it with a typed
+/// `ServiceError` rather than this splitter guessing.
+fn split_frames(mut buf: &[u8]) -> Vec<Vec<u8>> {
+    let mut frames = Vec::new();
+    while !buf.is_empty() {
+        let Some(he) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+            frames.push(buf.to_vec());
+            break;
+        };
+        let len = std::str::from_utf8(&buf[..he]).ok().and_then(|head| {
+            head.lines().find_map(|l| {
+                let (k, v) = l.split_once(':')?;
+                if k.trim().eq_ignore_ascii_case("content-length") {
+                    v.trim().parse::<usize>().ok()
+                } else {
+                    None
+                }
+            })
+        });
+        let Some(len) = len else {
+            frames.push(buf.to_vec());
+            break;
+        };
+        let end = (he + 4).saturating_add(len).min(buf.len());
+        frames.push(buf[..end].to_vec());
+        buf = &buf[end..];
+    }
+    frames
+}
+
+/// Render a `matchmake load` outcome in the `BENCH_*.json` trajectory
+/// shape: virtual-latency quantiles plus served/shed counts.
+fn load_bench_json(out: &matchmaker::LoadOutcome) -> String {
+    let served = out.outcomes.iter().filter(|o| o.result.is_ok()).count() as u64;
+    let shed = out.outcomes.len() as u64 - served;
+    let q = |name: &str, seconds: f64, units: u64, unit: &str| {
+        format!(
+            "    {{\"name\": \"{name}\", \"mean_ns\": {:.1}, \"units\": {units}, \
+             \"unit\": \"{unit}\"}}",
+            seconds * 1e9
+        )
+    };
+    let quantile = |p: f64| {
+        let mut h = hetero_runtime::LogHistogram::default();
+        for o in &out.outcomes {
+            h.observe(o.done.saturating_sub(o.arrival));
+        }
+        h.quantile(p)
+    };
+    let results = [
+        q("latency_p50", quantile(0.50), served, "request"),
+        q("latency_p95", quantile(0.95), served, "request"),
+        q("latency_p99", quantile(0.99), served, "request"),
+        q("shed", shed as f64 * 1e-9, shed.max(1), "request"),
+    ];
+    format!(
+        "{{\n  \"pr\": 10,\n  \"bench\": \"service_load\",\n  \"samples\": 1,\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        results.join(",\n")
+    )
 }

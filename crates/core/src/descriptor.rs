@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 /// A buffer the application owns, partitioned in the same index space as
 /// the kernels' data-parallel domain (or accessed whole).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct BufferSpec {
     /// Name (diagnostics).
     pub name: String,
@@ -25,7 +25,7 @@ pub struct BufferSpec {
 
 /// How a kernel touches one buffer, as a function of the partition of the
 /// kernel's domain an instance receives.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum AccessPattern {
     /// The instance touches items `[s−halo, e+halo)` of the buffer when it
     /// computes domain items `[s, e)` (clamped to the buffer). `halo = 0`
@@ -77,7 +77,7 @@ impl AccessPattern {
 }
 
 /// One kernel of the application.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct KernelSpec {
     /// Name (e.g. `"triad"`).
     pub name: String,
@@ -146,7 +146,7 @@ impl SyncPolicy {
 }
 
 /// A complete application description.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct AppDescriptor {
     /// Application name.
     pub name: String,

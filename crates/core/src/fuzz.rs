@@ -334,6 +334,9 @@ pub struct InjectedBreak {
     /// stream — simulates an observer that loses a delta, so the folded
     /// registry misses the run-end-only series.
     pub break_stream_fold: bool,
+    /// Drop the last terminal outcome before the shed-or-serve check —
+    /// simulates a service that silently loses a request under overload.
+    pub break_service: bool,
 }
 
 impl InjectedBreak {
@@ -343,6 +346,7 @@ impl InjectedBreak {
         break_double_run: false,
         break_resume: false,
         break_stream_fold: false,
+        break_service: false,
     };
 }
 
@@ -923,6 +927,62 @@ pub fn run_oracles_counted(
                 &mut violations,
                 &mut checks,
             );
+        }
+    }
+
+    // (h) Shed-or-serve: a small chaos-burst service load seeded from the
+    // scenario's fault seed, run twice on the scenario's platform. Every
+    // arrival must get exactly one terminal response, in arrival order,
+    // never before it arrived — and the two same-seed runs must agree
+    // byte-for-byte on both the responses and the metrics registry.
+    count(OracleKind::ShedOrServe, &mut checks);
+    {
+        use crate::service::{
+            check_shed_or_serve, encode_response, generate_load, ChaosSchedule, LoadConfig,
+            PlanService, ServiceConfig,
+        };
+        let seed = scenario.schedule.seed;
+        let load = LoadConfig {
+            requests: 48,
+            seed,
+            ..LoadConfig::default()
+        };
+        let span = SimTime::from_micros(load.requests * load.mean_gap_us);
+        let chaos = ChaosSchedule::burst(seed, 10, span);
+        let arrivals = generate_load(&load, &chaos);
+        // A deliberately tight pool so the burst actually queues and sheds.
+        let svc_cfg = ServiceConfig {
+            workers: 2,
+            queue_capacity: 8,
+            degrade_depth: 4,
+            ..ServiceConfig::default()
+        };
+        let mut s1 = PlanService::new(&platform, svc_cfg.clone(), chaos.clone());
+        let mut o1 = s1.run(&arrivals);
+        if inject.break_service {
+            o1.pop();
+        }
+        if let Err(v) = check_shed_or_serve(arrivals.len(), &o1) {
+            violations.push(v);
+        }
+        let mut s2 = PlanService::new(&platform, svc_cfg, chaos);
+        let o2 = s2.run(&arrivals);
+        let wire = |outs: &[crate::service::ServiceOutcome]| {
+            outs.iter()
+                .map(|o| encode_response(&o.result))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        if wire(&o1) != wire(&o2) {
+            violations.push(OracleViolation::new(
+                OracleKind::ShedOrServe,
+                "same-seed service runs answered differently",
+            ));
+        } else if s1.registry().to_json() != s2.registry().to_json() {
+            violations.push(OracleViolation::new(
+                OracleKind::ShedOrServe,
+                "same-seed service runs exported different metrics",
+            ));
         }
     }
 

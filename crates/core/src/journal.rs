@@ -215,6 +215,36 @@ impl<'a> Analyzer<'a> {
         obs: &mut dyn Observer,
     ) -> Result<(RunReport, String), JournalError> {
         let journal = RunJournal::load(text)?;
+        self.resume_from_journal(&journal, obs)
+    }
+
+    /// [`Analyzer::resume`] in salvage mode: load the journal through
+    /// [`RunJournal::load_salvaged`], resume from the longest valid record
+    /// prefix, and report what was cut. Where strict resume refuses a
+    /// mid-file corruption outright, salvage treats everything from the
+    /// first bad committed line as if it had never been written — redo-
+    /// replay re-executes the salvaged prefix and runs to completion, so
+    /// the regenerated journal and report are byte-identical to the
+    /// uninterrupted run's. The error path is reserved for journals with
+    /// nothing to salvage (empty, unreadable header, wrong version) and
+    /// for salvaged prefixes that fail resume's own header validation.
+    pub fn resume_salvaged(
+        &self,
+        text: &str,
+        obs: &mut dyn Observer,
+    ) -> Result<(RunReport, String, Option<hetero_runtime::SalvageReport>), JournalError> {
+        let (journal, salvage) = RunJournal::load_salvaged(text)?;
+        let (report, full_text) = self.resume_from_journal(&journal, obs)?;
+        Ok((report, full_text, salvage))
+    }
+
+    /// Shared tail of the resume paths: header validation, redo-replay,
+    /// run to completion.
+    fn resume_from_journal(
+        &self,
+        journal: &RunJournal,
+        obs: &mut dyn Observer,
+    ) -> Result<(RunReport, String), JournalError> {
         let desc: AppDescriptor = parse_input(&journal.header, "descriptor")?;
         let config: ExecutionConfig = parse_input(&journal.header, "config")?;
         let spec: RunSpec = parse_input(&journal.header, "run")?;
@@ -224,7 +254,7 @@ impl<'a> Analyzer<'a> {
                 field: "platform (the journal was recorded on a different platform)".into(),
             });
         }
-        let mut sink = JournalSink::resume(&journal);
+        let mut sink = JournalSink::resume(journal);
         sink.begin(&self.journal_header(&desc, config, &spec))?;
         let report = self.dispatch_journaled(&desc, config, &spec, &mut sink, obs)?;
         Ok((report, sink.text()))

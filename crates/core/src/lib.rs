@@ -25,6 +25,9 @@
 //!   select → plan → execute.
 //! * [`convert`] — §V's recipe for making a dynamic runtime behave like a
 //!   static partitioning with minimal effort.
+//! * [`service`] — the analyzer as a long-lived, overload-hardened
+//!   planning service: admission control, deadline budgets, load shedding
+//!   and deterministic service-level chaos (DESIGN.md §8.9).
 //!
 //! ```no_run
 //! use matchmaker::{Analyzer, ExecutionConfig};
@@ -54,6 +57,7 @@ pub mod plan;
 pub mod profile;
 pub mod ranking;
 pub mod robustness;
+pub mod service;
 pub mod strategy;
 pub mod stream;
 
@@ -70,7 +74,7 @@ pub use fuzz::{
     FuzzConfig, FuzzFailure, FuzzOutcome, FuzzReport, InjectedBreak, Scenario,
 };
 pub use hetero_runtime::PlanError;
-pub use hetero_runtime::{JournalError, JournalSink, RunJournal};
+pub use hetero_runtime::{JournalError, JournalSink, RunJournal, SalvageReport};
 pub use hetero_runtime::{OracleKind, OracleViolation};
 pub use hetero_runtime::{ReplanConfig, ReplanError};
 pub use journal::{RunMode, RunSpec};
@@ -78,5 +82,11 @@ pub use plan::{KernelModel, KernelSplit, Plan, Planner, SurvivorPlan};
 pub use profile::{ProfileStore, RateProfile};
 pub use ranking::{best_strategy, escalation_target, rank_of, ranking, SyncMode};
 pub use robustness::DegradationEntry;
+pub use service::{
+    check_shed_or_serve, decode_request, encode_request, encode_response, generate_load, run_load,
+    template_app, Arrival, ChaosEvent, ChaosSchedule, LoadConfig, LoadOutcome, PlanRequest,
+    PlanResponse, PlanService, RateLimit, ServiceConfig, ServiceError, ServiceOutcome,
+    CHAOS_STREAM, LOAD_STREAM,
+};
 pub use strategy::{ExecutionConfig, Strategy};
 pub use stream::STREAM_STRATEGY_LABEL;

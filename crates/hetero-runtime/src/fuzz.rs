@@ -56,6 +56,11 @@ pub enum OracleKind {
     /// JSON byte-for-byte, across plain/faulty/resilient/adaptive/
     /// repairing execution paths.
     StreamFoldEquivalence,
+    /// Under any seeded chaos schedule, the planning service answers
+    /// every arrival with exactly one terminal response — a plan, or a
+    /// typed `ServiceError` — never a silent drop, a duplicate, or a
+    /// hang, and two same-seed runs answer byte-identically.
+    ShedOrServe,
 }
 
 impl OracleKind {
@@ -71,6 +76,7 @@ impl OracleKind {
             OracleKind::RepairNeverLoses => "repair-never-loses",
             OracleKind::CrashResumeEquivalence => "crash-resume-equivalence",
             OracleKind::StreamFoldEquivalence => "stream-fold-equivalence",
+            OracleKind::ShedOrServe => "shed-or-serve",
         }
     }
 }

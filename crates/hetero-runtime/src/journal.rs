@@ -447,9 +447,116 @@ impl RunJournal {
         })
     }
 
+    /// Load `text`, salvaging the longest valid record prefix.
+    ///
+    /// Where [`RunJournal::load`] rejects the whole journal on the first
+    /// mid-file corruption, this keeps every record *before* the first bad
+    /// committed line and reports the cut as a typed [`SalvageReport`]
+    /// (first bad line, the reason strict load would have given, and how
+    /// many committed lines were discarded). The error path is reserved
+    /// for journals with nothing to salvage: empty text, an unreadable
+    /// header, or a version this build cannot read. A journal that loads
+    /// cleanly returns `(journal, None)`.
+    pub fn load_salvaged(text: &str) -> Result<(Self, Option<SalvageReport>), JournalError> {
+        if text.is_empty() {
+            return Err(JournalError::Empty);
+        }
+        let mut committed: Vec<&str> = Vec::new();
+        let mut torn_discarded = false;
+        for seg in text.split_inclusive('\n') {
+            match seg.strip_suffix('\n') {
+                Some(line) => committed.push(line),
+                None => torn_discarded = true,
+            }
+        }
+        let Some((&header_line, record_lines)) = committed.split_first() else {
+            return Err(JournalError::MissingHeader);
+        };
+        let Some(header_body) = decode_line(header_line) else {
+            return Err(JournalError::MissingHeader);
+        };
+        let header: JournalHeader =
+            serde_json::from_str(header_body).map_err(|e| JournalError::BadParse {
+                line: 1,
+                error: e.to_string(),
+            })?;
+        validate_version(header.version, JOURNAL_VERSION)
+            .map_err(|(found, expected)| JournalError::VersionMismatch { found, expected })?;
+        let mut records = Vec::new();
+        let mut bodies = Vec::new();
+        let mut salvage = None;
+        for (i, &line) in record_lines.iter().enumerate() {
+            let lineno = i + 2;
+            let bad = |error: JournalError| SalvageReport {
+                first_bad_line: lineno,
+                reason: error.to_string(),
+                discarded_lines: record_lines.len() - i,
+            };
+            let Some(body) = decode_line(line) else {
+                salvage = Some(bad(JournalError::CorruptLine { line: lineno }));
+                break;
+            };
+            let record: EpochRecord = match serde_json::from_str(body) {
+                Ok(record) => record,
+                Err(e) => {
+                    salvage = Some(bad(JournalError::BadParse {
+                        line: lineno,
+                        error: e.to_string(),
+                    }));
+                    break;
+                }
+            };
+            if record.epoch != i {
+                salvage = Some(bad(JournalError::NonSequentialEpoch {
+                    line: lineno,
+                    found: record.epoch,
+                    expected: i,
+                }));
+                break;
+            }
+            records.push(record);
+            bodies.push(body.to_string());
+        }
+        Ok((
+            RunJournal {
+                header,
+                records,
+                // A cut prefix behaves exactly like a journal whose tail
+                // was never committed — resume re-executes from the cut.
+                torn_discarded: torn_discarded || salvage.is_some(),
+                bodies,
+            },
+            salvage,
+        ))
+    }
+
     /// The number of committed epoch records.
     pub fn record_count(&self) -> usize {
         self.records.len()
+    }
+}
+
+/// What [`RunJournal::load_salvaged`] cut and why: the strict-load error
+/// turned into a record of the salvage decision, for operators deciding
+/// whether the salvaged prefix is trustworthy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SalvageReport {
+    /// 1-based line number (in the journal file) of the first committed
+    /// line that failed its envelope, hash, parse, or sequence check.
+    pub first_bad_line: usize,
+    /// The typed error strict [`RunJournal::load`] raises there, rendered.
+    pub reason: String,
+    /// Committed lines discarded from `first_bad_line` to end of file.
+    pub discarded_lines: usize,
+}
+
+impl std::fmt::Display for SalvageReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "salvaged: discarded {} committed line(s) from line {} ({})",
+            self.discarded_lines, self.first_bad_line, self.reason
+        )
     }
 }
 

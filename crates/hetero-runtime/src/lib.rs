@@ -83,7 +83,7 @@ pub use health::{
 pub use interval::{Interval, IntervalMap, IntervalSet};
 pub use journal::{
     EpochDelta, EpochRecord, JournalError, JournalHeader, JournalSink, RngCursors, RunJournal,
-    StreamConstants, JOURNAL_VERSION,
+    SalvageReport, StreamConstants, JOURNAL_VERSION,
 };
 pub use native::{run_native, run_native_parallel, ExecOrder, HostBuffers, KernelFn};
 pub use obs::{

@@ -1,0 +1,135 @@
+//! The analyzer as a long-lived planning service (DESIGN.md §8.9):
+//! typed request/response codec, admission control, deadline budgets,
+//! plan memoization with graceful degradation, and a seeded chaos load.
+//!
+//! Everything printed here is deterministic — virtual time, pinned RNG
+//! streams, ordered maps: CI runs this example twice and diffs the output
+//! byte for byte.
+//!
+//! ```sh
+//! cargo run --release --example planning_service
+//! ```
+
+use hetero_match::matchmaker::{
+    check_shed_or_serve, decode_request, encode_request, encode_response, run_load, template_app,
+    Arrival, ChaosSchedule, LoadConfig, PlanRequest, PlanService, ServiceConfig,
+};
+use hetero_match::platform::{Platform, SimTime};
+
+fn main() {
+    let platform = Platform::icpp15();
+
+    // -- 1. The wire codec: a minimal HTTP/1.1 + JSON framing ------------
+    let req = PlanRequest {
+        id: 1,
+        client: "example".into(),
+        app: template_app(0),
+        config: None,
+        what_if: true,
+        deadline_us: None,
+    };
+    let frame = encode_request(&req);
+    let head = frame
+        .split(|b| *b == b'\n')
+        .next()
+        .map(|l| String::from_utf8_lossy(l).trim_end().to_string())
+        .unwrap_or_default();
+    println!("request frame: {} bytes, `{head}`", frame.len());
+    let decoded = decode_request(&frame, 64 * 1024).expect("round trip");
+    assert_eq!(decoded, req);
+
+    // Malformed input never panics — it comes back as a typed error.
+    for (what, bytes) in [
+        (
+            "truncated body",
+            &b"POST /plan HTTP/1.1\r\ncontent-length: 10\r\n\r\n{}"[..],
+        ),
+        (
+            "bad json",
+            &b"POST /plan HTTP/1.1\r\ncontent-length: 4\r\n\r\n{{{{"[..],
+        ),
+        ("no terminator", &b"POST /plan HTTP/1.1"[..]),
+    ] {
+        let err = decode_request(bytes, 64 * 1024).unwrap_err();
+        println!("  {what:<15} -> {} ({err})", err.verdict());
+    }
+
+    // -- 2. Serve, memoize, degrade --------------------------------------
+    // A volley of identical requests against a deliberately tiny pool:
+    // two pay the solve, the queue absorbs four, the overflow is shed
+    // with a typed rejection (the cache is not warm yet, so there is
+    // nothing to degrade to). A second volley arriving after the solves
+    // complete — cache warm, pool still draining — is answered
+    // `degraded` from the cache instead of queueing. A straggler on the
+    // idle pool is a plain cache hit.
+    let cfg = ServiceConfig {
+        workers: 2,
+        queue_capacity: 4,
+        degrade_depth: 2,
+        rate_limit: None,
+        default_deadline_us: None,
+        ..ServiceConfig::default()
+    };
+    let mut service = PlanService::new(&platform, cfg, ChaosSchedule::calm(0));
+    let mut arrivals: Vec<Arrival> = (0..8)
+        .map(|i| Arrival {
+            at: SimTime::from_micros(1),
+            client: format!("c{}", i % 2),
+            bytes: frame.clone(),
+        })
+        .collect();
+    for i in 0..4 {
+        arrivals.push(Arrival {
+            at: SimTime::from_micros(205),
+            client: format!("c{}", i % 2),
+            bytes: frame.clone(),
+        });
+    }
+    arrivals.push(Arrival {
+        at: SimTime::from_micros(400),
+        client: "c0".into(),
+        bytes: frame.clone(),
+    });
+    let outcomes = service.run(&arrivals);
+    check_shed_or_serve(arrivals.len(), &outcomes).expect("shed-or-serve");
+    println!(
+        "\nsaturating volley of {} identical requests:",
+        arrivals.len()
+    );
+    for o in &outcomes {
+        match &o.result {
+            Ok(r) => println!(
+                "  #{} served at {} (cached={} degraded={})",
+                o.seq, o.done, r.cached, r.degraded
+            ),
+            Err(e) => println!("  #{} shed: {} ({e})", o.seq, e.verdict()),
+        }
+    }
+
+    // -- 3. A seeded chaos load ------------------------------------------
+    // 10x burst arrivals with slow-loris, malformed-JSON and oversized
+    // windows plus a stalled worker — byte-replayable from the seed alone.
+    let load = LoadConfig {
+        requests: 5_000,
+        seed: 42,
+        ..LoadConfig::default()
+    };
+    let span = SimTime::from_micros(load.requests * load.mean_gap_us);
+    let chaos = ChaosSchedule::burst(42, 10, span);
+    let out = run_load(&platform, &ServiceConfig::default(), &load, &chaos);
+    check_shed_or_serve(load.requests as usize, &out.outcomes).expect("shed-or-serve");
+    println!("\n{}", out.summary);
+
+    // A wire sample: one served response and one typed shed, re-encoded.
+    let served = out.outcomes.iter().find(|o| o.result.is_ok()).unwrap();
+    let shed = out.outcomes.iter().find(|o| o.result.is_err()).unwrap();
+    println!(
+        "sample served response:\n{}",
+        encode_response(&served.result)
+    );
+    println!("\nsample shed response:\n{}", encode_response(&shed.result));
+
+    // The hm_service_* registry the whole exchange exported.
+    println!("\nservice metrics (Prometheus):");
+    print!("{}", out.registry.to_prometheus());
+}

@@ -271,6 +271,124 @@ fn every_kill_point_resumes_identically_across_plan_repair() {
     );
 }
 
+/// A complete journaled plain run: (journal text, report digest).
+fn complete_journal() -> (String, String) {
+    let platform = Platform::icpp15();
+    let analyzer = Analyzer::new(&platform);
+    let desc = app();
+    let config = ExecutionConfig::Strategy(Strategy::SpSingle);
+    let mut sink = JournalSink::record();
+    let report = analyzer
+        .simulate_journaled(&desc, config, &RunSpec::plain(), &mut sink)
+        .unwrap();
+    (sink.text(), serde_json::to_string(&report).unwrap())
+}
+
+#[test]
+fn salvage_recovers_a_corrupt_middle_line() {
+    let (full_text, digest) = complete_journal();
+    let lines: Vec<&str> = full_text.split_inclusive('\n').collect();
+    assert!(
+        lines.len() >= 4,
+        "want several records, got {}",
+        lines.len()
+    );
+    // Break the envelope of a middle record (journal line 4) without
+    // changing its length: strict load must refuse the whole journal,
+    // salvage must keep the two records before it.
+    let target = 3;
+    let corrupt: String = lines
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == target {
+                l.replacen("\"body\"", "\"b0dy\"", 1)
+            } else {
+                (*l).to_string()
+            }
+        })
+        .collect();
+    assert_eq!(corrupt.len(), full_text.len());
+    assert!(matches!(
+        hetero_match::matchmaker::RunJournal::load(&corrupt),
+        Err(JournalError::CorruptLine { line: 4 })
+    ));
+    let (journal, salvage) = hetero_match::matchmaker::RunJournal::load_salvaged(&corrupt).unwrap();
+    let salvage = salvage.expect("a cut must be reported");
+    assert_eq!(salvage.first_bad_line, 4);
+    assert_eq!(salvage.discarded_lines, lines.len() - target);
+    assert!(salvage.reason.contains("integrity envelope"), "{salvage}");
+    assert_eq!(journal.record_count(), target - 1);
+    assert!(
+        journal.torn_discarded,
+        "a cut prefix resumes like a torn one"
+    );
+
+    // Salvaged resume must regenerate the uninterrupted run exactly.
+    let platform = Platform::icpp15();
+    let analyzer = Analyzer::new(&platform);
+    let (resumed, resumed_text, report) = analyzer
+        .resume_salvaged(&corrupt, &mut hetero_match::runtime::NullObserver)
+        .unwrap();
+    assert_eq!(serde_json::to_string(&resumed).unwrap(), digest);
+    assert_eq!(resumed_text, full_text);
+    assert_eq!(report.expect("a cut must be reported").first_bad_line, 4);
+}
+
+#[test]
+fn salvage_stops_at_a_non_sequential_epoch() {
+    let (full_text, digest) = complete_journal();
+    let mut lines: Vec<String> = full_text
+        .split_inclusive('\n')
+        .map(str::to_string)
+        .collect();
+    assert!(lines.len() >= 4);
+    // Swap two middle records: both lines still pass their hash check,
+    // but the epoch sequence breaks at the first swapped line.
+    lines.swap(2, 3);
+    let corrupt: String = lines.concat();
+    assert!(matches!(
+        hetero_match::matchmaker::RunJournal::load(&corrupt),
+        Err(JournalError::NonSequentialEpoch {
+            line: 3,
+            found: 2,
+            expected: 1,
+        })
+    ));
+    let (journal, salvage) = hetero_match::matchmaker::RunJournal::load_salvaged(&corrupt).unwrap();
+    let salvage = salvage.expect("a cut must be reported");
+    assert_eq!(salvage.first_bad_line, 3);
+    assert_eq!(journal.record_count(), 1);
+
+    let platform = Platform::icpp15();
+    let analyzer = Analyzer::new(&platform);
+    let (resumed, resumed_text, _) = analyzer
+        .resume_salvaged(&corrupt, &mut hetero_match::runtime::NullObserver)
+        .unwrap();
+    assert_eq!(serde_json::to_string(&resumed).unwrap(), digest);
+    assert_eq!(resumed_text, full_text);
+}
+
+#[test]
+fn salvage_of_a_clean_journal_reports_nothing() {
+    let (full_text, _) = complete_journal();
+    let strict = hetero_match::matchmaker::RunJournal::load(&full_text).unwrap();
+    let (salvaged, report) =
+        hetero_match::matchmaker::RunJournal::load_salvaged(&full_text).unwrap();
+    assert!(report.is_none());
+    assert_eq!(salvaged, strict);
+    // Nothing-to-salvage journals still fail typed: the header is the
+    // trust anchor salvage cannot reconstruct.
+    assert!(matches!(
+        hetero_match::matchmaker::RunJournal::load_salvaged(""),
+        Err(JournalError::Empty)
+    ));
+    assert!(matches!(
+        hetero_match::matchmaker::RunJournal::load_salvaged("not a journal\n"),
+        Err(JournalError::MissingHeader)
+    ));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

@@ -147,6 +147,25 @@ fn planted_stream_fold_break_is_caught() {
     );
 }
 
+#[test]
+fn planted_service_drop_is_caught() {
+    let inject = InjectedBreak {
+        break_service: true,
+        ..InjectedBreak::NONE
+    };
+    let outcome = run_seed(5, &inject);
+    assert!(
+        outcome
+            .violations
+            .iter()
+            .any(|v| v.oracle == OracleKind::ShedOrServe),
+        "planted service drop must be caught: {:?}",
+        outcome.violations
+    );
+    // And the clean bank holds shed-or-serve on the same scenario.
+    assert!(run_seed(5, &InjectedBreak::NONE).violations.is_empty());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

@@ -8,7 +8,8 @@ use std::collections::BTreeSet;
 
 use hetero_match::apps::synth;
 use hetero_match::matchmaker::{
-    Analyzer, ExecutionConfig, ExecutionFlow, RunSpec, Strategy, STREAM_STRATEGY_LABEL,
+    encode_request, run_load, Analyzer, Arrival, ChaosSchedule, ExecutionConfig, ExecutionFlow,
+    LoadConfig, PlanService, RunSpec, ServiceConfig, Strategy, STREAM_STRATEGY_LABEL,
 };
 use hetero_match::platform::{DeviceId, FaultSchedule, Platform, SimTime};
 use hetero_match::runtime::{
@@ -96,6 +97,56 @@ fn catalog_matches_emitted_series_in_both_directions() {
     let mut registry = MetricsRegistry::new();
     tree.export_metrics(&mut registry, STREAM_STRATEGY_LABEL);
     all.extend(emitted(&registry));
+
+    // Planning-service battery: a seeded burst-chaos load saturates the
+    // pool (requests, admission verdicts incl. degraded serves, cache
+    // hits/misses, queue depth/wait, latency), and a directed tight-budget
+    // volley against a single worker fires hm_service_deadline_miss_total.
+    let load = LoadConfig {
+        requests: 500,
+        seed: 42,
+        ..LoadConfig::default()
+    };
+    let span = hetero_match::platform::SimTime::from_micros(load.requests * load.mean_gap_us);
+    let out = run_load(
+        &platform,
+        &ServiceConfig::default(),
+        &load,
+        &ChaosSchedule::burst(42, 10, span),
+    );
+    all.extend(emitted(&out.registry));
+
+    let tight = ServiceConfig {
+        workers: 1,
+        rate_limit: None,
+        default_deadline_us: Some(300),
+        base_solve_us: 200,
+        per_kernel_solve_us: 0,
+        ..ServiceConfig::default()
+    };
+    let mut svc = PlanService::new(&platform, tight, ChaosSchedule::calm(0));
+    let arrivals: Vec<Arrival> = (0..4)
+        .map(|i| Arrival {
+            at: SimTime::from_micros(1),
+            client: "catalog".into(),
+            bytes: encode_request(&hetero_match::matchmaker::PlanRequest {
+                id: i,
+                client: "catalog".into(),
+                app: hetero_match::matchmaker::template_app(i),
+                config: None,
+                what_if: true,
+                deadline_us: None,
+            }),
+        })
+        .collect();
+    let outcomes = svc.run(&arrivals);
+    assert!(
+        outcomes
+            .iter()
+            .any(|o| matches!(o.result, Err(ref e) if e.verdict().starts_with("deadline"))),
+        "battery must miss a deadline so hm_service_deadline_miss_total is exercised"
+    );
+    all.extend(emitted(svc.registry()));
 
     let catalog = documented();
     assert!(!catalog.is_empty(), "docs/METRICS.md catalog parsed empty");
